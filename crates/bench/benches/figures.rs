@@ -1,0 +1,136 @@
+//! One Criterion bench per table/figure: smoke-scale versions of the
+//! experiment harness, so `cargo bench` exercises every reproduction path.
+//! (The paper-scale regeneration lives in the `experiments` binary — these
+//! benches shrink the virtual duration to keep `cargo bench` tractable.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fabricsim::{OrdererType, PolicySpec, SimConfig, Simulation, WorkloadKind};
+
+fn smoke_cfg(orderer: OrdererType, policy: PolicySpec, rate: f64) -> SimConfig {
+    SimConfig {
+        orderer_type: orderer,
+        policy,
+        arrival_rate_tps: rate,
+        endorsing_peers: 10,
+        duration_secs: 6.0,
+        warmup_secs: 2.0,
+        cooldown_secs: 1.0,
+        ..SimConfig::default()
+    }
+}
+
+fn run(cfg: SimConfig) -> f64 {
+    Simulation::new(cfg).run().committed_tps()
+}
+
+fn bench_fig2_overall_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_overall_throughput");
+    g.sample_size(10);
+    for orderer in OrdererType::ALL {
+        g.bench_function(format!("{orderer}_or10_sat"), |b| {
+            b.iter(|| run(smoke_cfg(orderer, PolicySpec::OrN(10), 400.0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig3_overall_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_overall_latency");
+    g.sample_size(10);
+    g.bench_function("solo_or10_below_knee", |b| {
+        b.iter(|| {
+            let r = Simulation::new(smoke_cfg(OrdererType::Solo, PolicySpec::OrN(10), 150.0)).run();
+            r.overall_latency.mean_s
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig4_fig5_phase_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_fig5_phase_throughput");
+    g.sample_size(10);
+    g.bench_function("or10_phases", |b| {
+        b.iter(|| {
+            let r = Simulation::new(smoke_cfg(OrdererType::Solo, PolicySpec::OrN(10), 300.0)).run();
+            (r.execute.throughput_tps, r.order.throughput_tps, r.validate.throughput_tps)
+        })
+    });
+    g.bench_function("and5_phases", |b| {
+        b.iter(|| {
+            let r = Simulation::new(smoke_cfg(OrdererType::Solo, PolicySpec::AndX(5), 300.0)).run();
+            (r.execute.throughput_tps, r.order.throughput_tps, r.validate.throughput_tps)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6_fig7_phase_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_fig7_phase_latency");
+    g.sample_size(10);
+    for (label, policy) in [("or10", PolicySpec::OrN(10)), ("and5", PolicySpec::AndX(5))] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let r = Simulation::new(smoke_cfg(OrdererType::Solo, policy.clone(), 150.0)).run();
+                (r.execute.latency.mean_s, r.validate.latency.mean_s)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_table2_table3_peer_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_table3_peer_scaling");
+    g.sample_size(10);
+    for n in [1u32, 5] {
+        g.bench_function(format!("or10_n{n}"), |b| {
+            b.iter(|| {
+                let mut cfg = smoke_cfg(OrdererType::Solo, PolicySpec::OrN(10), 60.0 * n as f64);
+                cfg.endorsing_peers = n;
+                run(cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8_osn_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_osn_scaling");
+    g.sample_size(10);
+    for (orderer, osns) in [(OrdererType::Kafka, 4u32), (OrdererType::Raft, 12)] {
+        g.bench_function(format!("{orderer}_{osns}osns"), |b| {
+            b.iter(|| {
+                let mut cfg = smoke_cfg(orderer, PolicySpec::OrN(10), 300.0);
+                cfg.osn_count = osns;
+                run(cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_mvcc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_mvcc_conflicts");
+    g.sample_size(10);
+    g.bench_function("hot_keyspace_8", |b| {
+        b.iter(|| {
+            let mut cfg = smoke_cfg(OrdererType::Solo, PolicySpec::OrN(10), 120.0);
+            cfg.workload = WorkloadKind::KvRmw { keyspace: 8, payload_bytes: 1 };
+            let r = Simulation::new(cfg).run();
+            (r.committed_valid, r.committed_invalid)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2_overall_throughput,
+    bench_fig3_overall_latency,
+    bench_fig4_fig5_phase_throughput,
+    bench_fig6_fig7_phase_latency,
+    bench_table2_table3_peer_scaling,
+    bench_fig8_osn_scaling,
+    bench_ablation_mvcc
+);
+criterion_main!(figures);

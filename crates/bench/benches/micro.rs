@@ -1,0 +1,217 @@
+//! Criterion micro-benchmarks for the hot primitives of the pipeline:
+//! hashing, signing/verification, policy evaluation, block cutting, MVCC,
+//! ledger commit, Raft/Kafka state-machine steps and the DES kernel itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use fabricsim_crypto::{sha256, KeyPair, MerkleTree};
+use fabricsim_des::{Kernel, SimDuration, SimTime};
+use fabricsim_kafka::{Broker, BrokerMsg, KafkaConfig, Record};
+use fabricsim_ledger::Ledger;
+use fabricsim_policy::Policy;
+use fabricsim_raft::{RaftConfig, RaftNode, Role};
+use fabricsim_types::{
+    codec, ChannelId, ClientId, OrgId, Principal, Proposal, RwSet, Transaction,
+};
+use fabricsim_types::{Block, ValidationCode};
+
+fn tx(nonce: u64) -> Transaction {
+    let creator = ClientId(0);
+    let mut rw = RwSet::new();
+    rw.record_write(&format!("k{nonce}"), Some(vec![1u8]));
+    Transaction {
+        tx_id: Proposal::derive_tx_id(creator, nonce),
+        channel: ChannelId::default_channel(),
+        chaincode: "kvwrite".into(),
+        rw_set: rw,
+        payload: Vec::new(),
+        endorsements: Vec::new(),
+        creator,
+        signature: KeyPair::from_seed(b"c").sign(b"t"),
+    }
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data = vec![0xABu8; 1024];
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("sha256_1k", |b| b.iter(|| sha256(black_box(&data))));
+    g.throughput(Throughput::Elements(1));
+    let kp = KeyPair::from_seed(b"bench");
+    g.bench_function("schnorr_sign", |b| b.iter(|| kp.sign(black_box(&data))));
+    let sig = kp.sign(&data);
+    g.bench_function("schnorr_verify", |b| {
+        b.iter(|| kp.public.verify(black_box(&data), &sig))
+    });
+    let leaves: Vec<Vec<u8>> = (0..100).map(|i| format!("tx{i}").into_bytes()).collect();
+    g.bench_function("merkle_root_100", |b| {
+        b.iter(|| MerkleTree::from_leaves(black_box(leaves.iter())))
+    });
+    g.finish();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy");
+    let or10 = Policy::or_of_orgs(10);
+    let and5 = Policy::and_of_orgs(5);
+    let endorsers: Vec<Principal> = (1..=5).map(|i| Principal::peer(OrgId(i))).collect();
+    g.bench_function("eval_or10", |b| {
+        b.iter(|| or10.is_satisfied_by(black_box(&endorsers[..1])))
+    });
+    g.bench_function("eval_and5", |b| {
+        b.iter(|| and5.is_satisfied_by(black_box(&endorsers)))
+    });
+    g.bench_function("parse", |b| {
+        b.iter(|| "OutOf(2,'Org1.peer','Org2.peer','Org3.peer')".parse::<Policy>())
+    });
+    g.bench_function("minimal_sets_k_of_n_3_10", |b| {
+        let p = Policy::k_of_n_orgs(3, 10);
+        b.iter(|| p.minimal_satisfying_sets())
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let t = tx(1);
+    let bytes = codec::encode_tx(&t);
+    g.bench_function("encode_tx", |b| b.iter(|| codec::encode_tx(black_box(&t))));
+    g.bench_function("decode_tx", |b| b.iter(|| codec::decode_tx(black_box(&bytes))));
+    let block = Block::assemble(
+        ChannelId::default_channel(),
+        0,
+        fabricsim_crypto::Hash256::ZERO,
+        (0..100).map(tx).collect(),
+    );
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("encode_block_100tx", |b| {
+        b.iter(|| codec::encode_block(black_box(&block)))
+    });
+    g.finish();
+}
+
+fn bench_ledger(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ledger");
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("validate_and_commit_100tx_block", |b| {
+        b.iter_batched(
+            || {
+                let ledger = Ledger::new("bench");
+                let block = Block::assemble(
+                    ChannelId::default_channel(),
+                    0,
+                    fabricsim_crypto::Hash256::ZERO,
+                    (0..100).map(tx).collect(),
+                );
+                (ledger, block)
+            },
+            |(mut ledger, block)| {
+                let flags = ledger.validate_and_commit(block, vec![None; 100]).unwrap();
+                assert!(flags.iter().all(|f| *f == ValidationCode::Valid));
+                ledger
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_raft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raft");
+    g.bench_function("propose_replicate_commit", |b| {
+        // Single-node cluster: propose -> commit in one call.
+        let mut node = RaftNode::new(1, vec![1], RaftConfig::default(), 7);
+        while node.role() != Role::Leader {
+            node.tick();
+        }
+        b.iter(|| node.propose(black_box(b"tx".to_vec())).unwrap())
+    });
+    g.bench_function("follower_append_100", |b| {
+        b.iter_batched(
+            || RaftNode::new(2, vec![1, 2], RaftConfig::default(), 7),
+            |mut follower| {
+                let entries: Vec<fabricsim_raft::Entry> = (1..=100)
+                    .map(|i| fabricsim_raft::Entry {
+                        term: 1,
+                        index: i,
+                        data: b"tx".to_vec(),
+                    })
+                    .collect();
+                follower.step(
+                    1,
+                    fabricsim_raft::Message::AppendEntries {
+                        term: 1,
+                        prev_log_index: 0,
+                        prev_log_term: 0,
+                        entries,
+                        leader_commit: 100,
+                    },
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_kafka(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kafka");
+    g.bench_function("produce_single_replica", |b| {
+        let mut broker = Broker::new(1, KafkaConfig::default());
+        broker.step(BrokerMsg::AppointLeader {
+            epoch: 1,
+            replicas: vec![1],
+        });
+        b.iter(|| {
+            broker.step(BrokerMsg::Produce {
+                reply_to: 0,
+                record: Record::payload(black_box(b"tx".to_vec())),
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_des_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("kernel_10k_events", |b| {
+        b.iter(|| {
+            let mut k: Kernel<u64> = Kernel::new();
+            let mut count = 0u64;
+            for i in 0..10_000u64 {
+                k.schedule(SimTime::from_nanos(i), |w: &mut u64, _| *w += 1);
+            }
+            k.run(&mut count);
+            assert_eq!(count, 10_000);
+        })
+    });
+    g.bench_function("kernel_cascade_10k", |b| {
+        b.iter(|| {
+            let mut k: Kernel<u64> = Kernel::new();
+            fn step(w: &mut u64, k: &mut Kernel<u64>) {
+                *w += 1;
+                if *w < 10_000 {
+                    k.schedule_in(SimDuration::from_nanos(1), step);
+                }
+            }
+            let mut count = 0u64;
+            k.schedule(SimTime::ZERO, step);
+            k.run(&mut count);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_policy,
+    bench_codec,
+    bench_ledger,
+    bench_raft,
+    bench_kafka,
+    bench_des_kernel
+);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! `fabricsim` — run a single simulated Fabric deployment from the command
+//! line and print the phase-annotated report (plus the analytic prediction).
+//!
+//! ```text
+//! cargo run -p fabricsim-bench --release --bin fabricsim -- \
+//!     --orderer raft --peers 10 --policy AND5 --rate 250 --duration 60
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! ```text
+//!   --orderer solo|kafka|raft        consensus (default solo)
+//!   --peers COUNT                    endorsing peers (default 10)
+//!   --policy POLICY                  endorsement policy (default OR10)
+//!   --rate TPS                       arrival rate (default 100)
+//!   --duration SECS                  virtual duration (default 30)
+//!   --batch-size COUNT               BatchSize (default 100)
+//!   --batch-timeout MS               BatchTimeout (default 1000)
+//!   --osns COUNT                     ordering nodes (default 3)
+//!   --channels COUNT                 independent channels (default 1)
+//!   --brokers COUNT / --zk COUNT     kafka substrate sizes (default 3)
+//!   --workload kvput|rmw|transfer|smallbank   (default kvput)
+//!   --payload BYTES                  value size for kvput/rmw (default 1)
+//!   --seed SEED                      RNG seed (default 42)
+//!   --csv                            emit a CSV row instead of the report
+//! ```
+
+use std::env;
+use std::process::exit;
+
+use fabricsim::report::{to_csv, Row};
+use fabricsim::{
+    predict, OrdererType, PolicySpec, SimConfig, Simulation, WorkloadKind,
+};
+
+fn usage() -> ! {
+    eprintln!("usage: fabricsim [--orderer solo|kafka|raft] [--peers N] [--policy OR10|AND5|...]");
+    eprintln!("                 [--rate TPS] [--duration S] [--batch-size N] [--batch-timeout MS]");
+    eprintln!("                 [--osns N] [--channels N] [--brokers N] [--zk N]");
+    eprintln!("                 [--workload kvput|rmw|transfer|smallbank]");
+    eprintln!("                 [--payload BYTES] [--seed N] [--csv]");
+    exit(2);
+}
+
+fn parse_policy(s: &str) -> PolicySpec {
+    if let Some(n) = s.strip_prefix("OR").and_then(|n| n.parse().ok()) {
+        return PolicySpec::OrN(n);
+    }
+    if let Some(x) = s.strip_prefix("AND").and_then(|x| x.parse().ok()) {
+        return PolicySpec::AndX(x);
+    }
+    PolicySpec::Custom(s.to_string())
+}
+
+fn main() {
+    let mut cfg = SimConfig {
+        duration_secs: 30.0,
+        warmup_secs: 6.0,
+        cooldown_secs: 2.0,
+        ..SimConfig::default()
+    };
+    let mut payload = 1usize;
+    let mut workload = "kvput".to_string();
+    let mut csv = false;
+
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--orderer" => {
+                cfg.orderer_type = match value().to_lowercase().as_str() {
+                    "solo" => OrdererType::Solo,
+                    "kafka" => OrdererType::Kafka,
+                    "raft" => OrdererType::Raft,
+                    other => {
+                        eprintln!("unknown orderer {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--peers" => cfg.endorsing_peers = value().parse().unwrap_or_else(|_| usage()),
+            "--policy" => cfg.policy = parse_policy(&value()),
+            "--rate" => cfg.arrival_rate_tps = value().parse().unwrap_or_else(|_| usage()),
+            "--duration" => {
+                cfg.duration_secs = value().parse().unwrap_or_else(|_| usage());
+                cfg.warmup_secs = (cfg.duration_secs * 0.2).min(12.0);
+                cfg.cooldown_secs = (cfg.duration_secs * 0.1).min(5.0);
+            }
+            "--batch-size" => {
+                cfg.batch.max_message_count = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--batch-timeout" => {
+                cfg.batch.batch_timeout_ms = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--osns" => cfg.osn_count = value().parse().unwrap_or_else(|_| usage()),
+            "--channels" => cfg.channels = value().parse().unwrap_or_else(|_| usage()),
+            "--brokers" => cfg.broker_count = value().parse().unwrap_or_else(|_| usage()),
+            "--zk" => cfg.zk_count = value().parse().unwrap_or_else(|_| usage()),
+            "--workload" => workload = value().to_lowercase(),
+            "--payload" => payload = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--csv" => csv = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    cfg.workload = match workload.as_str() {
+        "kvput" => WorkloadKind::KvPut { payload_bytes: payload },
+        "rmw" => WorkloadKind::KvRmw { keyspace: 64, payload_bytes: payload },
+        "transfer" => WorkloadKind::Transfer { accounts: 200 },
+        "smallbank" => WorkloadKind::Smallbank { customers: 100 },
+        other => {
+            eprintln!("unknown workload {other:?}");
+            usage()
+        }
+    };
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        exit(2);
+    }
+
+    let prediction = predict(&cfg);
+    let label = format!(
+        "{}/{} λ={:.0}",
+        cfg.orderer_type,
+        cfg.policy.label(),
+        cfg.arrival_rate_tps
+    );
+    let result = Simulation::new(cfg).run_detailed();
+    let s = &result.summary;
+
+    if csv {
+        print!(
+            "{}",
+            to_csv(&[Row { label, summary: s.clone() }])
+        );
+        return;
+    }
+
+    println!("== {label} ==");
+    println!(
+        "throughput : execute {:.1} | order {:.1} | validate {:.1} tps (offered {:.0})",
+        s.execute.throughput_tps, s.order.throughput_tps, s.validate.throughput_tps, s.offered_tps
+    );
+    println!(
+        "latency    : execute {:.3}s | order+validate {:.3}s | end-to-end {:.3}s (p95 {:.3}s)",
+        s.execute.latency.mean_s,
+        s.validate.latency.mean_s,
+        s.overall_latency.mean_s,
+        s.overall_latency.p95_s
+    );
+    println!(
+        "blocks     : {} cut, mean {:.2}s apart, {:.1} tx each",
+        s.blocks_cut, s.mean_block_time_s, s.mean_block_size
+    );
+    println!(
+        "outcomes   : {} valid, {} invalid, {} overload-dropped, {} ordering-timeouts, {} endorsement-failures",
+        s.committed_valid, s.committed_invalid, s.overload_dropped, s.ordering_timeouts, s.endorsement_failures
+    );
+    let (hot_name, hot_load) = result.utilization.hottest();
+    println!("bottleneck : {hot_name} at {:.0}% utilization", hot_load * 100.0);
+    println!(
+        "analytic   : peak {:.0} tps ({} binds) | exec {:.3}s | o+v {:.3}s | block {:.2}s",
+        prediction.peak_committed_tps,
+        prediction.bottleneck,
+        prediction.execute_latency_s,
+        prediction.order_validate_latency_s,
+        prediction.block_time_s
+    );
+    println!(
+        "ledger     : height {}, chain verified: {}",
+        result.observer_height, result.chain_ok
+    );
+}

@@ -1,0 +1,30 @@
+//! # fabricsim-bench — the benchmark harness
+//!
+//! Two entry points:
+//!
+//! * the **`experiments` binary** (`cargo run -p fabricsim-bench --release
+//!   --bin experiments -- all`) regenerates every table and figure of the
+//!   paper, writing `results/*.csv` and printing the text tables recorded in
+//!   `EXPERIMENTS.md`;
+//! * the **Criterion benches** (`cargo bench`) cover the hot primitives
+//!   (SHA-256, Schnorr, policy evaluation, MVCC, block cutting, Raft/Kafka
+//!   steps, ledger commit, the DES kernel) plus a smoke-scale run per figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::Path;
+
+use fabricsim::report::{to_csv, Row};
+
+/// Writes rows as CSV under `results/<name>.csv` (creating the directory).
+///
+/// # Panics
+/// Panics on I/O errors — the harness wants loud failures.
+pub fn write_csv(results_dir: &Path, name: &str, rows: &[Row]) {
+    fs::create_dir_all(results_dir).expect("create results dir");
+    let path = results_dir.join(format!("{name}.csv"));
+    fs::write(&path, to_csv(rows)).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}

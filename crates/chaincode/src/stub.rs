@@ -1,0 +1,147 @@
+//! The transaction simulator handed to running chaincode.
+
+use fabricsim_ledger::StateDb;
+use fabricsim_types::RwSet;
+
+/// The chaincode's window onto the ledger during endorsement: reads are
+/// recorded with the MVCC version observed, writes are buffered into the
+/// read/write set instead of touching state.
+#[derive(Debug)]
+pub struct ChaincodeStub<'a> {
+    state: &'a StateDb,
+    rw_set: RwSet,
+}
+
+impl<'a> ChaincodeStub<'a> {
+    /// Creates a simulator over committed state.
+    pub fn new(state: &'a StateDb) -> Self {
+        ChaincodeStub {
+            state,
+            rw_set: RwSet::new(),
+        }
+    }
+
+    /// Reads a key. Pending writes from this same simulation are visible
+    /// (read-your-writes) and do *not* add a read record, matching Fabric's
+    /// `TxSimulator` semantics.
+    pub fn get_state(&mut self, key: &str) -> Option<Vec<u8>> {
+        if let Some(w) = self.rw_set.pending_write(key) {
+            return w.value.clone();
+        }
+        let committed = self.state.get(key);
+        self.rw_set.record_read(key, committed.map(|v| v.version));
+        committed.map(|v| v.value.clone())
+    }
+
+    /// Buffers a write.
+    pub fn put_state(&mut self, key: &str, value: Vec<u8>) {
+        self.rw_set.record_write(key, Some(value));
+    }
+
+    /// Buffers a delete.
+    pub fn del_state(&mut self, key: &str) {
+        self.rw_set.record_write(key, None);
+    }
+
+    /// Iterates committed keys in `[start, end)`, recording a read per key
+    /// returned. (Real Fabric also records range metadata to catch phantom
+    /// reads; per-key read records give the same conflict behaviour for the
+    /// workloads modelled here — see DESIGN.md.)
+    pub fn get_state_range(&mut self, start: &str, end: &str) -> Vec<(String, Vec<u8>)> {
+        let rows: Vec<(String, Vec<u8>, fabricsim_types::Version)> = self
+            .state
+            .range(start, end)
+            .map(|(k, v)| (k.to_string(), v.value.clone(), v.version))
+            .collect();
+        let mut out = Vec::with_capacity(rows.len());
+        for (k, value, version) in rows {
+            self.rw_set.record_read(&k, Some(version));
+            out.push((k, value));
+        }
+        out
+    }
+
+    /// Number of reads recorded so far.
+    pub fn reads_recorded(&self) -> usize {
+        self.rw_set.reads.len()
+    }
+
+    /// Number of writes buffered so far.
+    pub fn writes_buffered(&self) -> usize {
+        self.rw_set.writes.len()
+    }
+
+    /// Finishes the simulation, yielding the read/write set.
+    pub fn into_rw_set(self) -> RwSet {
+        self.rw_set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabricsim_types::Version;
+
+    fn seeded() -> StateDb {
+        let mut db = StateDb::new();
+        db.seed("a", b"1".to_vec());
+        db.apply_write("b", Some(b"2".to_vec()), Version::new(3, 1));
+        db
+    }
+
+    #[test]
+    fn reads_record_versions() {
+        let db = seeded();
+        let mut stub = ChaincodeStub::new(&db);
+        assert_eq!(stub.get_state("a"), Some(b"1".to_vec()));
+        assert_eq!(stub.get_state("b"), Some(b"2".to_vec()));
+        assert_eq!(stub.get_state("missing"), None);
+        let rw = stub.into_rw_set();
+        assert_eq!(rw.reads.len(), 3);
+        assert_eq!(rw.reads[0].version, Some(Version::GENESIS));
+        assert_eq!(rw.reads[1].version, Some(Version::new(3, 1)));
+        assert_eq!(rw.reads[2].version, None);
+    }
+
+    #[test]
+    fn read_your_writes_without_read_record() {
+        let db = seeded();
+        let mut stub = ChaincodeStub::new(&db);
+        stub.put_state("x", b"new".to_vec());
+        assert_eq!(stub.get_state("x"), Some(b"new".to_vec()));
+        let rw = stub.into_rw_set();
+        assert!(rw.reads.is_empty(), "own write must not create a read record");
+        assert_eq!(rw.writes.len(), 1);
+    }
+
+    #[test]
+    fn delete_is_visible_to_later_reads() {
+        let db = seeded();
+        let mut stub = ChaincodeStub::new(&db);
+        stub.del_state("a");
+        assert_eq!(stub.get_state("a"), None);
+        let rw = stub.into_rw_set();
+        assert!(rw.writes[0].is_delete());
+    }
+
+    #[test]
+    fn writes_do_not_touch_committed_state() {
+        let db = seeded();
+        {
+            let mut stub = ChaincodeStub::new(&db);
+            stub.put_state("a", b"mutated".to_vec());
+            let _ = stub.into_rw_set();
+        }
+        assert_eq!(db.get("a").unwrap().value, b"1");
+    }
+
+    #[test]
+    fn range_records_reads() {
+        let db = seeded();
+        let mut stub = ChaincodeStub::new(&db);
+        let rows = stub.get_state_range("a", "c");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(stub.reads_recorded(), 2);
+        assert_eq!(stub.writes_buffered(), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Asynchronous endorsement collection.
+
+use std::collections::BTreeSet;
+
+use fabricsim_policy::Policy;
+use fabricsim_types::{Principal, ProposalResponse, TxId};
+
+/// Collection status after each response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectState {
+    /// More responses are needed.
+    Pending,
+    /// The policy is satisfied; the envelope can be assembled.
+    Satisfied,
+    /// Collection can never succeed (a peer failed or results diverged).
+    Failed,
+}
+
+/// Accumulates proposal responses for one transaction until the endorsement
+/// policy is satisfied (or provably unsatisfiable), checking result agreement
+/// along the way — what the Node SDK does between `sendTransactionProposal`
+/// and `sendTransaction`.
+#[derive(Debug)]
+pub struct EndorsementCollector {
+    tx_id: TxId,
+    policy: Policy,
+    expected: usize,
+    responses: Vec<ProposalResponse>,
+    reference: Option<Vec<u8>>,
+    failed: bool,
+    received: usize,
+}
+
+impl EndorsementCollector {
+    /// Starts collecting for `tx_id` under `policy`, expecting `expected`
+    /// responses in total (the number of targeted peers).
+    pub fn new(tx_id: TxId, policy: Policy, expected: usize) -> Self {
+        EndorsementCollector {
+            tx_id,
+            policy,
+            expected,
+            responses: Vec::new(),
+            reference: None,
+            failed: false,
+            received: 0,
+        }
+    }
+
+    /// The transaction being collected.
+    pub fn tx_id(&self) -> TxId {
+        self.tx_id
+    }
+
+    /// Responses accepted so far (successful, matching ones).
+    pub fn responses(&self) -> &[ProposalResponse] {
+        &self.responses
+    }
+
+    /// Feeds one response; returns the new state.
+    pub fn add(&mut self, response: ProposalResponse) -> CollectState {
+        self.received += 1;
+        if self.failed || response.tx_id != self.tx_id || !response.ok {
+            self.failed = true;
+            return self.state();
+        }
+        let bytes =
+            ProposalResponse::signed_bytes(response.tx_id, &response.rw_set, &response.payload);
+        match &self.reference {
+            None => self.reference = Some(bytes),
+            Some(r) if *r != bytes => {
+                self.failed = true;
+                return self.state();
+            }
+            Some(_) => {}
+        }
+        self.responses.push(response);
+        self.state()
+    }
+
+    /// Current state.
+    pub fn state(&self) -> CollectState {
+        if self.failed {
+            return CollectState::Failed;
+        }
+        let principals: BTreeSet<Principal> = self
+            .responses
+            .iter()
+            .filter_map(|r| r.endorsement.as_ref().map(|e| e.endorser.clone()))
+            .collect();
+        if self.policy.is_satisfied_by(principals.iter()) {
+            CollectState::Satisfied
+        } else if self.received >= self.expected {
+            // Everyone answered and the policy still isn't met.
+            CollectState::Failed
+        } else {
+            CollectState::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabricsim_crypto::KeyPair;
+    use fabricsim_types::{ClientId, Endorsement, OrgId, Proposal, RwSet};
+
+    fn response(tx_id: TxId, org: u32, ok: bool, value: &[u8]) -> ProposalResponse {
+        let kp = KeyPair::from_seed(format!("peer{org}").as_bytes());
+        let mut rw = RwSet::new();
+        rw.record_write("k", Some(value.to_vec()));
+        let bytes = ProposalResponse::signed_bytes(tx_id, &rw, b"");
+        ProposalResponse {
+            tx_id,
+            rw_set: rw,
+            payload: Vec::new(),
+            ok,
+            endorsement: ok.then(|| Endorsement {
+                endorser: Principal::peer(OrgId(org)),
+                endorser_key: kp.public,
+                signature: kp.sign(&bytes),
+            }),
+        }
+    }
+
+    fn txid() -> TxId {
+        Proposal::derive_tx_id(ClientId(0), 1)
+    }
+
+    #[test]
+    fn or_satisfied_by_first_response() {
+        let mut c = EndorsementCollector::new(txid(), Policy::or_of_orgs(3), 1);
+        assert_eq!(c.state(), CollectState::Pending);
+        assert_eq!(c.add(response(txid(), 2, true, b"v")), CollectState::Satisfied);
+        assert_eq!(c.responses().len(), 1);
+    }
+
+    #[test]
+    fn and_waits_for_all() {
+        let mut c = EndorsementCollector::new(txid(), Policy::and_of_orgs(3), 3);
+        assert_eq!(c.add(response(txid(), 1, true, b"v")), CollectState::Pending);
+        assert_eq!(c.add(response(txid(), 2, true, b"v")), CollectState::Pending);
+        assert_eq!(c.add(response(txid(), 3, true, b"v")), CollectState::Satisfied);
+    }
+
+    #[test]
+    fn failed_peer_fails_collection() {
+        let mut c = EndorsementCollector::new(txid(), Policy::and_of_orgs(2), 2);
+        assert_eq!(c.add(response(txid(), 1, false, b"v")), CollectState::Failed);
+        // Subsequent good responses cannot resurrect it.
+        assert_eq!(c.add(response(txid(), 2, true, b"v")), CollectState::Failed);
+    }
+
+    #[test]
+    fn divergent_results_fail() {
+        let mut c = EndorsementCollector::new(txid(), Policy::and_of_orgs(2), 2);
+        c.add(response(txid(), 1, true, b"v1"));
+        assert_eq!(c.add(response(txid(), 2, true, b"v2")), CollectState::Failed);
+    }
+
+    #[test]
+    fn exhausted_without_satisfaction_fails() {
+        // Policy needs Org3 but we only targeted Orgs 1-2.
+        let mut c = EndorsementCollector::new(
+            txid(),
+            Policy::Principal(Principal::peer(OrgId(3))),
+            2,
+        );
+        assert_eq!(c.add(response(txid(), 1, true, b"v")), CollectState::Pending);
+        assert_eq!(c.add(response(txid(), 2, true, b"v")), CollectState::Failed);
+    }
+
+    #[test]
+    fn duplicate_endorser_does_not_satisfy_and() {
+        // The same org answering twice is one principal, not two.
+        let mut c = EndorsementCollector::new(txid(), Policy::and_of_orgs(2), 3);
+        assert_eq!(c.add(response(txid(), 1, true, b"v")), CollectState::Pending);
+        assert_eq!(c.add(response(txid(), 1, true, b"v")), CollectState::Pending);
+        assert_eq!(c.add(response(txid(), 2, true, b"v")), CollectState::Satisfied);
+    }
+
+    #[test]
+    fn responses_accumulate_in_order() {
+        let mut c = EndorsementCollector::new(txid(), Policy::and_of_orgs(2), 2);
+        c.add(response(txid(), 1, true, b"v"));
+        c.add(response(txid(), 2, true, b"v"));
+        let orgs: Vec<u32> = c
+            .responses()
+            .iter()
+            .map(|r| r.endorsement.as_ref().unwrap().endorser.org.0)
+            .collect();
+        assert_eq!(orgs, vec![1, 2]);
+        assert_eq!(c.tx_id(), txid());
+    }
+
+    #[test]
+    fn wrong_tx_fails() {
+        let mut c = EndorsementCollector::new(txid(), Policy::or_of_orgs(1), 1);
+        let other = Proposal::derive_tx_id(ClientId(9), 9);
+        assert_eq!(c.add(response(other, 1, true, b"v")), CollectState::Failed);
+    }
+}

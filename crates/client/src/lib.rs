@@ -1,0 +1,35 @@
+//! # fabricsim-client — the client SDK
+//!
+//! Clients prepare transaction proposals, collect proposal responses from
+//! endorsing peers, and submit assembled envelopes for ordering (paper §II,
+//! "Client Nodes"). This crate provides the synchronous building blocks the
+//! simulated workload generator drives asynchronously:
+//!
+//! * [`ClientSdk`] — identity-bearing proposal factory and envelope assembler
+//!   (signing with the client's enrolment key, Fabric-style tx-id derivation).
+//! * [`TargetSelector`] — picks endorsement targets from the channel policy's
+//!   minimal satisfying sets; rotates round-robin under `OR` (load balancing
+//!   across endorsing peers), and necessarily pins the full set under `AND`.
+//! * [`EndorsementCollector`] — accumulates responses, enforces read/write-set
+//!   agreement across endorsers, and reports when the policy is satisfiable.
+//!
+//! ```
+//! use fabricsim_client::TargetSelector;
+//! use fabricsim_policy::Policy;
+//!
+//! let mut sel = TargetSelector::new(&Policy::or_of_orgs(3));
+//! let a = sel.next_targets().to_vec();
+//! let b = sel.next_targets().to_vec();
+//! assert_ne!(a, b, "OR targets rotate for load balancing");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod sdk;
+mod targets;
+
+pub use collector::{CollectState, EndorsementCollector};
+pub use sdk::{AssembleError, ClientSdk};
+pub use targets::TargetSelector;

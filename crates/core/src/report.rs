@@ -1,0 +1,210 @@
+//! Text tables and CSV output for experiment results.
+
+use std::fmt::Write as _;
+
+use crate::metrics::SummaryReport;
+
+/// One labelled row of an experiment (e.g. a sweep point).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (e.g. `"Solo/OR λ=150"`).
+    pub label: String,
+    /// The run's summary.
+    pub summary: SummaryReport,
+}
+
+/// Renders rows as a fixed-width text table with per-phase columns.
+pub fn phase_table(title: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<26} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "run",
+        "offered",
+        "exec_tps",
+        "order_tps",
+        "valid_tps",
+        "exec_lat",
+        "o&v_lat",
+        "overall",
+        "timeout",
+        "blk_t"
+    );
+    for r in rows {
+        let s = &r.summary;
+        let _ = writeln!(
+            out,
+            "{:<26} {:>8.0} {:>9.1} {:>9.1} {:>9.1} {:>8.3}s {:>8.3}s {:>7.3}s {:>8} {:>7.2}s",
+            r.label,
+            s.offered_tps,
+            s.execute.throughput_tps,
+            s.order.throughput_tps,
+            s.validate.throughput_tps,
+            s.execute.latency.mean_s,
+            s.validate.latency.mean_s,
+            s.overall_latency.mean_s,
+            s.ordering_timeouts,
+            s.mean_block_time_s,
+        );
+    }
+    out
+}
+
+/// Renders rows as CSV (one line per row, with a header).
+pub fn to_csv(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "label,offered_tps,execute_tps,order_tps,validate_tps,execute_lat_mean_s,execute_lat_p95_s,order_validate_lat_mean_s,order_validate_lat_p95_s,overall_lat_mean_s,created,committed_valid,committed_invalid,overload_dropped,ordering_timeouts,endorsement_failures,mean_block_time_s,mean_block_size,blocks_cut\n",
+    );
+    for r in rows {
+        let s = &r.summary;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            escape_csv(&r.label),
+            s.offered_tps,
+            s.execute.throughput_tps,
+            s.order.throughput_tps,
+            s.validate.throughput_tps,
+            s.execute.latency.mean_s,
+            s.execute.latency.p95_s,
+            s.validate.latency.mean_s,
+            s.validate.latency.p95_s,
+            s.overall_latency.mean_s,
+            s.created,
+            s.committed_valid,
+            s.committed_invalid,
+            s.overload_dropped,
+            s.ordering_timeouts,
+            s.endorsement_failures,
+            s.mean_block_time_s,
+            s.mean_block_size,
+            s.blocks_cut,
+        );
+    }
+    out
+}
+
+/// Renders raw per-transaction traces as CSV (one line per transaction), for
+/// external plotting or post-hoc analysis of a single run.
+pub fn traces_to_csv(traces: &[crate::metrics::TxTrace]) -> String {
+    use crate::metrics::TxOutcome;
+    let mut out = String::from(
+        "created_s,proposal_sent_s,endorsed_s,submitted_s,order_acked_s,ordered_s,delivered_s,committed_s,outcome,signatures\n",
+    );
+    let fmt = |t: Option<fabricsim_des::SimTime>| {
+        t.map_or(String::new(), |x| format!("{:.6}", x.as_secs_f64()))
+    };
+    for t in traces {
+        let outcome = match t.outcome {
+            TxOutcome::InFlight => "IN_FLIGHT".to_string(),
+            TxOutcome::OverloadDropped => "OVERLOAD_DROPPED".to_string(),
+            TxOutcome::EndorsementFailed => "ENDORSEMENT_FAILED".to_string(),
+            TxOutcome::OrderingTimeout => "ORDERING_TIMEOUT".to_string(),
+            TxOutcome::Committed(code) => code.label().to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:.6},{},{},{},{},{},{},{},{},{}",
+            t.created.as_secs_f64(),
+            fmt(t.proposal_sent),
+            fmt(t.endorsed),
+            fmt(t.submitted),
+            fmt(t.order_acked),
+            fmt(t.ordered),
+            fmt(t.delivered),
+            fmt(t.committed),
+            outcome,
+            t.signatures,
+        );
+    }
+    out
+}
+
+fn escape_csv(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{LatencyStats, PhaseReport};
+
+    fn dummy(label: &str) -> Row {
+        Row {
+            label: label.into(),
+            summary: SummaryReport {
+                offered_tps: 100.0,
+                window_secs: 10.0,
+                execute: PhaseReport {
+                    throughput_tps: 99.0,
+                    latency: LatencyStats {
+                        count: 1,
+                        mean_s: 0.25,
+                        p50_s: 0.25,
+                        p95_s: 0.3,
+                        max_s: 0.4,
+                    },
+                },
+                order: PhaseReport::default(),
+                validate: PhaseReport::default(),
+                overall_latency: LatencyStats::default(),
+                created: 1000,
+                committed_valid: 990,
+                committed_invalid: 0,
+                overload_dropped: 0,
+                ordering_timeouts: 10,
+                endorsement_failures: 0,
+                mean_block_time_s: 1.0,
+                mean_block_size: 99.0,
+                blocks_cut: 10,
+            },
+        }
+    }
+
+    #[test]
+    fn table_contains_rows_and_title() {
+        let t = phase_table("Fig 2", &[dummy("Solo/OR λ=100")]);
+        assert!(t.contains("== Fig 2 =="));
+        assert!(t.contains("Solo/OR λ=100"));
+        assert!(t.contains("99.0"));
+    }
+
+    #[test]
+    fn csv_has_header_and_data() {
+        let csv = to_csv(&[dummy("a"), dummy("b")]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("label,offered_tps"));
+        assert!(lines[1].starts_with("a,100"));
+    }
+
+    #[test]
+    fn traces_csv_has_one_row_per_tx() {
+        use crate::metrics::{TxOutcome, TxTrace};
+        use fabricsim_des::SimTime;
+        let mut a = TxTrace::new(SimTime::from_secs_f64(1.0));
+        a.endorsed = Some(SimTime::from_secs_f64(1.25));
+        a.outcome = TxOutcome::Committed(fabricsim_types::ValidationCode::Valid);
+        a.signatures = 3;
+        let mut b = TxTrace::new(SimTime::from_secs_f64(2.0));
+        b.outcome = TxOutcome::OverloadDropped;
+        let csv = traces_to_csv(&[a, b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("1.000000,,1.250000"));
+        assert!(lines[1].ends_with("VALID,3"));
+        assert!(lines[2].contains("OVERLOAD_DROPPED"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        assert_eq!(escape_csv("a,b"), "\"a,b\"");
+        assert_eq!(escape_csv("plain"), "plain");
+        assert_eq!(escape_csv("q\"q"), "\"q\"\"q\"");
+    }
+}

@@ -1,0 +1,1452 @@
+//! The simulation world: clients, peers, ordering service, Kafka brokers and
+//! ZooKeeper wired over the DES kernel with the calibrated cost model.
+
+use std::collections::HashMap;
+
+use fabricsim_chaincode::samples::{AssetTransfer, KvWrite, Nondeterministic, Smallbank};
+use fabricsim_des::{EventId, Kernel, Link, RngStream, SimDuration, SimTime, Station};
+use fabricsim_kafka::{
+    Broker, BrokerEffect, BrokerMsg, ClientEvent, KafkaConfig, ZkEffect, ZkEnsemble, ZkMsg,
+};
+use fabricsim_msp::{CertificateAuthority, Msp};
+use fabricsim_ordering::{OsnEffect, OsnInput, OsnMsg, OsnNode};
+use fabricsim_peer::{GossipEffect, GossipMsg, GossipNode, Peer, PeerConfig};
+use fabricsim_policy::Policy;
+use fabricsim_types::encode::WireSize;
+use fabricsim_types::{
+    Block, ChannelId, ClientId, OrdererType, OrgId, Principal, Proposal, ProposalResponse,
+    Transaction, TxId,
+};
+
+use fabricsim_client::{ClientSdk, CollectState, EndorsementCollector, TargetSelector};
+
+use crate::metrics::{summarize, SummaryReport, TxOutcome, TxTrace};
+use crate::workload::{SimConfig, WorkloadKind};
+
+/// Scheduled fault injections.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Crash these Kafka brokers at the given virtual second.
+    pub crash_brokers: Vec<(u32, f64)>,
+    /// Crash these OSNs at the given virtual second.
+    pub crash_osns: Vec<(u32, f64)>,
+    /// Make these endorsing peers run *non-deterministic chaincode* from the
+    /// given virtual second: their simulation results diverge from honest
+    /// replicas (the classic Fabric failure mode). Only meaningful for the
+    /// `KvPut`/`KvRmw` workloads.
+    pub nondeterministic_peers: Vec<(u32, f64)>,
+}
+
+impl FaultPlan {
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.crash_brokers.is_empty()
+            && self.crash_osns.is_empty()
+            && self.nondeterministic_peers.is_empty()
+    }
+}
+
+/// Mean utilization of each CPU station class over the run (fraction of
+/// capacity; >1 means a queue was still draining at the horizon).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationReport {
+    /// Per-pool submission-thread utilization.
+    pub pool_prep: Vec<f64>,
+    /// Per-pool response-processing utilization.
+    pub pool_recv: Vec<f64>,
+    /// Per-peer endorsement-station utilization.
+    pub peer_endorse: Vec<f64>,
+    /// Per-peer committer utilization — the paper's bottleneck lives here.
+    pub peer_validate: Vec<f64>,
+    /// Per-OSN CPU utilization.
+    pub osn_cpu: Vec<f64>,
+}
+
+impl UtilizationReport {
+    /// `(name, max utilization)` of the most loaded station class.
+    pub fn hottest(&self) -> (&'static str, f64) {
+        let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
+        [
+            ("client-pool prep", max(&self.pool_prep)),
+            ("client-pool recv", max(&self.pool_recv)),
+            ("peer endorse", max(&self.peer_endorse)),
+            ("peer validate", max(&self.peer_validate)),
+            ("osn cpu", max(&self.osn_cpu)),
+        ]
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+        .expect("non-empty")
+    }
+}
+
+/// Detailed output of a run: the summary plus raw traces and block records.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Aggregated report over the measurement window.
+    pub summary: SummaryReport,
+    /// Every transaction's phase trace.
+    pub traces: Vec<TxTrace>,
+    /// `(cut time, tx count)` per block, in order.
+    pub block_cuts: Vec<(SimTime, usize)>,
+    /// Chain height at the observer peer at the end of the run.
+    pub observer_height: u64,
+    /// Whether the observer's chain verified end-to-end.
+    pub chain_ok: bool,
+    /// Final world state at the observer (key → value), for application-level
+    /// assertions such as balance conservation.
+    pub final_state: Vec<(String, Vec<u8>)>,
+    /// Station utilizations over the run.
+    pub utilization: UtilizationReport,
+}
+
+struct PendingTx {
+    proposal: Proposal,
+    collector: EndorsementCollector,
+    envelope: Option<Transaction>,
+    timeout_event: Option<EventId>,
+}
+
+struct Pool {
+    sdk: ClientSdk,
+    selector: TargetSelector,
+    prep: Station,
+    recv: Station,
+    egress: Link,
+    pending: HashMap<TxId, PendingTx>,
+    in_prep: usize,
+    next_osn: u32,
+    next_channel: u32,
+    arrivals: RngStream,
+    keys: RngStream,
+}
+
+struct PeerNode {
+    /// One [`Peer`] per channel (separate ledgers on shared hardware).
+    channels: Vec<Peer>,
+    endorse: Station,
+    validate: Station,
+    egress: Link,
+    jitter: RngStream,
+    /// Per-channel number of the next block this peer expects from its
+    /// delivery stream; duplicates (e.g. failover replays) are dropped.
+    next_expected_block: Vec<u64>,
+    /// Gossip dissemination state (when the run uses gossip delivery;
+    /// single-channel only).
+    gossip: Option<GossipNode>,
+}
+
+struct OsnActor {
+    /// One consensus/ordering instance per channel (its own Raft group /
+    /// Kafka partition client), as in Fabric.
+    nodes: Vec<OsnNode>,
+    station: Station,
+    egress: Link,
+    subscribers: Vec<usize>,
+    alive: bool,
+    /// Blocks this OSN has emitted, kept for Deliver-style replay when a
+    /// peer re-subscribes after its OSN crashed.
+    delivered: Vec<Block>,
+}
+
+struct BrokerActor {
+    /// One partition per channel (paper §III: a partition is a channel).
+    partitions: Vec<Broker>,
+    station: Station,
+    egress: Link,
+    alive: bool,
+}
+
+struct World {
+    cfg: SimConfig,
+    policy: Policy,
+    pools: Vec<Pool>,
+    peers: Vec<PeerNode>,
+    osns: Vec<OsnActor>,
+    brokers: Vec<BrokerActor>,
+    /// One coordination ensemble per channel/partition.
+    zks: Vec<ZkEnsemble>,
+    channel_ids: Vec<ChannelId>,
+    traces: Vec<TxTrace>,
+    tx_index: HashMap<TxId, usize>,
+    tx_pool: HashMap<TxId, usize>,
+    block_cuts: Vec<(SimTime, usize)>,
+    /// Per-channel next block number whose cut is still unrecorded.
+    next_cut_number: Vec<u64>,
+    observer: usize,
+}
+
+type K = Kernel<World>;
+
+impl World {
+    fn trace_mut(&mut self, tx_id: TxId) -> Option<&mut TxTrace> {
+        let idx = *self.tx_index.get(&tx_id)?;
+        self.traces.get_mut(idx)
+    }
+
+    fn ms(&self, x: f64) -> SimDuration {
+        SimDuration::from_millis_f64(x.max(0.0))
+    }
+
+    /// Peer index for a policy principal (`OrgN.peer` → endorsing peer N-1).
+    fn peer_of(&self, principal: &Principal) -> usize {
+        (principal.org.0 - 1) as usize
+    }
+
+    /// Channel index for a channel id (≤32 channels: linear scan is fine).
+    fn channel_index(&self, id: &ChannelId) -> usize {
+        self.channel_ids
+            .iter()
+            .position(|c| c == id)
+            .expect("unknown channel")
+    }
+}
+
+/// One configured simulation run.
+#[derive(Debug)]
+pub struct Simulation {
+    cfg: SimConfig,
+    faults: FaultPlan,
+}
+
+impl Simulation {
+    /// Creates a simulation from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.validate().expect("invalid simulation config");
+        Simulation {
+            cfg,
+            faults: FaultPlan::default(),
+        }
+    }
+
+    /// Adds fault injections to the run.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Runs to completion and returns the summary report.
+    pub fn run(self) -> SummaryReport {
+        self.run_detailed().summary
+    }
+
+    /// Runs to completion and returns summary + raw traces.
+    pub fn run_detailed(self) -> RunResult {
+        let cfg = self.cfg;
+        let faults = self.faults;
+        let mut world = build_world(&cfg);
+        let mut kernel: K = Kernel::new();
+        let end = SimTime::from_secs_f64(cfg.duration_secs);
+        kernel.set_horizon(end);
+
+        bootstrap(&mut world, &mut kernel);
+        schedule_faults(&faults, &mut kernel);
+        kernel.run(&mut world);
+
+        let w0 = SimTime::from_secs_f64(cfg.warmup_secs);
+        let w1 = SimTime::from_secs_f64(cfg.duration_secs - cfg.cooldown_secs);
+        let summary = summarize(
+            &world.traces,
+            &world.block_cuts,
+            (w0, w1),
+            cfg.arrival_rate_tps,
+        );
+        let horizon = SimTime::from_secs_f64(cfg.duration_secs);
+        let utilization = UtilizationReport {
+            pool_prep: world.pools.iter().map(|p| p.prep.utilization(horizon)).collect(),
+            pool_recv: world.pools.iter().map(|p| p.recv.utilization(horizon)).collect(),
+            peer_endorse: world.peers.iter().map(|p| p.endorse.utilization(horizon)).collect(),
+            peer_validate: world.peers.iter().map(|p| p.validate.utilization(horizon)).collect(),
+            osn_cpu: world.osns.iter().map(|o| o.station.utilization(horizon)).collect(),
+        };
+        let observer = &world.peers[world.observer];
+        let multi = observer.channels.len() > 1;
+        let mut final_state = Vec::new();
+        for (c, peer) in observer.channels.iter().enumerate() {
+            for (key, v) in peer.ledger().state().range("", "") {
+                let key = if multi { format!("ch{c}/{key}") } else { key.to_string() };
+                final_state.push((key, v.value.clone()));
+            }
+        }
+        let observer_height: u64 = observer.channels.iter().map(|p| p.ledger().height()).sum();
+        let chain_ok = observer
+            .channels
+            .iter()
+            .all(|p| p.ledger().blocks().verify_chain().is_ok());
+        RunResult {
+            summary,
+            observer_height,
+            chain_ok,
+            final_state,
+            utilization,
+            traces: world.traces,
+            block_cuts: world.block_cuts,
+        }
+    }
+}
+
+// ---- world construction ------------------------------------------------------
+
+fn build_world(cfg: &SimConfig) -> World {
+    let n_channels = cfg.channels as usize;
+    let channel_ids: Vec<ChannelId> = if n_channels == 1 {
+        vec![ChannelId::default_channel()]
+    } else {
+        (0..n_channels).map(|c| ChannelId(format!("channel{c}"))).collect()
+    };
+    let policy = cfg.policy.resolve(cfg.endorsing_peers);
+    let ca = CertificateAuthority::new("fabric-ca", cfg.seed);
+    let root = RngStream::derive(cfg.seed, "world");
+    let m = &cfg.cost;
+
+    // Peers: endorsers 0..n-1 (Org i+1), then committers (observer first).
+    let n_endorsers = cfg.endorsing_peers as usize;
+    let n_peers = n_endorsers + cfg.committing_peers as usize;
+    let mut peers = Vec::with_capacity(n_peers);
+    let mut endorser_identities = Vec::new();
+    for i in 0..n_peers {
+        let is_endorser = i < n_endorsers;
+        let org = if is_endorser { i as u32 + 1 } else { 100 + i as u32 };
+        let identity = ca.enroll(Principal::peer(OrgId(org)), &format!("peer{i}"));
+        if is_endorser {
+            endorser_identities.push(identity.clone());
+        }
+        let mut channel_peers = Vec::with_capacity(n_channels);
+        for channel in &channel_ids {
+            let mut peer = Peer::new(
+                identity.clone(),
+                Msp::new(ca.root_of_trust()),
+                PeerConfig {
+                    channel: channel.clone(),
+                    endorsement_policy: policy.clone(),
+                    is_endorser,
+                },
+            );
+            match &cfg.workload {
+                WorkloadKind::KvPut { .. } | WorkloadKind::KvRmw { .. } => {
+                    peer.install_chaincode(Box::new(KvWrite));
+                }
+                WorkloadKind::Transfer { accounts } => {
+                    peer.install_chaincode(Box::new(AssetTransfer {
+                        accounts: *accounts,
+                        initial_balance: 1_000_000,
+                    }));
+                }
+                WorkloadKind::Smallbank { customers } => {
+                    peer.install_chaincode(Box::new(Smallbank {
+                        customers: *customers,
+                        initial_balance: 10_000,
+                    }));
+                }
+            }
+            channel_peers.push(peer);
+        }
+        let gossip = cfg.gossip.as_ref().map(|g| {
+            let neighbours: Vec<u32> = (0..n_peers as u32).filter(|&j| j != i as u32).collect();
+            GossipNode::new(i as u32, neighbours, g.fanout, cfg.seed ^ 0x60551 ^ i as u64)
+        });
+        peers.push(PeerNode {
+            channels: channel_peers,
+            next_expected_block: vec![0; n_channels],
+            gossip,
+            endorse: Station::new(format!("peer{i}.endorse"), m.peer_endorse_threads),
+            // One committer pipeline per channel on shared cores (Fabric runs
+            // a commit goroutine per channel).
+            validate: Station::new(
+                format!("peer{i}.validate"),
+                m.validate_threads * n_channels,
+            ),
+            egress: Link::new(
+                format!("peer{i}.nic"),
+                m.link_bandwidth_bps,
+                SimDuration::from_millis_f64(m.link_propagation_ms),
+            ),
+            jitter: root.child(1000 + i as u64),
+        });
+    }
+
+    // Register endorser keys and client certificates on every peer.
+    let mut clients = Vec::new();
+    for p in 0..n_endorsers {
+        let client_identity = ca.enroll(
+            Principal {
+                org: OrgId(p as u32 + 1),
+                role: "client".into(),
+            },
+            &format!("client{p}"),
+        );
+        clients.push((ClientId(p as u32), client_identity));
+    }
+    for node in &mut peers {
+        for peer in &mut node.channels {
+            for endorser in &endorser_identities {
+                peer.register_endorser(
+                    endorser.principal().clone(),
+                    endorser.certificate().public_key,
+                );
+            }
+            for (cid, cident) in &clients {
+                peer.register_client(*cid, cident.certificate().clone());
+            }
+        }
+    }
+
+    // Client pools: one per endorsing peer.
+    let mut pools = Vec::with_capacity(n_endorsers);
+    for (p, (cid, cident)) in clients.into_iter().enumerate() {
+        let mut selector = TargetSelector::new(&policy);
+        // Stagger rotation so pools spread load from t=0.
+        for _ in 0..p % selector.set_count().max(1) {
+            selector.next_targets();
+        }
+        pools.push(Pool {
+            sdk: ClientSdk::new(cid, cident),
+            selector,
+            prep: Station::new(format!("pool{p}.prep"), 1),
+            recv: Station::new(format!("pool{p}.recv"), m.client_recv_threads),
+            egress: Link::new(
+                format!("pool{p}.nic"),
+                m.link_bandwidth_bps,
+                SimDuration::from_millis_f64(m.link_propagation_ms),
+            ),
+            pending: HashMap::new(),
+            in_prep: 0,
+            next_osn: p as u32,
+            next_channel: p as u32,
+            arrivals: root.child(p as u64),
+            keys: root.child(500 + p as u64),
+        });
+    }
+
+    // OSNs.
+    let osn_count = cfg.effective_osns() as usize;
+    let mut osns = Vec::with_capacity(osn_count);
+    for o in 0..osn_count {
+        let nodes: Vec<OsnNode> = channel_ids
+            .iter()
+            .enumerate()
+            .map(|(c, channel)| match cfg.orderer_type {
+                OrdererType::Solo => OsnNode::solo(o as u32, channel.clone(), cfg.batch),
+                OrdererType::Raft => OsnNode::raft(
+                    o as u32,
+                    channel.clone(),
+                    cfg.batch,
+                    (0..osn_count as u32).collect(),
+                    cfg.seed ^ 0xABCD ^ o as u64 ^ ((c as u64) << 32),
+                ),
+                OrdererType::Kafka => OsnNode::kafka(
+                    o as u32,
+                    channel.clone(),
+                    cfg.batch,
+                    (0..cfg.broker_count).collect(),
+                ),
+            })
+            .collect();
+        osns.push(OsnActor {
+            nodes,
+            station: Station::new(format!("osn{o}.cpu"), 2),
+            egress: Link::new(
+                format!("osn{o}.nic"),
+                m.link_bandwidth_bps,
+                SimDuration::from_millis_f64(m.link_propagation_ms),
+            ),
+            subscribers: match &cfg.gossip {
+                None => (0..n_peers).filter(|p| p % osn_count == o).collect(),
+                Some(g) => {
+                    // Only leader peers subscribe; they spread across OSNs.
+                    let leaders = (g.leader_peers as usize).min(n_peers);
+                    (0..leaders).filter(|p| p % osn_count == o).collect()
+                }
+            },
+            alive: true,
+            delivered: Vec::new(),
+        });
+    }
+
+    // Kafka substrate.
+    let (brokers, zks) = if cfg.orderer_type == OrdererType::Kafka {
+        let brokers = (0..cfg.broker_count)
+            .map(|b| BrokerActor {
+                partitions: (0..n_channels)
+                    .map(|_| {
+                        Broker::new(
+                            b,
+                            KafkaConfig {
+                                replication_factor: cfg.broker_count.min(3) as usize,
+                                ..KafkaConfig::default()
+                            },
+                        )
+                    })
+                    .collect(),
+                station: Station::new(format!("broker{b}.cpu"), 2),
+                egress: Link::new(
+                    format!("broker{b}.nic"),
+                    m.link_bandwidth_bps,
+                    SimDuration::from_millis_f64(m.link_propagation_ms),
+                ),
+                alive: true,
+            })
+            .collect();
+        let zks = (0..n_channels)
+            .map(|_| {
+                ZkEnsemble::new(
+                    cfg.zk_count as usize,
+                    (0..cfg.broker_count).collect(),
+                    4, // sessions expire after 4 missed zk ticks (~2 s)
+                )
+            })
+            .collect();
+        (brokers, zks)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    World {
+        policy,
+        channel_ids,
+        pools,
+        observer: n_endorsers,
+        peers,
+        osns,
+        brokers,
+        zks,
+        traces: Vec::new(),
+        tx_index: HashMap::new(),
+        tx_pool: HashMap::new(),
+        block_cuts: Vec::new(),
+        next_cut_number: vec![0; n_channels],
+        cfg: cfg.clone(),
+    }
+}
+
+// ---- bootstrap ---------------------------------------------------------------
+
+fn bootstrap(world: &mut World, k: &mut K) {
+    // Arrival processes.
+    for p in 0..world.pools.len() {
+        schedule_next_arrival(world, k, p);
+    }
+    // OSN ticks (Raft elections/heartbeats; Kafka consume polling).
+    if world.cfg.orderer_type != OrdererType::Solo {
+        let period = world.ms(world.cfg.cost.osn_tick_ms);
+        for o in 0..world.osns.len() {
+            k.schedule_in(period, move |w, k| osn_tick(w, k, o));
+        }
+    }
+    // Gossip anti-entropy pulls.
+    if let Some(g) = world.cfg.gossip {
+        let period = world.ms(g.anti_entropy_ms as f64);
+        for peer_idx in 0..world.peers.len() {
+            k.schedule_in(period, move |w, k| gossip_tick(w, k, peer_idx));
+        }
+    }
+    // Kafka broker ticks + ZK heartbeats + ZK tick.
+    if world.cfg.orderer_type == OrdererType::Kafka {
+        let bt = world.ms(world.cfg.cost.broker_tick_ms);
+        for b in 0..world.brokers.len() {
+            k.schedule_in(bt, move |w, k| broker_tick(w, k, b));
+        }
+        let hb = world.ms(world.cfg.cost.zk_heartbeat_ms);
+        for b in 0..world.brokers.len() {
+            // First heartbeat immediately: bootstraps leader election.
+            k.schedule_in(SimDuration::ZERO, move |w, k| broker_heartbeat(w, k, b));
+            let _ = hb;
+        }
+        k.schedule_in(world.ms(500.0), zk_tick);
+    }
+}
+
+fn schedule_faults(faults: &FaultPlan, k: &mut K) {
+    for &(peer, at) in &faults.nondeterministic_peers {
+        k.schedule(SimTime::from_secs_f64(at), move |w: &mut World, _| {
+            if let Some(node) = w.peers.get_mut(peer as usize) {
+                for p in &mut node.channels {
+                    p.install_chaincode(Box::new(Nondeterministic {
+                        inner: KvWrite,
+                        taint: peer,
+                    }));
+                }
+            }
+        });
+    }
+    for &(b, at) in &faults.crash_brokers {
+        k.schedule(SimTime::from_secs_f64(at), move |w: &mut World, _| {
+            if let Some(actor) = w.brokers.get_mut(b as usize) {
+                actor.alive = false;
+            }
+        });
+    }
+    for &(o, at) in &faults.crash_osns {
+        k.schedule(SimTime::from_secs_f64(at), move |w: &mut World, k| {
+            let o = o as usize;
+            let Some(actor) = w.osns.get_mut(o) else { return };
+            actor.alive = false;
+            let orphans = std::mem::take(&mut actor.subscribers);
+            // Peers reconnect to another OSN and seek from their height.
+            let Some(target) = w.osns.iter().position(|a| a.alive) else {
+                return; // no ordering service left (Solo crash)
+            };
+            for peer_idx in orphans {
+                w.osns[target].subscribers.push(peer_idx);
+                let missing: Vec<Block> = w.osns[target]
+                    .delivered
+                    .iter()
+                    .filter(|blk| {
+                        let ch = w.channel_index(&blk.channel);
+                        blk.header.number >= w.peers[peer_idx].next_expected_block[ch]
+                    })
+                    .cloned()
+                    .collect();
+                let now = k.now();
+                for b in missing {
+                    let bytes = b.wire_size();
+                    let arrival = w.osns[target].egress.transfer(now, bytes);
+                    k.schedule(arrival, move |w, k| {
+                        peer_receive_block(w, k, peer_idx, b.clone());
+                    });
+                }
+            }
+        });
+    }
+}
+
+// ---- client pool: arrivals, prep, send ----------------------------------------
+
+fn schedule_next_arrival(world: &mut World, k: &mut K, p: usize) {
+    let per_pool_rate = world.cfg.arrival_rate_tps / world.pools.len() as f64;
+    let gap = world.pools[p].arrivals.exp(1.0 / per_pool_rate);
+    k.schedule_in(SimDuration::from_secs_f64(gap), move |w, k| {
+        pool_arrival(w, k, p);
+        schedule_next_arrival(w, k, p);
+    });
+}
+
+fn workload_args(world: &mut World, p: usize, seq: usize) -> (String, Vec<Vec<u8>>) {
+    match world.cfg.workload.clone() {
+        WorkloadKind::KvPut { payload_bytes } => (
+            "kvwrite".into(),
+            vec![
+                b"put".to_vec(),
+                format!("k{p}_{seq}").into_bytes(),
+                vec![b'x'; payload_bytes],
+            ],
+        ),
+        WorkloadKind::KvRmw { keyspace, payload_bytes } => {
+            let key = world.pools[p].keys.next_below(keyspace as u64);
+            (
+                "kvwrite".into(),
+                vec![
+                    b"rmw".to_vec(),
+                    format!("hot{key}").into_bytes(),
+                    vec![b'x'; payload_bytes],
+                ],
+            )
+        }
+        WorkloadKind::Transfer { accounts } => {
+            let from = world.pools[p].keys.next_below(accounts as u64) as u32;
+            let mut to = world.pools[p].keys.next_below(accounts as u64) as u32;
+            if to == from {
+                to = (to + 1) % accounts;
+            }
+            (
+                "asset-transfer".into(),
+                vec![
+                    b"transfer".to_vec(),
+                    AssetTransfer::account_key(from).into_bytes(),
+                    AssetTransfer::account_key(to).into_bytes(),
+                    b"1".to_vec(),
+                ],
+            )
+        }
+        WorkloadKind::Smallbank { customers } => {
+            let rng = &mut world.pools[p].keys;
+            let a = rng.next_below(customers as u64).to_string().into_bytes();
+            let mut b = rng.next_below(customers as u64) as u32;
+            let op = rng.next_below(100);
+            let args = match op {
+                // Blockbench mix: 25 % send_payment, 15 % each of the rest.
+                0..=24 => {
+                    if b.to_string().as_bytes() == a.as_slice() {
+                        b = (b + 1) % customers;
+                    }
+                    vec![
+                        b"send_payment".to_vec(),
+                        a,
+                        b.to_string().into_bytes(),
+                        b"5".to_vec(),
+                    ]
+                }
+                25..=39 => vec![b"transact_savings".to_vec(), a, b"20".to_vec()],
+                40..=54 => vec![b"deposit_checking".to_vec(), a, b"20".to_vec()],
+                55..=69 => vec![b"write_check".to_vec(), a, b"10".to_vec()],
+                70..=84 => vec![b"amalgamate".to_vec(), a],
+                _ => vec![b"query".to_vec(), a],
+            };
+            ("smallbank".into(), args)
+        }
+    }
+}
+
+fn pool_arrival(world: &mut World, k: &mut K, p: usize) {
+    let now = k.now();
+    let seq = world.traces.len();
+    let mut trace = TxTrace::new(now);
+
+    // Overload guard: queue cap on the submission station.
+    if world.pools[p].in_prep >= world.cfg.cost.client_queue_cap {
+        trace.outcome = TxOutcome::OverloadDropped;
+        world.traces.push(trace);
+        return;
+    }
+
+    let (chaincode, args) = workload_args(world, p, seq);
+    let n_channels = world.channel_ids.len() as u32;
+    let deployed = world.cfg.endorsing_peers;
+    let pool = &mut world.pools[p];
+    let channel = world.channel_ids[(pool.next_channel % n_channels) as usize].clone();
+    pool.next_channel = pool.next_channel.wrapping_add(1);
+    let proposal = pool.sdk.create_proposal(channel, &chaincode, args);
+    let tx_id = proposal.tx_id;
+    // Only deployed endorsing peers are reachable; a policy naming an
+    // undeployed org can then fail at collection, as on a real network.
+    let targets: Vec<Principal> = pool
+        .selector
+        .next_targets()
+        .iter()
+        .filter(|pr| pr.org.0 >= 1 && pr.org.0 <= deployed)
+        .cloned()
+        .collect();
+    if targets.is_empty() {
+        trace.outcome = TxOutcome::EndorsementFailed;
+        world.traces.push(trace);
+        return;
+    }
+    let expected = targets.len();
+
+    world.traces.push(trace);
+    world.tx_index.insert(tx_id, seq);
+    world.tx_pool.insert(tx_id, p);
+    let collector = EndorsementCollector::new(tx_id, world.policy.clone(), expected);
+    world.pools[p].pending.insert(
+        tx_id,
+        PendingTx {
+            proposal,
+            collector,
+            envelope: None,
+            timeout_event: None,
+        },
+    );
+
+    // Submission-thread service.
+    let m = &world.cfg.cost;
+    let jitter = world.pools[p]
+        .arrivals
+        .uniform(-m.client_prep_jitter_ms, m.client_prep_jitter_ms);
+    let service = world.ms(m.client_prep_ms + jitter);
+    world.pools[p].in_prep += 1;
+    let done = world.pools[p].prep.submit(now, service);
+    let sdk_pre = world.ms(m.sdk_pre_ms);
+    k.schedule(done + sdk_pre, move |w, k| {
+        w.pools[p].in_prep -= 1;
+        send_proposals(w, k, p, tx_id, targets.clone());
+    });
+}
+
+fn send_proposals(world: &mut World, k: &mut K, p: usize, tx_id: TxId, targets: Vec<Principal>) {
+    let now = k.now();
+    let Some(pending) = world.pools[p].pending.get(&tx_id) else {
+        return;
+    };
+    let proposal = pending.proposal.clone();
+    if let Some(t) = world.trace_mut(tx_id) {
+        t.proposal_sent = Some(now);
+    }
+    let bytes = proposal.wire_size();
+    for principal in targets {
+        let peer_idx = world.peer_of(&principal);
+        let arrival = world.pools[p].egress.transfer(now, bytes);
+        let prop = proposal.clone();
+        k.schedule(arrival, move |w, k| {
+            peer_receive_proposal(w, k, peer_idx, p, prop.clone());
+        });
+    }
+}
+
+fn peer_receive_proposal(world: &mut World, k: &mut K, peer_idx: usize, p: usize, proposal: Proposal) {
+    let now = k.now();
+    let m = &world.cfg.cost;
+    let service = world.ms(m.endorse_tx_ms());
+    let done = world.peers[peer_idx].endorse.submit(now, service);
+    k.schedule(done, move |w, k| {
+        let ch = w.channel_index(&proposal.channel);
+        let response = w.peers[peer_idx].channels[ch].endorse(&proposal);
+        send_response(w, k, peer_idx, p, response);
+    });
+}
+
+fn send_response(world: &mut World, k: &mut K, peer_idx: usize, p: usize, response: ProposalResponse) {
+    let now = k.now();
+    let bytes = response.wire_size();
+    let jitter_ms = world.peers[peer_idx]
+        .jitter
+        .exp(world.cfg.cost.endorse_path_jitter_ms);
+    let arrival = world.peers[peer_idx].egress.transfer(now, bytes) + world.ms(jitter_ms);
+    k.schedule(arrival, move |w, k| {
+        pool_receive_response(w, k, p, response.clone());
+    });
+}
+
+fn pool_receive_response(world: &mut World, k: &mut K, p: usize, response: ProposalResponse) {
+    let now = k.now();
+    let tx_id = response.tx_id;
+    let Some(pending) = world.pools[p].pending.get_mut(&tx_id) else {
+        return; // already assembled or failed
+    };
+    match pending.collector.add(response) {
+        CollectState::Pending => {}
+        CollectState::Failed => {
+            world.pools[p].pending.remove(&tx_id);
+            if let Some(t) = world.trace_mut(tx_id) {
+                t.outcome = TxOutcome::EndorsementFailed;
+            }
+        }
+        CollectState::Satisfied => {
+            let n = pending.collector.responses().len();
+            let m = &world.cfg.cost;
+            let cost = world.ms(
+                m.client_assemble_base_ms + m.client_assemble_per_endorsement_ms * n as f64,
+            );
+            let done = world.pools[p].recv.submit(now, cost);
+            let sdk_post = world.ms(m.sdk_post_ms);
+            k.schedule(done + sdk_post, move |w, k| client_assemble(w, k, p, tx_id));
+        }
+    }
+}
+
+fn client_assemble(world: &mut World, k: &mut K, p: usize, tx_id: TxId) {
+    let now = k.now();
+    let Some((proposal, responses)) = world.pools[p]
+        .pending
+        .get(&tx_id)
+        .map(|pd| (pd.proposal.clone(), pd.collector.responses().to_vec()))
+    else {
+        return;
+    };
+    let tx = match world.pools[p].sdk.assemble(&proposal, &responses) {
+        Ok(tx) => tx,
+        Err(_) => {
+            world.pools[p].pending.remove(&tx_id);
+            if let Some(t) = world.trace_mut(tx_id) {
+                t.outcome = TxOutcome::EndorsementFailed;
+            }
+            return;
+        }
+    };
+    let sigs = tx.endorsements.len();
+    if let Some(t) = world.trace_mut(tx_id) {
+        t.endorsed = Some(now);
+        t.signatures = sigs;
+    }
+    submit_to_orderer(world, k, p, tx);
+}
+
+fn submit_to_orderer(world: &mut World, k: &mut K, p: usize, tx: Transaction) {
+    let now = k.now();
+    let tx_id = tx.tx_id;
+    if let Some(t) = world.trace_mut(tx_id) {
+        t.submitted = Some(now);
+    }
+    // Round-robin over OSNs.
+    let osn_count = world.osns.len() as u32;
+    let o = (world.pools[p].next_osn % osn_count) as usize;
+    world.pools[p].next_osn = world.pools[p].next_osn.wrapping_add(1);
+
+    // Arm the 3 s ordering timeout.
+    let timeout = world.ms(world.cfg.ordering_timeout_ms as f64);
+    let ev = k.schedule(now + timeout, move |w: &mut World, _| {
+        if let Some(t) = w.trace_mut(tx_id) {
+            if t.order_acked.is_none() && matches!(t.outcome, TxOutcome::InFlight) {
+                t.outcome = TxOutcome::OrderingTimeout;
+            }
+        }
+        w.pools[p].pending.remove(&tx_id);
+    });
+    if let Some(pending) = world.pools[p].pending.get_mut(&tx_id) {
+        pending.timeout_event = Some(ev);
+        pending.envelope = Some(tx.clone());
+    }
+
+    let bytes = tx.wire_size();
+    let arrival = world.pools[p].egress.transfer(now, bytes);
+    let ch = world.channel_index(&tx.channel);
+    k.schedule(arrival, move |w, k| {
+        osn_receive(w, k, o, ch, OsnInput::Broadcast(tx.clone()), true);
+    });
+}
+
+// ---- ordering service ----------------------------------------------------------
+
+/// Routes any input through the OSN's CPU station, then applies effects to
+/// the per-channel ordering instance `ch`.
+fn osn_receive(world: &mut World, k: &mut K, o: usize, ch: usize, input: OsnInput, charge_admission: bool) {
+    if !world.osns[o].alive {
+        return;
+    }
+    let now = k.now();
+    let m = &world.cfg.cost;
+    let per_tx = match world.cfg.orderer_type {
+        OrdererType::Solo => m.solo_order_ms,
+        OrdererType::Kafka => m.kafka_broker_op_ms,
+        OrdererType::Raft => m.raft_op_ms,
+    };
+    let cost = if charge_admission {
+        m.osn_admission_ms + per_tx
+    } else {
+        per_tx * 0.5
+    };
+    let service = world.ms(cost);
+    let done = world.osns[o].station.submit(now, service);
+    k.schedule(done, move |w, k| {
+        if !w.osns[o].alive {
+            return;
+        }
+        let effects = w.osns[o].nodes[ch].handle(input.clone());
+        apply_osn_effects(w, k, o, ch, effects);
+    });
+}
+
+fn osn_tick(world: &mut World, k: &mut K, o: usize) {
+    if world.osns[o].alive {
+        for ch in 0..world.channel_ids.len() {
+            let effects = world.osns[o].nodes[ch].handle(OsnInput::Tick);
+            apply_osn_effects(world, k, o, ch, effects);
+        }
+    }
+    let period = world.ms(world.cfg.cost.osn_tick_ms);
+    k.schedule_in(period, move |w, k| osn_tick(w, k, o));
+}
+
+fn apply_osn_effects(world: &mut World, k: &mut K, o: usize, ch: usize, effects: Vec<OsnEffect>) {
+    let now = k.now();
+    for effect in effects {
+        match effect {
+            OsnEffect::Ack { tx_id } => {
+                let Some(&p) = world.tx_pool.get(&tx_id) else { continue };
+                let arrival = world.osns[o].egress.transfer(now, 200);
+                k.schedule(arrival, move |w: &mut World, k2| {
+                    let now = k2.now();
+                    if let Some(pending) = w.pools[p].pending.remove(&tx_id) {
+                        if let Some(ev) = pending.timeout_event {
+                            k2.cancel(ev);
+                        }
+                    }
+                    if let Some(t) = w.trace_mut(tx_id) {
+                        if t.order_acked.is_none() {
+                            t.order_acked = Some(now);
+                        }
+                    }
+                });
+            }
+            OsnEffect::SendOsn { to, message } => {
+                let bytes = osn_msg_bytes(&message);
+                let arrival = world.osns[o].egress.transfer(now, bytes);
+                let from = o as u32;
+                k.schedule(arrival, move |w, k| {
+                    osn_receive(
+                        w,
+                        k,
+                        to as usize,
+                        ch,
+                        OsnInput::Osn {
+                            from,
+                            message: message.clone(),
+                        },
+                        false,
+                    );
+                });
+            }
+            OsnEffect::SendBroker { to, message } => {
+                let bytes = broker_msg_bytes(&message);
+                let arrival = world.osns[o].egress.transfer(now, bytes);
+                k.schedule(arrival, move |w, k| {
+                    broker_receive(w, k, to as usize, ch, message.clone());
+                });
+            }
+            OsnEffect::ArmBatchTimer { after_ms, seq } => {
+                let delay = world.ms(after_ms as f64);
+                k.schedule_in(delay, move |w, k| {
+                    osn_receive(w, k, o, ch, OsnInput::BatchTimer { seq }, false);
+                });
+            }
+            OsnEffect::BlockReady(block) => {
+                deliver_block(world, k, o, block);
+            }
+        }
+    }
+}
+
+fn osn_msg_bytes(message: &OsnMsg) -> u64 {
+    match message {
+        OsnMsg::Relay(tx) => tx.wire_size(),
+        OsnMsg::Raft(m) => match m {
+            fabricsim_raft::Message::AppendEntries { entries, .. } => {
+                200 + entries.iter().map(|e| e.data.len() as u64).sum::<u64>()
+            }
+            _ => 150,
+        },
+    }
+}
+
+fn broker_msg_bytes(message: &BrokerMsg) -> u64 {
+    match message {
+        BrokerMsg::Produce { record, .. } => 150 + record.data.len() as u64,
+        BrokerMsg::FetchResponse { records, .. } => {
+            150 + records.iter().map(|r| r.data.len() as u64).sum::<u64>()
+        }
+        _ => 150,
+    }
+}
+
+fn deliver_block(world: &mut World, k: &mut K, o: usize, block: Block) {
+    let now = k.now();
+    let ch = world.channel_index(&block.channel);
+    // Record the cut and per-tx ordering timestamps once (Kafka/Raft OSNs all
+    // emit the same blocks; the first emission wins).
+    if block.header.number >= world.next_cut_number[ch] {
+        world.next_cut_number[ch] = block.header.number + 1;
+        world.block_cuts.push((now, block.len()));
+        for tx in &block.transactions {
+            let tx_id = tx.tx_id;
+            if let Some(t) = world.trace_mut(tx_id) {
+                if t.ordered.is_none() {
+                    t.ordered = Some(now);
+                }
+            }
+        }
+    }
+    let bytes = block.wire_size();
+    let subscribers = world.osns[o].subscribers.clone();
+    for peer_idx in subscribers {
+        let arrival = world.osns[o].egress.transfer(now, bytes);
+        let b = block.clone();
+        k.schedule(arrival, move |w, k| {
+            peer_receive_block(w, k, peer_idx, b.clone());
+        });
+    }
+    world.osns[o].delivered.push(block);
+}
+
+// ---- validate phase ---------------------------------------------------------------
+
+/// Entry point for blocks arriving from the ordering service (or from a
+/// failover replay). Routes through the gossip layer when enabled.
+fn peer_receive_block(world: &mut World, k: &mut K, peer_idx: usize, block: Block) {
+    if world.peers[peer_idx].gossip.is_some() {
+        let effects = world.peers[peer_idx]
+            .gossip
+            .as_mut()
+            .expect("checked above")
+            .on_block_from_orderer(block);
+        apply_gossip_effects(world, k, peer_idx, effects);
+    } else {
+        enqueue_block_validation(world, k, peer_idx, block);
+    }
+}
+
+fn gossip_msg_bytes(message: &GossipMsg) -> u64 {
+    match message {
+        GossipMsg::Push { block } => block.wire_size(),
+        GossipMsg::PullRequest { .. } => 60,
+        GossipMsg::PullResponse { blocks } => {
+            100 + blocks.iter().map(|b| b.wire_size()).sum::<u64>()
+        }
+    }
+}
+
+fn apply_gossip_effects(world: &mut World, k: &mut K, peer_idx: usize, effects: Vec<GossipEffect>) {
+    for effect in effects {
+        match effect {
+            GossipEffect::Send { to, message } => {
+                let now = k.now();
+                let bytes = gossip_msg_bytes(&message);
+                let arrival = world.peers[peer_idx].egress.transfer(now, bytes);
+                let from = peer_idx as u32;
+                k.schedule(arrival, move |w, k| {
+                    peer_receive_gossip(w, k, to as usize, from, message.clone());
+                });
+            }
+            GossipEffect::Deliver(block) => {
+                enqueue_block_validation(world, k, peer_idx, block);
+            }
+        }
+    }
+}
+
+fn peer_receive_gossip(world: &mut World, k: &mut K, peer_idx: usize, from: u32, message: GossipMsg) {
+    let Some(gossip) = world.peers[peer_idx].gossip.as_mut() else {
+        return;
+    };
+    let effects = gossip.step(from, message);
+    apply_gossip_effects(world, k, peer_idx, effects);
+}
+
+fn gossip_tick(world: &mut World, k: &mut K, peer_idx: usize) {
+    if let Some(gossip) = world.peers[peer_idx].gossip.as_mut() {
+        let effects = gossip.tick();
+        apply_gossip_effects(world, k, peer_idx, effects);
+        let period = world.ms(world.cfg.gossip.expect("gossip enabled").anti_entropy_ms as f64);
+        k.schedule_in(period, move |w, k| gossip_tick(w, k, peer_idx));
+    }
+}
+
+fn enqueue_block_validation(world: &mut World, k: &mut K, peer_idx: usize, block: Block) {
+    let now = k.now();
+    let ch = world.channel_index(&block.channel);
+    // Drop duplicate deliveries (failover replay overlapping in-flight blocks).
+    if block.header.number < world.peers[peer_idx].next_expected_block[ch] {
+        return;
+    }
+    debug_assert_eq!(
+        block.header.number, world.peers[peer_idx].next_expected_block[ch],
+        "delivery gap at peer {peer_idx}"
+    );
+    world.peers[peer_idx].next_expected_block[ch] = block.header.number + 1;
+    let is_observer = peer_idx == world.observer;
+    if is_observer {
+        for tx_id in block.transactions.iter().map(|t| t.tx_id).collect::<Vec<_>>() {
+            if let Some(t) = world.trace_mut(tx_id) {
+                t.delivered = Some(now);
+            }
+        }
+    }
+    let m = &world.cfg.cost;
+    // Per-transaction validation costs (progressive within the block).
+    let per_tx_ms: Vec<f64> = block
+        .transactions
+        .iter()
+        .map(|tx| m.validate_tx_ms(tx.endorsements.len().max(1)))
+        .collect();
+    let total_ms: f64 = m.validate_block_overhead_ms + per_tx_ms.iter().sum::<f64>();
+    let service = world.ms(total_ms);
+    let start = world.peers[peer_idx].validate.would_start_at(now);
+    let done = world.peers[peer_idx].validate.submit(now, service);
+
+    // Progressive per-tx commit instants (for the observer's trace records).
+    let commit_times: Vec<SimTime> = {
+        let mut acc = m.validate_block_overhead_ms;
+        per_tx_ms
+            .iter()
+            .map(|c| {
+                acc += c;
+                start + SimDuration::from_millis_f64(acc)
+            })
+            .collect()
+    };
+
+    k.schedule(done, move |w, k| {
+        commit_block(w, k, peer_idx, block.clone(), commit_times.clone());
+    });
+}
+
+fn commit_block(
+    world: &mut World,
+    k: &mut K,
+    peer_idx: usize,
+    block: Block,
+    commit_times: Vec<SimTime>,
+) {
+    let _ = k;
+    let ch = world.channel_index(&block.channel);
+    let tx_ids: Vec<TxId> = block.transactions.iter().map(|t| t.tx_id).collect();
+    let is_observer = peer_idx == world.observer;
+    let stats = world.peers[peer_idx]
+        .channels[ch]
+        .validate_and_commit(block)
+        .expect("delivered blocks must chain");
+    let _ = stats;
+    if is_observer {
+        let flags = {
+            let ledger = world.peers[peer_idx].channels[ch].ledger();
+            let height = ledger.height();
+            ledger
+                .blocks()
+                .by_number(height - 1)
+                .expect("just committed")
+                .metadata
+                .flags
+                .clone()
+        };
+        for (i, tx_id) in tx_ids.iter().enumerate() {
+            if let Some(t) = world.trace_mut(*tx_id) {
+                t.committed = Some(commit_times[i]);
+                if matches!(t.outcome, TxOutcome::InFlight) {
+                    t.outcome = TxOutcome::Committed(flags[i]);
+                }
+            }
+        }
+    }
+}
+
+// ---- kafka substrate ----------------------------------------------------------------
+
+fn broker_receive(world: &mut World, k: &mut K, b: usize, ch: usize, message: BrokerMsg) {
+    if !world.brokers[b].alive {
+        return;
+    }
+    let now = k.now();
+    let service = world.ms(world.cfg.cost.kafka_broker_op_ms);
+    let done = world.brokers[b].station.submit(now, service);
+    k.schedule(done, move |w, k| {
+        if !w.brokers[b].alive {
+            return;
+        }
+        let effects = w.brokers[b].partitions[ch].step(message.clone());
+        apply_broker_effects(w, k, b, ch, effects);
+    });
+}
+
+fn broker_tick(world: &mut World, k: &mut K, b: usize) {
+    if world.brokers[b].alive {
+        for ch in 0..world.channel_ids.len() {
+            let effects = world.brokers[b].partitions[ch].tick();
+            apply_broker_effects(world, k, b, ch, effects);
+        }
+    }
+    let period = world.ms(world.cfg.cost.broker_tick_ms);
+    k.schedule_in(period, move |w, k| broker_tick(w, k, b));
+}
+
+fn broker_heartbeat(world: &mut World, k: &mut K, b: usize) {
+    if world.brokers[b].alive {
+        let id = world.brokers[b].partitions[0].id();
+        for ch in 0..world.channel_ids.len() {
+            zk_receive(world, k, ch, ZkMsg::Heartbeat { from: id });
+        }
+    }
+    let period = world.ms(world.cfg.cost.zk_heartbeat_ms);
+    k.schedule_in(period, move |w, k| broker_heartbeat(w, k, b));
+}
+
+fn apply_broker_effects(world: &mut World, k: &mut K, b: usize, ch: usize, effects: Vec<BrokerEffect>) {
+    let now = k.now();
+    for effect in effects {
+        match effect {
+            BrokerEffect::Send { to, message } => {
+                let bytes = broker_msg_bytes(&message);
+                let arrival = world.brokers[b].egress.transfer(now, bytes);
+                k.schedule(arrival, move |w, k| {
+                    broker_receive(w, k, to as usize, ch, message.clone());
+                });
+            }
+            BrokerEffect::Reply { to, event } => {
+                let bytes = client_event_bytes(&event);
+                let arrival = world.brokers[b].egress.transfer(now, bytes);
+                let o = to as usize;
+                k.schedule(arrival, move |w, k| {
+                    osn_receive(w, k, o, ch, OsnInput::Kafka(event.clone()), false);
+                });
+            }
+            BrokerEffect::IsrUpdate { isr } => {
+                let from = world.brokers[b].partitions[ch].id();
+                zk_receive(world, k, ch, ZkMsg::IsrUpdate { from, isr });
+            }
+        }
+    }
+}
+
+fn client_event_bytes(event: &ClientEvent) -> u64 {
+    match event {
+        ClientEvent::ConsumeBatch { records, .. } => {
+            150 + records.iter().map(|r| r.data.len() as u64).sum::<u64>()
+        }
+        _ => 150,
+    }
+}
+
+fn zk_receive(world: &mut World, k: &mut K, ch: usize, message: ZkMsg) {
+    let Some(zk) = world.zks.get_mut(ch) else { return };
+    let effects = zk.step(message);
+    apply_zk_effects(world, k, ch, effects);
+}
+
+fn zk_tick(world: &mut World, k: &mut K) {
+    for ch in 0..world.zks.len() {
+        let effects = world.zks[ch].tick();
+        apply_zk_effects(world, k, ch, effects);
+    }
+    k.schedule_in(world.ms(500.0), zk_tick);
+}
+
+fn apply_zk_effects(world: &mut World, k: &mut K, ch: usize, effects: Vec<ZkEffect>) {
+    for effect in effects {
+        // Kafka clients learn leadership through metadata refresh; model it as
+        // a prompt notification to every OSN when ZooKeeper appoints a leader.
+        if let ZkEffect::AppointLeader { broker, .. } = &effect {
+            let leader = *broker;
+            for o in 0..world.osns.len() {
+                let delay = world.ms(world.cfg.cost.link_propagation_ms + 1.0);
+                k.schedule_in(delay, move |w, k| {
+                    osn_receive(w, k, o, ch, OsnInput::KafkaMetadata { leader }, false);
+                });
+            }
+        }
+        let (target, message) = match effect {
+            ZkEffect::AppointLeader { broker, epoch, replicas } => {
+                (broker, BrokerMsg::AppointLeader { epoch, replicas })
+            }
+            ZkEffect::AppointFollower { broker, leader, epoch } => {
+                (broker, BrokerMsg::AppointFollower { epoch, leader })
+            }
+        };
+        // Coordination messages travel the same LAN.
+        let delay = world.ms(world.cfg.cost.link_propagation_ms + 0.5);
+        k.schedule_in(delay, move |w, k| {
+            broker_receive(w, k, target as usize, ch, message.clone());
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::PolicySpec;
+
+    fn quick_cfg(orderer: OrdererType) -> SimConfig {
+        SimConfig {
+            orderer_type: orderer,
+            endorsing_peers: 3,
+            policy: PolicySpec::OrN(3),
+            arrival_rate_tps: 60.0,
+            duration_secs: 12.0,
+            warmup_secs: 3.0,
+            cooldown_secs: 2.0,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn solo_end_to_end_commits() {
+        let r = Simulation::new(quick_cfg(OrdererType::Solo)).run_detailed();
+        assert!(r.chain_ok, "observer chain must verify");
+        assert!(r.observer_height > 0);
+        let tput = r.summary.committed_tps();
+        assert!(
+            (50.0..70.0).contains(&tput),
+            "solo committed {tput} tps at 60 offered"
+        );
+        assert_eq!(r.summary.endorsement_failures, 0);
+        assert_eq!(r.summary.committed_invalid, 0);
+    }
+
+    #[test]
+    fn raft_end_to_end_commits() {
+        let r = Simulation::new(quick_cfg(OrdererType::Raft)).run_detailed();
+        assert!(r.chain_ok);
+        let tput = r.summary.committed_tps();
+        assert!((50.0..70.0).contains(&tput), "raft committed {tput} tps");
+    }
+
+    #[test]
+    fn kafka_end_to_end_commits() {
+        let r = Simulation::new(quick_cfg(OrdererType::Kafka)).run_detailed();
+        assert!(r.chain_ok);
+        let tput = r.summary.committed_tps();
+        assert!((50.0..70.0).contains(&tput), "kafka committed {tput} tps");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let a = Simulation::new(quick_cfg(OrdererType::Solo)).run();
+        let b = Simulation::new(quick_cfg(OrdererType::Solo)).run();
+        assert_eq!(a.committed_valid, b.committed_valid);
+        assert_eq!(a.blocks_cut, b.blocks_cut);
+        assert!((a.validate.latency.mean_s - b.validate.latency.mean_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = quick_cfg(OrdererType::Solo);
+        let a = Simulation::new(cfg.clone()).run();
+        cfg.seed = 43;
+        let b = Simulation::new(cfg).run();
+        assert_ne!(a.committed_valid, b.committed_valid);
+    }
+
+    #[test]
+    fn overload_saturates_at_validate_capacity() {
+        let mut cfg = quick_cfg(OrdererType::Solo);
+        cfg.endorsing_peers = 10;
+        cfg.policy = PolicySpec::OrN(10);
+        cfg.arrival_rate_tps = 400.0;
+        cfg.duration_secs = 25.0;
+        cfg.warmup_secs = 8.0;
+        let r = Simulation::new(cfg).run();
+        let tput = r.committed_tps();
+        assert!(
+            (270.0..330.0).contains(&tput),
+            "expected validate-phase saturation ~300, got {tput}"
+        );
+        // Past the knee the validate queue grows without bound: latency
+        // blows up (the paper's Fig. 3 "increase rapidly" regime).
+        assert!(
+            r.validate.latency.mean_s > 1.0,
+            "order+validate latency should blow up past saturation, got {}s",
+            r.validate.latency.mean_s
+        );
+    }
+
+    #[test]
+    fn and_policy_caps_lower_than_or() {
+        let mut cfg = quick_cfg(OrdererType::Solo);
+        cfg.endorsing_peers = 10;
+        cfg.arrival_rate_tps = 400.0;
+        cfg.duration_secs = 25.0;
+        cfg.warmup_secs = 8.0;
+        cfg.policy = PolicySpec::OrN(10);
+        let or = Simulation::new(cfg.clone()).run().committed_tps();
+        cfg.policy = PolicySpec::AndX(5);
+        let and5 = Simulation::new(cfg).run().committed_tps();
+        assert!(
+            and5 < or - 50.0,
+            "AND5 ({and5}) must cap well below OR ({or})"
+        );
+        assert!((180.0..230.0).contains(&and5), "AND5 cap {and5}");
+    }
+
+    #[test]
+    fn mvcc_conflicts_appear_under_contention() {
+        let mut cfg = quick_cfg(OrdererType::Solo);
+        cfg.workload = WorkloadKind::KvRmw {
+            keyspace: 4,
+            payload_bytes: 1,
+        };
+        cfg.arrival_rate_tps = 100.0;
+        let r = Simulation::new(cfg).run();
+        assert!(
+            r.committed_invalid > 0,
+            "hot-key read-modify-write must produce MVCC conflicts"
+        );
+        assert!(r.committed_valid > 0);
+    }
+
+    #[test]
+    fn broker_crash_fails_over() {
+        let mut cfg = quick_cfg(OrdererType::Kafka);
+        cfg.duration_secs = 30.0;
+        cfg.warmup_secs = 18.0; // measure after the fault + failover
+        let faults = FaultPlan {
+            crash_brokers: vec![(0, 8.0)],
+            crash_osns: vec![],
+            ..FaultPlan::default()
+        };
+        let r = Simulation::new(cfg).with_faults(faults).run_detailed();
+        assert!(r.chain_ok);
+        assert!(
+            r.summary.committed_tps() > 40.0,
+            "kafka must keep ordering after leader broker crash: {} tps",
+            r.summary.committed_tps()
+        );
+    }
+}

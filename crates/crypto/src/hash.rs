@@ -1,0 +1,125 @@
+//! The [`Hash256`] digest type used throughout fabricsim for transaction ids,
+//! block hashes and state-version digests.
+
+use std::fmt;
+
+/// A 256-bit digest (the output of SHA-256).
+///
+/// ```
+/// use fabricsim_crypto::sha256;
+/// let h = sha256(b"block");
+/// assert_eq!(h.as_bytes().len(), 32);
+/// assert_eq!(h, sha256(b"block"));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Hash256([u8; 32]);
+
+impl Hash256 {
+    /// The all-zero digest, used as the previous-hash of the genesis block.
+    pub const ZERO: Hash256 = Hash256([0; 32]);
+
+    /// Wraps raw digest bytes.
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        Hash256(bytes)
+    }
+
+    /// The raw digest bytes.
+    pub const fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Lowercase hex encoding of the digest.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in &self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+            s.push(char::from_digit((b & 0xF) as u32, 16).unwrap());
+        }
+        s
+    }
+
+    /// Parses a 64-character hex string.
+    ///
+    /// # Errors
+    /// Returns `None` if the string is not exactly 64 hex characters.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        let bytes = s.as_bytes();
+        for i in 0..32 {
+            let hi = (bytes[i * 2] as char).to_digit(16)?;
+            let lo = (bytes[i * 2 + 1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Hash256(out))
+    }
+
+    /// A short 8-hex-character prefix for logs.
+    pub fn short(&self) -> String {
+        self.to_hex()[..8].to_string()
+    }
+
+    /// First 8 bytes of the digest as a little-endian u64 (for cheap keying).
+    pub fn prefix_u64(&self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().unwrap())
+    }
+}
+
+impl fmt::Debug for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash256({})", self.short())
+    }
+}
+
+impl fmt::Display for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Hash256 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Hash256 {
+    fn from(bytes: [u8; 32]) -> Self {
+        Hash256(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256;
+
+    #[test]
+    fn hex_roundtrip() {
+        let h = sha256(b"roundtrip");
+        let hex = h.to_hex();
+        assert_eq!(Hash256::from_hex(&hex), Some(h));
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(Hash256::from_hex("abcd"), None);
+        assert_eq!(Hash256::from_hex(&"g".repeat(64)), None);
+        assert!(Hash256::from_hex(&"a".repeat(64)).is_some());
+    }
+
+    #[test]
+    fn zero_and_debug() {
+        assert_eq!(Hash256::ZERO.to_hex(), "0".repeat(64));
+        assert_eq!(format!("{:?}", Hash256::ZERO), "Hash256(00000000)");
+        assert_eq!(Hash256::ZERO.short().len(), 8);
+    }
+
+    #[test]
+    fn prefix_u64_is_stable() {
+        let h = Hash256::from_bytes([1; 32]);
+        assert_eq!(h.prefix_u64(), u64::from_le_bytes([1; 8]));
+    }
+}

@@ -1,0 +1,32 @@
+//! # fabricsim-crypto — from-scratch cryptographic primitives
+//!
+//! Hyperledger Fabric's transaction flow is crypto-heavy: every proposal,
+//! endorsement and block carries signatures, and the validate phase (VSCC)
+//! verifies one signature per endorsement — which is exactly why the paper
+//! finds `AND`-policy validation slower than `OR`. This crate implements the
+//! primitives the simulated network actually runs:
+//!
+//! * [`sha256`] — SHA-256, tested against the FIPS 180-4 vectors.
+//! * [`hmac_sha256`] — HMAC (RFC 2104), tested against the RFC 4231 vectors.
+//! * [`MerkleTree`] — binary Merkle tree for block data hashes.
+//! * [`schnorr`] — Schnorr signatures over a 61-bit safe-prime group. The key
+//!   size is a *simulation-scale* parameter (the algorithm is the real one);
+//!   the DES layer charges calibrated CPU costs for sign/verify so throughput
+//!   matches production-grade ECDSA, per DESIGN.md §5.
+//! * [`prime`] — deterministic Miller–Rabin used to verify the group constants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hash;
+mod hmac;
+mod merkle;
+pub mod prime;
+pub mod schnorr;
+mod sha256;
+
+pub use hash::Hash256;
+pub use hmac::hmac_sha256;
+pub use merkle::MerkleTree;
+pub use schnorr::{KeyPair, PublicKey, SecretKey, Signature};
+pub use sha256::{sha256, Sha256};

@@ -1,0 +1,230 @@
+//! Schnorr signatures over a safe-prime group (RFC 8235-style, simulation-scale).
+//!
+//! The group: `p = 2305843009213699919` (a 61-bit safe prime), subgroup order
+//! `q = (p-1)/2`, generator `g = 4` (a quadratic residue, hence order `q`).
+//! Keys: `sk ∈ [1, q)`, `pk = g^sk mod p`. Signing uses a deterministic nonce
+//! derived RFC 6979-style from `HMAC(sk, message)`.
+//!
+//! The 61-bit modulus gives toy *security* but real *structure*: signatures
+//! are actually computed and verified on every simulated endorsement and VSCC
+//! check, so a forged or corrupted endorsement genuinely fails validation.
+//! CPU cost in the simulation is charged separately per DESIGN.md §5.
+
+use std::fmt;
+
+use crate::hmac::hmac_sha256;
+use crate::prime::{mul_mod, pow_mod};
+use crate::sha256::Sha256;
+
+/// The group modulus: a 61-bit safe prime.
+pub const P: u64 = 2_305_843_009_213_699_919;
+/// The prime subgroup order, `(P - 1) / 2`.
+pub const Q: u64 = 1_152_921_504_606_849_959;
+/// Generator of the order-`Q` subgroup of quadratic residues.
+pub const G: u64 = 4;
+
+/// A secret scalar in `[1, Q)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SecretKey(u64);
+
+/// A public group element `g^sk mod p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PublicKey(u64);
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// Challenge scalar.
+    pub e: u64,
+    /// Response scalar.
+    pub s: u64,
+}
+
+/// A secret/public key pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyPair {
+    /// The secret scalar.
+    pub secret: SecretKey,
+    /// The corresponding public element.
+    pub public: PublicKey,
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        f.write_str("SecretKey(..)")
+    }
+}
+
+impl SecretKey {
+    /// Creates a secret key from seed material (any bytes); the scalar is
+    /// derived by hashing, so any seed yields a valid key.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let digest = {
+            let mut h = Sha256::new();
+            h.update(b"fabricsim-schnorr-sk");
+            h.update(seed);
+            h.finalize()
+        };
+        let raw = u64::from_be_bytes(digest.as_bytes()[..8].try_into().unwrap());
+        SecretKey(1 + raw % (Q - 1))
+    }
+
+    /// The public key for this secret.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(pow_mod(G, self.0, P))
+    }
+}
+
+impl PublicKey {
+    /// The raw group element.
+    pub fn element(&self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a public key from its raw element.
+    ///
+    /// # Errors
+    /// Returns `None` if the element is not in the order-`Q` subgroup.
+    pub fn from_element(x: u64) -> Option<Self> {
+        if x == 0 || x >= P || pow_mod(x, Q, P) != 1 {
+            return None;
+        }
+        Some(PublicKey(x))
+    }
+}
+
+impl KeyPair {
+    /// Deterministically generates a key pair from seed bytes.
+    ///
+    /// ```
+    /// use fabricsim_crypto::KeyPair;
+    /// let kp = KeyPair::from_seed(b"org1.peer0");
+    /// let sig = kp.sign(b"proposal");
+    /// assert!(kp.public.verify(b"proposal", &sig));
+    /// assert!(!kp.public.verify(b"tampered", &sig));
+    /// ```
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let secret = SecretKey::from_seed(seed);
+        KeyPair {
+            secret,
+            public: secret.public_key(),
+        }
+    }
+
+    /// Signs a message with a deterministic (RFC 6979-style) nonce.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        // Deterministic nonce: k = H(sk || m) reduced into [1, Q).
+        let nonce_tag = hmac_sha256(&self.secret.0.to_be_bytes(), message);
+        let k = 1 + u64::from_be_bytes(nonce_tag.as_bytes()[..8].try_into().unwrap()) % (Q - 1);
+        let r = pow_mod(G, k, P);
+        let e = challenge(r, self.public, message);
+        // s = k + e * sk mod Q
+        let s = (k as u128 + mul_mod(e % Q, self.secret.0, Q) as u128) % Q as u128;
+        Signature { e, s: s as u64 }
+    }
+}
+
+impl PublicKey {
+    /// Verifies a signature over `message`.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        if sig.s >= Q {
+            return false;
+        }
+        // r' = g^s * pk^{-e} = g^s * pk^{Q - (e mod Q)}
+        let gs = pow_mod(G, sig.s, P);
+        let e_mod = sig.e % Q;
+        let pk_neg_e = pow_mod(self.0, Q - e_mod, P);
+        let r = mul_mod(gs, pk_neg_e, P);
+        challenge(r, *self, message) == sig.e
+    }
+}
+
+fn challenge(r: u64, pk: PublicKey, message: &[u8]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(b"fabricsim-schnorr-e");
+    h.update(&r.to_be_bytes());
+    h.update(&pk.0.to_be_bytes());
+    h.update(message);
+    let digest = h.finalize();
+    u64::from_be_bytes(digest.as_bytes()[..8].try_into().unwrap()) % Q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::is_safe_prime;
+
+    #[test]
+    fn group_constants_are_valid() {
+        assert!(is_safe_prime(P));
+        assert_eq!(Q, (P - 1) / 2);
+        assert_eq!(pow_mod(G, Q, P), 1, "generator must have order Q");
+        assert_ne!(pow_mod(G, 1, P), 1);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::from_seed(b"alice");
+        for msg in [&b"hello"[..], b"", b"a longer message with bytes \x00\xff"] {
+            let sig = kp.sign(msg);
+            assert!(kp.public.verify(msg, &sig));
+        }
+    }
+
+    #[test]
+    fn tampered_message_fails() {
+        let kp = KeyPair::from_seed(b"alice");
+        let sig = kp.sign(b"pay bob 10");
+        assert!(!kp.public.verify(b"pay bob 11", &sig));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let alice = KeyPair::from_seed(b"alice");
+        let bob = KeyPair::from_seed(b"bob");
+        let sig = alice.sign(b"msg");
+        assert!(!bob.public.verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn corrupted_signature_fails() {
+        let kp = KeyPair::from_seed(b"alice");
+        let sig = kp.sign(b"msg");
+        let bad_e = Signature { e: sig.e ^ 1, s: sig.s };
+        let bad_s = Signature { e: sig.e, s: (sig.s + 1) % Q };
+        assert!(!kp.public.verify(b"msg", &bad_e));
+        assert!(!kp.public.verify(b"msg", &bad_s));
+        let oversize = Signature { e: sig.e, s: Q };
+        assert!(!kp.public.verify(b"msg", &oversize));
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let kp = KeyPair::from_seed(b"alice");
+        assert_eq!(kp.sign(b"m"), kp.sign(b"m"));
+        assert_ne!(kp.sign(b"m"), kp.sign(b"n"));
+    }
+
+    #[test]
+    fn public_key_subgroup_check() {
+        let kp = KeyPair::from_seed(b"alice");
+        assert_eq!(
+            PublicKey::from_element(kp.public.element()),
+            Some(kp.public)
+        );
+        assert_eq!(PublicKey::from_element(0), None);
+        assert_eq!(PublicKey::from_element(P), None);
+        // A non-residue (order 2q element) must be rejected; g is a residue so
+        // any odd power of a non-residue like (P-1) has order 2 or 2q.
+        assert_eq!(PublicKey::from_element(P - 1), None);
+    }
+
+    #[test]
+    fn seeds_give_distinct_keys() {
+        let a = KeyPair::from_seed(b"a");
+        let b = KeyPair::from_seed(b"b");
+        assert_ne!(a.public, b.public);
+        assert_eq!(format!("{:?}", a.secret), "SecretKey(..)");
+    }
+}

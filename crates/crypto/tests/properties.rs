@@ -1,0 +1,78 @@
+//! Property-based tests for the cryptographic primitives.
+
+use proptest::prelude::*;
+
+use fabricsim_crypto::{hmac_sha256, sha256, Hash256, KeyPair, MerkleTree, Sha256};
+
+proptest! {
+    #[test]
+    fn incremental_hashing_equals_oneshot(data: Vec<u8>, splits in proptest::collection::vec(0usize..2000, 0..5)) {
+        let mut points: Vec<usize> = splits.iter().map(|s| s % (data.len() + 1)).collect();
+        points.sort_unstable();
+        let mut h = Sha256::new();
+        let mut prev = 0;
+        for &pt in &points {
+            h.update(&data[prev..pt]);
+            prev = pt;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn sha256_is_deterministic_and_sensitive(mut data in proptest::collection::vec(any::<u8>(), 1..256), flip in 0usize..256, bit in 0u8..8) {
+        let original = sha256(&data);
+        prop_assert_eq!(original, sha256(&data));
+        let idx = flip % data.len();
+        data[idx] ^= 1 << bit;
+        prop_assert_ne!(original, sha256(&data), "single-bit flip must change the digest");
+    }
+
+    #[test]
+    fn hex_roundtrip(bytes: [u8; 32]) {
+        let h = Hash256::from_bytes(bytes);
+        prop_assert_eq!(Hash256::from_hex(&h.to_hex()), Some(h));
+    }
+
+    #[test]
+    fn hmac_distinguishes_key_and_message(key1: Vec<u8>, key2: Vec<u8>, msg: Vec<u8>) {
+        prop_assume!(key1 != key2);
+        prop_assert_ne!(hmac_sha256(&key1, &msg), hmac_sha256(&key2, &msg));
+    }
+
+    #[test]
+    fn schnorr_roundtrip_arbitrary_messages(seed: Vec<u8>, msg: Vec<u8>, other: Vec<u8>) {
+        let kp = KeyPair::from_seed(&seed);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public.verify(&msg, &sig));
+        if other != msg {
+            prop_assert!(!kp.public.verify(&other, &sig));
+        }
+    }
+
+    #[test]
+    fn merkle_proofs_verify_and_bind(leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..40), probe in 0usize..40) {
+        let tree = MerkleTree::from_leaves(leaves.iter());
+        let i = probe % leaves.len();
+        let proof = tree.proof(i).unwrap();
+        prop_assert!(MerkleTree::verify_proof(tree.root(), &leaves[i], i, &proof));
+        // A different leaf value at the same position must fail.
+        let mut forged = leaves[i].clone();
+        forged.push(0xFF);
+        prop_assert!(!MerkleTree::verify_proof(tree.root(), &forged, i, &proof));
+    }
+
+    #[test]
+    fn merkle_root_binds_order_and_content(
+        mut leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 2..20),
+        swap_a in 0usize..20,
+        swap_b in 0usize..20,
+    ) {
+        let original = MerkleTree::from_leaves(leaves.iter()).root();
+        let a = swap_a % leaves.len();
+        let b = swap_b % leaves.len();
+        prop_assume!(leaves[a] != leaves[b]);
+        leaves.swap(a, b);
+        prop_assert_ne!(MerkleTree::from_leaves(leaves.iter()).root(), original);
+    }
+}

@@ -1,0 +1,307 @@
+//! The event loop: a time-ordered heap of boxed event handlers.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Kernel<W>)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    run: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest event on top.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Counters describing a finished (or in-progress) simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelStats {
+    /// Events executed so far.
+    pub executed: u64,
+    /// Events scheduled so far (including cancelled ones).
+    pub scheduled: u64,
+    /// Events cancelled before execution.
+    pub cancelled: u64,
+}
+
+/// A deterministic discrete-event kernel over a world type `W`.
+///
+/// Events are closures `FnOnce(&mut W, &mut Kernel<W>)`; ties in time are broken
+/// by insertion order, which makes runs bit-reproducible.
+///
+/// ```
+/// use fabricsim_des::{Kernel, SimTime, SimDuration};
+/// let mut k: Kernel<Vec<&'static str>> = Kernel::new();
+/// let mut log = Vec::new();
+/// k.schedule_in(SimDuration::from_secs(1), |w: &mut Vec<_>, _| w.push("b"));
+/// k.schedule_in(SimDuration::ZERO, |w: &mut Vec<_>, _| w.push("a"));
+/// k.run(&mut log);
+/// assert_eq!(log, vec!["a", "b"]);
+/// ```
+pub struct Kernel<W> {
+    now: SimTime,
+    seq: u64,
+    next_id: u64,
+    heap: BinaryHeap<Scheduled<W>>,
+    cancelled: HashSet<EventId>,
+    stats: KernelStats,
+    horizon: SimTime,
+}
+
+impl<W> Default for Kernel<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> std::fmt::Debug for Kernel<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<W> Kernel<W> {
+    /// Creates an empty kernel with the clock at [`SimTime::ZERO`] and no horizon.
+    pub fn new() -> Self {
+        Kernel {
+            now: SimTime::ZERO,
+            seq: 0,
+            next_id: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            stats: KernelStats::default(),
+            horizon: SimTime::MAX,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Counters for this run.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Number of events still pending (including cancelled-but-unpopped ones).
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Stops the run once the clock would pass `t`; events at exactly `t` still fire.
+    pub fn set_horizon(&mut self, t: SimTime) {
+        self.horizon = t;
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (`at < self.now()`).
+    pub fn schedule<F>(&mut self, at: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Kernel<W>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.seq += 1;
+        self.stats.scheduled += 1;
+        self.heap.push(Scheduled {
+            time: at,
+            seq: self.seq,
+            id,
+            run: Box::new(f),
+        });
+        id
+    }
+
+    /// Schedules `f` to run after `delay` from the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Kernel<W>) + 'static,
+    {
+        self.schedule(self.now + delay, f)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        if self.cancelled.insert(id) {
+            self.stats.cancelled += 1;
+        }
+    }
+
+    /// Runs the event loop until the queue drains or the horizon is reached.
+    /// Returns the final virtual time.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        while let Some(ev) = self.heap.pop() {
+            if ev.time > self.horizon {
+                // Past the horizon: put nothing back; the run is over.
+                self.now = self.horizon;
+                self.heap.clear();
+                break;
+            }
+            debug_assert!(ev.time >= self.now, "event heap produced time regression");
+            self.now = ev.time;
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            self.stats.executed += 1;
+            (ev.run)(world, self);
+        }
+        self.now
+    }
+
+    /// Runs at most `n` events; returns how many were executed. Useful for
+    /// stepping a simulation in tests.
+    pub fn step(&mut self, world: &mut W, n: u64) -> u64 {
+        let mut executed = 0;
+        while executed < n {
+            let Some(ev) = self.heap.pop() else { break };
+            if ev.time > self.horizon {
+                self.now = self.horizon;
+                self.heap.clear();
+                break;
+            }
+            self.now = ev.time;
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            self.stats.executed += 1;
+            executed += 1;
+            (ev.run)(world, self);
+        }
+        executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut k: Kernel<Vec<u64>> = Kernel::new();
+        let mut out = Vec::new();
+        k.schedule(SimTime::from_nanos(30), |w: &mut Vec<u64>, _| w.push(30));
+        k.schedule(SimTime::from_nanos(10), |w: &mut Vec<u64>, _| w.push(10));
+        k.schedule(SimTime::from_nanos(20), |w: &mut Vec<u64>, _| w.push(20));
+        k.run(&mut out);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut k: Kernel<Vec<u64>> = Kernel::new();
+        let mut out = Vec::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            k.schedule(t, move |w: &mut Vec<u64>, _| w.push(i));
+        }
+        k.run(&mut out);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut k: Kernel<Vec<u64>> = Kernel::new();
+        let mut out = Vec::new();
+        fn tick(w: &mut Vec<u64>, k: &mut Kernel<Vec<u64>>) {
+            w.push(k.now().as_nanos());
+            if w.len() < 5 {
+                k.schedule_in(SimDuration::from_nanos(7), tick);
+            }
+        }
+        k.schedule(SimTime::ZERO, tick);
+        let end = k.run(&mut out);
+        assert_eq!(out, vec![0, 7, 14, 21, 28]);
+        assert_eq!(end, SimTime::from_nanos(28));
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut k: Kernel<Vec<u64>> = Kernel::new();
+        let mut out = Vec::new();
+        let id = k.schedule(SimTime::from_nanos(10), |w: &mut Vec<u64>, _| w.push(1));
+        k.schedule(SimTime::from_nanos(20), |w: &mut Vec<u64>, _| w.push(2));
+        k.cancel(id);
+        k.cancel(id); // double-cancel is a no-op
+        k.run(&mut out);
+        assert_eq!(out, vec![2]);
+        assert_eq!(k.stats().cancelled, 1);
+        assert_eq!(k.stats().executed, 1);
+        assert_eq!(k.stats().scheduled, 2);
+    }
+
+    #[test]
+    fn horizon_stops_the_run() {
+        let mut k: Kernel<Vec<u64>> = Kernel::new();
+        let mut out = Vec::new();
+        k.set_horizon(SimTime::from_nanos(15));
+        k.schedule(SimTime::from_nanos(10), |w: &mut Vec<u64>, _| w.push(10));
+        k.schedule(SimTime::from_nanos(15), |w: &mut Vec<u64>, _| w.push(15));
+        k.schedule(SimTime::from_nanos(20), |w: &mut Vec<u64>, _| w.push(20));
+        let end = k.run(&mut out);
+        assert_eq!(out, vec![10, 15]);
+        assert_eq!(end, SimTime::from_nanos(15));
+        assert_eq!(k.pending(), 0);
+    }
+
+    #[test]
+    fn step_executes_bounded_events() {
+        let mut k: Kernel<Vec<u64>> = Kernel::new();
+        let mut out = Vec::new();
+        for i in 0..10u64 {
+            k.schedule(SimTime::from_nanos(i), move |w: &mut Vec<u64>, _| w.push(i));
+        }
+        assert_eq!(k.step(&mut out, 3), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(k.step(&mut out, 100), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut k: Kernel<Vec<u64>> = Kernel::new();
+        let mut out = Vec::new();
+        k.schedule(SimTime::from_nanos(10), |_: &mut Vec<u64>, k| {
+            k.schedule(SimTime::from_nanos(5), |_, _| {});
+        });
+        k.run(&mut out);
+    }
+}

@@ -1,0 +1,212 @@
+//! FIFO multi-server service stations with closed-form completion times.
+//!
+//! A [`Station`] models `c` identical servers in front of an unbounded FIFO
+//! queue (an M/G/c-style station under FIFO). Because FIFO completion order for
+//! work submitted in time order is fully determined by server-free times, the
+//! station computes each job's completion instant *at submission* instead of
+//! simulating per-job events — exact, and much faster for large sweeps.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A FIFO service station with `c` servers.
+///
+/// ```
+/// use fabricsim_des::{Station, SimTime, SimDuration};
+/// let mut cpu = Station::new("peer0.cpu", 2);
+/// let t0 = SimTime::ZERO;
+/// let d = SimDuration::from_millis(10);
+/// assert_eq!(cpu.submit(t0, d), t0 + d);                 // server 1 free
+/// assert_eq!(cpu.submit(t0, d), t0 + d);                 // server 2 free
+/// assert_eq!(cpu.submit(t0, d), t0 + d + d);             // queued behind server 1
+/// ```
+#[derive(Debug, Clone)]
+pub struct Station {
+    name: String,
+    /// Per-server next-free instants; kept as a small vec (c is small).
+    free_at: Vec<SimTime>,
+    busy: SimDuration,
+    jobs: u64,
+    total_wait: SimDuration,
+    last_submit: SimTime,
+}
+
+impl Station {
+    /// Creates a station with `servers` identical servers.
+    ///
+    /// # Panics
+    /// Panics if `servers == 0`.
+    pub fn new(name: impl Into<String>, servers: usize) -> Self {
+        assert!(servers > 0, "a station needs at least one server");
+        Station {
+            name: name.into(),
+            free_at: vec![SimTime::ZERO; servers],
+            busy: SimDuration::ZERO,
+            jobs: 0,
+            total_wait: SimDuration::ZERO,
+            last_submit: SimTime::ZERO,
+        }
+    }
+
+    /// The station's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Submits a job arriving at `now` needing `service` time; returns the
+    /// completion instant under FIFO scheduling.
+    ///
+    /// # Panics
+    /// Panics if submissions go backwards in time (the FIFO closed form relies
+    /// on time-ordered submission).
+    pub fn submit(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        assert!(
+            now >= self.last_submit,
+            "station {}: submissions must be time-ordered",
+            self.name
+        );
+        self.last_submit = now;
+        // Earliest-free server takes the job.
+        let (idx, &free) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("at least one server");
+        let start = now.max(free);
+        let done = start + service;
+        self.free_at[idx] = done;
+        self.jobs += 1;
+        self.busy += service;
+        self.total_wait += start - now;
+        done
+    }
+
+    /// The instant at which a job submitted `now` would *start* service.
+    pub fn would_start_at(&self, now: SimTime) -> SimTime {
+        let free = self.free_at.iter().min().copied().unwrap_or(SimTime::ZERO);
+        now.max(free)
+    }
+
+    /// Number of jobs still in service or queued at `now` (upper-bound view:
+    /// counts servers whose free time is in the future).
+    pub fn backlog_servers(&self, now: SimTime) -> usize {
+        self.free_at.iter().filter(|&&t| t > now).count()
+    }
+
+    /// Total jobs submitted.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Aggregate busy time across all servers.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Aggregate queueing delay experienced by submitted jobs.
+    pub fn total_wait(&self) -> SimDuration {
+        self.total_wait
+    }
+
+    /// Mean utilization over `[0, now]` across the `c` servers (may slightly
+    /// exceed 1.0 if work is still queued beyond `now`).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / (now.as_secs_f64() * self.servers() as f64)
+    }
+
+    /// Resets counters (but not server-free times); used between warm-up and
+    /// measurement windows.
+    pub fn reset_counters(&mut self) {
+        self.busy = SimDuration::ZERO;
+        self.jobs = 0;
+        self.total_wait = SimDuration::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+    fn at(x: u64) -> SimTime {
+        SimTime::from_nanos(x * 1_000_000)
+    }
+
+    #[test]
+    fn single_server_fifo() {
+        let mut s = Station::new("cpu", 1);
+        assert_eq!(s.submit(at(0), ms(10)), at(10));
+        assert_eq!(s.submit(at(0), ms(10)), at(20));
+        assert_eq!(s.submit(at(5), ms(10)), at(30));
+        // A job arriving after the backlog drains starts immediately.
+        assert_eq!(s.submit(at(100), ms(10)), at(110));
+        assert_eq!(s.jobs(), 4);
+        assert_eq!(s.busy_time(), ms(40));
+        assert_eq!(s.total_wait(), ms(10) + ms(15));
+    }
+
+    #[test]
+    fn multi_server_parallelism() {
+        let mut s = Station::new("cpu", 3);
+        for _ in 0..3 {
+            assert_eq!(s.submit(at(0), ms(10)), at(10));
+        }
+        // Fourth job waits for the earliest server.
+        assert_eq!(s.submit(at(0), ms(10)), at(20));
+        assert_eq!(s.backlog_servers(at(5)), 3);
+        assert_eq!(s.backlog_servers(at(15)), 1);
+        assert_eq!(s.backlog_servers(at(25)), 0);
+    }
+
+    #[test]
+    fn utilization_accounts_all_servers() {
+        let mut s = Station::new("cpu", 2);
+        s.submit(at(0), ms(10));
+        // One server busy 10ms of a 10ms window over 2 servers => 0.5.
+        assert!((s.utilization(at(10)) - 0.5).abs() < 1e-9);
+        assert_eq!(s.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn would_start_at_matches_submit() {
+        let mut s = Station::new("cpu", 1);
+        s.submit(at(0), ms(10));
+        assert_eq!(s.would_start_at(at(3)), at(10));
+        assert_eq!(s.would_start_at(at(30)), at(30));
+    }
+
+    #[test]
+    fn reset_counters_keeps_server_state() {
+        let mut s = Station::new("cpu", 1);
+        s.submit(at(0), ms(10));
+        s.reset_counters();
+        assert_eq!(s.jobs(), 0);
+        assert_eq!(s.busy_time(), SimDuration::ZERO);
+        // Server is still busy until 10ms.
+        assert_eq!(s.submit(at(5), ms(1)), at(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_submission_panics() {
+        let mut s = Station::new("cpu", 1);
+        s.submit(at(10), ms(1));
+        s.submit(at(5), ms(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        Station::new("cpu", 0);
+    }
+}

@@ -1,0 +1,590 @@
+//! Broker state machine: the partition log, leader/follower replication and
+//! the in-sync-replica protocol.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{BrokerId, ClientToken, Epoch, Offset};
+
+/// One record in the partition log (an opaque transaction envelope for the
+/// Fabric ordering service, plus a marker bit for timer records).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Payload bytes.
+    pub data: Vec<u8>,
+    /// True for the leader OSN's block-timeout marker records (Fabric posts a
+    /// `TTC-X` message to Kafka so all OSNs cut time-based blocks identically).
+    pub is_timer_marker: bool,
+}
+
+impl Record {
+    /// A payload record.
+    pub fn payload(data: Vec<u8>) -> Self {
+        Record { data, is_timer_marker: false }
+    }
+
+    /// A block-timeout marker record.
+    pub fn timer_marker() -> Self {
+        Record { data: Vec::new(), is_timer_marker: true }
+    }
+}
+
+/// Broker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KafkaConfig {
+    /// How many replicas (including the leader) host the partition.
+    pub replication_factor: usize,
+    /// Ticks a follower may lag (no fetch progress to log-end) before the
+    /// leader shrinks it out of the ISR.
+    pub isr_lag_ticks: u32,
+    /// Maximum records returned per fetch/consume.
+    pub max_fetch_records: usize,
+}
+
+impl Default for KafkaConfig {
+    fn default() -> Self {
+        // The paper's defaults: replication factor 3.
+        KafkaConfig {
+            replication_factor: 3,
+            isr_lag_ticks: 20,
+            max_fetch_records: 1024,
+        }
+    }
+}
+
+/// A broker's current role for the (single) partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerRole {
+    /// Leader: accepts produce requests, tracks the ISR.
+    Leader,
+    /// Follower replicating from `leader`.
+    Follower {
+        /// The partition leader it fetches from.
+        leader: BrokerId,
+    },
+    /// Not a replica of this partition (or awaiting appointment).
+    Idle,
+}
+
+/// Messages between brokers and from clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerMsg {
+    /// Client produce request.
+    Produce {
+        /// Reply-to token for the acknowledgment.
+        reply_to: ClientToken,
+        /// The record to append.
+        record: Record,
+    },
+    /// Client consume request: records in `[offset, high watermark)`.
+    Consume {
+        /// Reply-to token.
+        reply_to: ClientToken,
+        /// First offset wanted.
+        offset: Offset,
+    },
+    /// Follower pulls records starting at `offset` (its log end).
+    Fetch {
+        /// The fetching follower.
+        from: BrokerId,
+        /// Follower's log-end offset.
+        offset: Offset,
+    },
+    /// Leader's reply to a fetch.
+    FetchResponse {
+        /// Leadership epoch (stale epochs are ignored).
+        epoch: Epoch,
+        /// Records starting at the follower's requested offset.
+        records: Vec<Record>,
+        /// Offset of the first record in `records`.
+        base_offset: Offset,
+        /// Leader's high watermark.
+        high_watermark: Offset,
+    },
+    /// ZooKeeper appoints this broker leader (with the replica set).
+    AppointLeader {
+        /// New leadership epoch.
+        epoch: Epoch,
+        /// All replicas of the partition.
+        replicas: Vec<BrokerId>,
+    },
+    /// ZooKeeper appoints this broker follower of `leader`.
+    AppointFollower {
+        /// New leadership epoch.
+        epoch: Epoch,
+        /// The leader to fetch from.
+        leader: BrokerId,
+    },
+}
+
+/// Events delivered back to producers/consumers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// Produce accepted; the record sits at `offset` (not yet necessarily
+    /// replicated — consumability is gated by the high watermark).
+    ProduceAck {
+        /// Assigned offset.
+        offset: Offset,
+    },
+    /// Produce refused because this broker is not the leader.
+    NotLeader {
+        /// Best-known leader.
+        leader_hint: Option<BrokerId>,
+    },
+    /// Consume response: records from `base_offset`, bounded by the HW.
+    ConsumeBatch {
+        /// Offset of the first returned record.
+        base_offset: Offset,
+        /// The records.
+        records: Vec<Record>,
+        /// Current high watermark (consumers poll again from `base + len`).
+        high_watermark: Offset,
+    },
+}
+
+/// What the host must do after driving a broker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerEffect {
+    /// Send a broker-to-broker message.
+    Send {
+        /// Destination broker.
+        to: BrokerId,
+        /// The message.
+        message: BrokerMsg,
+    },
+    /// Deliver an event to a client.
+    Reply {
+        /// The client token from the request.
+        to: ClientToken,
+        /// The event.
+        event: ClientEvent,
+    },
+    /// Tell ZooKeeper the ISR changed (leader only).
+    IsrUpdate {
+        /// The new in-sync replica set.
+        isr: Vec<BrokerId>,
+    },
+}
+
+/// A Kafka broker hosting (a replica of) the channel's partition.
+#[derive(Debug, Clone)]
+pub struct Broker {
+    id: BrokerId,
+    config: KafkaConfig,
+    role: BrokerRole,
+    epoch: Epoch,
+    log: Vec<Record>,
+    high_watermark: Offset,
+    // Leader state: per-replica log-end offsets and lag timers.
+    replica_log_end: BTreeMap<BrokerId, Offset>,
+    replica_lag: BTreeMap<BrokerId, u32>,
+    isr: BTreeSet<BrokerId>,
+}
+
+impl Broker {
+    /// Creates an idle broker.
+    pub fn new(id: BrokerId, config: KafkaConfig) -> Self {
+        Broker {
+            id,
+            config,
+            role: BrokerRole::Idle,
+            epoch: 0,
+            log: Vec::new(),
+            high_watermark: 0,
+            replica_log_end: BTreeMap::new(),
+            replica_lag: BTreeMap::new(),
+            isr: BTreeSet::new(),
+        }
+    }
+
+    /// This broker's id.
+    pub fn id(&self) -> BrokerId {
+        self.id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> &BrokerRole {
+        &self.role
+    }
+
+    /// Current leadership epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Log-end offset (next offset to be assigned).
+    pub fn log_end(&self) -> Offset {
+        self.log.len() as Offset
+    }
+
+    /// The high watermark: records below it are replicated to every ISR
+    /// member and visible to consumers.
+    pub fn high_watermark(&self) -> Offset {
+        self.high_watermark
+    }
+
+    /// The current in-sync replica set (meaningful on the leader).
+    pub fn isr(&self) -> Vec<BrokerId> {
+        self.isr.iter().copied().collect()
+    }
+
+    /// Drives time: followers issue fetches; the leader ages follower lag and
+    /// shrinks the ISR.
+    pub fn tick(&mut self) -> Vec<BrokerEffect> {
+        let mut effects = Vec::new();
+        match &self.role {
+            BrokerRole::Follower { leader } => {
+                effects.push(BrokerEffect::Send {
+                    to: *leader,
+                    message: BrokerMsg::Fetch {
+                        from: self.id,
+                        offset: self.log_end(),
+                    },
+                });
+            }
+            BrokerRole::Leader => {
+                let mut shrunk = false;
+                let log_end = self.log_end();
+                for (&replica, lag) in self.replica_lag.iter_mut() {
+                    if replica == self.id {
+                        continue;
+                    }
+                    let caught_up = self.replica_log_end.get(&replica) == Some(&log_end);
+                    if caught_up {
+                        *lag = 0;
+                    } else {
+                        *lag += 1;
+                        if *lag > self.config.isr_lag_ticks && self.isr.remove(&replica) {
+                            shrunk = true;
+                        }
+                    }
+                }
+                if shrunk {
+                    self.advance_high_watermark();
+                    effects.push(BrokerEffect::IsrUpdate { isr: self.isr() });
+                }
+            }
+            BrokerRole::Idle => {}
+        }
+        effects
+    }
+
+    /// Processes a message.
+    pub fn step(&mut self, message: BrokerMsg) -> Vec<BrokerEffect> {
+        let mut effects = Vec::new();
+        match message {
+            BrokerMsg::Produce { reply_to, record } => {
+                if self.role != BrokerRole::Leader {
+                    let leader_hint = match &self.role {
+                        BrokerRole::Follower { leader } => Some(*leader),
+                        _ => None,
+                    };
+                    effects.push(BrokerEffect::Reply {
+                        to: reply_to,
+                        event: ClientEvent::NotLeader { leader_hint },
+                    });
+                    return effects;
+                }
+                let offset = self.log_end();
+                self.log.push(record);
+                self.replica_log_end.insert(self.id, self.log_end());
+                self.advance_high_watermark();
+                effects.push(BrokerEffect::Reply {
+                    to: reply_to,
+                    event: ClientEvent::ProduceAck { offset },
+                });
+            }
+            BrokerMsg::Consume { reply_to, offset } => {
+                let hw = self.high_watermark;
+                let base = offset.min(hw);
+                let upper = hw.min(base + self.config.max_fetch_records as Offset);
+                let records = self.log[base as usize..upper as usize].to_vec();
+                effects.push(BrokerEffect::Reply {
+                    to: reply_to,
+                    event: ClientEvent::ConsumeBatch {
+                        base_offset: base,
+                        records,
+                        high_watermark: hw,
+                    },
+                });
+            }
+            BrokerMsg::Fetch { from, offset } => {
+                if self.role != BrokerRole::Leader {
+                    return effects;
+                }
+                self.replica_log_end.insert(from, offset);
+                self.replica_lag.entry(from).or_insert(0);
+                // ISR expansion: a caught-up replica rejoins.
+                if offset == self.log_end() && self.isr.insert(from) {
+                    effects.push(BrokerEffect::IsrUpdate { isr: self.isr() });
+                }
+                self.advance_high_watermark();
+                let upper = self
+                    .log_end()
+                    .min(offset + self.config.max_fetch_records as Offset);
+                let records = self
+                    .log
+                    .get(offset as usize..upper as usize)
+                    .unwrap_or(&[])
+                    .to_vec();
+                effects.push(BrokerEffect::Send {
+                    to: from,
+                    message: BrokerMsg::FetchResponse {
+                        epoch: self.epoch,
+                        records,
+                        base_offset: offset,
+                        high_watermark: self.high_watermark,
+                    },
+                });
+            }
+            BrokerMsg::FetchResponse {
+                epoch,
+                records,
+                base_offset,
+                high_watermark,
+            } => {
+                if epoch < self.epoch || !matches!(self.role, BrokerRole::Follower { .. }) {
+                    return effects;
+                }
+                // Only append contiguously.
+                if base_offset == self.log_end() {
+                    self.log.extend(records);
+                } else if base_offset < self.log_end() {
+                    // Overlap from a retried fetch: truncate and re-append to
+                    // stay consistent with the leader.
+                    self.log.truncate(base_offset as usize);
+                    self.log.extend(records);
+                }
+                self.high_watermark = high_watermark.min(self.log_end());
+            }
+            BrokerMsg::AppointLeader { epoch, replicas } => {
+                if epoch <= self.epoch && self.role == BrokerRole::Leader {
+                    return effects;
+                }
+                self.epoch = epoch;
+                self.role = BrokerRole::Leader;
+                self.replica_log_end = replicas.iter().map(|&r| (r, 0)).collect();
+                self.replica_log_end.insert(self.id, self.log_end());
+                self.replica_lag = replicas
+                    .iter()
+                    .filter(|&&r| r != self.id)
+                    .map(|&r| (r, 0))
+                    .collect();
+                // A fresh leader starts with ISR = {self}; followers rejoin as
+                // their fetches catch up.
+                self.isr = BTreeSet::from([self.id]);
+                self.advance_high_watermark();
+                effects.push(BrokerEffect::IsrUpdate { isr: self.isr() });
+            }
+            BrokerMsg::AppointFollower { epoch, leader } => {
+                if epoch < self.epoch {
+                    return effects;
+                }
+                self.epoch = epoch;
+                self.role = BrokerRole::Follower { leader };
+            }
+        }
+        effects
+    }
+
+    fn advance_high_watermark(&mut self) {
+        if self.role != BrokerRole::Leader {
+            return;
+        }
+        // HW = min log-end across the ISR.
+        let min_isr = self
+            .isr
+            .iter()
+            .map(|r| self.replica_log_end.get(r).copied().unwrap_or(0))
+            .min()
+            .unwrap_or(0);
+        if min_isr > self.high_watermark {
+            self.high_watermark = min_isr;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leader_with_replicas(replicas: &[BrokerId]) -> Broker {
+        let mut b = Broker::new(replicas[0], KafkaConfig::default());
+        b.step(BrokerMsg::AppointLeader {
+            epoch: 1,
+            replicas: replicas.to_vec(),
+        });
+        b
+    }
+
+    #[test]
+    fn idle_broker_rejects_produce() {
+        let mut b = Broker::new(1, KafkaConfig::default());
+        let effects = b.step(BrokerMsg::Produce {
+            reply_to: 7,
+            record: Record::payload(b"tx".to_vec()),
+        });
+        assert_eq!(
+            effects,
+            vec![BrokerEffect::Reply {
+                to: 7,
+                event: ClientEvent::NotLeader { leader_hint: None }
+            }]
+        );
+    }
+
+    #[test]
+    fn single_replica_leader_commits_immediately() {
+        let mut b = leader_with_replicas(&[1]);
+        let effects = b.step(BrokerMsg::Produce {
+            reply_to: 7,
+            record: Record::payload(b"tx".to_vec()),
+        });
+        assert!(matches!(
+            effects[0],
+            BrokerEffect::Reply {
+                event: ClientEvent::ProduceAck { offset: 0 },
+                ..
+            }
+        ));
+        assert_eq!(b.high_watermark(), 1);
+    }
+
+    #[test]
+    fn hw_waits_for_isr_replication() {
+        let mut leader = leader_with_replicas(&[1, 2, 3]);
+        // Followers join the ISR by fetching at log-end 0.
+        leader.step(BrokerMsg::Fetch { from: 2, offset: 0 });
+        leader.step(BrokerMsg::Fetch { from: 3, offset: 0 });
+        assert_eq!(leader.isr(), vec![1, 2, 3]);
+        leader.step(BrokerMsg::Produce {
+            reply_to: 1,
+            record: Record::payload(b"a".to_vec()),
+        });
+        // Not consumable yet: followers haven't replicated offset 1.
+        assert_eq!(leader.high_watermark(), 0);
+        leader.step(BrokerMsg::Fetch { from: 2, offset: 1 });
+        assert_eq!(leader.high_watermark(), 0, "only one of two followers");
+        leader.step(BrokerMsg::Fetch { from: 3, offset: 1 });
+        assert_eq!(leader.high_watermark(), 1, "all ISR replicated");
+    }
+
+    #[test]
+    fn consume_is_bounded_by_hw() {
+        let mut leader = leader_with_replicas(&[1, 2]);
+        leader.step(BrokerMsg::Fetch { from: 2, offset: 0 });
+        leader.step(BrokerMsg::Produce {
+            reply_to: 1,
+            record: Record::payload(b"a".to_vec()),
+        });
+        let effects = leader.step(BrokerMsg::Consume { reply_to: 9, offset: 0 });
+        match &effects[0] {
+            BrokerEffect::Reply {
+                event: ClientEvent::ConsumeBatch { records, high_watermark, .. },
+                ..
+            } => {
+                assert!(records.is_empty(), "record above HW must not be served");
+                assert_eq!(*high_watermark, 0);
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+        // After replication it becomes consumable.
+        leader.step(BrokerMsg::Fetch { from: 2, offset: 1 });
+        let effects = leader.step(BrokerMsg::Consume { reply_to: 9, offset: 0 });
+        match &effects[0] {
+            BrokerEffect::Reply {
+                event: ClientEvent::ConsumeBatch { records, .. },
+                ..
+            } => assert_eq!(records.len(), 1),
+            other => panic!("unexpected effect {other:?}"),
+        }
+    }
+
+    #[test]
+    fn follower_replicates_via_fetch_response() {
+        let mut f = Broker::new(2, KafkaConfig::default());
+        f.step(BrokerMsg::AppointFollower { epoch: 1, leader: 1 });
+        let fetches = f.tick();
+        assert_eq!(
+            fetches,
+            vec![BrokerEffect::Send {
+                to: 1,
+                message: BrokerMsg::Fetch { from: 2, offset: 0 }
+            }]
+        );
+        f.step(BrokerMsg::FetchResponse {
+            epoch: 1,
+            records: vec![Record::payload(b"a".to_vec()), Record::payload(b"b".to_vec())],
+            base_offset: 0,
+            high_watermark: 1,
+        });
+        assert_eq!(f.log_end(), 2);
+        assert_eq!(f.high_watermark(), 1);
+    }
+
+    #[test]
+    fn stale_epoch_fetch_response_ignored() {
+        let mut f = Broker::new(2, KafkaConfig::default());
+        f.step(BrokerMsg::AppointFollower { epoch: 5, leader: 1 });
+        f.step(BrokerMsg::FetchResponse {
+            epoch: 4,
+            records: vec![Record::payload(b"stale".to_vec())],
+            base_offset: 0,
+            high_watermark: 1,
+        });
+        assert_eq!(f.log_end(), 0);
+    }
+
+    #[test]
+    fn laggard_is_shrunk_from_isr() {
+        let cfg = KafkaConfig {
+            isr_lag_ticks: 3,
+            ..KafkaConfig::default()
+        };
+        let mut leader = Broker::new(1, cfg);
+        leader.step(BrokerMsg::AppointLeader { epoch: 1, replicas: vec![1, 2] });
+        leader.step(BrokerMsg::Fetch { from: 2, offset: 0 });
+        assert_eq!(leader.isr(), vec![1, 2]);
+        leader.step(BrokerMsg::Produce {
+            reply_to: 1,
+            record: Record::payload(b"a".to_vec()),
+        });
+        assert_eq!(leader.high_watermark(), 0, "follower 2 now lags");
+        // Follower 2 never fetches again: after isr_lag_ticks it is dropped
+        // and the HW advances without it.
+        let mut isr_updates = 0;
+        for _ in 0..5 {
+            for e in leader.tick() {
+                if matches!(e, BrokerEffect::IsrUpdate { .. }) {
+                    isr_updates += 1;
+                }
+            }
+        }
+        assert_eq!(isr_updates, 1);
+        assert_eq!(leader.isr(), vec![1]);
+        assert_eq!(leader.high_watermark(), 1);
+    }
+
+    #[test]
+    fn new_leader_keeps_its_log_and_rebuilds_isr() {
+        // Follower 2 has replicated 2 records, then gets appointed leader.
+        let mut f = Broker::new(2, KafkaConfig::default());
+        f.step(BrokerMsg::AppointFollower { epoch: 1, leader: 1 });
+        f.step(BrokerMsg::FetchResponse {
+            epoch: 1,
+            records: vec![Record::payload(b"a".to_vec()), Record::payload(b"b".to_vec())],
+            base_offset: 0,
+            high_watermark: 2,
+        });
+        f.step(BrokerMsg::AppointLeader { epoch: 2, replicas: vec![2, 3] });
+        assert_eq!(f.role(), &BrokerRole::Leader);
+        assert_eq!(f.log_end(), 2);
+        assert_eq!(f.isr(), vec![2]);
+        assert_eq!(f.high_watermark(), 2, "solo-ISR HW covers its own log");
+    }
+
+    #[test]
+    fn timer_marker_records() {
+        assert!(Record::timer_marker().is_timer_marker);
+        assert!(!Record::payload(b"x".to_vec()).is_timer_marker);
+    }
+}

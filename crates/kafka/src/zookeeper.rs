@@ -1,0 +1,311 @@
+//! The ZooKeeper-like coordination ensemble: broker sessions, partition
+//! leadership and ISR registry.
+//!
+//! Modelled as one logical replicated service with `members` replicas; its
+//! operations (session tracking, leader election) proceed only while a
+//! majority of replicas is alive — the property Fabric's Kafka orderer
+//! actually depends on. Intra-ensemble consensus (ZAB) is abstracted to that
+//! quorum rule; the broker-visible protocol is complete.
+
+use std::collections::BTreeMap;
+
+use crate::{BrokerId, Epoch};
+
+/// Messages brokers send to the ensemble.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZkMsg {
+    /// Broker session heartbeat; also registers the broker.
+    Heartbeat {
+        /// The broker.
+        from: BrokerId,
+    },
+    /// The partition leader reports an ISR change.
+    IsrUpdate {
+        /// Reporting broker (must be the current leader to be accepted).
+        from: BrokerId,
+        /// New ISR.
+        isr: Vec<BrokerId>,
+    },
+}
+
+/// Effects the ensemble asks the host to perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZkEffect {
+    /// Appoint `broker` as partition leader for `epoch` over `replicas`.
+    AppointLeader {
+        /// The new leader.
+        broker: BrokerId,
+        /// New epoch.
+        epoch: Epoch,
+        /// The partition's replica set.
+        replicas: Vec<BrokerId>,
+    },
+    /// Tell `broker` to follow `leader` at `epoch`.
+    AppointFollower {
+        /// The follower being (re)pointed.
+        broker: BrokerId,
+        /// The leader to follow.
+        leader: BrokerId,
+        /// New epoch.
+        epoch: Epoch,
+    },
+}
+
+/// The coordination ensemble.
+#[derive(Debug, Clone)]
+pub struct ZkEnsemble {
+    members: usize,
+    member_alive: Vec<bool>,
+    session_timeout_ticks: u32,
+    // Broker sessions: ticks since last heartbeat.
+    sessions: BTreeMap<BrokerId, u32>,
+    replicas: Vec<BrokerId>,
+    isr: Vec<BrokerId>,
+    leader: Option<BrokerId>,
+    epoch: Epoch,
+}
+
+impl ZkEnsemble {
+    /// Creates an ensemble of `members` replicas coordinating the given
+    /// partition `replicas` (the brokers hosting the channel's partition).
+    ///
+    /// # Panics
+    /// Panics if `members == 0` or `replicas` is empty.
+    pub fn new(members: usize, replicas: Vec<BrokerId>, session_timeout_ticks: u32) -> Self {
+        assert!(members > 0, "ensemble needs members");
+        assert!(!replicas.is_empty(), "partition needs replicas");
+        ZkEnsemble {
+            members,
+            member_alive: vec![true; members],
+            session_timeout_ticks,
+            sessions: BTreeMap::new(),
+            isr: replicas.clone(),
+            replicas,
+            leader: None,
+            epoch: 0,
+        }
+    }
+
+    /// Number of ensemble members.
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// Current partition leader, if appointed.
+    pub fn leader(&self) -> Option<BrokerId> {
+        self.leader
+    }
+
+    /// Current leadership epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The registered ISR.
+    pub fn isr(&self) -> &[BrokerId] {
+        &self.isr
+    }
+
+    /// Marks an ensemble member up/down (fault injection).
+    ///
+    /// # Panics
+    /// Panics if `member` is out of range.
+    pub fn set_member_alive(&mut self, member: usize, alive: bool) {
+        self.member_alive[member] = alive;
+    }
+
+    /// True while a majority of ensemble replicas is alive; all coordination
+    /// stalls otherwise.
+    pub fn has_quorum(&self) -> bool {
+        self.member_alive.iter().filter(|&&a| a).count() * 2 > self.members
+    }
+
+    /// Processes a broker message.
+    pub fn step(&mut self, message: ZkMsg) -> Vec<ZkEffect> {
+        if !self.has_quorum() {
+            return Vec::new();
+        }
+        let mut effects = Vec::new();
+        match message {
+            ZkMsg::Heartbeat { from } => {
+                let is_new = !self.sessions.contains_key(&from);
+                self.sessions.insert(from, 0);
+                match self.leader {
+                    None => self.elect(&mut effects),
+                    Some(leader) if is_new && self.replicas.contains(&from) && from != leader => {
+                        // A (re)joining replica gets pointed at the current leader.
+                        effects.push(ZkEffect::AppointFollower {
+                            broker: from,
+                            leader,
+                            epoch: self.epoch,
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+            ZkMsg::IsrUpdate { from, isr } => {
+                if Some(from) == self.leader {
+                    self.isr = isr;
+                }
+            }
+        }
+        effects
+    }
+
+    /// Ages sessions; expires dead brokers and re-elects if the leader died.
+    pub fn tick(&mut self) -> Vec<ZkEffect> {
+        if !self.has_quorum() {
+            return Vec::new();
+        }
+        let mut effects = Vec::new();
+        let mut expired = Vec::new();
+        for (&b, age) in self.sessions.iter_mut() {
+            *age += 1;
+            if *age > self.session_timeout_ticks {
+                expired.push(b);
+            }
+        }
+        for b in expired {
+            self.sessions.remove(&b);
+            self.isr.retain(|&r| r != b);
+            if self.leader == Some(b) {
+                self.leader = None;
+                self.elect(&mut effects);
+            }
+        }
+        effects
+    }
+
+    fn elect(&mut self, effects: &mut Vec<ZkEffect>) {
+        // Prefer ISR members with live sessions; fall back to any live replica
+        // (Kafka's "unclean" election — acceptable here because fabricsim
+        // followers truncate to the new leader's log).
+        let candidate = self
+            .isr
+            .iter()
+            .copied()
+            .find(|b| self.sessions.contains_key(b))
+            .or_else(|| {
+                self.replicas
+                    .iter()
+                    .copied()
+                    .find(|b| self.sessions.contains_key(b))
+            });
+        let Some(leader) = candidate else { return };
+        self.epoch += 1;
+        self.leader = Some(leader);
+        effects.push(ZkEffect::AppointLeader {
+            broker: leader,
+            epoch: self.epoch,
+            replicas: self.replicas.clone(),
+        });
+        for &r in &self.replicas {
+            if r != leader && self.sessions.contains_key(&r) {
+                effects.push(ZkEffect::AppointFollower {
+                    broker: r,
+                    leader,
+                    epoch: self.epoch,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heartbeat_all(zk: &mut ZkEnsemble, brokers: &[BrokerId]) -> Vec<ZkEffect> {
+        brokers
+            .iter()
+            .flat_map(|&b| zk.step(ZkMsg::Heartbeat { from: b }))
+            .collect()
+    }
+
+    #[test]
+    fn first_heartbeat_triggers_election() {
+        let mut zk = ZkEnsemble::new(3, vec![1, 2, 3], 5);
+        let effects = heartbeat_all(&mut zk, &[1, 2, 3]);
+        assert_eq!(zk.leader(), Some(1), "first ISR member wins");
+        assert!(matches!(
+            effects[0],
+            ZkEffect::AppointLeader { broker: 1, epoch: 1, .. }
+        ));
+        // Later-joining replicas are appointed followers.
+        let follower_appointments = effects
+            .iter()
+            .filter(|e| matches!(e, ZkEffect::AppointFollower { leader: 1, .. }))
+            .count();
+        assert_eq!(follower_appointments, 2);
+    }
+
+    #[test]
+    fn session_expiry_fails_over_to_isr_member() {
+        let mut zk = ZkEnsemble::new(3, vec![1, 2, 3], 3);
+        heartbeat_all(&mut zk, &[1, 2, 3]);
+        assert_eq!(zk.leader(), Some(1));
+        // Broker 1 stops heartbeating; 2 and 3 keep their sessions fresh.
+        let mut effects = Vec::new();
+        for _ in 0..10 {
+            effects.extend(zk.tick());
+            effects.extend(heartbeat_all(&mut zk, &[2, 3]));
+        }
+        assert_eq!(zk.leader(), Some(2), "failover to the next ISR member");
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, ZkEffect::AppointLeader { broker: 2, epoch: 2, .. })));
+    }
+
+    #[test]
+    fn no_quorum_no_elections() {
+        let mut zk = ZkEnsemble::new(3, vec![1, 2], 3);
+        zk.set_member_alive(0, false);
+        zk.set_member_alive(1, false);
+        assert!(!zk.has_quorum());
+        let effects = heartbeat_all(&mut zk, &[1, 2]);
+        assert!(effects.is_empty());
+        assert_eq!(zk.leader(), None);
+        // Quorum restored: coordination resumes.
+        zk.set_member_alive(0, true);
+        let effects = heartbeat_all(&mut zk, &[1]);
+        assert!(zk.has_quorum());
+        assert!(!effects.is_empty());
+        assert_eq!(zk.leader(), Some(1));
+    }
+
+    #[test]
+    fn isr_updates_only_from_leader() {
+        let mut zk = ZkEnsemble::new(3, vec![1, 2, 3], 5);
+        heartbeat_all(&mut zk, &[1, 2, 3]);
+        zk.step(ZkMsg::IsrUpdate { from: 2, isr: vec![2] });
+        assert_eq!(zk.isr(), &[1, 2, 3], "non-leader ISR update ignored");
+        zk.step(ZkMsg::IsrUpdate { from: 1, isr: vec![1, 2] });
+        assert_eq!(zk.isr(), &[1, 2]);
+    }
+
+    #[test]
+    fn expired_leader_out_of_isr_falls_back_to_any_live_replica() {
+        let mut zk = ZkEnsemble::new(3, vec![1, 2], 2);
+        heartbeat_all(&mut zk, &[1]);
+        assert_eq!(zk.leader(), Some(1));
+        // Leader 1 reports solo ISR, then dies; only non-ISR broker 2 is live.
+        zk.step(ZkMsg::IsrUpdate { from: 1, isr: vec![1] });
+        for _ in 0..5 {
+            zk.tick();
+            zk.step(ZkMsg::Heartbeat { from: 2 });
+        }
+        assert_eq!(zk.leader(), Some(2), "unclean election to live replica");
+    }
+
+    #[test]
+    fn rejoining_broker_is_pointed_at_leader() {
+        let mut zk = ZkEnsemble::new(3, vec![1, 2], 3);
+        heartbeat_all(&mut zk, &[1]);
+        assert_eq!(zk.leader(), Some(1));
+        let effects = zk.step(ZkMsg::Heartbeat { from: 2 });
+        assert_eq!(
+            effects,
+            vec![ZkEffect::AppointFollower { broker: 2, leader: 1, epoch: 1 }]
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! The history database: who wrote each key, when (Fabric's `GetHistoryForKey`).
+
+use std::collections::HashMap;
+
+use fabricsim_types::{TxId, Version};
+
+/// One historical write to a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyModification {
+    /// Writing transaction.
+    pub tx_id: TxId,
+    /// Coordinates of the write.
+    pub version: Version,
+    /// True when the write deleted the key.
+    pub is_delete: bool,
+}
+
+/// Append-only per-key write history.
+#[derive(Debug, Clone, Default)]
+pub struct HistoryDb {
+    entries: HashMap<String, Vec<KeyModification>>,
+}
+
+impl HistoryDb {
+    /// Creates an empty history database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a committed write.
+    pub fn record(&mut self, key: &str, tx_id: TxId, version: Version, is_delete: bool) {
+        self.entries.entry(key.to_string()).or_default().push(KeyModification {
+            tx_id,
+            version,
+            is_delete,
+        });
+    }
+
+    /// The full modification history of a key, oldest first.
+    pub fn key_history(&self, key: &str) -> &[KeyModification] {
+        self.entries.get(key).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Number of keys with any history.
+    pub fn keys_tracked(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabricsim_types::{ClientId, Proposal};
+
+    #[test]
+    fn history_accumulates_in_order() {
+        let mut h = HistoryDb::new();
+        let t1 = Proposal::derive_tx_id(ClientId(0), 1);
+        let t2 = Proposal::derive_tx_id(ClientId(0), 2);
+        h.record("k", t1, Version::new(1, 0), false);
+        h.record("k", t2, Version::new(2, 3), true);
+        let hist = h.key_history("k");
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[0].tx_id, t1);
+        assert!(!hist[0].is_delete);
+        assert!(hist[1].is_delete);
+        assert_eq!(h.keys_tracked(), 1);
+    }
+
+    #[test]
+    fn missing_key_has_empty_history() {
+        let h = HistoryDb::new();
+        assert!(h.key_history("nope").is_empty());
+    }
+}

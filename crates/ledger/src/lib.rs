@@ -1,0 +1,214 @@
+//! # fabricsim-ledger — block store, world state, MVCC and history
+//!
+//! The peer-side storage stack:
+//!
+//! * [`BlockStore`] — the hash-chained append-only chain of blocks, indexed by
+//!   number, header hash and transaction id. Both valid and invalid
+//!   transactions live here, exactly as in Fabric.
+//! * [`StateDb`] — the *world state*: a versioned key/value store where each
+//!   value carries the [`fabricsim_types::Version`] of the transaction that
+//!   wrote it. Only valid transactions touch it.
+//! * [`mvcc`] — the committer's multi-version concurrency-control check: each
+//!   transaction's read set is revalidated against current state (plus earlier
+//!   writes in the same block), which is what turns stale reads into
+//!   `MVCC_READ_CONFLICT` and prevents double spends.
+//! * [`HistoryDb`] — per-key write history, as Fabric's history database.
+//!
+//! ```
+//! use fabricsim_ledger::{Ledger, StateDb};
+//! let mut ledger = Ledger::new("mychannel");
+//! assert_eq!(ledger.height(), 0);
+//! assert!(ledger.state().get("k").is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blockstore;
+mod history;
+pub mod mvcc;
+mod statedb;
+
+pub use blockstore::{BlockStore, ChainError};
+pub use history::{HistoryDb, KeyModification};
+pub use statedb::{StateDb, VersionedValue};
+
+use fabricsim_types::{Block, ValidationCode};
+
+/// A channel's complete ledger: block store + world state + history, with the
+/// commit path that glues them together.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    channel: String,
+    blocks: BlockStore,
+    state: StateDb,
+    history: HistoryDb,
+}
+
+impl Ledger {
+    /// Creates an empty ledger for a channel.
+    pub fn new(channel: impl Into<String>) -> Self {
+        Ledger {
+            channel: channel.into(),
+            blocks: BlockStore::new(),
+            state: StateDb::new(),
+            history: HistoryDb::new(),
+        }
+    }
+
+    /// The channel name.
+    pub fn channel(&self) -> &str {
+        &self.channel
+    }
+
+    /// Current chain height (number of blocks).
+    pub fn height(&self) -> u64 {
+        self.blocks.height()
+    }
+
+    /// Read access to the world state.
+    pub fn state(&self) -> &StateDb {
+        &self.state
+    }
+
+    /// Mutable world-state access for *bootstrap seeding only* (chaincode
+    /// `init` before any block is committed). All post-genesis writes must go
+    /// through [`Ledger::validate_and_commit`].
+    pub fn state_mut_for_bootstrap(&mut self) -> &mut StateDb {
+        &mut self.state
+    }
+
+    /// Read access to the block store.
+    pub fn blocks(&self) -> &BlockStore {
+        &self.blocks
+    }
+
+    /// Read access to the history database.
+    pub fn history(&self) -> &HistoryDb {
+        &self.history
+    }
+
+    /// Validates (MVCC) and commits a block whose per-transaction pre-checks
+    /// (signatures, endorsement policy) have already produced `pre_flags`
+    /// entries of `Some(code)` for failed transactions and `None` for ones
+    /// still eligible.
+    ///
+    /// Returns the final validation flags. The block — including invalid
+    /// transactions — is appended to the chain; only valid transactions update
+    /// the world state and history.
+    ///
+    /// # Errors
+    /// Returns [`ChainError`] if the block does not chain onto the current tip.
+    ///
+    /// # Panics
+    /// Panics if `pre_flags.len() != block.transactions.len()`.
+    pub fn validate_and_commit(
+        &mut self,
+        mut block: Block,
+        pre_flags: Vec<Option<ValidationCode>>,
+    ) -> Result<Vec<ValidationCode>, ChainError> {
+        assert_eq!(
+            pre_flags.len(),
+            block.transactions.len(),
+            "one pre-flag per transaction"
+        );
+        self.blocks.check_chains(&block)?;
+        let flags = mvcc::validate_block(&self.state, &self.blocks, &block, &pre_flags);
+        // Apply valid writes in order.
+        for (i, tx) in block.transactions.iter().enumerate() {
+            if flags[i].is_valid() {
+                let version = fabricsim_types::Version::new(block.header.number, i as u32);
+                for w in &tx.rw_set.writes {
+                    self.state.apply_write(&w.key, w.value.clone(), version);
+                    self.history.record(&w.key, tx.tx_id, version, w.value.is_none());
+                }
+            }
+        }
+        block.metadata.flags = flags.clone();
+        self.blocks
+            .append(block)
+            .expect("chain check performed above");
+        Ok(flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabricsim_crypto::{Hash256, KeyPair};
+    use fabricsim_types::{ChannelId, ClientId, Proposal, RwSet, Transaction, Version};
+
+    fn tx(nonce: u64, writes: &[(&str, &[u8])], reads: &[(&str, Option<Version>)]) -> Transaction {
+        let creator = ClientId(0);
+        let mut rw = RwSet::new();
+        for (k, v) in reads {
+            rw.record_read(k, *v);
+        }
+        for (k, v) in writes {
+            rw.record_write(k, Some(v.to_vec()));
+        }
+        Transaction {
+            tx_id: Proposal::derive_tx_id(creator, nonce),
+            channel: ChannelId::default_channel(),
+            chaincode: "kv".into(),
+            rw_set: rw,
+            payload: Vec::new(),
+            endorsements: Vec::new(),
+            creator,
+            signature: KeyPair::from_seed(b"c").sign(b"t"),
+        }
+    }
+
+    fn block(ledger: &Ledger, txs: Vec<Transaction>) -> Block {
+        let prev = ledger.blocks().tip_hash().unwrap_or(Hash256::ZERO);
+        Block::assemble(ChannelId::default_channel(), ledger.height(), prev, txs)
+    }
+
+    #[test]
+    fn commit_applies_valid_writes() {
+        let mut l = Ledger::new("ch");
+        let b = block(&l, vec![tx(1, &[("a", b"1")], &[])]);
+        let flags = l.validate_and_commit(b, vec![None]).unwrap();
+        assert_eq!(flags, vec![ValidationCode::Valid]);
+        assert_eq!(l.state().get("a").unwrap().value, b"1");
+        assert_eq!(l.height(), 1);
+    }
+
+    #[test]
+    fn stale_read_is_invalidated_but_stored() {
+        let mut l = Ledger::new("ch");
+        let b0 = block(&l, vec![tx(1, &[("a", b"1")], &[])]);
+        l.validate_and_commit(b0, vec![None]).unwrap();
+        // This tx read "a" before the write above landed (version None = absent).
+        let stale = tx(2, &[("b", b"x")], &[("a", None)]);
+        let b1 = block(&l, vec![stale]);
+        let flags = l.validate_and_commit(b1, vec![None]).unwrap();
+        assert_eq!(flags, vec![ValidationCode::MvccReadConflict]);
+        assert!(l.state().get("b").is_none(), "invalid tx must not write");
+        assert_eq!(l.height(), 2, "invalid txs are still recorded on chain");
+    }
+
+    #[test]
+    fn pre_flagged_failures_pass_through() {
+        let mut l = Ledger::new("ch");
+        let b = block(&l, vec![tx(1, &[("a", b"1")], &[])]);
+        let flags = l
+            .validate_and_commit(b, vec![Some(ValidationCode::EndorsementPolicyFailure)])
+            .unwrap();
+        assert_eq!(flags, vec![ValidationCode::EndorsementPolicyFailure]);
+        assert!(l.state().get("a").is_none());
+    }
+
+    #[test]
+    fn history_records_writes() {
+        let mut l = Ledger::new("ch");
+        let b0 = block(&l, vec![tx(1, &[("a", b"1")], &[])]);
+        l.validate_and_commit(b0, vec![None]).unwrap();
+        let b1 = block(&l, vec![tx(2, &[("a", b"2")], &[])]);
+        l.validate_and_commit(b1, vec![None]).unwrap();
+        let hist = l.history().key_history("a");
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[0].version, Version::new(0, 0));
+        assert_eq!(hist[1].version, Version::new(1, 0));
+    }
+}

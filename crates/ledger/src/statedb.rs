@@ -1,0 +1,145 @@
+//! The world state: a versioned key/value store.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use fabricsim_types::Version;
+
+/// A committed value with the version of its writing transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// The stored bytes.
+    pub value: Vec<u8>,
+    /// Coordinates of the writing transaction.
+    pub version: Version,
+}
+
+/// The world state database. Keys are strings (as in Fabric's LevelDB default)
+/// and iteration order is lexicographic, which makes range queries and the
+/// simulation deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct StateDb {
+    map: BTreeMap<String, VersionedValue>,
+    writes_applied: u64,
+}
+
+impl StateDb {
+    /// Creates an empty state database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&VersionedValue> {
+        self.map.get(key)
+    }
+
+    /// The committed version of a key, `None` if absent.
+    pub fn version_of(&self, key: &str) -> Option<Version> {
+        self.map.get(key).map(|v| v.version)
+    }
+
+    /// Applies one write (a `None` value deletes the key). Called only by the
+    /// ledger commit path for *valid* transactions.
+    pub fn apply_write(&mut self, key: &str, value: Option<Vec<u8>>, version: Version) {
+        self.writes_applied += 1;
+        match value {
+            Some(value) => {
+                self.map.insert(key.to_string(), VersionedValue { value, version });
+            }
+            None => {
+                self.map.remove(key);
+            }
+        }
+    }
+
+    /// Seeds a key at the genesis version (bootstrap state before any blocks).
+    pub fn seed(&mut self, key: &str, value: Vec<u8>) {
+        self.map.insert(
+            key.to_string(),
+            VersionedValue {
+                value,
+                version: Version::GENESIS,
+            },
+        );
+    }
+
+    /// Iterates keys in `[start, end)` in lexicographic order (Fabric's
+    /// `GetStateByRange`). An empty `end` means "to the end of the keyspace".
+    pub fn range<'a>(
+        &'a self,
+        start: &str,
+        end: &str,
+    ) -> impl Iterator<Item = (&'a str, &'a VersionedValue)> + 'a {
+        let upper: (Bound<String>, Bound<String>) = if end.is_empty() {
+            (Bound::Included(start.to_string()), Bound::Unbounded)
+        } else {
+            (
+                Bound::Included(start.to_string()),
+                Bound::Excluded(end.to_string()),
+            )
+        };
+        self.map.range(upper).map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total writes applied over the database's lifetime (deletes included).
+    pub fn writes_applied(&self) -> u64 {
+        self.writes_applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_delete() {
+        let mut db = StateDb::new();
+        assert!(db.get("k").is_none());
+        db.apply_write("k", Some(b"v".to_vec()), Version::new(1, 0));
+        assert_eq!(db.get("k").unwrap().value, b"v");
+        assert_eq!(db.version_of("k"), Some(Version::new(1, 0)));
+        db.apply_write("k", None, Version::new(2, 0));
+        assert!(db.get("k").is_none());
+        assert_eq!(db.writes_applied(), 2);
+    }
+
+    #[test]
+    fn versions_track_writers() {
+        let mut db = StateDb::new();
+        db.apply_write("k", Some(b"a".to_vec()), Version::new(1, 3));
+        db.apply_write("k", Some(b"b".to_vec()), Version::new(5, 0));
+        assert_eq!(db.version_of("k"), Some(Version::new(5, 0)));
+    }
+
+    #[test]
+    fn seed_uses_genesis_version() {
+        let mut db = StateDb::new();
+        db.seed("account:alice", b"100".to_vec());
+        assert_eq!(db.version_of("account:alice"), Some(Version::GENESIS));
+    }
+
+    #[test]
+    fn range_is_lexicographic_half_open() {
+        let mut db = StateDb::new();
+        for k in ["a", "b", "c", "d"] {
+            db.seed(k, k.as_bytes().to_vec());
+        }
+        let got: Vec<&str> = db.range("b", "d").map(|(k, _)| k).collect();
+        assert_eq!(got, vec!["b", "c"]);
+        let all: Vec<&str> = db.range("b", "").map(|(k, _)| k).collect();
+        assert_eq!(all, vec!["b", "c", "d"]);
+        assert_eq!(db.len(), 4);
+        assert!(!db.is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! The Fabric-CA analogue: deterministic enrolment certificate issuance.
+
+use fabricsim_crypto::{KeyPair, PublicKey};
+use fabricsim_types::Principal;
+
+use crate::identity::{Certificate, SigningIdentity};
+
+/// The public root of trust distributed to every node: the CA's name and key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaRoot {
+    /// CA name (certificate issuer field).
+    pub name: String,
+    /// CA public key.
+    pub public_key: PublicKey,
+}
+
+/// An identity-management authority issuing enrolment certificates to
+/// ordering-service nodes, peers and clients (paper §II, "Fabric CA").
+///
+/// Key material is derived deterministically from `(name, seed, subject)` so
+/// simulations are reproducible.
+#[derive(Debug, Clone)]
+pub struct CertificateAuthority {
+    name: String,
+    seed: u64,
+    keypair: KeyPair,
+}
+
+impl CertificateAuthority {
+    /// Creates a CA with the given name and key-derivation seed.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        let name = name.into();
+        let keypair = KeyPair::from_seed(format!("ca:{name}:{seed}").as_bytes());
+        CertificateAuthority { name, seed, keypair }
+    }
+
+    /// The public root of trust to hand to MSPs.
+    pub fn root_of_trust(&self) -> CaRoot {
+        CaRoot {
+            name: self.name.clone(),
+            public_key: self.keypair.public,
+        }
+    }
+
+    /// Enrolls a new identity: generates its key pair and issues a signed
+    /// certificate binding `subject` to the key.
+    pub fn enroll(&self, subject: Principal, common_name: &str) -> SigningIdentity {
+        let keypair = KeyPair::from_seed(
+            format!("id:{}:{}:{subject}:{common_name}", self.name, self.seed).as_bytes(),
+        );
+        let tbs = Certificate::tbs_bytes(&subject, common_name, keypair.public, &self.name);
+        let certificate = Certificate {
+            subject,
+            common_name: common_name.to_string(),
+            public_key: keypair.public,
+            issuer: self.name.clone(),
+            ca_signature: self.keypair.sign(&tbs),
+        };
+        SigningIdentity::new(certificate, keypair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabricsim_types::OrgId;
+
+    #[test]
+    fn enrolment_is_deterministic() {
+        let ca1 = CertificateAuthority::new("ca", 7);
+        let ca2 = CertificateAuthority::new("ca", 7);
+        let a = ca1.enroll(Principal::peer(OrgId(1)), "peer0");
+        let b = ca2.enroll(Principal::peer(OrgId(1)), "peer0");
+        assert_eq!(a.certificate(), b.certificate());
+    }
+
+    #[test]
+    fn different_subjects_get_different_keys() {
+        let ca = CertificateAuthority::new("ca", 7);
+        let a = ca.enroll(Principal::peer(OrgId(1)), "peer0");
+        let b = ca.enroll(Principal::peer(OrgId(1)), "peer1");
+        let c = ca.enroll(Principal::peer(OrgId(2)), "peer0");
+        assert_ne!(a.certificate().public_key, b.certificate().public_key);
+        assert_ne!(a.certificate().public_key, c.certificate().public_key);
+    }
+
+    #[test]
+    fn different_seeds_rotate_all_keys() {
+        let a = CertificateAuthority::new("ca", 1).enroll(Principal::peer(OrgId(1)), "p");
+        let b = CertificateAuthority::new("ca", 2).enroll(Principal::peer(OrgId(1)), "p");
+        assert_ne!(a.certificate().public_key, b.certificate().public_key);
+    }
+
+    #[test]
+    fn root_of_trust_matches_issuer() {
+        let ca = CertificateAuthority::new("my-ca", 7);
+        let root = ca.root_of_trust();
+        assert_eq!(root.name, "my-ca");
+        let id = ca.enroll(Principal::peer(OrgId(1)), "peer0");
+        assert_eq!(id.certificate().issuer, "my-ca");
+    }
+}

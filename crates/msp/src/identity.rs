@@ -1,0 +1,252 @@
+//! Certificates, signing identities, and the MSP validation logic.
+
+use std::error::Error;
+use std::fmt;
+
+use fabricsim_crypto::{KeyPair, PublicKey, Signature};
+use fabricsim_types::encode::Encoder;
+use fabricsim_types::Principal;
+
+use crate::ca::CaRoot;
+
+/// An enrolment certificate: a principal bound to a public key, signed by the
+/// issuing CA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The certified principal (org + role).
+    pub subject: Principal,
+    /// A human-readable common name (e.g. `peer0`).
+    pub common_name: String,
+    /// The subject's public key.
+    pub public_key: PublicKey,
+    /// Name of the issuing CA.
+    pub issuer: String,
+    /// CA signature over the to-be-signed bytes.
+    pub ca_signature: Signature,
+}
+
+impl Certificate {
+    /// The bytes the CA signs.
+    pub fn tbs_bytes(
+        subject: &Principal,
+        common_name: &str,
+        public_key: PublicKey,
+        issuer: &str,
+    ) -> Vec<u8> {
+        let mut e = Encoder::new("fabricsim-cert");
+        e.str(&subject.to_string())
+            .str(common_name)
+            .u64(public_key.element())
+            .str(issuer);
+        e.finish()
+    }
+}
+
+/// A private signing identity: a certificate plus its secret key.
+#[derive(Debug, Clone)]
+pub struct SigningIdentity {
+    certificate: Certificate,
+    keypair: KeyPair,
+}
+
+impl SigningIdentity {
+    pub(crate) fn new(certificate: Certificate, keypair: KeyPair) -> Self {
+        debug_assert_eq!(certificate.public_key, keypair.public);
+        SigningIdentity { certificate, keypair }
+    }
+
+    /// The public certificate.
+    pub fn certificate(&self) -> &Certificate {
+        &self.certificate
+    }
+
+    /// The identity's principal.
+    pub fn principal(&self) -> &Principal {
+        &self.certificate.subject
+    }
+
+    /// Signs arbitrary bytes under this identity.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        self.keypair.sign(message)
+    }
+}
+
+/// Errors the MSP can report while validating identities or signatures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdentityError {
+    /// The certificate was not issued by the trusted CA (bad CA signature or
+    /// wrong issuer name).
+    UntrustedCertificate,
+    /// The signature did not verify under the certificate's public key.
+    BadSignature,
+}
+
+impl fmt::Display for IdentityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdentityError::UntrustedCertificate => f.write_str("certificate not issued by a trusted CA"),
+            IdentityError::BadSignature => f.write_str("signature verification failed"),
+        }
+    }
+}
+
+impl Error for IdentityError {}
+
+/// A membership service provider: holds the CA root of trust and validates
+/// certificates and signatures presented by remote parties.
+#[derive(Debug, Clone)]
+pub struct Msp {
+    root: CaRoot,
+}
+
+impl Msp {
+    /// Builds an MSP trusting the given CA root.
+    pub fn new(root: CaRoot) -> Self {
+        Msp { root }
+    }
+
+    /// Checks that a certificate was issued by the trusted CA.
+    ///
+    /// # Errors
+    /// [`IdentityError::UntrustedCertificate`] if the issuer or CA signature
+    /// is wrong.
+    pub fn validate_certificate(&self, cert: &Certificate) -> Result<(), IdentityError> {
+        if cert.issuer != self.root.name {
+            return Err(IdentityError::UntrustedCertificate);
+        }
+        let tbs = Certificate::tbs_bytes(&cert.subject, &cert.common_name, cert.public_key, &cert.issuer);
+        if self.root.public_key.verify(&tbs, &cert.ca_signature) {
+            Ok(())
+        } else {
+            Err(IdentityError::UntrustedCertificate)
+        }
+    }
+
+    /// Validates the certificate, then verifies `signature` over `message`
+    /// under the certificate's key.
+    ///
+    /// # Errors
+    /// [`IdentityError::UntrustedCertificate`] or [`IdentityError::BadSignature`].
+    pub fn verify(
+        &self,
+        cert: &Certificate,
+        message: &[u8],
+        signature: &Signature,
+    ) -> Result<(), IdentityError> {
+        self.validate_certificate(cert)?;
+        if cert.public_key.verify(message, signature) {
+            Ok(())
+        } else {
+            Err(IdentityError::BadSignature)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use fabricsim_types::OrgId;
+
+    #[test]
+    fn msp_accepts_issued_identity() {
+        let ca = CertificateAuthority::new("ca", 1);
+        let id = ca.enroll(Principal::peer(OrgId(1)), "peer0");
+        let msp = Msp::new(ca.root_of_trust());
+        assert!(msp.validate_certificate(id.certificate()).is_ok());
+        let sig = id.sign(b"hello");
+        assert_eq!(msp.verify(id.certificate(), b"hello", &sig), Ok(()));
+    }
+
+    #[test]
+    fn msp_rejects_wrong_message() {
+        let ca = CertificateAuthority::new("ca", 1);
+        let id = ca.enroll(Principal::peer(OrgId(1)), "peer0");
+        let msp = Msp::new(ca.root_of_trust());
+        let sig = id.sign(b"hello");
+        assert_eq!(
+            msp.verify(id.certificate(), b"bye", &sig),
+            Err(IdentityError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn msp_rejects_foreign_ca() {
+        let ca = CertificateAuthority::new("ca", 1);
+        let rogue = CertificateAuthority::new("rogue", 2);
+        let id = rogue.enroll(Principal::peer(OrgId(1)), "peer0");
+        let msp = Msp::new(ca.root_of_trust());
+        assert_eq!(
+            msp.validate_certificate(id.certificate()),
+            Err(IdentityError::UntrustedCertificate)
+        );
+    }
+
+    #[test]
+    fn msp_rejects_tampered_subject() {
+        let ca = CertificateAuthority::new("ca", 1);
+        let id = ca.enroll(Principal::peer(OrgId(1)), "peer0");
+        let msp = Msp::new(ca.root_of_trust());
+        let mut cert = id.certificate().clone();
+        cert.subject = Principal::peer(OrgId(9)); // claim another org
+        assert_eq!(
+            msp.validate_certificate(&cert),
+            Err(IdentityError::UntrustedCertificate)
+        );
+    }
+
+    #[test]
+    fn msp_rejects_swapped_public_key() {
+        // Keep the CA signature but swap in another identity's key: the
+        // signature no longer covers the to-be-signed bytes.
+        let ca = CertificateAuthority::new("ca", 1);
+        let a = ca.enroll(Principal::peer(OrgId(1)), "peer0");
+        let b = ca.enroll(Principal::peer(OrgId(2)), "peer1");
+        let msp = Msp::new(ca.root_of_trust());
+        let mut cert = a.certificate().clone();
+        cert.public_key = b.certificate().public_key;
+        assert_eq!(
+            msp.validate_certificate(&cert),
+            Err(IdentityError::UntrustedCertificate)
+        );
+    }
+
+    #[test]
+    fn msp_rejects_renamed_common_name() {
+        let ca = CertificateAuthority::new("ca", 1);
+        let id = ca.enroll(Principal::peer(OrgId(1)), "peer0");
+        let msp = Msp::new(ca.root_of_trust());
+        let mut cert = id.certificate().clone();
+        cert.common_name = "peer99".into();
+        assert_eq!(
+            msp.validate_certificate(&cert),
+            Err(IdentityError::UntrustedCertificate)
+        );
+    }
+
+    #[test]
+    fn identity_errors_display_as_prose() {
+        assert_eq!(
+            IdentityError::UntrustedCertificate.to_string(),
+            "certificate not issued by a trusted CA"
+        );
+        assert_eq!(
+            IdentityError::BadSignature.to_string(),
+            "signature verification failed"
+        );
+    }
+
+    #[test]
+    fn msp_rejects_spoofed_issuer_name() {
+        let ca = CertificateAuthority::new("ca", 1);
+        let rogue = CertificateAuthority::new("rogue", 2);
+        let id = rogue.enroll(Principal::peer(OrgId(1)), "peer0");
+        let msp = Msp::new(ca.root_of_trust());
+        let mut cert = id.certificate().clone();
+        cert.issuer = "ca".into(); // claim the trusted issuer without its signature
+        assert_eq!(
+            msp.validate_certificate(&cert),
+            Err(IdentityError::UntrustedCertificate)
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # fabricsim-msp — membership services: certificate authority and identities
+//!
+//! Every participant of a Fabric network — peers, ordering-service nodes and
+//! clients — must be identified by the Fabric certificate authority (paper
+//! §II). This crate implements:
+//!
+//! * [`CertificateAuthority`] — issues enrolment certificates binding a
+//!   principal to a public key, signed by the CA.
+//! * [`Certificate`] / [`SigningIdentity`] — verifiable identity material.
+//! * [`Msp`] — the membership service provider each node consults to validate
+//!   a presented certificate and verify signatures made under it.
+//!
+//! ```
+//! use fabricsim_msp::{CertificateAuthority, Msp};
+//! use fabricsim_types::{OrgId, Principal};
+//!
+//! let ca = CertificateAuthority::new("fabric-ca", 7);
+//! let peer = ca.enroll(Principal::peer(OrgId(1)), "peer0");
+//! let msp = Msp::new(ca.root_of_trust());
+//! assert!(msp.validate_certificate(peer.certificate()).is_ok());
+//! let sig = peer.sign(b"proposal");
+//! assert!(msp.verify(peer.certificate(), b"proposal", &sig).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ca;
+mod identity;
+
+pub use ca::{CaRoot, CertificateAuthority};
+pub use identity::{Certificate, IdentityError, Msp, SigningIdentity};

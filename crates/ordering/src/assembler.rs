@@ -1,0 +1,89 @@
+//! Block assembly: numbering and hash-chaining of cut batches.
+
+use fabricsim_crypto::Hash256;
+use fabricsim_types::{Block, ChannelId, Transaction};
+
+/// Turns cut batches into chained blocks. Every OSN that assembles (Solo and
+/// Kafka modes: all of them; Raft mode: the leader) produces identical blocks
+/// for identical input streams, because numbering and previous-hash state are
+/// functions of the stream alone.
+#[derive(Debug, Clone)]
+pub struct BlockAssembler {
+    channel: ChannelId,
+    next_number: u64,
+    prev_hash: Hash256,
+}
+
+impl BlockAssembler {
+    /// Creates an assembler starting at block 0 (genesis previous-hash zero).
+    pub fn new(channel: ChannelId) -> Self {
+        BlockAssembler {
+            channel,
+            next_number: 0,
+            prev_hash: Hash256::ZERO,
+        }
+    }
+
+    /// The number the next assembled block will get.
+    pub fn next_number(&self) -> u64 {
+        self.next_number
+    }
+
+    /// Assembles the next block in the chain from a cut batch.
+    pub fn assemble(&mut self, batch: Vec<Transaction>) -> Block {
+        let block = Block::assemble(self.channel.clone(), self.next_number, self.prev_hash, batch);
+        self.next_number += 1;
+        self.prev_hash = block.header.hash();
+        block
+    }
+
+    /// Fast-forwards chain state past an externally delivered block (used by a
+    /// new Raft leader taking over from the committed chain).
+    pub fn observe(&mut self, block: &Block) {
+        if block.header.number >= self.next_number {
+            self.next_number = block.header.number + 1;
+            self.prev_hash = block.header.hash();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_chain_and_number() {
+        let mut a = BlockAssembler::new(ChannelId::default_channel());
+        let b0 = a.assemble(Vec::new());
+        let b1 = a.assemble(Vec::new());
+        assert_eq!(b0.header.number, 0);
+        assert_eq!(b0.header.previous_hash, Hash256::ZERO);
+        assert_eq!(b1.header.number, 1);
+        assert_eq!(b1.header.previous_hash, b0.header.hash());
+        assert_eq!(a.next_number(), 2);
+    }
+
+    #[test]
+    fn parallel_assemblers_agree() {
+        let mut a = BlockAssembler::new(ChannelId::default_channel());
+        let mut b = BlockAssembler::new(ChannelId::default_channel());
+        for _ in 0..5 {
+            assert_eq!(a.assemble(Vec::new()), b.assemble(Vec::new()));
+        }
+    }
+
+    #[test]
+    fn observe_fast_forwards() {
+        let mut a = BlockAssembler::new(ChannelId::default_channel());
+        let mut b = BlockAssembler::new(ChannelId::default_channel());
+        let b0 = a.assemble(Vec::new());
+        let b1 = a.assemble(Vec::new());
+        b.observe(&b0);
+        b.observe(&b1);
+        assert_eq!(b.next_number(), 2);
+        assert_eq!(a.assemble(Vec::new()), b.assemble(Vec::new()));
+        // Observing an old block does not rewind.
+        b.observe(&b0);
+        assert_eq!(b.next_number(), 3);
+    }
+}

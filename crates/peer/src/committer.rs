@@ -1,0 +1,314 @@
+//! VSCC: the validation system chaincode run per transaction at commit time.
+
+use std::collections::HashMap;
+
+use fabricsim_crypto::PublicKey;
+use fabricsim_msp::{Certificate, Msp};
+use fabricsim_types::{Block, ClientId, Principal, Transaction, ValidationCode};
+
+use crate::peer::PeerConfig;
+
+/// Outcome of VSCC for one transaction (before MVCC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VsccVerdict {
+    /// Eligible for MVCC validation.
+    Pass,
+    /// Rejected with the given code.
+    Fail(ValidationCode),
+}
+
+/// Summary of a committed block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CommitStats {
+    /// Transactions flagged valid.
+    pub valid: usize,
+    /// Transactions invalidated by MVCC read conflicts.
+    pub mvcc_conflicts: usize,
+    /// Transactions invalidated by endorsement-policy failure.
+    pub policy_failures: usize,
+    /// Transactions invalidated by bad signatures (creator or endorser).
+    pub bad_signatures: usize,
+    /// Transactions invalidated as duplicates.
+    pub duplicates: usize,
+    /// Transactions invalidated as malformed.
+    pub malformed: usize,
+}
+
+impl CommitStats {
+    /// Aggregates validation flags into counts.
+    pub fn from_flags(flags: &[ValidationCode]) -> Self {
+        let mut s = CommitStats::default();
+        for f in flags {
+            match f {
+                ValidationCode::Valid => s.valid += 1,
+                ValidationCode::MvccReadConflict => s.mvcc_conflicts += 1,
+                ValidationCode::EndorsementPolicyFailure => s.policy_failures += 1,
+                ValidationCode::BadEndorserSignature | ValidationCode::BadCreatorSignature => {
+                    s.bad_signatures += 1
+                }
+                ValidationCode::DuplicateTxId => s.duplicates += 1,
+                ValidationCode::BadPayload => s.malformed += 1,
+            }
+        }
+        s
+    }
+
+    /// Total transactions covered.
+    pub fn total(&self) -> usize {
+        self.valid
+            + self.mvcc_conflicts
+            + self.policy_failures
+            + self.bad_signatures
+            + self.duplicates
+            + self.malformed
+    }
+}
+
+/// Runs VSCC over every transaction of a block, producing the pre-flags the
+/// ledger's MVCC pass consumes (`None` = eligible, `Some(code)` = rejected).
+pub fn vscc_block(
+    block: &Block,
+    config: &PeerConfig,
+    msp: &Msp,
+    client_certs: &HashMap<ClientId, Certificate>,
+    endorser_keys: &HashMap<Principal, Vec<PublicKey>>,
+) -> Vec<Option<ValidationCode>> {
+    block
+        .transactions
+        .iter()
+        .map(|tx| match vscc_tx(tx, config, msp, client_certs, endorser_keys) {
+            VsccVerdict::Pass => None,
+            VsccVerdict::Fail(code) => Some(code),
+        })
+        .collect()
+}
+
+/// VSCC for a single transaction: payload shape, creator signature, every
+/// endorsement signature (authenticated against registered endorser keys),
+/// and endorsement-policy satisfaction.
+pub fn vscc_tx(
+    tx: &Transaction,
+    config: &PeerConfig,
+    msp: &Msp,
+    client_certs: &HashMap<ClientId, Certificate>,
+    endorser_keys: &HashMap<Principal, Vec<PublicKey>>,
+) -> VsccVerdict {
+    // Shape checks.
+    if tx.channel != config.channel
+        || tx.chaincode.is_empty()
+        || (tx.rw_set.reads.is_empty() && tx.rw_set.writes.is_empty() && tx.payload.is_empty())
+    {
+        return VsccVerdict::Fail(ValidationCode::BadPayload);
+    }
+    // Creator signature over the envelope.
+    let Some(cert) = client_certs.get(&tx.creator) else {
+        return VsccVerdict::Fail(ValidationCode::BadCreatorSignature);
+    };
+    if msp.verify(cert, &tx.signed_bytes(), &tx.signature).is_err() {
+        return VsccVerdict::Fail(ValidationCode::BadCreatorSignature);
+    }
+    // Endorsement signatures: all endorsers signed the same response bytes,
+    // and each key must belong to a registered endorser of that principal.
+    let response_bytes = tx.response_bytes();
+    for e in &tx.endorsements {
+        let known = endorser_keys
+            .get(&e.endorser)
+            .is_some_and(|keys| keys.contains(&e.endorser_key));
+        if !known || !e.endorser_key.verify(&response_bytes, &e.signature) {
+            return VsccVerdict::Fail(ValidationCode::BadEndorserSignature);
+        }
+    }
+    // Endorsement policy.
+    let principals: Vec<Principal> = tx.endorsements.iter().map(|e| e.endorser.clone()).collect();
+    if !config.endorsement_policy.is_satisfied_by(principals.iter()) {
+        return VsccVerdict::Fail(ValidationCode::EndorsementPolicyFailure);
+    }
+    VsccVerdict::Pass
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabricsim_crypto::KeyPair;
+    use fabricsim_msp::CertificateAuthority;
+    use fabricsim_policy::Policy;
+    use fabricsim_types::{ChannelId, Endorsement, OrgId, Proposal, ProposalResponse, RwSet};
+
+    struct Fixture {
+        config: PeerConfig,
+        msp: Msp,
+        client_certs: HashMap<ClientId, Certificate>,
+        endorser_keys: HashMap<Principal, Vec<PublicKey>>,
+        client: fabricsim_msp::SigningIdentity,
+        endorsers: Vec<fabricsim_msp::SigningIdentity>,
+    }
+
+    fn fixture(policy: Policy, n_endorsers: u32) -> Fixture {
+        let ca = CertificateAuthority::new("ca", 1);
+        let client = ca.enroll(
+            Principal { org: OrgId(1), role: "client".into() },
+            "client0",
+        );
+        let endorsers: Vec<_> = (1..=n_endorsers)
+            .map(|i| ca.enroll(Principal::peer(OrgId(i)), &format!("peer{i}")))
+            .collect();
+        let mut endorser_keys: HashMap<Principal, Vec<PublicKey>> = HashMap::new();
+        for e in &endorsers {
+            endorser_keys
+                .entry(e.principal().clone())
+                .or_default()
+                .push(e.certificate().public_key);
+        }
+        Fixture {
+            config: PeerConfig {
+                channel: ChannelId::default_channel(),
+                endorsement_policy: policy,
+                is_endorser: false,
+            },
+            msp: Msp::new(ca.root_of_trust()),
+            client_certs: HashMap::from([(ClientId(0), client.certificate().clone())]),
+            endorser_keys,
+            client,
+            endorsers,
+        }
+    }
+
+    fn endorsed_tx(f: &Fixture, endorser_indices: &[usize]) -> Transaction {
+        let creator = ClientId(0);
+        let tx_id = Proposal::derive_tx_id(creator, 7);
+        let mut rw = RwSet::new();
+        rw.record_write("k", Some(vec![1]));
+        let resp = ProposalResponse::signed_bytes(tx_id, &rw, b"");
+        let endorsements = endorser_indices
+            .iter()
+            .map(|&i| Endorsement {
+                endorser: f.endorsers[i].principal().clone(),
+                endorser_key: f.endorsers[i].certificate().public_key,
+                signature: f.endorsers[i].sign(&resp),
+            })
+            .collect();
+        let mut tx = Transaction {
+            tx_id,
+            channel: ChannelId::default_channel(),
+            chaincode: "kv".into(),
+            rw_set: rw,
+            payload: Vec::new(),
+            endorsements,
+            creator,
+            signature: KeyPair::from_seed(b"tmp").sign(b"x"),
+        };
+        tx.signature = f.client.sign(&tx.signed_bytes());
+        tx
+    }
+
+    fn verdict(f: &Fixture, tx: &Transaction) -> VsccVerdict {
+        vscc_tx(tx, &f.config, &f.msp, &f.client_certs, &f.endorser_keys)
+    }
+
+    #[test]
+    fn valid_tx_passes() {
+        let f = fixture(Policy::or_of_orgs(3), 3);
+        assert_eq!(verdict(&f, &endorsed_tx(&f, &[0])), VsccVerdict::Pass);
+    }
+
+    #[test]
+    fn and_policy_needs_all_endorsers() {
+        let f = fixture(Policy::and_of_orgs(3), 3);
+        assert_eq!(
+            verdict(&f, &endorsed_tx(&f, &[0, 1])),
+            VsccVerdict::Fail(ValidationCode::EndorsementPolicyFailure)
+        );
+        assert_eq!(verdict(&f, &endorsed_tx(&f, &[0, 1, 2])), VsccVerdict::Pass);
+    }
+
+    #[test]
+    fn tampered_envelope_fails_creator_signature() {
+        let f = fixture(Policy::or_of_orgs(1), 1);
+        let mut tx = endorsed_tx(&f, &[0]);
+        tx.payload = b"injected".to_vec();
+        assert_eq!(
+            verdict(&f, &tx),
+            VsccVerdict::Fail(ValidationCode::BadCreatorSignature)
+        );
+    }
+
+    #[test]
+    fn forged_endorsement_fails() {
+        let f = fixture(Policy::or_of_orgs(1), 1);
+        let mut tx = endorsed_tx(&f, &[0]);
+        // Forge: sign with an unregistered key claiming Org1.peer.
+        let rogue = KeyPair::from_seed(b"rogue");
+        tx.endorsements[0].endorser_key = rogue.public;
+        tx.endorsements[0].signature = rogue.sign(&tx.response_bytes());
+        tx.signature = f.client.sign(&tx.signed_bytes());
+        assert_eq!(
+            verdict(&f, &tx),
+            VsccVerdict::Fail(ValidationCode::BadEndorserSignature)
+        );
+    }
+
+    #[test]
+    fn endorsement_over_different_rwset_fails() {
+        let f = fixture(Policy::or_of_orgs(1), 1);
+        let mut tx = endorsed_tx(&f, &[0]);
+        // The endorser signed the original rw-set; mutate it and re-sign the
+        // envelope only.
+        tx.rw_set.record_write("other", Some(vec![9]));
+        tx.signature = f.client.sign(&tx.signed_bytes());
+        assert_eq!(
+            verdict(&f, &tx),
+            VsccVerdict::Fail(ValidationCode::BadEndorserSignature)
+        );
+    }
+
+    #[test]
+    fn empty_tx_is_bad_payload() {
+        let f = fixture(Policy::or_of_orgs(1), 1);
+        let mut tx = endorsed_tx(&f, &[0]);
+        tx.rw_set = RwSet::new();
+        tx.payload = Vec::new();
+        tx.signature = f.client.sign(&tx.signed_bytes());
+        assert_eq!(verdict(&f, &tx), VsccVerdict::Fail(ValidationCode::BadPayload));
+    }
+
+    #[test]
+    fn wrong_channel_is_bad_payload() {
+        let f = fixture(Policy::or_of_orgs(1), 1);
+        let mut tx = endorsed_tx(&f, &[0]);
+        tx.channel = ChannelId("other".into());
+        tx.signature = f.client.sign(&tx.signed_bytes());
+        assert_eq!(verdict(&f, &tx), VsccVerdict::Fail(ValidationCode::BadPayload));
+    }
+
+    #[test]
+    fn unknown_creator_fails() {
+        let f = fixture(Policy::or_of_orgs(1), 1);
+        let mut tx = endorsed_tx(&f, &[0]);
+        tx.creator = ClientId(42);
+        assert_eq!(
+            verdict(&f, &tx),
+            VsccVerdict::Fail(ValidationCode::BadCreatorSignature)
+        );
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let flags = [
+            ValidationCode::Valid,
+            ValidationCode::Valid,
+            ValidationCode::MvccReadConflict,
+            ValidationCode::EndorsementPolicyFailure,
+            ValidationCode::BadEndorserSignature,
+            ValidationCode::DuplicateTxId,
+            ValidationCode::BadPayload,
+        ];
+        let s = CommitStats::from_flags(&flags);
+        assert_eq!(s.valid, 2);
+        assert_eq!(s.mvcc_conflicts, 1);
+        assert_eq!(s.policy_failures, 1);
+        assert_eq!(s.bad_signatures, 1);
+        assert_eq!(s.duplicates, 1);
+        assert_eq!(s.malformed, 1);
+        assert_eq!(s.total(), 7);
+    }
+}

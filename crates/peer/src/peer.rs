@@ -1,0 +1,366 @@
+//! The peer node object.
+
+use std::collections::HashMap;
+
+use fabricsim_chaincode::{Chaincode, ChaincodeRegistry, ChaincodeStub};
+use fabricsim_crypto::PublicKey;
+use fabricsim_ledger::{ChainError, Ledger};
+use fabricsim_msp::{Certificate, Msp, SigningIdentity};
+use fabricsim_policy::Policy;
+use fabricsim_types::{
+    Block, ChannelId, ClientId, Endorsement, Principal, Proposal, ProposalResponse, Version,
+};
+
+use crate::committer::{self, CommitStats};
+
+/// Static configuration for a peer.
+#[derive(Debug, Clone)]
+pub struct PeerConfig {
+    /// The channel this peer participates in.
+    pub channel: ChannelId,
+    /// The channel's endorsement policy (used by VSCC).
+    pub endorsement_policy: Policy,
+    /// Whether this peer endorses proposals (endorsing peers also validate;
+    /// non-endorsing peers only validate — paper Fig. 1).
+    pub is_endorser: bool,
+}
+
+/// A peer node: identity, ledger, installed chaincodes and the trust
+/// directories needed to verify clients and fellow endorsers.
+#[derive(Debug)]
+pub struct Peer {
+    identity: SigningIdentity,
+    msp: Msp,
+    config: PeerConfig,
+    ledger: Ledger,
+    chaincodes: ChaincodeRegistry,
+    client_certs: HashMap<ClientId, Certificate>,
+    endorser_keys: HashMap<Principal, Vec<PublicKey>>,
+    endorsements_made: u64,
+    blocks_committed: u64,
+}
+
+impl Peer {
+    /// Creates a peer.
+    pub fn new(identity: SigningIdentity, msp: Msp, config: PeerConfig) -> Self {
+        let channel = config.channel.0.clone();
+        Peer {
+            identity,
+            msp,
+            config,
+            ledger: Ledger::new(channel),
+            chaincodes: ChaincodeRegistry::new(),
+            client_certs: HashMap::new(),
+            endorser_keys: HashMap::new(),
+            endorsements_made: 0,
+            blocks_committed: 0,
+        }
+    }
+
+    /// This peer's principal (org + role).
+    pub fn principal(&self) -> &Principal {
+        self.identity.principal()
+    }
+
+    /// Whether this peer endorses proposals.
+    pub fn is_endorser(&self) -> bool {
+        self.config.is_endorser
+    }
+
+    /// Read access to the ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Endorsements produced so far.
+    pub fn endorsements_made(&self) -> u64 {
+        self.endorsements_made
+    }
+
+    /// Blocks committed so far.
+    pub fn blocks_committed(&self) -> u64 {
+        self.blocks_committed
+    }
+
+    /// Installs a chaincode and runs its `init`, seeding the bootstrap state
+    /// directly (genesis world state, before any blocks).
+    ///
+    /// # Panics
+    /// Panics if `init` fails — a deployment-time error.
+    pub fn install_chaincode(&mut self, chaincode: Box<dyn Chaincode>) {
+        {
+            let mut stub = ChaincodeStub::new(self.ledger.state());
+            chaincode
+                .init(&mut stub)
+                .expect("chaincode init must succeed at deployment");
+            let rw = stub.into_rw_set();
+            let writes: Vec<_> = rw.writes.into_iter().collect();
+            for w in writes {
+                self.seed_state(&w.key, w.value.unwrap_or_default());
+            }
+        }
+        self.chaincodes.install(chaincode);
+    }
+
+    /// Seeds a genesis key (version 0) in the world state.
+    pub fn seed_state(&mut self, key: &str, value: Vec<u8>) {
+        // Route through the ledger's state db at the genesis version.
+        self.ledger_state_mut().seed(key, value);
+    }
+
+    fn ledger_state_mut(&mut self) -> &mut fabricsim_ledger::StateDb {
+        // Ledger exposes read-only state; peers own their ledger, so provide
+        // interior mutation through a dedicated path.
+        // (Ledger has no public mutator for seeding; go through a local shim.)
+        self.ledger.state_mut_for_bootstrap()
+    }
+
+    /// Registers a client identity as authorized on the channel.
+    pub fn register_client(&mut self, client: ClientId, cert: Certificate) {
+        self.client_certs.insert(client, cert);
+    }
+
+    /// Registers a fellow endorsing peer's public key under its principal
+    /// (used by VSCC to authenticate endorsement signatures).
+    pub fn register_endorser(&mut self, principal: Principal, key: PublicKey) {
+        self.endorser_keys.entry(principal).or_default().push(key);
+    }
+
+    // ---- execute phase -------------------------------------------------------
+
+    /// Processes a proposal: the four endorsement checks, chaincode execution,
+    /// and ESCC signing. Always returns a response; failed checks yield
+    /// `ok = false` with no endorsement.
+    pub fn endorse(&mut self, proposal: &Proposal) -> ProposalResponse {
+        let fail = |tx_id| ProposalResponse {
+            tx_id,
+            rw_set: fabricsim_types::RwSet::new(),
+            payload: Vec::new(),
+            ok: false,
+            endorsement: None,
+        };
+
+        if !self.config.is_endorser {
+            return fail(proposal.tx_id);
+        }
+        // Check 1: well-formed.
+        if proposal.channel != self.config.channel
+            || proposal.chaincode.is_empty()
+            || proposal.args.is_empty()
+            || proposal.tx_id != Proposal::derive_tx_id(proposal.creator, proposal.nonce)
+        {
+            return fail(proposal.tx_id);
+        }
+        // Check 2: not submitted in the past.
+        if self.ledger.blocks().contains_tx(&proposal.tx_id) {
+            return fail(proposal.tx_id);
+        }
+        // Checks 3 & 4: signature valid; submitter authorized on the channel.
+        let Some(cert) = self.client_certs.get(&proposal.creator) else {
+            return fail(proposal.tx_id);
+        };
+        if self
+            .msp
+            .verify(cert, &proposal.signed_bytes(), &proposal.signature)
+            .is_err()
+        {
+            return fail(proposal.tx_id);
+        }
+
+        // Execute the chaincode against committed state.
+        let Ok(chaincode) = self.chaincodes.get(&proposal.chaincode) else {
+            return fail(proposal.tx_id);
+        };
+        let mut stub = ChaincodeStub::new(self.ledger.state());
+        let payload = match chaincode.invoke(&mut stub, &proposal.args) {
+            Ok(p) => p,
+            Err(_) => return fail(proposal.tx_id),
+        };
+        let rw_set = stub.into_rw_set();
+
+        // ESCC: sign (tx id, rw-set, payload).
+        let to_sign = ProposalResponse::signed_bytes(proposal.tx_id, &rw_set, &payload);
+        let endorsement = Endorsement {
+            endorser: self.identity.principal().clone(),
+            endorser_key: self.identity.certificate().public_key,
+            signature: self.identity.sign(&to_sign),
+        };
+        self.endorsements_made += 1;
+        ProposalResponse {
+            tx_id: proposal.tx_id,
+            rw_set,
+            payload,
+            ok: true,
+            endorsement: Some(endorsement),
+        }
+    }
+
+    /// Executes a read-only chaincode query against committed state (no
+    /// endorsement, no ordering — Fabric's query path).
+    ///
+    /// # Errors
+    /// Propagates chaincode errors.
+    pub fn query(
+        &self,
+        chaincode: &str,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, fabricsim_chaincode::ChaincodeError> {
+        let cc = self.chaincodes.get(chaincode)?;
+        let mut stub = ChaincodeStub::new(self.ledger.state());
+        cc.invoke(&mut stub, args)
+    }
+
+    // ---- validate phase --------------------------------------------------------
+
+    /// Validates (VSCC + MVCC) and commits a delivered block.
+    ///
+    /// # Errors
+    /// Returns [`ChainError`] if the block does not chain onto this peer's
+    /// ledger tip.
+    pub fn validate_and_commit(&mut self, block: Block) -> Result<CommitStats, ChainError> {
+        let pre_flags = committer::vscc_block(
+            &block,
+            &self.config,
+            &self.msp,
+            &self.client_certs,
+            &self.endorser_keys,
+        );
+        let flags = self.ledger.validate_and_commit(block, pre_flags)?;
+        self.blocks_committed += 1;
+        Ok(CommitStats::from_flags(&flags))
+    }
+
+    /// Direct state read (for tests and examples).
+    pub fn state_value(&self, key: &str) -> Option<Vec<u8>> {
+        self.ledger.state().get(key).map(|v| v.value.clone())
+    }
+
+    /// Direct state version read.
+    pub fn state_version(&self, key: &str) -> Option<Version> {
+        self.ledger.state().version_of(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabricsim_chaincode::samples::KvWrite;
+    use fabricsim_crypto::KeyPair;
+    use fabricsim_msp::CertificateAuthority;
+    use fabricsim_types::OrgId;
+
+    fn setup() -> (Peer, SigningIdentity, CertificateAuthority) {
+        let ca = CertificateAuthority::new("ca", 1);
+        let peer_id = ca.enroll(Principal::peer(OrgId(1)), "peer0");
+        let client_id = ca.enroll(
+            Principal {
+                org: OrgId(1),
+                role: "client".into(),
+            },
+            "client0",
+        );
+        let mut peer = Peer::new(
+            peer_id,
+            Msp::new(ca.root_of_trust()),
+            PeerConfig {
+                channel: ChannelId::default_channel(),
+                endorsement_policy: Policy::or_of_orgs(1),
+                is_endorser: true,
+            },
+        );
+        peer.install_chaincode(Box::new(KvWrite));
+        peer.register_client(ClientId(0), client_id.certificate().clone());
+        (peer, client_id, ca)
+    }
+
+    fn proposal(client: &SigningIdentity, nonce: u64) -> Proposal {
+        let creator = ClientId(0);
+        let mut p = Proposal {
+            tx_id: Proposal::derive_tx_id(creator, nonce),
+            channel: ChannelId::default_channel(),
+            chaincode: "kvwrite".into(),
+            args: vec![b"put".to_vec(), b"k".to_vec(), b"v".to_vec()],
+            creator,
+            nonce,
+            signature: KeyPair::from_seed(b"tmp").sign(b"x"),
+        };
+        p.signature = client.sign(&p.signed_bytes());
+        p
+    }
+
+    #[test]
+    fn valid_proposal_is_endorsed() {
+        let (mut peer, client, _ca) = setup();
+        let resp = peer.endorse(&proposal(&client, 1));
+        assert!(resp.ok);
+        let e = resp.endorsement.unwrap();
+        assert_eq!(e.endorser, Principal::peer(OrgId(1)));
+        let bytes = ProposalResponse::signed_bytes(resp.tx_id, &resp.rw_set, &resp.payload);
+        assert!(e.endorser_key.verify(&bytes, &e.signature));
+        assert_eq!(peer.endorsements_made(), 1);
+    }
+
+    #[test]
+    fn bad_client_signature_is_refused() {
+        let (mut peer, client, _ca) = setup();
+        let mut p = proposal(&client, 1);
+        p.args[2] = b"tampered".to_vec(); // invalidates the signature
+        let resp = peer.endorse(&p);
+        assert!(!resp.ok);
+        assert!(resp.endorsement.is_none());
+    }
+
+    #[test]
+    fn unknown_client_is_refused() {
+        let (mut peer, client, _ca) = setup();
+        let mut p = proposal(&client, 1);
+        p.creator = ClientId(99);
+        p.tx_id = Proposal::derive_tx_id(p.creator, p.nonce);
+        let resp = peer.endorse(&p);
+        assert!(!resp.ok);
+    }
+
+    #[test]
+    fn wrong_channel_is_refused() {
+        let (mut peer, client, _ca) = setup();
+        let mut p = proposal(&client, 1);
+        p.channel = ChannelId("otherchannel".into());
+        assert!(!peer.endorse(&p).ok);
+    }
+
+    #[test]
+    fn forged_tx_id_is_refused() {
+        let (mut peer, client, _ca) = setup();
+        let mut p = proposal(&client, 1);
+        p.tx_id = Proposal::derive_tx_id(ClientId(0), 999);
+        assert!(!peer.endorse(&p).ok);
+    }
+
+    #[test]
+    fn non_endorser_refuses() {
+        let (peer, client, ca) = setup();
+        drop(peer);
+        let peer_id = ca.enroll(Principal::peer(OrgId(2)), "peer1");
+        let mut committer_only = Peer::new(
+            peer_id,
+            Msp::new(ca.root_of_trust()),
+            PeerConfig {
+                channel: ChannelId::default_channel(),
+                endorsement_policy: Policy::or_of_orgs(1),
+                is_endorser: false,
+            },
+        );
+        assert!(!committer_only.is_endorser());
+        assert!(!committer_only.endorse(&proposal(&client, 1)).ok);
+    }
+
+    #[test]
+    fn query_reads_committed_state() {
+        let (mut peer, _client, _ca) = setup();
+        peer.seed_state("k", b"seeded".to_vec());
+        let out = peer
+            .query("kvwrite", &[b"get".to_vec(), b"k".to_vec()])
+            .unwrap();
+        assert_eq!(out, b"seeded");
+    }
+}

@@ -1,0 +1,31 @@
+//! # fabricsim-policy — the endorsement policy language
+//!
+//! An endorsement policy defines necessary and sufficient conditions for a
+//! valid transaction endorsement (paper §II): a Boolean combination of
+//! *principals* (`Org1.peer`, …) under `AND`, `OR` and `OutOf` operators.
+//!
+//! This crate provides the policy AST ([`Policy`]), a parser for the textual
+//! form Fabric users write (`"AND('Org1.peer','Org2.peer')"`), satisfaction
+//! evaluation (used by VSCC in the validate phase), and minimal-satisfying-set
+//! enumeration (used by clients to pick endorsement targets in the execute
+//! phase).
+//!
+//! ```
+//! use fabricsim_policy::Policy;
+//! use fabricsim_types::{OrgId, Principal};
+//!
+//! let policy: Policy = "OutOf(2,'Org1.peer','Org2.peer','Org3.peer')".parse()?;
+//! let got = [Principal::peer(OrgId(1)), Principal::peer(OrgId(3))];
+//! assert!(policy.is_satisfied_by(got.iter()));
+//! assert_eq!(policy.min_endorsements(), 2);
+//! # Ok::<(), fabricsim_policy::ParsePolicyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod parser;
+
+pub use ast::Policy;
+pub use parser::ParsePolicyError;

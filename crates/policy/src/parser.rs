@@ -1,0 +1,241 @@
+//! Recursive-descent parser for the textual policy form.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! policy   := principal | op
+//! op       := ("AND" | "OR") "(" policy ("," policy)* ")"
+//!           | "OutOf" "(" integer "," policy ("," policy)* ")"
+//! principal := "'" Org<N> "." role "'"
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use fabricsim_types::Principal;
+
+use crate::ast::Policy;
+
+/// Error produced when a policy string cannot be parsed or is structurally
+/// invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    message: String,
+    position: usize,
+}
+
+impl ParsePolicyError {
+    fn new(message: impl Into<String>, position: usize) -> Self {
+        ParsePolicyError {
+            message: message.into(),
+            position,
+        }
+    }
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ParsePolicyError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input.as_bytes()[self.pos].is_ascii_whitespace()
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.as_bytes().get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParsePolicyError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParsePolicyError::new(
+                format!("expected '{}'", c as char),
+                self.pos,
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len()
+            && self.input.as_bytes()[self.pos].is_ascii_alphanumeric()
+        {
+            self.pos += 1;
+        }
+        self.input[start..self.pos].to_string()
+    }
+
+    fn integer(&mut self) -> Result<usize, ParsePolicyError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input.as_bytes()[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        self.input[start..self.pos]
+            .parse()
+            .map_err(|_| ParsePolicyError::new("expected an integer", start))
+    }
+
+    fn quoted_principal(&mut self) -> Result<Principal, ParsePolicyError> {
+        self.expect(b'\'')?;
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input.as_bytes()[self.pos] != b'\'' {
+            self.pos += 1;
+        }
+        if self.pos == self.input.len() {
+            return Err(ParsePolicyError::new("unterminated principal quote", start));
+        }
+        let text = &self.input[start..self.pos];
+        self.pos += 1; // closing quote
+        Principal::parse(text).ok_or_else(|| {
+            ParsePolicyError::new(format!("invalid principal {text:?} (want Org<N>.role)"), start)
+        })
+    }
+
+    fn policy(&mut self) -> Result<Policy, ParsePolicyError> {
+        match self.peek() {
+            Some(b'\'') => Ok(Policy::Principal(self.quoted_principal()?)),
+            Some(c) if c.is_ascii_alphabetic() => {
+                let start = self.pos;
+                let op = self.ident();
+                self.expect(b'(')?;
+                let policy = match op.as_str() {
+                    "AND" => Policy::And(self.operand_list()?),
+                    "OR" => Policy::Or(self.operand_list()?),
+                    "OutOf" | "OUTOF" | "NOutOf" => {
+                        let k = self.integer()?;
+                        self.expect(b',')?;
+                        Policy::OutOf(k, self.operand_list()?)
+                    }
+                    other => {
+                        return Err(ParsePolicyError::new(
+                            format!("unknown operator {other:?}"),
+                            start,
+                        ))
+                    }
+                };
+                self.expect(b')')?;
+                Ok(policy)
+            }
+            _ => Err(ParsePolicyError::new("expected a policy", self.pos)),
+        }
+    }
+
+    fn operand_list(&mut self) -> Result<Vec<Policy>, ParsePolicyError> {
+        let mut out = vec![self.policy()?];
+        while self.peek() == Some(b',') {
+            self.pos += 1;
+            out.push(self.policy()?);
+        }
+        Ok(out)
+    }
+}
+
+impl FromStr for Policy {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut p = Parser::new(s);
+        let policy = p.policy()?;
+        p.skip_ws();
+        if p.pos != s.len() {
+            return Err(ParsePolicyError::new("trailing input", p.pos));
+        }
+        policy
+            .validate()
+            .map_err(|m| ParsePolicyError::new(m, 0))?;
+        Ok(policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabricsim_types::OrgId;
+
+    #[test]
+    fn parses_simple_forms() {
+        let p: Policy = "OR('Org1.peer','Org2.peer')".parse().unwrap();
+        assert_eq!(p, Policy::or_of_orgs(2));
+        let p: Policy = "AND('Org1.peer','Org2.peer','Org3.peer')".parse().unwrap();
+        assert_eq!(p, Policy::and_of_orgs(3));
+        let p: Policy = "'Org4.peer'".parse().unwrap();
+        assert_eq!(p, Policy::Principal(Principal::peer(OrgId(4))));
+    }
+
+    #[test]
+    fn parses_out_of() {
+        let p: Policy = "OutOf(2,'Org1.peer','Org2.peer','Org3.peer')".parse().unwrap();
+        assert_eq!(p, Policy::k_of_n_orgs(2, 3));
+    }
+
+    #[test]
+    fn parses_nested_with_whitespace() {
+        let p: Policy = " AND( 'Org1.peer' , OR('Org2.peer', 'Org3.peer') ) "
+            .parse()
+            .unwrap();
+        assert!(p.is_satisfied_by(
+            [Principal::peer(OrgId(1)), Principal::peer(OrgId(2))].iter()
+        ));
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for text in [
+            "OR('Org1.peer','Org2.peer')",
+            "AND('Org1.peer',OutOf(1,'Org2.peer','Org3.peer'))",
+            "OutOf(2,'Org1.peer','Org2.peer','Org3.peer')",
+        ] {
+            let p: Policy = text.parse().unwrap();
+            let again: Policy = p.to_string().parse().unwrap();
+            assert_eq!(p, again, "{text}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "XOR('Org1.peer')",
+            "AND()",
+            "AND('Org1.peer'",
+            "OR('Org1.peer') extra",
+            "OutOf(5,'Org1.peer')",
+            "OutOf(0,'Org1.peer')",
+            "'NotAnOrg.peer'",
+            "'Org1.peer",
+        ] {
+            let r: Result<Policy, _> = bad.parse();
+            assert!(r.is_err(), "{bad:?} should fail, got {r:?}");
+        }
+    }
+
+    #[test]
+    fn error_reports_position_and_message() {
+        let err = "AND('Org1.peer'".parse::<Policy>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("policy parse error"), "{msg}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the endorsement-policy language.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use fabricsim_policy::Policy;
+use fabricsim_types::{OrgId, Principal};
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    let leaf = (1u32..8).prop_map(|o| Policy::Principal(Principal::peer(OrgId(o))));
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Policy::And),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Policy::Or),
+            proptest::collection::vec(inner, 1..4).prop_flat_map(|cs| {
+                let n = cs.len();
+                (1..=n).prop_map(move |k| Policy::OutOf(k, cs.clone()))
+            }),
+        ]
+    })
+}
+
+fn orgs_subset(mask: u8) -> Vec<Principal> {
+    (0..8)
+        .filter(|b| mask & (1 << b) != 0)
+        .map(|b| Principal::peer(OrgId(b as u32 + 1)))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn display_parse_roundtrip(policy in arb_policy()) {
+        let text = policy.to_string();
+        let parsed: Policy = text.parse().unwrap();
+        prop_assert_eq!(parsed, policy);
+    }
+
+    #[test]
+    fn satisfaction_is_monotone(policy in arb_policy(), mask: u8, extra: u8) {
+        // Adding endorsers can never unsatisfy a policy.
+        let small = orgs_subset(mask);
+        let big = orgs_subset(mask | extra);
+        if policy.is_satisfied_by(small.iter()) {
+            prop_assert!(policy.is_satisfied_by(big.iter()));
+        }
+    }
+
+    #[test]
+    fn minimal_sets_are_sufficient_and_minimal(policy in arb_policy()) {
+        let sets = policy.minimal_satisfying_sets();
+        prop_assert!(!sets.is_empty(), "policies over principals are satisfiable");
+        for set in &sets {
+            prop_assert!(policy.is_satisfied_by(set.iter()), "every minimal set satisfies");
+            // No proper subset satisfies.
+            for drop in set.iter() {
+                let smaller: BTreeSet<_> = set.iter().filter(|p| *p != drop).cloned().collect();
+                prop_assert!(
+                    !policy.is_satisfied_by(smaller.iter()),
+                    "dropping {drop} from a minimal set must unsatisfy"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_endorsements_matches_minimal_sets(policy in arb_policy()) {
+        let sets = policy.minimal_satisfying_sets();
+        let min = sets.iter().map(BTreeSet::len).min().unwrap();
+        prop_assert_eq!(policy.min_endorsements(), min);
+    }
+
+    #[test]
+    fn full_principal_set_always_satisfies(policy in arb_policy()) {
+        let everyone = policy.principals();
+        prop_assert!(policy.is_satisfied_by(everyone.iter()));
+    }
+
+    #[test]
+    fn empty_set_satisfies_nothing(policy in arb_policy()) {
+        prop_assert!(!policy.is_satisfied_by([].iter()));
+    }
+}

@@ -1,0 +1,829 @@
+//! The Raft node state machine.
+
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+use crate::types::{
+    Effect, Entry, Index, Message, PersistentState, RaftConfig, RaftId, Role, Term,
+};
+
+/// Error returned when proposing to a node that is not the leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotLeader {
+    /// The leader this node believes exists, if known.
+    pub leader_hint: Option<RaftId>,
+}
+
+impl fmt::Display for NotLeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.leader_hint {
+            Some(l) => write!(f, "not the leader; try node {l}"),
+            None => f.write_str("not the leader; no known leader"),
+        }
+    }
+}
+
+impl Error for NotLeader {}
+
+/// A single Raft participant. See the crate docs for the driving contract.
+#[derive(Debug, Clone)]
+pub struct RaftNode {
+    id: RaftId,
+    peers: Vec<RaftId>,
+    config: RaftConfig,
+
+    // Persistent state.
+    current_term: Term,
+    voted_for: Option<RaftId>,
+    log: Vec<Entry>,
+
+    // Volatile state.
+    role: Role,
+    commit_index: Index,
+    last_applied: Index,
+    leader_hint: Option<RaftId>,
+    election_elapsed: u32,
+    heartbeat_elapsed: u32,
+    randomized_timeout: u32,
+    votes_granted: HashSet<RaftId>,
+
+    // Leader state.
+    next_index: HashMap<RaftId, Index>,
+    match_index: HashMap<RaftId, Index>,
+
+    // Deterministic timeout randomization.
+    rng_state: u64,
+}
+
+impl RaftNode {
+    /// Creates a fresh node. `peers` must contain `id` itself.
+    ///
+    /// # Panics
+    /// Panics if `peers` is empty or does not contain `id`.
+    pub fn new(id: RaftId, peers: Vec<RaftId>, config: RaftConfig, seed: u64) -> Self {
+        Self::restore(id, peers, config, seed, PersistentState::default())
+    }
+
+    /// Recreates a node from persisted state (crash recovery). Volatile state
+    /// (role, commit index) resets, exactly as Raft prescribes.
+    ///
+    /// # Panics
+    /// Panics if `peers` is empty or does not contain `id`.
+    pub fn restore(
+        id: RaftId,
+        peers: Vec<RaftId>,
+        config: RaftConfig,
+        seed: u64,
+        persistent: PersistentState,
+    ) -> Self {
+        assert!(!peers.is_empty(), "cluster must have at least one node");
+        assert!(peers.contains(&id), "peers must include this node");
+        let mut node = RaftNode {
+            id,
+            peers,
+            config,
+            current_term: persistent.current_term,
+            voted_for: persistent.voted_for,
+            log: persistent.log,
+            role: Role::Follower,
+            commit_index: 0,
+            last_applied: 0,
+            leader_hint: None,
+            election_elapsed: 0,
+            heartbeat_elapsed: 0,
+            randomized_timeout: 0,
+            votes_granted: HashSet::new(),
+            next_index: HashMap::new(),
+            match_index: HashMap::new(),
+            rng_state: seed ^ (id.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1,
+        };
+        node.randomized_timeout = node.next_timeout();
+        node
+    }
+
+    fn next_timeout(&mut self) -> u32 {
+        // xorshift64* for deterministic jitter.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        let jitter = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as u32
+            % self.config.election_timeout_ticks.max(1);
+        self.config.election_timeout_ticks + jitter
+    }
+
+    // ---- accessors -------------------------------------------------------
+
+    /// This node's id.
+    pub fn id(&self) -> RaftId {
+        self.id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Current term.
+    pub fn term(&self) -> Term {
+        self.current_term
+    }
+
+    /// The leader this node believes exists, if any.
+    pub fn leader_hint(&self) -> Option<RaftId> {
+        self.leader_hint
+    }
+
+    /// Highest committed log index.
+    pub fn commit_index(&self) -> Index {
+        self.commit_index
+    }
+
+    /// Index of the last log entry (0 when empty).
+    pub fn last_log_index(&self) -> Index {
+        self.log.len() as Index
+    }
+
+    /// The persistent state to write to stable storage.
+    pub fn persistent_state(&self) -> PersistentState {
+        PersistentState {
+            current_term: self.current_term,
+            voted_for: self.voted_for,
+            log: self.log.clone(),
+        }
+    }
+
+    fn last_log_term(&self) -> Term {
+        self.log.last().map_or(0, |e| e.term)
+    }
+
+    fn term_at(&self, index: Index) -> Option<Term> {
+        if index == 0 {
+            return Some(0);
+        }
+        self.log.get(index as usize - 1).map(|e| e.term)
+    }
+
+    fn majority(&self) -> usize {
+        self.peers.len() / 2 + 1
+    }
+
+    // ---- host entry points ------------------------------------------------
+
+    /// Advances logical time by one tick.
+    pub fn tick(&mut self) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        match self.role {
+            Role::Leader => {
+                self.heartbeat_elapsed += 1;
+                if self.heartbeat_elapsed >= self.config.heartbeat_ticks {
+                    self.heartbeat_elapsed = 0;
+                    self.broadcast_append(&mut effects);
+                }
+            }
+            Role::Follower | Role::Candidate => {
+                self.election_elapsed += 1;
+                if self.election_elapsed >= self.randomized_timeout {
+                    self.start_election(&mut effects);
+                }
+            }
+        }
+        effects
+    }
+
+    /// Proposes a payload for replication. Returns the assigned log index and
+    /// the replication effects.
+    ///
+    /// # Errors
+    /// [`NotLeader`] when this node is not the current leader.
+    pub fn propose(&mut self, data: Vec<u8>) -> Result<(Index, Vec<Effect>), NotLeader> {
+        if self.role != Role::Leader {
+            return Err(NotLeader {
+                leader_hint: self.leader_hint,
+            });
+        }
+        let index = self.last_log_index() + 1;
+        self.log.push(Entry {
+            term: self.current_term,
+            index,
+            data,
+        });
+        let mut effects = Vec::new();
+        self.maybe_advance_commit(&mut effects); // single-node clusters commit here
+        self.broadcast_append(&mut effects);
+        Ok((index, effects))
+    }
+
+    /// Processes an incoming RPC from `from`.
+    pub fn step(&mut self, from: RaftId, message: Message) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        // Any message with a newer term converts us to follower first.
+        let msg_term = match &message {
+            Message::RequestVote { term, .. }
+            | Message::RequestVoteResponse { term, .. }
+            | Message::AppendEntries { term, .. }
+            | Message::AppendEntriesResponse { term, .. } => *term,
+        };
+        if msg_term > self.current_term {
+            self.become_follower(msg_term, None, &mut effects);
+        }
+
+        match message {
+            Message::RequestVote {
+                term,
+                last_log_index,
+                last_log_term,
+            } => self.on_request_vote(from, term, last_log_index, last_log_term, &mut effects),
+            Message::RequestVoteResponse { term, granted } => {
+                self.on_vote_response(from, term, granted, &mut effects)
+            }
+            Message::AppendEntries {
+                term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+            } => self.on_append_entries(
+                from,
+                term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+                &mut effects,
+            ),
+            Message::AppendEntriesResponse {
+                term,
+                success,
+                match_index,
+            } => self.on_append_response(from, term, success, match_index, &mut effects),
+        }
+        effects
+    }
+
+    // ---- role transitions --------------------------------------------------
+
+    fn become_follower(&mut self, term: Term, leader: Option<RaftId>, effects: &mut Vec<Effect>) {
+        let was_leader = self.role == Role::Leader;
+        if term > self.current_term {
+            self.current_term = term;
+            self.voted_for = None;
+        }
+        self.role = Role::Follower;
+        self.leader_hint = leader;
+        self.election_elapsed = 0;
+        self.randomized_timeout = self.next_timeout();
+        self.votes_granted.clear();
+        if was_leader {
+            effects.push(Effect::SteppedDown(self.current_term));
+        }
+    }
+
+    fn start_election(&mut self, effects: &mut Vec<Effect>) {
+        self.current_term += 1;
+        self.role = Role::Candidate;
+        self.voted_for = Some(self.id);
+        self.leader_hint = None;
+        self.votes_granted.clear();
+        self.votes_granted.insert(self.id);
+        self.election_elapsed = 0;
+        self.randomized_timeout = self.next_timeout();
+
+        if self.votes_granted.len() >= self.majority() {
+            self.become_leader(effects);
+            return;
+        }
+        let (lli, llt) = (self.last_log_index(), self.last_log_term());
+        for &p in &self.peers {
+            if p != self.id {
+                effects.push(Effect::Send {
+                    to: p,
+                    message: Message::RequestVote {
+                        term: self.current_term,
+                        last_log_index: lli,
+                        last_log_term: llt,
+                    },
+                });
+            }
+        }
+    }
+
+    fn become_leader(&mut self, effects: &mut Vec<Effect>) {
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        self.heartbeat_elapsed = 0;
+        let next = self.last_log_index() + 1;
+        self.next_index = self.peers.iter().map(|&p| (p, next)).collect();
+        self.match_index = self.peers.iter().map(|&p| (p, 0)).collect();
+        self.match_index.insert(self.id, self.last_log_index());
+        effects.push(Effect::BecameLeader(self.current_term));
+        // Append a no-op so entries from prior terms can commit (Raft §5.4.2).
+        let index = self.last_log_index() + 1;
+        self.log.push(Entry {
+            term: self.current_term,
+            index,
+            data: Vec::new(),
+        });
+        self.match_index.insert(self.id, index);
+        self.maybe_advance_commit(effects);
+        self.broadcast_append(effects);
+    }
+
+    // ---- RPC handlers -------------------------------------------------------
+
+    fn on_request_vote(
+        &mut self,
+        from: RaftId,
+        term: Term,
+        last_log_index: Index,
+        last_log_term: Term,
+        effects: &mut Vec<Effect>,
+    ) {
+        let up_to_date = (last_log_term, last_log_index) >= (self.last_log_term(), self.last_log_index());
+        let grant = term == self.current_term
+            && up_to_date
+            && (self.voted_for.is_none() || self.voted_for == Some(from));
+        if grant {
+            self.voted_for = Some(from);
+            self.election_elapsed = 0;
+        }
+        effects.push(Effect::Send {
+            to: from,
+            message: Message::RequestVoteResponse {
+                term: self.current_term,
+                granted: grant,
+            },
+        });
+    }
+
+    fn on_vote_response(&mut self, from: RaftId, term: Term, granted: bool, effects: &mut Vec<Effect>) {
+        if self.role != Role::Candidate || term != self.current_term {
+            return;
+        }
+        if granted {
+            self.votes_granted.insert(from);
+            if self.votes_granted.len() >= self.majority() {
+                self.become_leader(effects);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_append_entries(
+        &mut self,
+        from: RaftId,
+        term: Term,
+        prev_log_index: Index,
+        prev_log_term: Term,
+        entries: Vec<Entry>,
+        leader_commit: Index,
+        effects: &mut Vec<Effect>,
+    ) {
+        if term < self.current_term {
+            effects.push(Effect::Send {
+                to: from,
+                message: Message::AppendEntriesResponse {
+                    term: self.current_term,
+                    success: false,
+                    match_index: 0,
+                },
+            });
+            return;
+        }
+        // Valid leader for our term: reset election timer, adopt leader.
+        if self.role != Role::Follower {
+            self.become_follower(term, Some(from), effects);
+        }
+        self.leader_hint = Some(from);
+        self.election_elapsed = 0;
+
+        // Log consistency check.
+        if self.term_at(prev_log_index) != Some(prev_log_term) {
+            effects.push(Effect::Send {
+                to: from,
+                message: Message::AppendEntriesResponse {
+                    term: self.current_term,
+                    success: false,
+                    match_index: 0,
+                },
+            });
+            return;
+        }
+        // Append, truncating conflicts.
+        for e in entries {
+            match self.term_at(e.index) {
+                Some(t) if t == e.term => {} // already have it
+                Some(_) => {
+                    // Conflict: truncate from here and append.
+                    self.log.truncate(e.index as usize - 1);
+                    self.log.push(e);
+                }
+                None => {
+                    debug_assert_eq!(e.index, self.last_log_index() + 1, "log gap");
+                    self.log.push(e);
+                }
+            }
+        }
+        let match_index = self.last_log_index();
+        if leader_commit > self.commit_index {
+            let new_commit = leader_commit.min(match_index);
+            if new_commit > self.commit_index {
+                self.commit_index = new_commit;
+                self.emit_applied(effects);
+            }
+        }
+        effects.push(Effect::Send {
+            to: from,
+            message: Message::AppendEntriesResponse {
+                term: self.current_term,
+                success: true,
+                match_index,
+            },
+        });
+    }
+
+    fn on_append_response(
+        &mut self,
+        from: RaftId,
+        term: Term,
+        success: bool,
+        match_index: Index,
+        effects: &mut Vec<Effect>,
+    ) {
+        if self.role != Role::Leader || term != self.current_term {
+            return;
+        }
+        if success {
+            self.match_index.insert(from, match_index);
+            self.next_index.insert(from, match_index + 1);
+            self.maybe_advance_commit(effects);
+            // Keep streaming if the follower is still behind.
+            if self.next_index[&from] <= self.last_log_index() {
+                self.send_append_to(from, effects);
+            }
+        } else {
+            // Back off and retry.
+            let ni = self.next_index.entry(from).or_insert(1);
+            *ni = ni.saturating_sub(1).max(1);
+            self.send_append_to(from, effects);
+        }
+    }
+
+    // ---- replication helpers -------------------------------------------------
+
+    fn broadcast_append(&mut self, effects: &mut Vec<Effect>) {
+        let peers: Vec<RaftId> = self.peers.iter().copied().filter(|&p| p != self.id).collect();
+        for p in peers {
+            self.send_append_to(p, effects);
+        }
+    }
+
+    fn send_append_to(&mut self, to: RaftId, effects: &mut Vec<Effect>) {
+        let next = *self.next_index.get(&to).unwrap_or(&1);
+        let prev_log_index = next - 1;
+        let prev_log_term = self.term_at(prev_log_index).unwrap_or(0);
+        let from_idx = (next - 1) as usize;
+        let entries: Vec<Entry> = self
+            .log
+            .get(from_idx..)
+            .unwrap_or(&[])
+            .iter()
+            .take(self.config.max_entries_per_append)
+            .cloned()
+            .collect();
+        effects.push(Effect::Send {
+            to,
+            message: Message::AppendEntries {
+                term: self.current_term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit: self.commit_index,
+            },
+        });
+    }
+
+    fn maybe_advance_commit(&mut self, effects: &mut Vec<Effect>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        self.match_index.insert(self.id, self.last_log_index());
+        let mut candidates: Vec<Index> = self.peers.iter().map(|p| self.match_index[p]).collect();
+        candidates.sort_unstable();
+        // The majority-replicated index is the (n - majority)-th order statistic.
+        let n = candidates[candidates.len() - self.majority()];
+        if n > self.commit_index && self.term_at(n) == Some(self.current_term) {
+            self.commit_index = n;
+            self.emit_applied(effects);
+        }
+    }
+
+    fn emit_applied(&mut self, effects: &mut Vec<Effect>) {
+        if self.commit_index > self.last_applied {
+            let newly: Vec<Entry> = self.log
+                [self.last_applied as usize..self.commit_index as usize]
+                .to_vec();
+            self.last_applied = self.commit_index;
+            effects.push(Effect::Commit(newly));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive_to_leader(node: &mut RaftNode) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        for _ in 0..100 {
+            effects.extend(node.tick());
+            if node.role() == Role::Leader {
+                return effects;
+            }
+        }
+        panic!("node never became leader");
+    }
+
+    #[test]
+    fn single_node_elects_itself_and_commits() {
+        let mut n = RaftNode::new(1, vec![1], RaftConfig::default(), 7);
+        let effects = drive_to_leader(&mut n);
+        assert!(effects.iter().any(|e| matches!(e, Effect::BecameLeader(_))));
+        // The no-op commits immediately on a single node.
+        assert_eq!(n.commit_index(), 1);
+        let (idx, effects) = n.propose(b"tx1".to_vec()).unwrap();
+        assert_eq!(idx, 2);
+        let committed: Vec<Entry> = effects
+            .into_iter()
+            .filter_map(|e| match e {
+                Effect::Commit(es) => Some(es),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].data, b"tx1");
+    }
+
+    #[test]
+    fn follower_rejects_proposals() {
+        let mut n = RaftNode::new(1, vec![1, 2, 3], RaftConfig::default(), 7);
+        let err = n.propose(b"x".to_vec()).unwrap_err();
+        assert_eq!(err.leader_hint, None);
+        assert!(err.to_string().contains("not the leader"));
+    }
+
+    #[test]
+    fn candidate_requests_votes_from_all_peers() {
+        let mut n = RaftNode::new(1, vec![1, 2, 3], RaftConfig::default(), 7);
+        let mut effects = Vec::new();
+        for _ in 0..50 {
+            effects.extend(n.tick());
+            if n.role() == Role::Candidate {
+                break;
+            }
+        }
+        assert_eq!(n.role(), Role::Candidate);
+        let targets: Vec<RaftId> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send {
+                    to,
+                    message: Message::RequestVote { .. },
+                } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets.len(), 2);
+        assert!(targets.contains(&2) && targets.contains(&3));
+    }
+
+    #[test]
+    fn grants_one_vote_per_term() {
+        let mut n = RaftNode::new(1, vec![1, 2, 3], RaftConfig::default(), 7);
+        let vote = |n: &mut RaftNode, from| {
+            n.step(
+                from,
+                Message::RequestVote {
+                    term: 1,
+                    last_log_index: 0,
+                    last_log_term: 0,
+                },
+            )
+        };
+        let e2 = vote(&mut n, 2);
+        let granted2 = matches!(
+            e2[0],
+            Effect::Send {
+                message: Message::RequestVoteResponse { granted: true, .. },
+                ..
+            }
+        );
+        assert!(granted2);
+        let e3 = vote(&mut n, 3);
+        let granted3 = matches!(
+            e3[0],
+            Effect::Send {
+                message: Message::RequestVoteResponse { granted: true, .. },
+                ..
+            }
+        );
+        assert!(!granted3, "second vote in the same term must be denied");
+    }
+
+    #[test]
+    fn vote_denied_to_stale_log() {
+        let mut n = RaftNode::new(1, vec![1, 2, 3], RaftConfig::default(), 7);
+        // Give node 1 a log entry at term 1.
+        n.step(
+            9,
+            Message::AppendEntries {
+                term: 1,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: vec![Entry { term: 1, index: 1, data: b"x".to_vec() }],
+                leader_commit: 0,
+            },
+        );
+        // Peers must include 9 for this test's purposes: it doesn't — but
+        // AppendEntries from an unknown node still replicates; Raft
+        // membership is fixed by config, and the orderer always uses full
+        // membership, so this is acceptable for the state machine.
+        let effects = n.step(
+            2,
+            Message::RequestVote {
+                term: 2,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
+        );
+        let granted = effects.iter().any(|e| {
+            matches!(
+                e,
+                Effect::Send {
+                    message: Message::RequestVoteResponse { granted: true, .. },
+                    ..
+                }
+            )
+        });
+        assert!(!granted, "stale candidate log must be refused");
+    }
+
+    #[test]
+    fn three_node_replication_commits_on_majority() {
+        let cfg = RaftConfig::default();
+        let mut leader = RaftNode::new(1, vec![1, 2, 3], cfg, 1);
+        // Manually elect node 1.
+        let mut effects = Vec::new();
+        while leader.role() != Role::Candidate {
+            effects.extend(leader.tick());
+        }
+        let term = leader.term();
+        effects.extend(leader.step(2, Message::RequestVoteResponse { term, granted: true }));
+        assert_eq!(leader.role(), Role::Leader);
+
+        let (idx, effects) = leader.propose(b"tx".to_vec()).unwrap();
+        // Simulate follower 2 acking everything.
+        let mut commit_seen = false;
+        for e in effects {
+            if let Effect::Send { to: 2, message: Message::AppendEntries { entries, .. } } = &e {
+                let match_index = entries.last().map_or(0, |e| e.index);
+                let resp = leader.step(
+                    2,
+                    Message::AppendEntriesResponse {
+                        term,
+                        success: true,
+                        match_index,
+                    },
+                );
+                commit_seen |= resp.iter().any(
+                    |e| matches!(e, Effect::Commit(es) if es.iter().any(|en| en.index == idx)),
+                );
+            }
+        }
+        assert!(commit_seen, "entry should commit once follower 2 acks");
+        assert!(leader.commit_index() >= idx);
+    }
+
+    #[test]
+    fn leader_steps_down_on_higher_term() {
+        let mut n = RaftNode::new(1, vec![1], RaftConfig::default(), 7);
+        drive_to_leader(&mut n);
+        let effects = n.step(
+            2,
+            Message::AppendEntries {
+                term: 99,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: Vec::new(),
+                leader_commit: 0,
+            },
+        );
+        assert!(effects.iter().any(|e| matches!(e, Effect::SteppedDown(_))));
+        assert_eq!(n.role(), Role::Follower);
+        assert_eq!(n.term(), 99);
+    }
+
+    #[test]
+    fn follower_truncates_conflicting_suffix() {
+        let mut n = RaftNode::new(1, vec![1, 2], RaftConfig::default(), 7);
+        // Old leader at term 1 replicates two entries.
+        n.step(
+            2,
+            Message::AppendEntries {
+                term: 1,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: vec![
+                    Entry { term: 1, index: 1, data: b"a".to_vec() },
+                    Entry { term: 1, index: 2, data: b"b".to_vec() },
+                ],
+                leader_commit: 0,
+            },
+        );
+        assert_eq!(n.last_log_index(), 2);
+        // New leader at term 2 overwrites index 2.
+        n.step(
+            2,
+            Message::AppendEntries {
+                term: 2,
+                prev_log_index: 1,
+                prev_log_term: 1,
+                entries: vec![Entry { term: 2, index: 2, data: b"c".to_vec() }],
+                leader_commit: 0,
+            },
+        );
+        assert_eq!(n.last_log_index(), 2);
+        assert_eq!(n.persistent_state().log[1].data, b"c");
+        assert_eq!(n.persistent_state().log[1].term, 2);
+    }
+
+    #[test]
+    fn restart_preserves_log_and_term() {
+        let mut n = RaftNode::new(1, vec![1], RaftConfig::default(), 7);
+        drive_to_leader(&mut n);
+        n.propose(b"tx".to_vec()).unwrap();
+        let saved = n.persistent_state();
+        let restored = RaftNode::restore(1, vec![1], RaftConfig::default(), 8, saved.clone());
+        assert_eq!(restored.term(), saved.current_term);
+        assert_eq!(restored.last_log_index(), 2); // noop + tx
+        assert_eq!(restored.role(), Role::Follower);
+        assert_eq!(restored.commit_index(), 0, "commit index is volatile");
+    }
+
+    #[test]
+    fn stale_append_is_rejected() {
+        let mut n = RaftNode::new(1, vec![1, 2], RaftConfig::default(), 7);
+        n.step(
+            2,
+            Message::AppendEntries {
+                term: 5,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: Vec::new(),
+                leader_commit: 0,
+            },
+        );
+        let effects = n.step(
+            2,
+            Message::AppendEntries {
+                term: 3, // stale
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: Vec::new(),
+                leader_commit: 0,
+            },
+        );
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                message: Message::AppendEntriesResponse { success: false, .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn gap_append_is_rejected() {
+        let mut n = RaftNode::new(1, vec![1, 2], RaftConfig::default(), 7);
+        let effects = n.step(
+            2,
+            Message::AppendEntries {
+                term: 1,
+                prev_log_index: 5, // we have nothing
+                prev_log_term: 1,
+                entries: Vec::new(),
+                leader_commit: 0,
+            },
+        );
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                message: Message::AppendEntriesResponse { success: false, .. },
+                ..
+            }
+        )));
+    }
+}

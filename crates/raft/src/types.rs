@@ -1,0 +1,152 @@
+//! Raft wire types, configuration and host-visible effects.
+
+/// Node identifier within a Raft cluster.
+pub type RaftId = u64;
+/// A Raft term.
+pub type Term = u64;
+/// A 1-based log index (0 means "before the first entry").
+pub type Index = u64;
+
+/// One replicated log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Term in which the entry was appended by its leader.
+    pub term: Term,
+    /// Position in the log (1-based).
+    pub index: Index,
+    /// Opaque payload; empty for leader-change no-op entries.
+    pub data: Vec<u8>,
+}
+
+impl Entry {
+    /// True for the no-op entry a new leader appends to commit its term.
+    pub fn is_noop(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Raft RPCs, exchanged between nodes via the host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Candidate solicits a vote.
+    RequestVote {
+        /// Candidate's term.
+        term: Term,
+        /// Index of the candidate's last log entry.
+        last_log_index: Index,
+        /// Term of the candidate's last log entry.
+        last_log_term: Term,
+    },
+    /// Reply to [`Message::RequestVote`].
+    RequestVoteResponse {
+        /// Responder's current term.
+        term: Term,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Leader replicates entries (empty = heartbeat).
+    AppendEntries {
+        /// Leader's term.
+        term: Term,
+        /// Index of the entry preceding `entries`.
+        prev_log_index: Index,
+        /// Term of that preceding entry.
+        prev_log_term: Term,
+        /// Entries to append (may be empty).
+        entries: Vec<Entry>,
+        /// Leader's commit index.
+        leader_commit: Index,
+    },
+    /// Reply to [`Message::AppendEntries`].
+    AppendEntriesResponse {
+        /// Responder's current term.
+        term: Term,
+        /// Whether the append matched.
+        success: bool,
+        /// Highest index known replicated on the responder (valid if success).
+        match_index: Index,
+    },
+}
+
+/// What the host must do after driving the node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect {
+    /// Send `message` to peer `to`.
+    Send {
+        /// Destination node.
+        to: RaftId,
+        /// The RPC to deliver.
+        message: Message,
+    },
+    /// Entries newly committed, in log order. Each entry is reported once.
+    Commit(Vec<Entry>),
+    /// This node just became leader for `term`.
+    BecameLeader(Term),
+    /// This node ceased to be leader (stepped down or lost an election).
+    SteppedDown(Term),
+}
+
+/// A node's role in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Passive replica, expecting heartbeats.
+    Follower,
+    /// Election in progress.
+    Candidate,
+    /// Cluster leader; accepts proposals.
+    Leader,
+}
+
+/// Tick-based timing configuration. One tick is whatever wall/virtual duration
+/// the host chooses (the fabricsim ordering service uses 10 ms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaftConfig {
+    /// Ticks without leader contact before a follower starts an election
+    /// (the actual timeout is randomized in `[min, 2*min)` per election).
+    pub election_timeout_ticks: u32,
+    /// Ticks between leader heartbeats.
+    pub heartbeat_ticks: u32,
+    /// Maximum entries per AppendEntries message.
+    pub max_entries_per_append: usize,
+}
+
+impl Default for RaftConfig {
+    fn default() -> Self {
+        RaftConfig {
+            election_timeout_ticks: 10,
+            heartbeat_ticks: 3,
+            max_entries_per_append: 512,
+        }
+    }
+}
+
+/// The durable state Raft must persist across crashes (term, vote, log).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PersistentState {
+    /// Latest term this node has seen.
+    pub current_term: Term,
+    /// Candidate voted for in `current_term`, if any.
+    pub voted_for: Option<RaftId>,
+    /// The full replicated log.
+    pub log: Vec<Entry>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_detection() {
+        let noop = Entry { term: 1, index: 1, data: Vec::new() };
+        let real = Entry { term: 1, index: 2, data: b"tx".to_vec() };
+        assert!(noop.is_noop());
+        assert!(!real.is_noop());
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = RaftConfig::default();
+        assert!(c.election_timeout_ticks > c.heartbeat_ticks);
+        assert!(c.max_entries_per_append > 0);
+    }
+}

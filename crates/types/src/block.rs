@@ -1,0 +1,229 @@
+//! Blocks: header, data, metadata and transaction validation codes.
+
+use fabricsim_crypto::{sha256, Hash256, MerkleTree};
+
+use crate::encode::{Encoder, WireSize, MSG_OVERHEAD};
+use crate::ids::ChannelId;
+use crate::transaction::Transaction;
+
+/// Why a transaction was accepted or rejected by the committer. Mirrors
+/// Fabric's `TxValidationCode`; both valid and invalid transactions are stored
+/// in the block, but only [`ValidationCode::Valid`] ones update world state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValidationCode {
+    /// The transaction passed VSCC and MVCC and updated the state.
+    Valid,
+    /// A read version no longer matches current state (double-spend guard).
+    MvccReadConflict,
+    /// The endorsement set does not satisfy the channel's policy.
+    EndorsementPolicyFailure,
+    /// An endorsement signature failed to verify.
+    BadEndorserSignature,
+    /// The creator's envelope signature failed to verify.
+    BadCreatorSignature,
+    /// The same tx id was already committed (replay guard).
+    DuplicateTxId,
+    /// The envelope was malformed (empty rw-set and payload, wrong channel…).
+    BadPayload,
+}
+
+impl ValidationCode {
+    /// True only for [`ValidationCode::Valid`].
+    pub fn is_valid(self) -> bool {
+        self == ValidationCode::Valid
+    }
+
+    /// Short stable label for metrics and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ValidationCode::Valid => "VALID",
+            ValidationCode::MvccReadConflict => "MVCC_READ_CONFLICT",
+            ValidationCode::EndorsementPolicyFailure => "ENDORSEMENT_POLICY_FAILURE",
+            ValidationCode::BadEndorserSignature => "BAD_ENDORSER_SIGNATURE",
+            ValidationCode::BadCreatorSignature => "BAD_CREATOR_SIGNATURE",
+            ValidationCode::DuplicateTxId => "DUPLICATE_TXID",
+            ValidationCode::BadPayload => "BAD_PAYLOAD",
+        }
+    }
+}
+
+/// The block header: number, previous-hash chain link, and data hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Height of this block (genesis = 0).
+    pub number: u64,
+    /// Hash of the previous block's header ([`Hash256::ZERO`] for genesis).
+    pub previous_hash: Hash256,
+    /// Merkle root over the transaction envelopes.
+    pub data_hash: Hash256,
+}
+
+impl BlockHeader {
+    /// The header hash that the next block chains to.
+    pub fn hash(&self) -> Hash256 {
+        let mut e = Encoder::new("fabricsim-block-header");
+        e.u64(self.number)
+            .bytes(self.previous_hash.as_bytes())
+            .bytes(self.data_hash.as_bytes());
+        sha256(&e.finish())
+    }
+}
+
+/// Post-validation metadata: one validation code per transaction, filled in by
+/// the committing peer (empty until validation).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockMetadata {
+    /// `flags[i]` is the validation code of `transactions[i]`.
+    pub flags: Vec<ValidationCode>,
+}
+
+/// A block: header + ordered transactions + (post-validation) metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The channel this block belongs to.
+    pub channel: ChannelId,
+    /// Block header.
+    pub header: BlockHeader,
+    /// The ordered transactions.
+    pub transactions: Vec<Transaction>,
+    /// Validation flags (empty until the committer validates the block).
+    pub metadata: BlockMetadata,
+}
+
+impl Block {
+    /// Assembles a block from ordered transactions, computing the data hash.
+    pub fn assemble(
+        channel: ChannelId,
+        number: u64,
+        previous_hash: Hash256,
+        transactions: Vec<Transaction>,
+    ) -> Self {
+        let data_hash = Self::compute_data_hash(&transactions);
+        Block {
+            channel,
+            header: BlockHeader {
+                number,
+                previous_hash,
+                data_hash,
+            },
+            transactions,
+            metadata: BlockMetadata::default(),
+        }
+    }
+
+    /// Merkle root over the envelope hashes.
+    pub fn compute_data_hash(transactions: &[Transaction]) -> Hash256 {
+        let leaves: Vec<Hash256> = transactions.iter().map(|t| t.envelope_hash()).collect();
+        MerkleTree::from_leaf_hashes(leaves).root()
+    }
+
+    /// Verifies the stored data hash against the transactions.
+    pub fn data_hash_is_consistent(&self) -> bool {
+        Self::compute_data_hash(&self.transactions) == self.header.data_hash
+    }
+
+    /// Number of transactions in the block.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the block carries zero transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Count of transactions flagged valid (0 before validation).
+    pub fn valid_count(&self) -> usize {
+        self.metadata.flags.iter().filter(|f| f.is_valid()).count()
+    }
+}
+
+impl WireSize for Block {
+    fn wire_size(&self) -> u64 {
+        let txs: u64 = self.transactions.iter().map(|t| t.wire_size()).sum();
+        MSG_OVERHEAD + 8 + 32 + 32 + txs + self.metadata.flags.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+    use crate::proposal::Proposal;
+    use crate::rwset::RwSet;
+    use fabricsim_crypto::KeyPair;
+
+    fn tx(n: u64) -> Transaction {
+        let creator = ClientId(0);
+        let tx_id = Proposal::derive_tx_id(creator, n);
+        let mut rw = RwSet::new();
+        rw.record_write(&format!("k{n}"), Some(vec![n as u8]));
+        Transaction {
+            tx_id,
+            channel: ChannelId::default_channel(),
+            chaincode: "kvwrite".into(),
+            rw_set: rw,
+            payload: Vec::new(),
+            endorsements: Vec::new(),
+            creator,
+            signature: KeyPair::from_seed(b"c").sign(b"x"),
+        }
+    }
+
+    #[test]
+    fn assemble_computes_consistent_data_hash() {
+        let b = Block::assemble(
+            ChannelId::default_channel(),
+            1,
+            Hash256::ZERO,
+            vec![tx(0), tx(1)],
+        );
+        assert!(b.data_hash_is_consistent());
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn tampering_breaks_data_hash() {
+        let mut b = Block::assemble(
+            ChannelId::default_channel(),
+            1,
+            Hash256::ZERO,
+            vec![tx(0), tx(1)],
+        );
+        b.transactions[0].rw_set.record_write("evil", Some(vec![9]));
+        assert!(!b.data_hash_is_consistent());
+    }
+
+    #[test]
+    fn header_hash_chains() {
+        let b1 = Block::assemble(ChannelId::default_channel(), 1, Hash256::ZERO, vec![tx(0)]);
+        let b2 = Block::assemble(
+            ChannelId::default_channel(),
+            2,
+            b1.header.hash(),
+            vec![tx(1)],
+        );
+        assert_eq!(b2.header.previous_hash, b1.header.hash());
+        assert_ne!(b1.header.hash(), b2.header.hash());
+    }
+
+    #[test]
+    fn validation_codes() {
+        assert!(ValidationCode::Valid.is_valid());
+        assert!(!ValidationCode::MvccReadConflict.is_valid());
+        let mut b = Block::assemble(ChannelId::default_channel(), 1, Hash256::ZERO, vec![tx(0), tx(1)]);
+        assert_eq!(b.valid_count(), 0);
+        b.metadata.flags = vec![ValidationCode::Valid, ValidationCode::MvccReadConflict];
+        assert_eq!(b.valid_count(), 1);
+        assert_eq!(ValidationCode::DuplicateTxId.label(), "DUPLICATE_TXID");
+    }
+
+    #[test]
+    fn empty_block_data_hash_is_stable() {
+        let a = Block::assemble(ChannelId::default_channel(), 1, Hash256::ZERO, Vec::new());
+        let b = Block::assemble(ChannelId::default_channel(), 1, Hash256::ZERO, Vec::new());
+        assert_eq!(a.header.data_hash, b.header.data_hash);
+        assert!(a.is_empty());
+    }
+}

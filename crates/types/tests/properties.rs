@@ -1,0 +1,140 @@
+//! Property-based tests: the codec is a lossless inverse pair for arbitrary
+//! transactions and blocks, and block hashing is structure-sensitive.
+
+use proptest::prelude::*;
+
+use fabricsim_crypto::{Hash256, KeyPair};
+use fabricsim_types::codec::{decode_block, decode_tx, encode_block, encode_tx};
+use fabricsim_types::{
+    Block, ChannelId, ClientId, Endorsement, KvRead, KvWrite, OrgId, Principal, Proposal,
+    ProposalResponse, RwSet, Transaction, ValidationCode, Version,
+};
+
+fn arb_version() -> impl Strategy<Value = Option<Version>> {
+    proptest::option::of((any::<u64>(), any::<u32>()).prop_map(|(b, t)| Version::new(b, t)))
+}
+
+fn arb_rwset() -> impl Strategy<Value = RwSet> {
+    (
+        proptest::collection::vec(("[a-z]{1,12}", arb_version()), 0..6),
+        proptest::collection::vec(
+            (
+                "[a-z]{1,12}",
+                proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64)),
+            ),
+            0..6,
+        ),
+    )
+        .prop_map(|(reads, writes)| {
+            let mut rw = RwSet::new();
+            for (k, v) in reads {
+                rw.reads.push(KvRead { key: k, version: v });
+            }
+            for (k, v) in writes {
+                rw.writes.push(KvWrite { key: k, value: v });
+            }
+            rw
+        })
+}
+
+fn arb_tx() -> impl Strategy<Value = Transaction> {
+    (
+        any::<u32>(),            // creator
+        any::<u64>(),            // nonce
+        "[a-z-]{1,16}",          // chaincode
+        arb_rwset(),
+        proptest::collection::vec(any::<u8>(), 0..128), // payload
+        proptest::collection::vec((1u32..20, any::<u64>()), 0..6), // endorsers
+    )
+        .prop_map(|(creator, nonce, chaincode, rw_set, payload, endorsers)| {
+            let creator = ClientId(creator);
+            let tx_id = Proposal::derive_tx_id(creator, nonce);
+            let resp = ProposalResponse::signed_bytes(tx_id, &rw_set, &payload);
+            let endorsements = endorsers
+                .into_iter()
+                .map(|(org, seed)| {
+                    let kp = KeyPair::from_seed(&seed.to_le_bytes());
+                    Endorsement {
+                        endorser: Principal::peer(OrgId(org)),
+                        endorser_key: kp.public,
+                        signature: kp.sign(&resp),
+                    }
+                })
+                .collect();
+            Transaction {
+                tx_id,
+                channel: ChannelId::default_channel(),
+                chaincode,
+                rw_set,
+                payload,
+                endorsements,
+                creator,
+                signature: KeyPair::from_seed(b"client").sign(&resp),
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn tx_codec_roundtrips(tx in arb_tx()) {
+        let bytes = encode_tx(&tx);
+        prop_assert_eq!(decode_tx(&bytes).unwrap(), tx);
+    }
+
+    #[test]
+    fn tx_decode_never_panics_on_corruption(tx in arb_tx(), cut in any::<proptest::sample::Index>(), flip in any::<proptest::sample::Index>()) {
+        let mut bytes = encode_tx(&tx);
+        // Truncation must error, not panic.
+        let cut_at = cut.index(bytes.len());
+        let _ = decode_tx(&bytes[..cut_at]);
+        // Bit flips must either error or decode to a different value.
+        let i = flip.index(bytes.len());
+        bytes[i] ^= 0x55;
+        if let Ok(decoded) = decode_tx(&bytes) { prop_assert_ne!(decoded, tx) }
+    }
+
+    #[test]
+    fn block_codec_roundtrips(txs in proptest::collection::vec(arb_tx(), 0..5), flags in proptest::collection::vec(0u8..7, 0..5)) {
+        let mut block = Block::assemble(ChannelId::default_channel(), 7, Hash256::from_bytes([3; 32]), txs);
+        block.metadata.flags = flags
+            .into_iter()
+            .map(|f| match f {
+                0 => ValidationCode::Valid,
+                1 => ValidationCode::MvccReadConflict,
+                2 => ValidationCode::EndorsementPolicyFailure,
+                3 => ValidationCode::BadEndorserSignature,
+                4 => ValidationCode::BadCreatorSignature,
+                5 => ValidationCode::DuplicateTxId,
+                _ => ValidationCode::BadPayload,
+            })
+            .collect();
+        let bytes = encode_block(&block);
+        let back = decode_block(&bytes).unwrap();
+        prop_assert_eq!(back, block);
+    }
+
+    #[test]
+    fn block_data_hash_is_content_sensitive(txs in proptest::collection::vec(arb_tx(), 1..5)) {
+        let block = Block::assemble(ChannelId::default_channel(), 0, Hash256::ZERO, txs.clone());
+        prop_assert!(block.data_hash_is_consistent());
+        // Dropping any transaction breaks the data hash.
+        for i in 0..txs.len() {
+            let mut fewer = txs.clone();
+            fewer.remove(i);
+            let other = Block::assemble(ChannelId::default_channel(), 0, Hash256::ZERO, fewer);
+            prop_assert_ne!(other.header.data_hash, block.header.data_hash);
+        }
+    }
+
+    #[test]
+    fn signed_bytes_are_injective_on_rwset(a in arb_rwset(), b in arb_rwset()) {
+        let tx_id = Proposal::derive_tx_id(ClientId(0), 0);
+        let ba = ProposalResponse::signed_bytes(tx_id, &a, b"");
+        let bb = ProposalResponse::signed_bytes(tx_id, &b, b"");
+        if a == b {
+            prop_assert_eq!(ba, bb);
+        } else {
+            prop_assert_ne!(ba, bb);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Bottleneck analysis: sweep the arrival rate, watch each phase's
+//! throughput, and identify which phase saturates first — reproducing the
+//! paper's core finding that the validate phase is the system bottleneck
+//! (and that the bottleneck moves with the endorsement policy).
+//!
+//! ```text
+//! cargo run --release -p fabricsim-examples --example bottleneck_analysis
+//! ```
+
+use fabricsim::{predict, OrdererType, PolicySpec, SimConfig, Simulation};
+
+fn sweep(policy: PolicySpec) -> (f64, &'static str) {
+    println!("policy {}:", policy.label());
+    println!(
+        "  {:>8} {:>10} {:>10} {:>10} {:>12}",
+        "offered", "execute", "order", "validate", "o+v latency"
+    );
+    let mut peak_commit: f64 = 0.0;
+    let mut last = None;
+    for rate in [100.0, 200.0, 300.0, 400.0, 500.0] {
+        let cfg = SimConfig {
+            orderer_type: OrdererType::Raft,
+            endorsing_peers: 10,
+            policy: policy.clone(),
+            arrival_rate_tps: rate,
+            duration_secs: 20.0,
+            warmup_secs: 5.0,
+            cooldown_secs: 2.0,
+            ..SimConfig::default()
+        };
+        let s = Simulation::new(cfg.clone()).run_detailed();
+        let util = s.utilization;
+        let s = s.summary;
+        let _ = &util;
+        let (hot, load) = util.hottest();
+        println!(
+            "  {:>8.0} {:>10.1} {:>10.1} {:>10.1} {:>11.3}s   hottest: {hot} ({:.0}%)",
+            rate,
+            s.execute.throughput_tps,
+            s.order.throughput_tps,
+            s.validate.throughput_tps,
+            s.validate.latency.mean_s,
+            load * 100.0
+        );
+        peak_commit = peak_commit.max(s.committed_tps());
+        last = Some(s);
+    }
+    let s = last.expect("sweep ran");
+    // At the top of the sweep, which phase fell furthest behind the offer?
+    let shortfalls = [
+        ("execute", s.execute.throughput_tps),
+        ("order", s.order.throughput_tps),
+        ("validate", s.validate.throughput_tps),
+    ];
+    let bottleneck = shortfalls
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+        .expect("three phases")
+        .0;
+    println!("  -> peak committed ≈ {peak_commit:.0} tps; bottleneck phase: {bottleneck}\n");
+    (peak_commit, bottleneck)
+}
+
+fn main() {
+    println!("Phase-by-phase saturation, 10 endorsing peers, Raft ordering.\n");
+    // The analytic model predicts the knees before any simulation runs.
+    let base = SimConfig { orderer_type: OrdererType::Raft, ..SimConfig::default() };
+    let p_or = predict(&SimConfig { policy: PolicySpec::OrN(10), ..base.clone() });
+    let p_and = predict(&SimConfig { policy: PolicySpec::AndX(5), ..base });
+    println!(
+        "analytic prediction: OR10 peaks at {:.0} tps, AND5 at {:.0} tps — {} binds in both.\n",
+        p_or.peak_committed_tps, p_and.peak_committed_tps, p_or.bottleneck
+    );
+    let (or_peak, or_bneck) = sweep(PolicySpec::OrN(10));
+    let (and_peak, and_bneck) = sweep(PolicySpec::AndX(5));
+
+    assert_eq!(or_bneck, "validate");
+    assert_eq!(and_bneck, "validate");
+    assert!(and_peak < or_peak);
+    println!("findings:");
+    println!("  1. the validate phase saturates first under both policies (paper finding 4);");
+    println!(
+        "  2. AND5 validation verifies 5 endorsement signatures per tx, capping at ≈{and_peak:.0} tps vs ≈{or_peak:.0} tps under OR (papers Figs. 4/5);"
+    );
+    println!("  3. ordering throughput tracks the offered load throughout — never the bottleneck.");
+}

@@ -1,0 +1,51 @@
+//! Quickstart: spin up a small Fabric network (3 endorsing orgs, Solo
+//! ordering, OR endorsement), push ~1 000 transactions through the
+//! execute → order → validate pipeline, and print a phase-annotated report.
+//!
+//! ```text
+//! cargo run --release -p fabricsim-examples --example quickstart
+//! ```
+
+use fabricsim::{OrdererType, PolicySpec, SimConfig, Simulation};
+use fabricsim_examples::{print_phases, print_summary};
+
+fn main() {
+    let cfg = SimConfig {
+        orderer_type: OrdererType::Solo,
+        endorsing_peers: 3,
+        policy: PolicySpec::OrN(3),
+        arrival_rate_tps: 80.0,
+        duration_secs: 20.0,
+        warmup_secs: 4.0,
+        cooldown_secs: 2.0,
+        ..SimConfig::default()
+    };
+    println!(
+        "network: {} endorsing peers, policy {}, {} ordering, BatchSize {} / {} ms",
+        cfg.endorsing_peers,
+        cfg.policy.label(),
+        cfg.orderer_type,
+        cfg.batch.max_message_count,
+        cfg.batch.batch_timeout_ms
+    );
+
+    let result = Simulation::new(cfg).run_detailed();
+
+    print_summary("quickstart", &result.summary);
+    print_phases(&result.summary);
+    println!(
+        "ledger  : height {} blocks, hash chain verified: {}",
+        result.observer_height, result.chain_ok
+    );
+    assert!(result.chain_ok, "chain must verify");
+
+    // Peek at a committed transaction's full phase trace.
+    if let Some(t) = result.traces.iter().find(|t| t.is_success()) {
+        println!("\none committed transaction's life cycle:");
+        println!("  created   {}", t.created);
+        println!("  endorsed  {}", t.endorsed.unwrap());
+        println!("  submitted {}", t.submitted.unwrap());
+        println!("  ordered   {}", t.ordered.unwrap());
+        println!("  committed {}", t.committed.unwrap());
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared helpers for the fabricsim examples: compact report printing.
+
+use fabricsim::SummaryReport;
+
+/// Prints a one-line summary of a run.
+pub fn print_summary(label: &str, s: &SummaryReport) {
+    println!(
+        "{label:<28} offered {:>5.0} tps | committed {:>6.1} tps | exec {:>6.3}s | order+validate {:>6.3}s | overall {:>6.3}s | invalid {} | timeouts {}",
+        s.offered_tps,
+        s.committed_tps(),
+        s.execute.latency.mean_s,
+        s.validate.latency.mean_s,
+        s.overall_latency.mean_s,
+        s.committed_invalid,
+        s.ordering_timeouts,
+    );
+}
+
+/// Prints a phase breakdown block.
+pub fn print_phases(s: &SummaryReport) {
+    println!(
+        "  execute : {:>7.1} tps, mean latency {:.3} s",
+        s.execute.throughput_tps, s.execute.latency.mean_s
+    );
+    println!(
+        "  order   : {:>7.1} tps, mean latency {:.3} s",
+        s.order.throughput_tps, s.order.latency.mean_s
+    );
+    println!(
+        "  validate: {:>7.1} tps, mean latency {:.3} s (order+validate)",
+        s.validate.throughput_tps, s.validate.latency.mean_s
+    );
+    println!(
+        "  blocks  : {} cut, mean block time {:.2} s, mean size {:.1} tx",
+        s.blocks_cut, s.mean_block_time_s, s.mean_block_size
+    );
+}

@@ -1,0 +1,17 @@
+//! Shared fixtures for the fabricsim integration tests.
+
+use fabricsim::{OrdererType, PolicySpec, SimConfig};
+
+/// A short end-to-end configuration suitable for integration tests.
+pub fn quick_config(orderer: OrdererType, policy: PolicySpec, rate: f64) -> SimConfig {
+    SimConfig {
+        orderer_type: orderer,
+        policy,
+        arrival_rate_tps: rate,
+        endorsing_peers: 5,
+        duration_secs: 12.0,
+        warmup_secs: 3.0,
+        cooldown_secs: 2.0,
+        ..SimConfig::default()
+    }
+}

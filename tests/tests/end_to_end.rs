@@ -1,0 +1,146 @@
+//! End-to-end pipeline correctness across all three ordering services.
+
+use fabricsim::{OrdererType, PolicySpec, Simulation, TxOutcome, ValidationCode, WorkloadKind};
+use fabricsim_integration::quick_config;
+
+#[test]
+fn every_orderer_commits_a_verified_chain() {
+    for orderer in OrdererType::ALL {
+        let r = Simulation::new(quick_config(orderer, PolicySpec::OrN(5), 80.0)).run_detailed();
+        assert!(r.chain_ok, "{orderer}: chain must verify end-to-end");
+        assert!(r.observer_height > 3, "{orderer}: blocks must commit");
+        let tput = r.summary.committed_tps();
+        assert!(
+            (68.0..92.0).contains(&tput),
+            "{orderer}: committed {tput} tps at 80 offered"
+        );
+        assert_eq!(r.summary.committed_invalid, 0, "{orderer}: no conflicts expected");
+        assert_eq!(r.summary.endorsement_failures, 0);
+    }
+}
+
+#[test]
+fn committed_transactions_carry_policy_satisfying_endorsements() {
+    let r = Simulation::new(quick_config(OrdererType::Solo, PolicySpec::AndX(3), 60.0))
+        .run_detailed();
+    let committed: Vec<_> = r
+        .traces
+        .iter()
+        .filter(|t| matches!(t.outcome, TxOutcome::Committed(ValidationCode::Valid)))
+        .collect();
+    assert!(!committed.is_empty());
+    for t in committed {
+        assert_eq!(
+            t.signatures, 3,
+            "AND3 transactions must carry exactly 3 endorsements"
+        );
+    }
+}
+
+#[test]
+fn or_transactions_carry_single_endorsement() {
+    let r = Simulation::new(quick_config(OrdererType::Solo, PolicySpec::OrN(5), 60.0))
+        .run_detailed();
+    let with_sig: Vec<usize> = r
+        .traces
+        .iter()
+        .filter(|t| t.is_success())
+        .map(|t| t.signatures)
+        .collect();
+    assert!(!with_sig.is_empty());
+    assert!(with_sig.iter().all(|&s| s == 1), "OR needs one endorsement");
+}
+
+#[test]
+fn transfer_workload_conserves_money() {
+    let accounts = 50u32;
+    let mut cfg = quick_config(OrdererType::Solo, PolicySpec::OrN(5), 100.0);
+    cfg.workload = WorkloadKind::Transfer { accounts };
+    let r = Simulation::new(cfg).run_detailed();
+    let total: u64 = r
+        .final_state
+        .iter()
+        .filter(|(k, _)| k.starts_with("acct"))
+        .map(|(_, v)| String::from_utf8_lossy(v).parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(
+        total,
+        accounts as u64 * 1_000_000,
+        "balance sum must be invariant under transfers and MVCC invalidations"
+    );
+    assert!(r.summary.committed_valid > 0);
+}
+
+#[test]
+fn hot_key_rmw_produces_conflicts_but_valid_state() {
+    let mut cfg = quick_config(OrdererType::Solo, PolicySpec::OrN(5), 100.0);
+    cfg.workload = WorkloadKind::KvRmw {
+        keyspace: 4,
+        payload_bytes: 8,
+    };
+    let r = Simulation::new(cfg).run_detailed();
+    assert!(r.summary.committed_invalid > 0, "hot keys must conflict");
+    assert!(r.summary.committed_valid > 0);
+    assert!(r.chain_ok);
+    // Every key in final state is one of the 4 hot keys.
+    for (k, _) in &r.final_state {
+        assert!(k.starts_with("hot"), "unexpected state key {k}");
+    }
+}
+
+#[test]
+fn block_batching_follows_config() {
+    // At 150 tps with BatchSize 100 / 1 s, blocks cut by count at ~0.67 s.
+    let mut cfg = quick_config(OrdererType::Solo, PolicySpec::OrN(5), 150.0);
+    cfg.duration_secs = 20.0;
+    cfg.warmup_secs = 4.0;
+    let r = Simulation::new(cfg).run_detailed();
+    let s = &r.summary;
+    assert!(
+        (80.0..=100.5).contains(&s.mean_block_size),
+        "blocks should fill close to BatchSize: {}",
+        s.mean_block_size
+    );
+    assert!(
+        (0.5..0.9).contains(&s.mean_block_time_s),
+        "count-cut cadence ~0.67 s, got {}",
+        s.mean_block_time_s
+    );
+
+    // At 20 tps the timeout dominates: ~1 s blocks of ~20 txs.
+    let mut cfg = quick_config(OrdererType::Solo, PolicySpec::OrN(5), 20.0);
+    cfg.duration_secs = 20.0;
+    cfg.warmup_secs = 4.0;
+    let r = Simulation::new(cfg).run_detailed();
+    let s = &r.summary;
+    assert!(
+        (0.9..1.2).contains(&s.mean_block_time_s),
+        "timeout-cut cadence ~1 s, got {}",
+        s.mean_block_time_s
+    );
+    assert!(
+        (14.0..28.0).contains(&s.mean_block_size),
+        "~20 txs per timeout block, got {}",
+        s.mean_block_size
+    );
+}
+
+#[test]
+fn phase_timestamps_are_monotone_per_transaction() {
+    let r = Simulation::new(quick_config(OrdererType::Kafka, PolicySpec::OrN(5), 80.0))
+        .run_detailed();
+    let mut checked = 0;
+    for t in r.traces.iter().filter(|t| t.is_success()) {
+        let created = t.created;
+        let endorsed = t.endorsed.unwrap();
+        let submitted = t.submitted.unwrap();
+        let ordered = t.ordered.unwrap();
+        let committed = t.committed.unwrap();
+        assert!(created <= endorsed, "created <= endorsed");
+        assert!(endorsed <= submitted, "endorsed <= submitted");
+        assert!(submitted <= ordered, "submitted <= ordered");
+        assert!(ordered <= committed, "ordered <= committed");
+        checked += 1;
+    }
+    assert!(checked > 100, "only {checked} committed traces");
+}

@@ -1,0 +1,126 @@
+//! Fault injection: crash-fault tolerance of the three ordering services.
+
+use fabricsim::{FaultPlan, OrdererType, PolicySpec, SimConfig, Simulation};
+use fabricsim_integration::quick_config;
+
+fn fault_cfg(orderer: OrdererType) -> SimConfig {
+    let mut cfg = quick_config(orderer, PolicySpec::OrN(5), 100.0);
+    cfg.duration_secs = 28.0;
+    cfg.warmup_secs = 14.0; // measure well after the fault + failover
+    cfg.cooldown_secs = 2.0;
+    cfg
+}
+
+#[test]
+fn solo_orderer_crash_is_a_total_outage() {
+    let faults = FaultPlan {
+        crash_osns: vec![(0, 6.0)],
+        crash_brokers: vec![],
+        ..FaultPlan::default()
+    };
+    let r = Simulation::new(fault_cfg(OrdererType::Solo))
+        .with_faults(faults)
+        .run_detailed();
+    assert_eq!(
+        r.summary.committed_valid, 0,
+        "solo has a single point of failure"
+    );
+    assert!(
+        r.summary.ordering_timeouts > 100,
+        "clients must reject unacknowledged transactions"
+    );
+    assert!(r.chain_ok, "the pre-crash chain stays valid");
+}
+
+#[test]
+fn raft_survives_minority_osn_crash() {
+    let faults = FaultPlan {
+        crash_osns: vec![(0, 6.0)],
+        crash_brokers: vec![],
+        ..FaultPlan::default()
+    };
+    let r = Simulation::new(fault_cfg(OrdererType::Raft))
+        .with_faults(faults)
+        .run_detailed();
+    assert!(r.chain_ok);
+    // Clients keep round-robining to the dead OSN (1 of 3), so up to a third
+    // of the load times out; the rest must keep committing.
+    assert!(
+        r.summary.committed_tps() > 55.0,
+        "raft must keep ordering after a crash: {} tps",
+        r.summary.committed_tps()
+    );
+}
+
+#[test]
+fn raft_loses_liveness_without_majority() {
+    let faults = FaultPlan {
+        crash_osns: vec![(0, 6.0), (1, 6.0)], // 2 of 3 OSNs die
+        crash_brokers: vec![],
+        ..FaultPlan::default()
+    };
+    let r = Simulation::new(fault_cfg(OrdererType::Raft))
+        .with_faults(faults)
+        .run_detailed();
+    assert_eq!(
+        r.summary.committed_valid, 0,
+        "no majority, no commitment (safety over liveness)"
+    );
+    assert!(r.chain_ok, "and no divergent blocks either");
+}
+
+#[test]
+fn kafka_survives_leader_broker_crash() {
+    let faults = FaultPlan {
+        crash_brokers: vec![(0, 6.0)],
+        crash_osns: vec![],
+        ..FaultPlan::default()
+    };
+    let r = Simulation::new(fault_cfg(OrdererType::Kafka))
+        .with_faults(faults)
+        .run_detailed();
+    assert!(r.chain_ok);
+    assert!(
+        r.summary.committed_tps() > 80.0,
+        "zookeeper must fail the partition over: {} tps",
+        r.summary.committed_tps()
+    );
+}
+
+#[test]
+fn kafka_survives_follower_broker_crash_with_isr_shrink() {
+    let faults = FaultPlan {
+        crash_brokers: vec![(1, 6.0)], // a follower, not the leader
+        crash_osns: vec![],
+        ..FaultPlan::default()
+    };
+    let r = Simulation::new(fault_cfg(OrdererType::Kafka))
+        .with_faults(faults)
+        .run_detailed();
+    assert!(r.chain_ok);
+    // The leader shrinks the ISR and the high watermark keeps advancing.
+    assert!(
+        r.summary.committed_tps() > 85.0,
+        "follower loss must not stall the partition: {} tps",
+        r.summary.committed_tps()
+    );
+}
+
+#[test]
+fn kafka_osn_crash_only_loses_that_osns_clients() {
+    let faults = FaultPlan {
+        crash_osns: vec![(2, 6.0)],
+        crash_brokers: vec![],
+        ..FaultPlan::default()
+    };
+    let r = Simulation::new(fault_cfg(OrdererType::Kafka))
+        .with_faults(faults)
+        .run_detailed();
+    assert!(r.chain_ok);
+    let tput = r.summary.committed_tps();
+    assert!(
+        (50.0..90.0).contains(&tput),
+        "about a third of traffic routes to the dead OSN: {tput} tps"
+    );
+    assert!(r.summary.ordering_timeouts > 0);
+}

@@ -1,0 +1,78 @@
+//! Gossip block dissemination end-to-end: leader peers + mesh delivery.
+
+use fabricsim::{GossipConfig, OrdererType, PolicySpec, Simulation, WorkloadKind};
+use fabricsim_integration::quick_config;
+
+#[test]
+fn gossip_delivery_matches_direct_delivery() {
+    let mut direct = quick_config(OrdererType::Raft, PolicySpec::OrN(5), 100.0);
+    direct.committing_peers = 4; // a few non-endorsing committers to feed
+    let d = Simulation::new(direct.clone()).run_detailed();
+
+    let mut gossip = direct;
+    gossip.gossip = Some(GossipConfig::default());
+    let g = Simulation::new(gossip).run_detailed();
+
+    assert!(g.chain_ok, "gossip-delivered chain verifies");
+    // Same committed work within a small tolerance (gossip adds a hop or two
+    // of latency but loses nothing).
+    let (dt, gt) = (d.summary.committed_tps(), g.summary.committed_tps());
+    assert!(
+        (dt - gt).abs() < 8.0,
+        "direct {dt} tps vs gossip {gt} tps"
+    );
+    assert_eq!(g.summary.endorsement_failures, 0);
+    // The observer still reaches the same height ballpark.
+    assert!(g.observer_height + 3 >= d.observer_height);
+}
+
+#[test]
+fn gossip_serves_many_committers_through_two_leaders() {
+    let mut cfg = quick_config(OrdererType::Solo, PolicySpec::OrN(5), 80.0);
+    cfg.committing_peers = 10; // 15 peers total, only 2 hear the orderer
+    cfg.gossip = Some(GossipConfig {
+        leader_peers: 2,
+        fanout: 3,
+        anti_entropy_ms: 300,
+    });
+    cfg.duration_secs = 16.0;
+    let r = Simulation::new(cfg).run_detailed();
+    assert!(r.chain_ok);
+    assert!(
+        r.summary.committed_tps() > 70.0,
+        "observer fed via gossip: {} tps",
+        r.summary.committed_tps()
+    );
+    assert!(r.observer_height > 8);
+}
+
+#[test]
+fn gossip_latency_overhead_is_bounded() {
+    let mut cfg = quick_config(OrdererType::Solo, PolicySpec::OrN(5), 100.0);
+    cfg.committing_peers = 6;
+    let direct = Simulation::new(cfg.clone()).run();
+    cfg.gossip = Some(GossipConfig::default());
+    let gossip = Simulation::new(cfg).run();
+    let overhead = gossip.validate.latency.mean_s - direct.validate.latency.mean_s;
+    assert!(
+        overhead < 0.35,
+        "gossip adds at most a pull period of latency: {overhead:.3}s"
+    );
+}
+
+#[test]
+fn gossip_works_with_transfer_workload() {
+    let mut cfg = quick_config(OrdererType::Kafka, PolicySpec::AndX(2), 80.0);
+    cfg.workload = WorkloadKind::Transfer { accounts: 100 };
+    cfg.committing_peers = 3;
+    cfg.gossip = Some(GossipConfig::default());
+    let r = Simulation::new(cfg).run_detailed();
+    assert!(r.chain_ok);
+    let total: u64 = r
+        .final_state
+        .iter()
+        .filter(|(k, _)| k.starts_with("acct"))
+        .map(|(_, v)| String::from_utf8_lossy(v).parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(total, 100 * 1_000_000, "conservation holds over gossip");
+}

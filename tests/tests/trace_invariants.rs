@@ -1,0 +1,124 @@
+//! Property-based invariants over whole simulation runs: for random small
+//! configurations, accounting must balance, timestamps must be ordered, and
+//! the chain must verify.
+
+use fabricsim::{OrdererType, PolicySpec, SimConfig, Simulation, TxOutcome};
+use proptest::prelude::*;
+
+fn arb_orderer() -> impl Strategy<Value = OrdererType> {
+    prop_oneof![
+        Just(OrdererType::Solo),
+        Just(OrdererType::Kafka),
+        Just(OrdererType::Raft),
+    ]
+}
+
+fn arb_policy(max_orgs: u32) -> impl Strategy<Value = PolicySpec> {
+    (1..=max_orgs).prop_flat_map(move |n| {
+        prop_oneof![
+            Just(PolicySpec::OrN(n)),
+            Just(PolicySpec::AndX(n)),
+            (1..=n).prop_map(move |k| PolicySpec::KOfN(k as usize, n)),
+        ]
+    })
+}
+
+proptest! {
+    // Whole-run properties are expensive; a handful of random cases per CI
+    // run still covers the orderer x policy x rate space well over time.
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn run_invariants_hold(
+        seed in 0u64..1000,
+        orderer in arb_orderer(),
+        policy in arb_policy(3),
+        rate in 20f64..120.0,
+    ) {
+        let cfg = SimConfig {
+            seed,
+            orderer_type: orderer,
+            policy,
+            arrival_rate_tps: rate,
+            endorsing_peers: 3,
+            duration_secs: 8.0,
+            warmup_secs: 2.0,
+            cooldown_secs: 1.0,
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(cfg).run_detailed();
+
+        // 1. The observer's chain always verifies.
+        prop_assert!(r.chain_ok);
+
+        // 2. Outcome accounting: every trace is in exactly one terminal (or
+        //    in-flight) state, and committed+rejected never exceeds created.
+        let mut committed = 0usize;
+        let mut rejected = 0usize;
+        let mut in_flight = 0usize;
+        for t in &r.traces {
+            match t.outcome {
+                TxOutcome::Committed(_) => committed += 1,
+                TxOutcome::OverloadDropped
+                | TxOutcome::EndorsementFailed
+                | TxOutcome::OrderingTimeout => rejected += 1,
+                TxOutcome::InFlight => in_flight += 1,
+            }
+        }
+        prop_assert_eq!(committed + rejected + in_flight, r.traces.len());
+
+        // 3. Phase timestamps are monotone for every trace that has them.
+        for t in &r.traces {
+            let stages = [
+                Some(t.created),
+                t.proposal_sent,
+                t.endorsed,
+                t.submitted,
+                t.ordered,
+                t.committed,
+            ];
+            let present: Vec<_> = stages.iter().flatten().collect();
+            for w in present.windows(2) {
+                prop_assert!(w[0] <= w[1], "phase timestamps must be monotone");
+            }
+        }
+
+        // 4. Blocks respect BatchSize.
+        for (_, size) in &r.block_cuts {
+            prop_assert!(*size <= 100, "block of {size} exceeds BatchSize");
+        }
+
+        // 5. Valid commits never exceed transactions created.
+        prop_assert!(r.summary.committed_valid <= r.traces.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 4,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn replaying_a_seed_is_identical(seed in 0u64..1_000_000) {
+        let cfg = SimConfig {
+            seed,
+            orderer_type: OrdererType::Solo,
+            policy: PolicySpec::OrN(2),
+            arrival_rate_tps: 50.0,
+            endorsing_peers: 2,
+            duration_secs: 6.0,
+            warmup_secs: 1.0,
+            cooldown_secs: 1.0,
+            ..SimConfig::default()
+        };
+        let a = Simulation::new(cfg.clone()).run_detailed();
+        let b = Simulation::new(cfg).run_detailed();
+        prop_assert_eq!(a.traces.len(), b.traces.len());
+        prop_assert_eq!(a.block_cuts, b.block_cuts);
+        prop_assert_eq!(a.final_state, b.final_state);
+    }
+}
