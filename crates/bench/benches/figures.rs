@@ -1,11 +1,15 @@
-//! One Criterion bench per table/figure: smoke-scale versions of the
-//! experiment harness, so `cargo bench` exercises every reproduction path.
-//! (The paper-scale regeneration lives in the `experiments` binary — these
-//! benches shrink the virtual duration to keep `cargo bench` tractable.)
+//! One bench per table/figure: smoke-scale versions of the experiment
+//! harness, so `cargo bench` exercises every reproduction path. (The
+//! paper-scale regeneration lives in the `experiments` binary — these benches
+//! shrink the virtual duration to keep `cargo bench` tractable.)
+//!
+//! Runs on the in-repo [`fabricsim_bench::microbench`] harness:
+//! `cargo bench --bench figures [-- FILTER]`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
 
 use fabricsim::{OrdererType, PolicySpec, SimConfig, Simulation, WorkloadKind};
+use fabricsim_bench::microbench::Runner;
 
 fn smoke_cfg(orderer: OrdererType, policy: PolicySpec, rate: f64) -> SimConfig {
     SimConfig {
@@ -24,113 +28,81 @@ fn run(cfg: SimConfig) -> f64 {
     Simulation::new(cfg).run().committed_tps()
 }
 
-fn bench_fig2_overall_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_overall_throughput");
-    g.sample_size(10);
+fn main() {
+    // A full smoke sim costs tens of milliseconds; keep a tight batch budget.
+    let mut r = Runner::from_args().with_budget(Duration::from_millis(800));
+
     for orderer in OrdererType::ALL {
-        g.bench_function(format!("{orderer}_or10_sat"), |b| {
-            b.iter(|| run(smoke_cfg(orderer, PolicySpec::OrN(10), 400.0)))
-        });
+        r.bench(
+            &format!("fig2_overall_throughput/{orderer}_or10_sat"),
+            || run(smoke_cfg(orderer, PolicySpec::OrN(10), 400.0)),
+        );
     }
-    g.finish();
-}
 
-fn bench_fig3_overall_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_overall_latency");
-    g.sample_size(10);
-    g.bench_function("solo_or10_below_knee", |b| {
-        b.iter(|| {
-            let r = Simulation::new(smoke_cfg(OrdererType::Solo, PolicySpec::OrN(10), 150.0)).run();
-            r.overall_latency.mean_s
-        })
+    r.bench("fig3_overall_latency/solo_or10_below_knee", || {
+        let rep = Simulation::new(smoke_cfg(OrdererType::Solo, PolicySpec::OrN(10), 150.0)).run();
+        rep.overall_latency.mean_s
     });
-    g.finish();
-}
 
-fn bench_fig4_fig5_phase_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_fig5_phase_throughput");
-    g.sample_size(10);
-    g.bench_function("or10_phases", |b| {
-        b.iter(|| {
-            let r = Simulation::new(smoke_cfg(OrdererType::Solo, PolicySpec::OrN(10), 300.0)).run();
-            (r.execute.throughput_tps, r.order.throughput_tps, r.validate.throughput_tps)
-        })
+    r.bench("fig4_fig5_phase_throughput/or10_phases", || {
+        let rep = Simulation::new(smoke_cfg(OrdererType::Solo, PolicySpec::OrN(10), 300.0)).run();
+        (
+            rep.execute.throughput_tps,
+            rep.order.throughput_tps,
+            rep.validate.throughput_tps,
+        )
     });
-    g.bench_function("and5_phases", |b| {
-        b.iter(|| {
-            let r = Simulation::new(smoke_cfg(OrdererType::Solo, PolicySpec::AndX(5), 300.0)).run();
-            (r.execute.throughput_tps, r.order.throughput_tps, r.validate.throughput_tps)
-        })
+    r.bench("fig4_fig5_phase_throughput/and5_phases", || {
+        let rep = Simulation::new(smoke_cfg(OrdererType::Solo, PolicySpec::AndX(5), 300.0)).run();
+        (
+            rep.execute.throughput_tps,
+            rep.order.throughput_tps,
+            rep.validate.throughput_tps,
+        )
     });
-    g.finish();
-}
 
-fn bench_fig6_fig7_phase_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_fig7_phase_latency");
-    g.sample_size(10);
     for (label, policy) in [("or10", PolicySpec::OrN(10)), ("and5", PolicySpec::AndX(5))] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let r = Simulation::new(smoke_cfg(OrdererType::Solo, policy.clone(), 150.0)).run();
-                (r.execute.latency.mean_s, r.validate.latency.mean_s)
-            })
+        r.bench(&format!("fig6_fig7_phase_latency/{label}"), || {
+            let rep = Simulation::new(smoke_cfg(OrdererType::Solo, policy.clone(), 150.0)).run();
+            (rep.execute.latency.mean_s, rep.validate.latency.mean_s)
         });
     }
-    g.finish();
-}
 
-fn bench_table2_table3_peer_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_table3_peer_scaling");
-    g.sample_size(10);
     for n in [1u32, 5] {
-        g.bench_function(format!("or10_n{n}"), |b| {
-            b.iter(|| {
-                let mut cfg = smoke_cfg(OrdererType::Solo, PolicySpec::OrN(10), 60.0 * n as f64);
-                cfg.endorsing_peers = n;
-                run(cfg)
-            })
+        r.bench(&format!("table2_table3_peer_scaling/or10_n{n}"), || {
+            let mut cfg = smoke_cfg(OrdererType::Solo, PolicySpec::OrN(10), 60.0 * n as f64);
+            cfg.endorsing_peers = n;
+            run(cfg)
         });
     }
-    g.finish();
-}
 
-fn bench_fig8_osn_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_osn_scaling");
-    g.sample_size(10);
     for (orderer, osns) in [(OrdererType::Kafka, 4u32), (OrdererType::Raft, 12)] {
-        g.bench_function(format!("{orderer}_{osns}osns"), |b| {
-            b.iter(|| {
-                let mut cfg = smoke_cfg(orderer, PolicySpec::OrN(10), 300.0);
-                cfg.osn_count = osns;
-                run(cfg)
-            })
+        r.bench(&format!("fig8_osn_scaling/{orderer}_{osns}osns"), || {
+            let mut cfg = smoke_cfg(orderer, PolicySpec::OrN(10), 300.0);
+            cfg.osn_count = osns;
+            run(cfg)
         });
     }
-    g.finish();
-}
 
-fn bench_ablation_mvcc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_mvcc_conflicts");
-    g.sample_size(10);
-    g.bench_function("hot_keyspace_8", |b| {
-        b.iter(|| {
-            let mut cfg = smoke_cfg(OrdererType::Solo, PolicySpec::OrN(10), 120.0);
-            cfg.workload = WorkloadKind::KvRmw { keyspace: 8, payload_bytes: 1 };
-            let r = Simulation::new(cfg).run();
-            (r.committed_valid, r.committed_invalid)
-        })
+    r.bench("ablation_mvcc_conflicts/hot_keyspace_8", || {
+        let mut cfg = smoke_cfg(OrdererType::Solo, PolicySpec::OrN(10), 120.0);
+        cfg.workload = WorkloadKind::KvRmw {
+            keyspace: 8,
+            payload_bytes: 1,
+        };
+        let rep = Simulation::new(cfg).run();
+        (rep.committed_valid, rep.committed_invalid)
     });
-    g.finish();
-}
 
-criterion_group!(
-    figures,
-    bench_fig2_overall_throughput,
-    bench_fig3_overall_latency,
-    bench_fig4_fig5_phase_throughput,
-    bench_fig6_fig7_phase_latency,
-    bench_table2_table3_peer_scaling,
-    bench_fig8_osn_scaling,
-    bench_ablation_mvcc
-);
-criterion_main!(figures);
+    // Observability overhead gate: the same smoke run with tracing off
+    // (default) vs. on. The "off" number must match the pre-obs baseline
+    // within noise; the "on" number quantifies the cost of full event capture.
+    r.bench("obs_overhead/smoke_tracing_off", || {
+        run(smoke_cfg(OrdererType::Solo, PolicySpec::OrN(10), 200.0))
+    });
+    r.bench("obs_overhead/smoke_tracing_on", || {
+        let mut cfg = smoke_cfg(OrdererType::Solo, PolicySpec::OrN(10), 200.0);
+        cfg.obs.trace_events = true;
+        Simulation::new(cfg).run_detailed().summary.committed_tps()
+    });
+}

@@ -1,19 +1,20 @@
-//! Criterion micro-benchmarks for the hot primitives of the pipeline:
-//! hashing, signing/verification, policy evaluation, block cutting, MVCC,
-//! ledger commit, Raft/Kafka state-machine steps and the DES kernel itself.
+//! Micro-benchmarks for the hot primitives of the pipeline: hashing,
+//! signing/verification, policy evaluation, block cutting, MVCC, ledger
+//! commit, Raft/Kafka state-machine steps and the DES kernel itself.
+//!
+//! Runs on the in-repo [`fabricsim_bench::microbench`] harness (Criterion is
+//! unavailable offline): `cargo bench --bench micro [-- FILTER]`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
+use fabricsim_bench::microbench::Runner;
 use fabricsim_crypto::{sha256, KeyPair, MerkleTree};
-use fabricsim_des::{Kernel, SimDuration, SimTime};
+use fabricsim_des::{Kernel, SimDuration, SimTime, Station};
 use fabricsim_kafka::{Broker, BrokerMsg, KafkaConfig, Record};
 use fabricsim_ledger::Ledger;
 use fabricsim_policy::Policy;
 use fabricsim_raft::{RaftConfig, RaftNode, Role};
-use fabricsim_types::{
-    codec, ChannelId, ClientId, OrgId, Principal, Proposal, RwSet, Transaction,
-};
+use fabricsim_types::{codec, ChannelId, ClientId, OrgId, Principal, Proposal, RwSet, Transaction};
 use fabricsim_types::{Block, ValidationCode};
 
 fn tx(nonce: u64) -> Transaction {
@@ -32,186 +33,169 @@ fn tx(nonce: u64) -> Transaction {
     }
 }
 
-fn bench_crypto(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto");
+fn bench_crypto(r: &mut Runner) {
     let data = vec![0xABu8; 1024];
-    g.throughput(Throughput::Bytes(1024));
-    g.bench_function("sha256_1k", |b| b.iter(|| sha256(black_box(&data))));
-    g.throughput(Throughput::Elements(1));
+    r.bench("crypto/sha256_1k", || sha256(black_box(&data)));
     let kp = KeyPair::from_seed(b"bench");
-    g.bench_function("schnorr_sign", |b| b.iter(|| kp.sign(black_box(&data))));
+    r.bench("crypto/schnorr_sign", || kp.sign(black_box(&data)));
     let sig = kp.sign(&data);
-    g.bench_function("schnorr_verify", |b| {
-        b.iter(|| kp.public.verify(black_box(&data), &sig))
+    r.bench("crypto/schnorr_verify", || {
+        kp.public.verify(black_box(&data), &sig)
     });
     let leaves: Vec<Vec<u8>> = (0..100).map(|i| format!("tx{i}").into_bytes()).collect();
-    g.bench_function("merkle_root_100", |b| {
-        b.iter(|| MerkleTree::from_leaves(black_box(leaves.iter())))
+    r.bench("crypto/merkle_root_100", || {
+        MerkleTree::from_leaves(black_box(leaves.iter()))
     });
-    g.finish();
 }
 
-fn bench_policy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("policy");
+fn bench_policy(r: &mut Runner) {
     let or10 = Policy::or_of_orgs(10);
     let and5 = Policy::and_of_orgs(5);
     let endorsers: Vec<Principal> = (1..=5).map(|i| Principal::peer(OrgId(i))).collect();
-    g.bench_function("eval_or10", |b| {
-        b.iter(|| or10.is_satisfied_by(black_box(&endorsers[..1])))
+    r.bench("policy/eval_or10", || {
+        or10.is_satisfied_by(black_box(&endorsers[..1]))
     });
-    g.bench_function("eval_and5", |b| {
-        b.iter(|| and5.is_satisfied_by(black_box(&endorsers)))
+    r.bench("policy/eval_and5", || {
+        and5.is_satisfied_by(black_box(&endorsers))
     });
-    g.bench_function("parse", |b| {
-        b.iter(|| "OutOf(2,'Org1.peer','Org2.peer','Org3.peer')".parse::<Policy>())
+    r.bench("policy/parse", || {
+        "OutOf(2,'Org1.peer','Org2.peer','Org3.peer')".parse::<Policy>()
     });
-    g.bench_function("minimal_sets_k_of_n_3_10", |b| {
-        let p = Policy::k_of_n_orgs(3, 10);
-        b.iter(|| p.minimal_satisfying_sets())
+    let p = Policy::k_of_n_orgs(3, 10);
+    r.bench("policy/minimal_sets_k_of_n_3_10", || {
+        p.minimal_satisfying_sets()
     });
-    g.finish();
 }
 
-fn bench_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("codec");
+fn bench_codec(r: &mut Runner) {
     let t = tx(1);
     let bytes = codec::encode_tx(&t);
-    g.bench_function("encode_tx", |b| b.iter(|| codec::encode_tx(black_box(&t))));
-    g.bench_function("decode_tx", |b| b.iter(|| codec::decode_tx(black_box(&bytes))));
+    r.bench("codec/encode_tx", || codec::encode_tx(black_box(&t)));
+    r.bench("codec/decode_tx", || codec::decode_tx(black_box(&bytes)));
     let block = Block::assemble(
         ChannelId::default_channel(),
         0,
         fabricsim_crypto::Hash256::ZERO,
         (0..100).map(tx).collect(),
     );
-    g.throughput(Throughput::Elements(100));
-    g.bench_function("encode_block_100tx", |b| {
-        b.iter(|| codec::encode_block(black_box(&block)))
+    r.bench("codec/encode_block_100tx", || {
+        codec::encode_block(black_box(&block))
     });
-    g.finish();
 }
 
-fn bench_ledger(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ledger");
-    g.throughput(Throughput::Elements(100));
-    g.bench_function("validate_and_commit_100tx_block", |b| {
-        b.iter_batched(
-            || {
-                let ledger = Ledger::new("bench");
-                let block = Block::assemble(
-                    ChannelId::default_channel(),
-                    0,
-                    fabricsim_crypto::Hash256::ZERO,
-                    (0..100).map(tx).collect(),
-                );
-                (ledger, block)
-            },
-            |(mut ledger, block)| {
-                let flags = ledger.validate_and_commit(block, vec![None; 100]).unwrap();
-                assert!(flags.iter().all(|f| *f == ValidationCode::Valid));
-                ledger
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_ledger(r: &mut Runner) {
+    r.bench("ledger/validate_and_commit_100tx_block", || {
+        let mut ledger = Ledger::new("bench");
+        let block = Block::assemble(
+            ChannelId::default_channel(),
+            0,
+            fabricsim_crypto::Hash256::ZERO,
+            (0..100).map(tx).collect(),
+        );
+        let flags = ledger.validate_and_commit(block, vec![None; 100]).unwrap();
+        assert!(flags.iter().all(|f| *f == ValidationCode::Valid));
+        ledger
     });
-    g.finish();
 }
 
-fn bench_raft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("raft");
-    g.bench_function("propose_replicate_commit", |b| {
-        // Single-node cluster: propose -> commit in one call.
-        let mut node = RaftNode::new(1, vec![1], RaftConfig::default(), 7);
-        while node.role() != Role::Leader {
-            node.tick();
-        }
-        b.iter(|| node.propose(black_box(b"tx".to_vec())).unwrap())
+fn bench_raft(r: &mut Runner) {
+    let mut node = RaftNode::new(1, vec![1], RaftConfig::default(), 7);
+    while node.role() != Role::Leader {
+        node.tick();
+    }
+    r.bench("raft/propose_replicate_commit", || {
+        node.propose(black_box(b"tx".to_vec())).unwrap()
     });
-    g.bench_function("follower_append_100", |b| {
-        b.iter_batched(
-            || RaftNode::new(2, vec![1, 2], RaftConfig::default(), 7),
-            |mut follower| {
-                let entries: Vec<fabricsim_raft::Entry> = (1..=100)
-                    .map(|i| fabricsim_raft::Entry {
-                        term: 1,
-                        index: i,
-                        data: b"tx".to_vec(),
-                    })
-                    .collect();
-                follower.step(
-                    1,
-                    fabricsim_raft::Message::AppendEntries {
-                        term: 1,
-                        prev_log_index: 0,
-                        prev_log_term: 0,
-                        entries,
-                        leader_commit: 100,
-                    },
-                )
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_kafka(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kafka");
-    g.bench_function("produce_single_replica", |b| {
-        let mut broker = Broker::new(1, KafkaConfig::default());
-        broker.step(BrokerMsg::AppointLeader {
-            epoch: 1,
-            replicas: vec![1],
-        });
-        b.iter(|| {
-            broker.step(BrokerMsg::Produce {
-                reply_to: 0,
-                record: Record::payload(black_box(b"tx".to_vec())),
+    r.bench("raft/follower_append_100", || {
+        let mut follower = RaftNode::new(2, vec![1, 2], RaftConfig::default(), 7);
+        let entries: Vec<fabricsim_raft::Entry> = (1..=100)
+            .map(|i| fabricsim_raft::Entry {
+                term: 1,
+                index: i,
+                data: b"tx".to_vec(),
             })
-        })
+            .collect();
+        follower.step(
+            1,
+            fabricsim_raft::Message::AppendEntries {
+                term: 1,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries,
+                leader_commit: 100,
+            },
+        )
     });
-    g.finish();
 }
 
-fn bench_des_kernel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("des");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("kernel_10k_events", |b| {
-        b.iter(|| {
-            let mut k: Kernel<u64> = Kernel::new();
-            let mut count = 0u64;
-            for i in 0..10_000u64 {
-                k.schedule(SimTime::from_nanos(i), |w: &mut u64, _| *w += 1);
-            }
-            k.run(&mut count);
-            assert_eq!(count, 10_000);
+fn bench_kafka(r: &mut Runner) {
+    let mut broker = Broker::new(1, KafkaConfig::default());
+    broker.step(BrokerMsg::AppointLeader {
+        epoch: 1,
+        replicas: vec![1],
+    });
+    r.bench("kafka/produce_single_replica", || {
+        broker.step(BrokerMsg::Produce {
+            reply_to: 0,
+            record: Record::payload(black_box(b"tx".to_vec())),
         })
     });
-    g.bench_function("kernel_cascade_10k", |b| {
-        b.iter(|| {
-            let mut k: Kernel<u64> = Kernel::new();
-            fn step(w: &mut u64, k: &mut Kernel<u64>) {
-                *w += 1;
-                if *w < 10_000 {
-                    k.schedule_in(SimDuration::from_nanos(1), step);
-                }
-            }
-            let mut count = 0u64;
-            k.schedule(SimTime::ZERO, step);
-            k.run(&mut count);
-        })
-    });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_crypto,
-    bench_policy,
-    bench_codec,
-    bench_ledger,
-    bench_raft,
-    bench_kafka,
-    bench_des_kernel
-);
-criterion_main!(benches);
+fn bench_des_kernel(r: &mut Runner) {
+    r.bench("des/kernel_10k_events", || {
+        let mut k: Kernel<u64> = Kernel::new();
+        let mut count = 0u64;
+        for i in 0..10_000u64 {
+            k.schedule(SimTime::from_nanos(i), |w: &mut u64, _| *w += 1);
+        }
+        k.run(&mut count);
+        assert_eq!(count, 10_000);
+    });
+    r.bench("des/kernel_cascade_10k", || {
+        let mut k: Kernel<u64> = Kernel::new();
+        fn step(w: &mut u64, k: &mut Kernel<u64>) {
+            *w += 1;
+            if *w < 10_000 {
+                k.schedule_in(SimDuration::from_nanos(1), step);
+            }
+        }
+        let mut count = 0u64;
+        k.schedule(SimTime::ZERO, step);
+        k.run(&mut count);
+    });
+    // The observability acceptance gate: a station submit loop must cost the
+    // same whether or not a (disabled) tracer check guards each submission.
+    r.bench("des/station_submit_10k_untraced", || {
+        let mut s = Station::new("bench", 2);
+        let d = SimDuration::from_micros(3);
+        for i in 0..10_000u64 {
+            s.submit(SimTime::from_nanos(i * 1_000), d);
+        }
+        s.jobs()
+    });
+    r.bench("des/station_submit_10k_disabled_tracer", || {
+        let sink = fabricsim_obs::EventSink::disabled();
+        let mut s = Station::new("bench", 2);
+        let d = SimDuration::from_micros(3);
+        for i in 0..10_000u64 {
+            let now = SimTime::from_nanos(i * 1_000);
+            s.submit(now, d);
+            if sink.enabled() {
+                unreachable!("sink is disabled");
+            }
+        }
+        s.jobs()
+    });
+}
+
+fn main() {
+    let mut r = Runner::from_args();
+    bench_crypto(&mut r);
+    bench_policy(&mut r);
+    bench_codec(&mut r);
+    bench_ledger(&mut r);
+    bench_raft(&mut r);
+    bench_kafka(&mut r);
+    bench_des_kernel(&mut r);
+}

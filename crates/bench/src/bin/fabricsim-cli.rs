@@ -23,22 +23,25 @@
 //!   --payload BYTES                  value size for kvput/rmw (default 1)
 //!   --seed SEED                      RNG seed (default 42)
 //!   --csv                            emit a CSV row instead of the report
+//!   --json                           emit a JSON summary (with bottleneck
+//!                                    attribution) instead of the report
+//!   --trace-out FILE                 record phase events, write JSONL trace
+//!   --metrics-out FILE               write sampled time-series as CSV
 //! ```
 
 use std::env;
 use std::process::exit;
 
 use fabricsim::report::{to_csv, Row};
-use fabricsim::{
-    predict, OrdererType, PolicySpec, SimConfig, Simulation, WorkloadKind,
-};
+use fabricsim::{predict, OrdererType, PolicySpec, SimConfig, Simulation, WorkloadKind};
 
 fn usage() -> ! {
     eprintln!("usage: fabricsim [--orderer solo|kafka|raft] [--peers N] [--policy OR10|AND5|...]");
     eprintln!("                 [--rate TPS] [--duration S] [--batch-size N] [--batch-timeout MS]");
     eprintln!("                 [--osns N] [--channels N] [--brokers N] [--zk N]");
     eprintln!("                 [--workload kvput|rmw|transfer|smallbank]");
-    eprintln!("                 [--payload BYTES] [--seed N] [--csv]");
+    eprintln!("                 [--payload BYTES] [--seed N] [--csv] [--json]");
+    eprintln!("                 [--trace-out FILE] [--metrics-out FILE]");
     exit(2);
 }
 
@@ -62,6 +65,9 @@ fn main() {
     let mut payload = 1usize;
     let mut workload = "kvput".to_string();
     let mut csv = false;
+    let mut json = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
 
     let args: Vec<String> = env::args().skip(1).collect();
     let mut it = args.iter();
@@ -101,6 +107,9 @@ fn main() {
             "--payload" => payload = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.seed = value().parse().unwrap_or_else(|_| usage()),
             "--csv" => csv = true,
+            "--json" => json = true,
+            "--trace-out" => trace_out = Some(value()),
+            "--metrics-out" => metrics_out = Some(value()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -109,8 +118,13 @@ fn main() {
         }
     }
     cfg.workload = match workload.as_str() {
-        "kvput" => WorkloadKind::KvPut { payload_bytes: payload },
-        "rmw" => WorkloadKind::KvRmw { keyspace: 64, payload_bytes: payload },
+        "kvput" => WorkloadKind::KvPut {
+            payload_bytes: payload,
+        },
+        "rmw" => WorkloadKind::KvRmw {
+            keyspace: 64,
+            payload_bytes: payload,
+        },
         "transfer" => WorkloadKind::Transfer { accounts: 200 },
         "smallbank" => WorkloadKind::Smallbank { customers: 100 },
         other => {
@@ -118,6 +132,9 @@ fn main() {
             usage()
         }
     };
+    if trace_out.is_some() {
+        cfg.obs.trace_events = true;
+    }
     if let Err(e) = cfg.validate() {
         eprintln!("invalid configuration: {e}");
         exit(2);
@@ -133,10 +150,36 @@ fn main() {
     let result = Simulation::new(cfg).run_detailed();
     let s = &result.summary;
 
+    if let Some(path) = &trace_out {
+        if let Err(e) = std::fs::write(path, result.observability.events_jsonl()) {
+            eprintln!("cannot write trace to {path}: {e}");
+            exit(1);
+        }
+    }
+    if let Some(path) = &metrics_out {
+        let text = result
+            .observability
+            .metrics
+            .as_ref()
+            .map(|m| m.to_csv())
+            .unwrap_or_default();
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            exit(1);
+        }
+    }
+
+    if json {
+        println!("{}", json_summary(&label, &result));
+        return;
+    }
     if csv {
         print!(
             "{}",
-            to_csv(&[Row { label, summary: s.clone() }])
+            to_csv(&[Row {
+                label,
+                summary: s.clone()
+            }])
         );
         return;
     }
@@ -162,7 +205,10 @@ fn main() {
         s.committed_valid, s.committed_invalid, s.overload_dropped, s.ordering_timeouts, s.endorsement_failures
     );
     let (hot_name, hot_load) = result.utilization.hottest();
-    println!("bottleneck : {hot_name} at {:.0}% utilization", hot_load * 100.0);
+    println!(
+        "bottleneck : {hot_name} at {:.0}% utilization",
+        hot_load * 100.0
+    );
     println!(
         "analytic   : peak {:.0} tps ({} binds) | exec {:.3}s | o+v {:.3}s | block {:.2}s",
         prediction.peak_committed_tps,
@@ -175,4 +221,87 @@ fn main() {
         "ledger     : height {}, chain verified: {}",
         result.observer_height, result.chain_ok
     );
+    println!();
+    print!("{}", result.observability.bottleneck.render_table());
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Hand-rolled JSON summary of one run: per-phase throughput/latency, outcome
+/// counts, failure rates, the end-to-end latency histogram and the bottleneck
+/// attribution report. One object, printed on a single line.
+fn json_summary(label: &str, result: &fabricsim::RunResult) -> String {
+    let s = &result.summary;
+    let h = &result.observability.e2e_hist;
+    let (hot_name, hot_load) = result.utilization.hottest();
+    let hist = if h.is_empty() {
+        "null".to_string()
+    } else {
+        format!(
+            "{{\"count\":{},\"mean_s\":{:.6},\"p50_s\":{:.6},\"p95_s\":{:.6},\"p99_s\":{:.6},\"max_s\":{:.6}}}",
+            h.count(),
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+            h.quantile(1.0),
+        )
+    };
+    format!(
+        concat!(
+            "{{\"label\":\"{label}\",",
+            "\"offered_tps\":{offered:.3},",
+            "\"execute_tps\":{exec_tps:.3},\"order_tps\":{order_tps:.3},\"validate_tps\":{valid_tps:.3},",
+            "\"execute_latency_mean_s\":{exec_lat:.6},",
+            "\"order_validate_latency_mean_s\":{ov_lat:.6},",
+            "\"overall_latency\":{{\"mean_s\":{o_mean:.6},\"p50_s\":{o_p50:.6},\"p95_s\":{o_p95:.6},\"p99_s\":{o_p99:.6},\"max_s\":{o_max:.6}}},",
+            "\"created\":{created},\"committed_valid\":{valid},\"committed_invalid\":{invalid},",
+            "\"overload_dropped\":{dropped},\"ordering_timeouts\":{timeouts},",
+            "\"endorsement_failures\":{endo_fail},",
+            "\"ordering_timeouts_per_s\":{timeout_rate:.6},\"overload_dropped_per_s\":{drop_rate:.6},",
+            "\"blocks_cut\":{blocks},\"mean_block_time_s\":{blk_t:.6},\"mean_block_size\":{blk_n:.3},",
+            "\"hottest_station\":\"{hot}\",\"hottest_utilization\":{hot_load:.6},",
+            "\"e2e_histogram\":{hist},",
+            "\"bottleneck\":{bottleneck}}}"
+        ),
+        label = json_escape(label),
+        offered = s.offered_tps,
+        exec_tps = s.execute.throughput_tps,
+        order_tps = s.order.throughput_tps,
+        valid_tps = s.validate.throughput_tps,
+        exec_lat = s.execute.latency.mean_s,
+        ov_lat = s.validate.latency.mean_s,
+        o_mean = s.overall_latency.mean_s,
+        o_p50 = s.overall_latency.p50_s,
+        o_p95 = s.overall_latency.p95_s,
+        o_p99 = s.overall_latency.p99_s,
+        o_max = s.overall_latency.max_s,
+        created = s.created,
+        valid = s.committed_valid,
+        invalid = s.committed_invalid,
+        dropped = s.overload_dropped,
+        timeouts = s.ordering_timeouts,
+        endo_fail = s.endorsement_failures,
+        timeout_rate = s.ordering_timeouts_per_s,
+        drop_rate = s.overload_dropped_per_s,
+        blocks = s.blocks_cut,
+        blk_t = s.mean_block_time_s,
+        blk_n = s.mean_block_size,
+        hot = json_escape(hot_name),
+        hot_load = hot_load,
+        hist = hist,
+        bottleneck = result.observability.bottleneck.to_json(),
+    )
 }

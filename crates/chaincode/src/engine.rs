@@ -23,7 +23,9 @@ pub enum ChaincodeError {
 impl fmt::Display for ChaincodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ChaincodeError::UnknownFunction(name) => write!(f, "unknown chaincode function {name:?}"),
+            ChaincodeError::UnknownFunction(name) => {
+                write!(f, "unknown chaincode function {name:?}")
+            }
             ChaincodeError::BadArguments(msg) => write!(f, "bad chaincode arguments: {msg}"),
             ChaincodeError::Rejected(msg) => write!(f, "chaincode rejected the invocation: {msg}"),
             ChaincodeError::NotInstalled(name) => write!(f, "chaincode {name:?} is not installed"),
@@ -55,7 +57,11 @@ pub trait Chaincode: fmt::Debug + Send {
     ///
     /// # Errors
     /// Any [`ChaincodeError`]; the transaction then receives no endorsement.
-    fn invoke(&self, stub: &mut ChaincodeStub<'_>, args: &[Vec<u8>]) -> Result<Vec<u8>, ChaincodeError>;
+    fn invoke(
+        &self,
+        stub: &mut ChaincodeStub<'_>,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, ChaincodeError>;
 }
 
 /// The chaincodes installed on a peer, by name.
@@ -72,7 +78,8 @@ impl ChaincodeRegistry {
 
     /// Installs a chaincode; replaces any previous version of the same name.
     pub fn install(&mut self, chaincode: Box<dyn Chaincode>) {
-        self.installed.insert(chaincode.name().to_string(), chaincode);
+        self.installed
+            .insert(chaincode.name().to_string(), chaincode);
     }
 
     /// Looks up an installed chaincode.
@@ -95,7 +102,11 @@ impl ChaincodeRegistry {
 }
 
 /// Parses a UTF-8 argument, mapping failure to [`ChaincodeError::BadArguments`].
-pub(crate) fn utf8_arg<'a>(args: &'a [Vec<u8>], i: usize, what: &str) -> Result<&'a str, ChaincodeError> {
+pub(crate) fn utf8_arg<'a>(
+    args: &'a [Vec<u8>],
+    i: usize,
+    what: &str,
+) -> Result<&'a str, ChaincodeError> {
     let raw = args
         .get(i)
         .ok_or_else(|| ChaincodeError::BadArguments(format!("missing argument {i} ({what})")))?;
@@ -137,6 +148,9 @@ mod tests {
     #[test]
     fn error_display_is_lowercase_prose() {
         let e = ChaincodeError::Rejected("insufficient funds".into());
-        assert_eq!(e.to_string(), "chaincode rejected the invocation: insufficient funds");
+        assert_eq!(
+            e.to_string(),
+            "chaincode rejected the invocation: insufficient funds"
+        );
     }
 }

@@ -19,7 +19,11 @@ impl Chaincode for KvWrite {
         "kvwrite"
     }
 
-    fn invoke(&self, stub: &mut ChaincodeStub<'_>, args: &[Vec<u8>]) -> Result<Vec<u8>, ChaincodeError> {
+    fn invoke(
+        &self,
+        stub: &mut ChaincodeStub<'_>,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, ChaincodeError> {
         let func = utf8_arg(args, 0, "function")?;
         match func {
             "put" => {
@@ -96,20 +100,27 @@ impl Chaincode for AssetTransfer {
 
     fn init(&self, stub: &mut ChaincodeStub<'_>) -> Result<Vec<u8>, ChaincodeError> {
         for i in 0..self.accounts {
-            stub.put_state(&Self::account_key(i), self.initial_balance.to_string().into_bytes());
+            stub.put_state(
+                &Self::account_key(i),
+                self.initial_balance.to_string().into_bytes(),
+            );
         }
         Ok(Vec::new())
     }
 
-    fn invoke(&self, stub: &mut ChaincodeStub<'_>, args: &[Vec<u8>]) -> Result<Vec<u8>, ChaincodeError> {
+    fn invoke(
+        &self,
+        stub: &mut ChaincodeStub<'_>,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, ChaincodeError> {
         let func = utf8_arg(args, 0, "function")?;
         match func {
             "transfer" => {
                 let from = utf8_arg(args, 1, "from")?.to_string();
                 let to = utf8_arg(args, 2, "to")?.to_string();
-                let amount: u64 = utf8_arg(args, 3, "amount")?
-                    .parse()
-                    .map_err(|_| ChaincodeError::BadArguments("amount must be an integer".into()))?;
+                let amount: u64 = utf8_arg(args, 3, "amount")?.parse().map_err(|_| {
+                    ChaincodeError::BadArguments("amount must be an integer".into())
+                })?;
                 if from == to {
                     return Err(ChaincodeError::BadArguments("from == to".into()));
                 }
@@ -144,7 +155,11 @@ impl Chaincode for RangeQuery {
         "range-query"
     }
 
-    fn invoke(&self, stub: &mut ChaincodeStub<'_>, args: &[Vec<u8>]) -> Result<Vec<u8>, ChaincodeError> {
+    fn invoke(
+        &self,
+        stub: &mut ChaincodeStub<'_>,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, ChaincodeError> {
         let func = utf8_arg(args, 0, "function")?;
         if func != "scan" {
             return Err(ChaincodeError::UnknownFunction(func.to_string()));
@@ -238,7 +253,11 @@ impl Chaincode for Smallbank {
         Ok(Vec::new())
     }
 
-    fn invoke(&self, stub: &mut ChaincodeStub<'_>, args: &[Vec<u8>]) -> Result<Vec<u8>, ChaincodeError> {
+    fn invoke(
+        &self,
+        stub: &mut ChaincodeStub<'_>,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, ChaincodeError> {
         let func = utf8_arg(args, 0, "function")?;
         let id_arg = |i: usize| -> Result<u32, ChaincodeError> {
             utf8_arg(args, i, "customer")?
@@ -274,7 +293,9 @@ impl Chaincode for Smallbank {
                 let fb = Self::read_u64(stub, &fk)?;
                 let tb = Self::read_u64(stub, &tk)?;
                 if fb < amount {
-                    return Err(ChaincodeError::Rejected("insufficient checking funds".into()));
+                    return Err(ChaincodeError::Rejected(
+                        "insufficient checking funds".into(),
+                    ));
                 }
                 Self::write_u64(stub, &fk, fb - amount);
                 Self::write_u64(stub, &tk, tb + amount);
@@ -329,7 +350,11 @@ impl<C: Chaincode> Chaincode for Nondeterministic<C> {
         self.inner.init(stub)
     }
 
-    fn invoke(&self, stub: &mut ChaincodeStub<'_>, args: &[Vec<u8>]) -> Result<Vec<u8>, ChaincodeError> {
+    fn invoke(
+        &self,
+        stub: &mut ChaincodeStub<'_>,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, ChaincodeError> {
         let out = self.inner.invoke(stub, args)?;
         // The divergence: a write only this replica produces.
         stub.put_state("$nondeterministic", self.taint.to_le_bytes().to_vec());
@@ -465,7 +490,10 @@ mod tests {
         let (out, rw) = run(
             &cc,
             &state,
-            &[b"balance".to_vec(), AssetTransfer::account_key(2).into_bytes()],
+            &[
+                b"balance".to_vec(),
+                AssetTransfer::account_key(2).into_bytes(),
+            ],
         )
         .unwrap();
         assert_eq!(out, b"42");
@@ -476,7 +504,10 @@ mod tests {
     #[test]
     fn smallbank_init_and_ops() {
         let mut state = StateDb::new();
-        let sb = Smallbank { customers: 3, initial_balance: 100 };
+        let sb = Smallbank {
+            customers: 3,
+            initial_balance: 100,
+        };
         {
             let mut stub = ChaincodeStub::new(&state);
             sb.init(&mut stub).unwrap();
@@ -490,11 +521,22 @@ mod tests {
         let (_, rw) = run(
             &sb,
             &state,
-            &[b"send_payment".to_vec(), b"0".to_vec(), b"1".to_vec(), b"40".to_vec()],
+            &[
+                b"send_payment".to_vec(),
+                b"0".to_vec(),
+                b"1".to_vec(),
+                b"40".to_vec(),
+            ],
         )
         .unwrap();
         let val = |rw: &fabricsim_types::RwSet, k: &str| {
-            rw.writes.iter().find(|w| w.key == k).unwrap().value.clone().unwrap()
+            rw.writes
+                .iter()
+                .find(|w| w.key == k)
+                .unwrap()
+                .value
+                .clone()
+                .unwrap()
         };
         assert_eq!(val(&rw, &Smallbank::checking_key(0)), b"60");
         assert_eq!(val(&rw, &Smallbank::checking_key(1)), b"140");
@@ -504,7 +546,12 @@ mod tests {
         let r = run(
             &sb,
             &state,
-            &[b"send_payment".to_vec(), b"0".to_vec(), b"1".to_vec(), b"9999".to_vec()],
+            &[
+                b"send_payment".to_vec(),
+                b"0".to_vec(),
+                b"1".to_vec(),
+                b"9999".to_vec(),
+            ],
         );
         assert!(matches!(r, Err(ChaincodeError::Rejected(_))));
 
@@ -534,11 +581,24 @@ mod tests {
         let state = StateDb::new();
         let sb = Smallbank::default();
         assert!(matches!(
-            run(&sb, &state, &[b"send_payment".to_vec(), b"1".to_vec(), b"1".to_vec(), b"5".to_vec()]),
+            run(
+                &sb,
+                &state,
+                &[
+                    b"send_payment".to_vec(),
+                    b"1".to_vec(),
+                    b"1".to_vec(),
+                    b"5".to_vec()
+                ]
+            ),
             Err(ChaincodeError::BadArguments(_))
         ));
         assert!(matches!(
-            run(&sb, &state, &[b"transact_savings".to_vec(), b"x".to_vec(), b"5".to_vec()]),
+            run(
+                &sb,
+                &state,
+                &[b"transact_savings".to_vec(), b"x".to_vec(), b"5".to_vec()]
+            ),
             Err(ChaincodeError::BadArguments(_))
         ));
         assert!(matches!(
@@ -555,14 +615,27 @@ mod tests {
     fn nondeterministic_wrapper_diverges_per_taint() {
         let state = StateDb::new();
         let honest = KvWrite;
-        let tainted = Nondeterministic { inner: KvWrite, taint: 3 };
+        let tainted = Nondeterministic {
+            inner: KvWrite,
+            taint: 3,
+        };
         let (_, rw_honest) = run(&honest, &state, &put_args("k", 1)).unwrap();
         let (_, rw_tainted) = run(&tainted, &state, &put_args("k", 1)).unwrap();
-        assert_eq!(tainted.name(), "kvwrite", "wrapper masquerades as the original");
+        assert_eq!(
+            tainted.name(),
+            "kvwrite",
+            "wrapper masquerades as the original"
+        );
         assert_ne!(rw_honest, rw_tainted);
-        assert!(rw_tainted.writes.iter().any(|w| w.key == "$nondeterministic"));
+        assert!(rw_tainted
+            .writes
+            .iter()
+            .any(|w| w.key == "$nondeterministic"));
         // Two differently tainted replicas also disagree with each other.
-        let other = Nondeterministic { inner: KvWrite, taint: 4 };
+        let other = Nondeterministic {
+            inner: KvWrite,
+            taint: 4,
+        };
         let (_, rw_other) = run(&other, &state, &put_args("k", 1)).unwrap();
         assert_ne!(rw_tainted, rw_other);
     }

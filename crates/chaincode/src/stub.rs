@@ -110,7 +110,10 @@ mod tests {
         stub.put_state("x", b"new".to_vec());
         assert_eq!(stub.get_state("x"), Some(b"new".to_vec()));
         let rw = stub.into_rw_set();
-        assert!(rw.reads.is_empty(), "own write must not create a read record");
+        assert!(
+            rw.reads.is_empty(),
+            "own write must not create a read record"
+        );
         assert_eq!(rw.writes.len(), 1);
     }
 

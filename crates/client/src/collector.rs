@@ -130,22 +130,37 @@ mod tests {
     fn or_satisfied_by_first_response() {
         let mut c = EndorsementCollector::new(txid(), Policy::or_of_orgs(3), 1);
         assert_eq!(c.state(), CollectState::Pending);
-        assert_eq!(c.add(response(txid(), 2, true, b"v")), CollectState::Satisfied);
+        assert_eq!(
+            c.add(response(txid(), 2, true, b"v")),
+            CollectState::Satisfied
+        );
         assert_eq!(c.responses().len(), 1);
     }
 
     #[test]
     fn and_waits_for_all() {
         let mut c = EndorsementCollector::new(txid(), Policy::and_of_orgs(3), 3);
-        assert_eq!(c.add(response(txid(), 1, true, b"v")), CollectState::Pending);
-        assert_eq!(c.add(response(txid(), 2, true, b"v")), CollectState::Pending);
-        assert_eq!(c.add(response(txid(), 3, true, b"v")), CollectState::Satisfied);
+        assert_eq!(
+            c.add(response(txid(), 1, true, b"v")),
+            CollectState::Pending
+        );
+        assert_eq!(
+            c.add(response(txid(), 2, true, b"v")),
+            CollectState::Pending
+        );
+        assert_eq!(
+            c.add(response(txid(), 3, true, b"v")),
+            CollectState::Satisfied
+        );
     }
 
     #[test]
     fn failed_peer_fails_collection() {
         let mut c = EndorsementCollector::new(txid(), Policy::and_of_orgs(2), 2);
-        assert_eq!(c.add(response(txid(), 1, false, b"v")), CollectState::Failed);
+        assert_eq!(
+            c.add(response(txid(), 1, false, b"v")),
+            CollectState::Failed
+        );
         // Subsequent good responses cannot resurrect it.
         assert_eq!(c.add(response(txid(), 2, true, b"v")), CollectState::Failed);
     }
@@ -154,18 +169,21 @@ mod tests {
     fn divergent_results_fail() {
         let mut c = EndorsementCollector::new(txid(), Policy::and_of_orgs(2), 2);
         c.add(response(txid(), 1, true, b"v1"));
-        assert_eq!(c.add(response(txid(), 2, true, b"v2")), CollectState::Failed);
+        assert_eq!(
+            c.add(response(txid(), 2, true, b"v2")),
+            CollectState::Failed
+        );
     }
 
     #[test]
     fn exhausted_without_satisfaction_fails() {
         // Policy needs Org3 but we only targeted Orgs 1-2.
-        let mut c = EndorsementCollector::new(
-            txid(),
-            Policy::Principal(Principal::peer(OrgId(3))),
-            2,
+        let mut c =
+            EndorsementCollector::new(txid(), Policy::Principal(Principal::peer(OrgId(3))), 2);
+        assert_eq!(
+            c.add(response(txid(), 1, true, b"v")),
+            CollectState::Pending
         );
-        assert_eq!(c.add(response(txid(), 1, true, b"v")), CollectState::Pending);
         assert_eq!(c.add(response(txid(), 2, true, b"v")), CollectState::Failed);
     }
 
@@ -173,9 +191,18 @@ mod tests {
     fn duplicate_endorser_does_not_satisfy_and() {
         // The same org answering twice is one principal, not two.
         let mut c = EndorsementCollector::new(txid(), Policy::and_of_orgs(2), 3);
-        assert_eq!(c.add(response(txid(), 1, true, b"v")), CollectState::Pending);
-        assert_eq!(c.add(response(txid(), 1, true, b"v")), CollectState::Pending);
-        assert_eq!(c.add(response(txid(), 2, true, b"v")), CollectState::Satisfied);
+        assert_eq!(
+            c.add(response(txid(), 1, true, b"v")),
+            CollectState::Pending
+        );
+        assert_eq!(
+            c.add(response(txid(), 1, true, b"v")),
+            CollectState::Pending
+        );
+        assert_eq!(
+            c.add(response(txid(), 2, true, b"v")),
+            CollectState::Satisfied
+        );
     }
 
     #[test]

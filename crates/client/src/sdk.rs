@@ -107,7 +107,11 @@ impl ClientSdk {
             if bytes != reference {
                 return Err(AssembleError::MismatchedResults);
             }
-            endorsements.push(r.endorsement.clone().ok_or(AssembleError::FailedEndorsement)?);
+            endorsements.push(
+                r.endorsement
+                    .clone()
+                    .ok_or(AssembleError::FailedEndorsement)?,
+            );
         }
         let mut tx = Transaction {
             tx_id: proposal.tx_id,
@@ -133,13 +137,21 @@ mod tests {
     fn sdk() -> (ClientSdk, CertificateAuthority) {
         let ca = CertificateAuthority::new("ca", 1);
         let id = ca.enroll(
-            Principal { org: OrgId(1), role: "client".into() },
+            Principal {
+                org: OrgId(1),
+                role: "client".into(),
+            },
             "client0",
         );
         (ClientSdk::new(ClientId(0), id), ca)
     }
 
-    fn response(ca: &CertificateAuthority, proposal: &Proposal, org: u32, value: &[u8]) -> ProposalResponse {
+    fn response(
+        ca: &CertificateAuthority,
+        proposal: &Proposal,
+        org: u32,
+        value: &[u8],
+    ) -> ProposalResponse {
         let endorser = ca.enroll(Principal::peer(OrgId(org)), &format!("peer{org}"));
         let mut rw = RwSet::new();
         rw.record_write("k", Some(value.to_vec()));
@@ -177,7 +189,13 @@ mod tests {
         // Envelope signature verifies under the client's cert.
         let cert = {
             let ca2 = CertificateAuthority::new("ca", 1);
-            ca2.enroll(Principal { org: OrgId(1), role: "client".into() }, "client0")
+            ca2.enroll(
+                Principal {
+                    org: OrgId(1),
+                    role: "client".into(),
+                },
+                "client0",
+            )
         };
         assert!(cert
             .certificate()

@@ -106,12 +106,8 @@ pub fn predict(cfg: &SimConfig) -> Prediction {
         + harmonic(sigs) * m.endorse_path_jitter_ms / 1000.0;
     let assemble =
         (m.client_assemble_base_ms + m.client_assemble_per_endorsement_ms * sigs as f64) / 1000.0;
-    let execute_latency = prep_wait
-        + prep_s
-        + m.sdk_pre_ms / 1000.0
-        + path
-        + assemble
-        + m.sdk_post_ms / 1000.0;
+    let execute_latency =
+        prep_wait + prep_s + m.sdk_pre_ms / 1000.0 + path + assemble + m.sdk_post_ms / 1000.0;
 
     // ---- block time & order+validate latency -------------------------------
     // Count-cut cadence vs the 1 s timeout.
@@ -196,8 +192,8 @@ mod tests {
             let p = predict(&c);
             let s = Simulation::new(c).run();
 
-            let exec_err = (p.execute_latency_s - s.execute.latency.mean_s).abs()
-                / s.execute.latency.mean_s;
+            let exec_err =
+                (p.execute_latency_s - s.execute.latency.mean_s).abs() / s.execute.latency.mean_s;
             assert!(
                 exec_err < 0.25,
                 "{} λ={rate}: execute latency predicted {:.3}s, simulated {:.3}s",

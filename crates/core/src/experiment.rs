@@ -240,7 +240,10 @@ pub fn ablation_mvcc_conflicts(effort: Effort) -> Vec<Row> {
             let mut cfg = base_config(effort);
             cfg.policy = PolicySpec::OrN(10);
             cfg.arrival_rate_tps = 150.0;
-            cfg.workload = WorkloadKind::KvRmw { keyspace, payload_bytes: 1 };
+            cfg.workload = WorkloadKind::KvRmw {
+                keyspace,
+                payload_bytes: 1,
+            };
             Row {
                 label: format!("keyspace={keyspace}"),
                 summary: Simulation::new(cfg).run(),
@@ -262,7 +265,11 @@ pub fn ablation_gossip(effort: Effort) -> Vec<Row> {
             cfg.arrival_rate_tps = 200.0;
             cfg.committing_peers = committers;
             cfg.gossip = gossip;
-            let mode = if cfg.gossip.is_some() { "gossip" } else { "direct" };
+            let mode = if cfg.gossip.is_some() {
+                "gossip"
+            } else {
+                "direct"
+            };
             rows.push(Row {
                 label: format!("{mode} committers={committers}"),
                 summary: Simulation::new(cfg).run(),
@@ -275,21 +282,27 @@ pub fn ablation_gossip(effort: Effort) -> Vec<Row> {
 /// Ablation: network bandwidth sensitivity (the paper's testbed was 1 Gbps;
 /// related work reports bandwidth becoming the bottleneck at scale).
 pub fn ablation_bandwidth(effort: Effort) -> Vec<Row> {
-    [(10_000_000u64, "10Mbps"), (100_000_000, "100Mbps"), (1_000_000_000, "1Gbps")]
-        .into_iter()
-        .map(|(bps, label)| {
-            let mut cfg = base_config(effort);
-            cfg.policy = PolicySpec::OrN(10);
-            cfg.arrival_rate_tps = 250.0;
-            cfg.committing_peers = 8;
-            cfg.workload = WorkloadKind::KvPut { payload_bytes: 1024 };
-            cfg.cost.link_bandwidth_bps = bps;
-            Row {
-                label: label.to_string(),
-                summary: Simulation::new(cfg).run(),
-            }
-        })
-        .collect()
+    [
+        (10_000_000u64, "10Mbps"),
+        (100_000_000, "100Mbps"),
+        (1_000_000_000, "1Gbps"),
+    ]
+    .into_iter()
+    .map(|(bps, label)| {
+        let mut cfg = base_config(effort);
+        cfg.policy = PolicySpec::OrN(10);
+        cfg.arrival_rate_tps = 250.0;
+        cfg.committing_peers = 8;
+        cfg.workload = WorkloadKind::KvPut {
+            payload_bytes: 1024,
+        };
+        cfg.cost.link_bandwidth_bps = bps;
+        Row {
+            label: label.to_string(),
+            summary: Simulation::new(cfg).run(),
+        }
+    })
+    .collect()
 }
 
 /// Ablation: channel count — Fabric's horizontal-scaling mechanism (paper
@@ -321,7 +334,9 @@ pub fn ablation_payload_size(effort: Effort) -> Vec<Row> {
             let mut cfg = base_config(effort);
             cfg.policy = PolicySpec::OrN(10);
             cfg.arrival_rate_tps = 250.0;
-            cfg.workload = WorkloadKind::KvPut { payload_bytes: bytes };
+            cfg.workload = WorkloadKind::KvPut {
+                payload_bytes: bytes,
+            };
             Row {
                 label: format!("payload={bytes}B"),
                 summary: Simulation::new(cfg).run(),
@@ -364,10 +379,7 @@ mod tests {
         );
 
         // Linearity below the knee (Figs. 4/5): at λ=100 all phases track λ.
-        let low = rows
-            .iter()
-            .find(|r| r.label == "Solo/OR10 λ=100")
-            .unwrap();
+        let low = rows.iter().find(|r| r.label == "Solo/OR10 λ=100").unwrap();
         assert!((low.summary.execute.throughput_tps - 100.0).abs() < 10.0);
         assert!((low.summary.validate.throughput_tps - 100.0).abs() < 10.0);
     }
@@ -382,7 +394,11 @@ mod tests {
                 .unwrap_or_else(|| panic!("row {label} missing"))
         };
         // Table II ramp: ≈50/peer under OR until the validate cap.
-        assert!((35.0..65.0).contains(&get("OR10 n=1")), "{}", get("OR10 n=1"));
+        assert!(
+            (35.0..65.0).contains(&get("OR10 n=1")),
+            "{}",
+            get("OR10 n=1")
+        );
         assert!((120.0..180.0).contains(&get("OR10 n=3")));
         assert!((250.0..330.0).contains(&get("OR10 n=10")));
         // AND5 caps near 200 at n=5.
@@ -409,17 +425,27 @@ mod tests {
         let rows = vec![
             Row {
                 label: "Solo/OR10 λ=100".into(),
-                summary: crate::metrics::summarize(&[], &[], (
-                    fabricsim_des::SimTime::ZERO,
-                    fabricsim_des::SimTime::from_secs_f64(1.0),
-                ), 100.0),
+                summary: crate::metrics::summarize(
+                    &[],
+                    &[],
+                    (
+                        fabricsim_des::SimTime::ZERO,
+                        fabricsim_des::SimTime::from_secs_f64(1.0),
+                    ),
+                    100.0,
+                ),
             },
             Row {
                 label: "Solo/AND5 λ=100".into(),
-                summary: crate::metrics::summarize(&[], &[], (
-                    fabricsim_des::SimTime::ZERO,
-                    fabricsim_des::SimTime::from_secs_f64(1.0),
-                ), 100.0),
+                summary: crate::metrics::summarize(
+                    &[],
+                    &[],
+                    (
+                        fabricsim_des::SimTime::ZERO,
+                        fabricsim_des::SimTime::from_secs_f64(1.0),
+                    ),
+                    100.0,
+                ),
             },
         ];
         assert_eq!(filter_policy(&rows, "OR10").len(), 1);

@@ -42,9 +42,10 @@ pub mod report;
 mod sim;
 mod workload;
 
+pub use analytic::{predict, Phase, Prediction};
+pub use fabricsim_obs as obs;
 pub use fabricsim_types::{BatchConfig, ChannelId, OrdererType, ValidationCode};
 pub use metrics::{PhaseReport, SummaryReport, TxOutcome, TxTrace};
-pub use analytic::{predict, Phase, Prediction};
 pub use model::CostModel;
-pub use sim::{FaultPlan, RunResult, Simulation, UtilizationReport};
-pub use workload::{GossipConfig, PolicySpec, SimConfig, WorkloadKind};
+pub use sim::{FaultPlan, RunObservability, RunResult, Simulation, UtilizationReport};
+pub use workload::{GossipConfig, ObsConfig, PolicySpec, SimConfig, WorkloadKind};

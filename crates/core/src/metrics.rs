@@ -104,12 +104,20 @@ pub struct LatencyStats {
     pub p50_s: f64,
     /// 95th percentile, seconds.
     pub p95_s: f64,
+    /// 99th percentile, seconds.
+    pub p99_s: f64,
     /// Maximum, seconds.
     pub max_s: f64,
 }
 
 impl LatencyStats {
     /// Computes stats from raw samples (empty input gives zeros).
+    ///
+    /// Percentiles use linear interpolation between closest ranks (the
+    /// "type 7" rule, numpy's default): `h = (n-1)·q`, interpolating between
+    /// `samples[floor(h)]` and `samples[ceil(h)]`. The previous rule rounded
+    /// `h` to the nearest rank, which is biased: it could sit a full rank off
+    /// and made e.g. p50 of an even-sized sample depend on rounding direction.
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
         if samples.is_empty() {
             return LatencyStats::default();
@@ -117,12 +125,18 @@ impl LatencyStats {
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
         let count = samples.len();
         let mean_s = samples.iter().sum::<f64>() / count as f64;
-        let pick = |q: f64| samples[(((count - 1) as f64) * q).round() as usize];
+        let pick = |q: f64| {
+            let h = (count - 1) as f64 * q;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            samples[lo] + (h - lo as f64) * (samples[hi] - samples[lo])
+        };
         LatencyStats {
             count,
             mean_s,
             p50_s: pick(0.50),
             p95_s: pick(0.95),
+            p99_s: pick(0.99),
             max_s: samples[count - 1],
         }
     }
@@ -166,6 +180,11 @@ pub struct SummaryReport {
     pub ordering_timeouts: usize,
     /// Endorsement failures in the window.
     pub endorsement_failures: usize,
+    /// Ordering-timeout rejections per second of window (failure *rate*, the
+    /// quantity to watch as offered load crosses the saturation knee).
+    pub ordering_timeouts_per_s: f64,
+    /// Client-side overload drops per second of window.
+    pub overload_dropped_per_s: f64,
     /// Mean block time (block-cut interarrival) in the window, seconds.
     pub mean_block_time_s: f64,
     /// Mean transactions per cut block in the window.
@@ -245,8 +264,7 @@ pub fn summarize(
         }
     }
 
-    let cuts: Vec<&(SimTime, usize)> =
-        block_cuts.iter().filter(|(t, _)| in_window(*t)).collect();
+    let cuts: Vec<&(SimTime, usize)> = block_cuts.iter().filter(|(t, _)| in_window(*t)).collect();
     let mean_block_time_s = if cuts.len() >= 2 {
         let first = cuts.first().expect("len >= 2").0;
         let last = cuts.last().expect("len >= 2").0;
@@ -282,6 +300,8 @@ pub fn summarize(
         overload_dropped: overload,
         ordering_timeouts: timeouts,
         endorsement_failures: endorse_fail,
+        ordering_timeouts_per_s: timeouts as f64 / window_secs,
+        overload_dropped_per_s: overload as f64 / window_secs,
         mean_block_time_s,
         mean_block_size,
         blocks_cut: cuts.len(),
@@ -322,9 +342,9 @@ mod tests {
     #[test]
     fn summarize_counts_within_window() {
         let traces = vec![
-            committed_trace(0.5, 1.2),  // created before window, commits inside
-            committed_trace(2.0, 2.8),  // fully inside
-            committed_trace(8.5, 9.6),  // commits after window end
+            committed_trace(0.5, 1.2), // created before window, commits inside
+            committed_trace(2.0, 2.8), // fully inside
+            committed_trace(8.5, 9.6), // commits after window end
             {
                 let mut t = TxTrace::new(at(3.0));
                 t.outcome = TxOutcome::OverloadDropped;
@@ -355,10 +375,47 @@ mod tests {
         let s = LatencyStats::from_samples((1..=100).map(|i| i as f64).collect());
         assert_eq!(s.count, 100);
         assert!((s.mean_s - 50.5).abs() < 1e-9);
-        assert!((s.p50_s - 50.5).abs() <= 0.5, "p50 was {}", s.p50_s);
-        assert_eq!(s.p95_s, 95.0);
+        // Type-7 interpolation: h = 99·q, x[h] interpolated.
+        assert!((s.p50_s - 50.5).abs() < 1e-9, "p50 was {}", s.p50_s);
+        assert!((s.p95_s - 95.05).abs() < 1e-9, "p95 was {}", s.p95_s);
+        assert!((s.p99_s - 99.01).abs() < 1e-9, "p99 was {}", s.p99_s);
         assert_eq!(s.max_s, 100.0);
         assert_eq!(LatencyStats::from_samples(vec![]).count, 0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_on_small_samples() {
+        // Two samples: p50 is their midpoint under type-7 (the round-based
+        // rule returned one endpoint, direction-dependent).
+        let s = LatencyStats::from_samples(vec![1.0, 3.0]);
+        assert!((s.p50_s - 2.0).abs() < 1e-9);
+        // One sample: every percentile is that sample.
+        let s = LatencyStats::from_samples(vec![7.0]);
+        assert_eq!((s.p50_s, s.p95_s, s.p99_s, s.max_s), (7.0, 7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn failure_rates_are_per_window_second() {
+        let traces = vec![
+            {
+                let mut t = TxTrace::new(at(2.0));
+                t.outcome = TxOutcome::OverloadDropped;
+                t
+            },
+            {
+                let mut t = TxTrace::new(at(3.0));
+                t.outcome = TxOutcome::OrderingTimeout;
+                t
+            },
+            {
+                let mut t = TxTrace::new(at(4.0));
+                t.outcome = TxOutcome::OrderingTimeout;
+                t
+            },
+        ];
+        let r = summarize(&traces, &[], (at(1.0), at(5.0)), 100.0);
+        assert!((r.ordering_timeouts_per_s - 0.5).abs() < 1e-9);
+        assert!((r.overload_dropped_per_s - 0.25).abs() < 1e-9);
     }
 
     #[test]

@@ -166,7 +166,10 @@ mod tests {
         let or = m.validate_capacity_tps(1);
         let and5 = m.validate_capacity_tps(5);
         assert!((300.0..325.0).contains(&or), "OR validate capacity {or}");
-        assert!((195.0..215.0).contains(&and5), "AND5 validate capacity {and5}");
+        assert!(
+            (195.0..215.0).contains(&and5),
+            "AND5 validate capacity {and5}"
+        );
         // Execute phase: ~52 tps per client pool.
         let per_pool = m.execute_capacity_tps(1);
         assert!((50.0..55.0).contains(&per_pool), "pool capacity {per_pool}");
@@ -179,9 +182,7 @@ mod tests {
     fn validate_cost_grows_with_signatures() {
         let m = CostModel::default();
         assert!(m.validate_tx_ms(5) > m.validate_tx_ms(1));
-        assert!(
-            (m.validate_tx_ms(5) - m.validate_tx_ms(1) - 4.0 * m.vscc_per_sig_ms).abs() < 1e-9
-        );
+        assert!((m.validate_tx_ms(5) - m.validate_tx_ms(1) - 4.0 * m.vscc_per_sig_ms).abs() < 1e-9);
     }
 
     #[test]

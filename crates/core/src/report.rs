@@ -54,13 +54,13 @@ pub fn phase_table(title: &str, rows: &[Row]) -> String {
 /// Renders rows as CSV (one line per row, with a header).
 pub fn to_csv(rows: &[Row]) -> String {
     let mut out = String::from(
-        "label,offered_tps,execute_tps,order_tps,validate_tps,execute_lat_mean_s,execute_lat_p95_s,order_validate_lat_mean_s,order_validate_lat_p95_s,overall_lat_mean_s,created,committed_valid,committed_invalid,overload_dropped,ordering_timeouts,endorsement_failures,mean_block_time_s,mean_block_size,blocks_cut\n",
+        "label,offered_tps,execute_tps,order_tps,validate_tps,execute_lat_mean_s,execute_lat_p95_s,order_validate_lat_mean_s,order_validate_lat_p95_s,order_validate_lat_p99_s,overall_lat_mean_s,created,committed_valid,committed_invalid,overload_dropped,ordering_timeouts,ordering_timeouts_per_s,overload_dropped_per_s,endorsement_failures,mean_block_time_s,mean_block_size,blocks_cut\n",
     );
     for r in rows {
         let s = &r.summary;
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             escape_csv(&r.label),
             s.offered_tps,
             s.execute.throughput_tps,
@@ -70,12 +70,15 @@ pub fn to_csv(rows: &[Row]) -> String {
             s.execute.latency.p95_s,
             s.validate.latency.mean_s,
             s.validate.latency.p95_s,
+            s.validate.latency.p99_s,
             s.overall_latency.mean_s,
             s.created,
             s.committed_valid,
             s.committed_invalid,
             s.overload_dropped,
             s.ordering_timeouts,
+            s.ordering_timeouts_per_s,
+            s.overload_dropped_per_s,
             s.endorsement_failures,
             s.mean_block_time_s,
             s.mean_block_size,
@@ -147,6 +150,7 @@ mod tests {
                         mean_s: 0.25,
                         p50_s: 0.25,
                         p95_s: 0.3,
+                        p99_s: 0.35,
                         max_s: 0.4,
                     },
                 },
@@ -158,6 +162,8 @@ mod tests {
                 committed_invalid: 0,
                 overload_dropped: 0,
                 ordering_timeouts: 10,
+                ordering_timeouts_per_s: 1.0,
+                overload_dropped_per_s: 0.0,
                 endorsement_failures: 0,
                 mean_block_time_s: 1.0,
                 mean_block_size: 99.0,

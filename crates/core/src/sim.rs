@@ -9,6 +9,10 @@ use fabricsim_kafka::{
     Broker, BrokerEffect, BrokerMsg, ClientEvent, KafkaConfig, ZkEffect, ZkEnsemble, ZkMsg,
 };
 use fabricsim_msp::{CertificateAuthority, Msp};
+use fabricsim_obs::{
+    BottleneckReport, EventSink, LogHistogram, MetricsRecorder, PhaseEvent, StationClass,
+    TracePhase, TxStationBreakdown,
+};
 use fabricsim_ordering::{OsnEffect, OsnInput, OsnMsg, OsnNode};
 use fabricsim_peer::{GossipEffect, GossipMsg, GossipNode, Peer, PeerConfig};
 use fabricsim_policy::Policy;
@@ -79,6 +83,34 @@ impl UtilizationReport {
     }
 }
 
+/// Observability artifacts of a run (see `fabricsim-obs`).
+#[derive(Debug)]
+pub struct RunObservability {
+    /// Structured phase-transition events, in virtual-time order. Empty
+    /// unless [`crate::ObsConfig::trace_events`] was set.
+    pub events: Vec<PhaseEvent>,
+    /// Windowed time-series (queue depths, utilization, in-flight txs,
+    /// block-cut cadence). `None` when the sampler was disabled.
+    pub metrics: Option<MetricsRecorder>,
+    /// Per-station queueing/service attribution over committed transactions.
+    pub bottleneck: BottleneckReport,
+    /// Log-bucketed end-to-end latency histogram over committed transactions
+    /// (whole run, warm-up included).
+    pub e2e_hist: LogHistogram,
+}
+
+impl RunObservability {
+    /// The collected events as a JSONL document (one event per line).
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
 /// Detailed output of a run: the summary plus raw traces and block records.
 #[derive(Debug)]
 pub struct RunResult {
@@ -97,6 +129,8 @@ pub struct RunResult {
     pub final_state: Vec<(String, Vec<u8>)>,
     /// Station utilizations over the run.
     pub utilization: UtilizationReport,
+    /// Structured tracing, time-series and bottleneck attribution.
+    pub observability: RunObservability,
 }
 
 struct PendingTx {
@@ -156,6 +190,17 @@ struct BrokerActor {
     alive: bool,
 }
 
+/// Per-run observability state carried alongside the world.
+struct ObsState {
+    sink: EventSink,
+    /// Per-tx station decomposition, parallel to `World::traces`.
+    breakdowns: Vec<TxStationBreakdown>,
+    recorder: Option<MetricsRecorder>,
+    e2e_hist: LogHistogram,
+    /// Block-cut count at the previous sampler tick (for the cadence series).
+    last_block_cuts: usize,
+}
+
 struct World {
     cfg: SimConfig,
     policy: Policy,
@@ -173,6 +218,7 @@ struct World {
     /// Per-channel next block number whose cut is still unrecorded.
     next_cut_number: Vec<u64>,
     observer: usize,
+    obs: ObsState,
 }
 
 type K = Kernel<World>;
@@ -181,6 +227,49 @@ impl World {
     fn trace_mut(&mut self, tx_id: TxId) -> Option<&mut TxTrace> {
         let idx = *self.tx_index.get(&tx_id)?;
         self.traces.get_mut(idx)
+    }
+
+    /// Records a structured phase event. Call sites must guard on
+    /// `self.obs.sink.enabled()` before building the station string so that
+    /// disabled tracing allocates nothing.
+    fn emit(&mut self, now: SimTime, tx: String, phase: TracePhase, station: String, depth: usize) {
+        self.obs.sink.record(PhaseEvent {
+            t_s: now.as_secs_f64(),
+            tx,
+            phase,
+            station,
+            queue_depth: depth as u64,
+        });
+    }
+
+    /// Adds a sequential station visit to the tx's latency decomposition.
+    fn attribute(
+        &mut self,
+        tx_id: TxId,
+        class: StationClass,
+        queued: SimDuration,
+        service: SimDuration,
+    ) {
+        if let Some(&idx) = self.tx_index.get(&tx_id) {
+            if let Some(b) = self.obs.breakdowns.get_mut(idx) {
+                b.add(class, queued.as_secs_f64(), service.as_secs_f64());
+            }
+        }
+    }
+
+    /// Folds in one of several parallel station visits (critical path only).
+    fn attribute_max(
+        &mut self,
+        tx_id: TxId,
+        class: StationClass,
+        queued: SimDuration,
+        service: SimDuration,
+    ) {
+        if let Some(&idx) = self.tx_index.get(&tx_id) {
+            if let Some(b) = self.obs.breakdowns.get_mut(idx) {
+                b.add_max(class, queued.as_secs_f64(), service.as_secs_f64());
+            }
+        }
     }
 
     fn ms(&self, x: f64) -> SimDuration {
@@ -255,18 +344,42 @@ impl Simulation {
         );
         let horizon = SimTime::from_secs_f64(cfg.duration_secs);
         let utilization = UtilizationReport {
-            pool_prep: world.pools.iter().map(|p| p.prep.utilization(horizon)).collect(),
-            pool_recv: world.pools.iter().map(|p| p.recv.utilization(horizon)).collect(),
-            peer_endorse: world.peers.iter().map(|p| p.endorse.utilization(horizon)).collect(),
-            peer_validate: world.peers.iter().map(|p| p.validate.utilization(horizon)).collect(),
-            osn_cpu: world.osns.iter().map(|o| o.station.utilization(horizon)).collect(),
+            pool_prep: world
+                .pools
+                .iter()
+                .map(|p| p.prep.utilization(horizon))
+                .collect(),
+            pool_recv: world
+                .pools
+                .iter()
+                .map(|p| p.recv.utilization(horizon))
+                .collect(),
+            peer_endorse: world
+                .peers
+                .iter()
+                .map(|p| p.endorse.utilization(horizon))
+                .collect(),
+            peer_validate: world
+                .peers
+                .iter()
+                .map(|p| p.validate.utilization(horizon))
+                .collect(),
+            osn_cpu: world
+                .osns
+                .iter()
+                .map(|o| o.station.utilization(horizon))
+                .collect(),
         };
         let observer = &world.peers[world.observer];
         let multi = observer.channels.len() > 1;
         let mut final_state = Vec::new();
         for (c, peer) in observer.channels.iter().enumerate() {
             for (key, v) in peer.ledger().state().range("", "") {
-                let key = if multi { format!("ch{c}/{key}") } else { key.to_string() };
+                let key = if multi {
+                    format!("ch{c}/{key}")
+                } else {
+                    key.to_string()
+                };
                 final_state.push((key, v.value.clone()));
             }
         }
@@ -275,12 +388,34 @@ impl Simulation {
             .channels
             .iter()
             .all(|p| p.ledger().blocks().verify_chain().is_ok());
+        // Attribute latency over committed txs; window coarse enough to hold
+        // a useful population but fine enough to show regime changes.
+        let window_s = (cfg.duration_secs / 10.0).clamp(1.0, 10.0);
+        let committed: Vec<TxStationBreakdown> = world
+            .traces
+            .iter()
+            .zip(&world.obs.breakdowns)
+            .filter(|(t, _)| matches!(t.outcome, TxOutcome::Committed(_)))
+            .map(|(_, b)| b.clone())
+            .collect();
+        // Handlers may stamp events at staggered per-tx times (e.g. commit
+        // times within a block), so restore global time order; the sort is
+        // stable, preserving causal order at equal timestamps.
+        let mut events = world.obs.sink.into_events();
+        events.sort_by(|a, b| a.t_s.total_cmp(&b.t_s));
+        let observability = RunObservability {
+            events,
+            metrics: world.obs.recorder,
+            bottleneck: BottleneckReport::from_breakdowns(&committed, window_s),
+            e2e_hist: world.obs.e2e_hist,
+        };
         RunResult {
             summary,
             observer_height,
             chain_ok,
             final_state,
             utilization,
+            observability,
             traces: world.traces,
             block_cuts: world.block_cuts,
         }
@@ -294,7 +429,9 @@ fn build_world(cfg: &SimConfig) -> World {
     let channel_ids: Vec<ChannelId> = if n_channels == 1 {
         vec![ChannelId::default_channel()]
     } else {
-        (0..n_channels).map(|c| ChannelId(format!("channel{c}"))).collect()
+        (0..n_channels)
+            .map(|c| ChannelId(format!("channel{c}")))
+            .collect()
     };
     let policy = cfg.policy.resolve(cfg.endorsing_peers);
     let ca = CertificateAuthority::new("fabric-ca", cfg.seed);
@@ -308,7 +445,11 @@ fn build_world(cfg: &SimConfig) -> World {
     let mut endorser_identities = Vec::new();
     for i in 0..n_peers {
         let is_endorser = i < n_endorsers;
-        let org = if is_endorser { i as u32 + 1 } else { 100 + i as u32 };
+        let org = if is_endorser {
+            i as u32 + 1
+        } else {
+            100 + i as u32
+        };
         let identity = ca.enroll(Principal::peer(OrgId(org)), &format!("peer{i}"));
         if is_endorser {
             endorser_identities.push(identity.clone());
@@ -345,7 +486,12 @@ fn build_world(cfg: &SimConfig) -> World {
         }
         let gossip = cfg.gossip.as_ref().map(|g| {
             let neighbours: Vec<u32> = (0..n_peers as u32).filter(|&j| j != i as u32).collect();
-            GossipNode::new(i as u32, neighbours, g.fanout, cfg.seed ^ 0x60551 ^ i as u64)
+            GossipNode::new(
+                i as u32,
+                neighbours,
+                g.fanout,
+                cfg.seed ^ 0x60551 ^ i as u64,
+            )
         });
         peers.push(PeerNode {
             channels: channel_peers,
@@ -354,10 +500,7 @@ fn build_world(cfg: &SimConfig) -> World {
             endorse: Station::new(format!("peer{i}.endorse"), m.peer_endorse_threads),
             // One committer pipeline per channel on shared cores (Fabric runs
             // a commit goroutine per channel).
-            validate: Station::new(
-                format!("peer{i}.validate"),
-                m.validate_threads * n_channels,
-            ),
+            validate: Station::new(format!("peer{i}.validate"), m.validate_threads * n_channels),
             egress: Link::new(
                 format!("peer{i}.nic"),
                 m.link_bandwidth_bps,
@@ -517,6 +660,18 @@ fn build_world(cfg: &SimConfig) -> World {
         tx_pool: HashMap::new(),
         block_cuts: Vec::new(),
         next_cut_number: vec![0; n_channels],
+        obs: ObsState {
+            sink: if cfg.obs.trace_events {
+                EventSink::in_memory()
+            } else {
+                EventSink::disabled()
+            },
+            breakdowns: Vec::new(),
+            recorder: (cfg.obs.sample_period_s > 0.0)
+                .then(|| MetricsRecorder::new(cfg.obs.sample_period_s)),
+            e2e_hist: LogHistogram::latency(),
+            last_block_cuts: 0,
+        },
         cfg: cfg.clone(),
     }
 }
@@ -527,6 +682,12 @@ fn bootstrap(world: &mut World, k: &mut K) {
     // Arrival processes.
     for p in 0..world.pools.len() {
         schedule_next_arrival(world, k, p);
+    }
+    // Time-series sampler (reads state only: scheduling it never perturbs
+    // the simulated system, so traced and untraced runs stay bit-identical).
+    if world.obs.recorder.is_some() {
+        let period = SimDuration::from_secs_f64(world.cfg.obs.sample_period_s);
+        k.schedule_in(period, obs_sample);
     }
     // OSN ticks (Raft elections/heartbeats; Kafka consume polling).
     if world.cfg.orderer_type != OrdererType::Solo {
@@ -558,6 +719,57 @@ fn bootstrap(world: &mut World, k: &mut K) {
     }
 }
 
+/// Periodic read-only gauge sweep feeding the [`MetricsRecorder`].
+fn obs_sample(world: &mut World, k: &mut K) {
+    let now = k.now();
+    let pool_prep: usize = world.pools.iter().map(|p| p.prep.jobs_in_system(now)).sum();
+    let pool_recv: usize = world.pools.iter().map(|p| p.recv.jobs_in_system(now)).sum();
+    let peer_endorse: usize = world
+        .peers
+        .iter()
+        .map(|p| p.endorse.jobs_in_system(now))
+        .sum();
+    let peer_validate: usize = world
+        .peers
+        .iter()
+        .map(|p| p.validate.jobs_in_system(now))
+        .sum();
+    let osn_cpu: usize = world
+        .osns
+        .iter()
+        .map(|o| o.station.jobs_in_system(now))
+        .sum();
+    let validate_util = world
+        .peers
+        .iter()
+        .map(|p| p.validate.utilization(now))
+        .fold(0.0, f64::max);
+    let inflight = world
+        .traces
+        .iter()
+        .filter(|t| matches!(t.outcome, TxOutcome::InFlight))
+        .count();
+    let cuts = world.block_cuts.len();
+    let new_cuts = cuts - world.obs.last_block_cuts;
+    world.obs.last_block_cuts = cuts;
+    let rec = world
+        .obs
+        .recorder
+        .as_mut()
+        .expect("sampler runs only with a recorder");
+    rec.sample("queue.pool_prep", pool_prep as f64);
+    rec.sample("queue.pool_recv", pool_recv as f64);
+    rec.sample("queue.peer_endorse", peer_endorse as f64);
+    rec.sample("queue.peer_validate", peer_validate as f64);
+    rec.sample("queue.osn_cpu", osn_cpu as f64);
+    rec.sample("util.peer_validate", validate_util);
+    rec.sample("inflight.txs", inflight as f64);
+    rec.sample("blocks.cut_per_tick", new_cuts as f64);
+    rec.end_tick();
+    let period = SimDuration::from_secs_f64(world.cfg.obs.sample_period_s);
+    k.schedule_in(period, obs_sample);
+}
+
 fn schedule_faults(faults: &FaultPlan, k: &mut K) {
     for &(peer, at) in &faults.nondeterministic_peers {
         k.schedule(SimTime::from_secs_f64(at), move |w: &mut World, _| {
@@ -581,7 +793,9 @@ fn schedule_faults(faults: &FaultPlan, k: &mut K) {
     for &(o, at) in &faults.crash_osns {
         k.schedule(SimTime::from_secs_f64(at), move |w: &mut World, k| {
             let o = o as usize;
-            let Some(actor) = w.osns.get_mut(o) else { return };
+            let Some(actor) = w.osns.get_mut(o) else {
+                return;
+            };
             actor.alive = false;
             let orphans = std::mem::take(&mut actor.subscribers);
             // Peers reconnect to another OSN and seek from their height.
@@ -633,7 +847,10 @@ fn workload_args(world: &mut World, p: usize, seq: usize) -> (String, Vec<Vec<u8
                 vec![b'x'; payload_bytes],
             ],
         ),
-        WorkloadKind::KvRmw { keyspace, payload_bytes } => {
+        WorkloadKind::KvRmw {
+            keyspace,
+            payload_bytes,
+        } => {
             let key = world.pools[p].keys.next_below(keyspace as u64);
             (
                 "kvwrite".into(),
@@ -698,6 +915,18 @@ fn pool_arrival(world: &mut World, k: &mut K, p: usize) {
     if world.pools[p].in_prep >= world.cfg.cost.client_queue_cap {
         trace.outcome = TxOutcome::OverloadDropped;
         world.traces.push(trace);
+        world.obs.breakdowns.push(TxStationBreakdown::default());
+        if world.obs.sink.enabled() {
+            let station = world.pools[p].prep.name().to_string();
+            let depth = world.pools[p].in_prep;
+            world.emit(
+                now,
+                format!("arrival{seq}"),
+                TracePhase::OverloadDropped,
+                station,
+                depth,
+            );
+        }
         return;
     }
 
@@ -721,11 +950,23 @@ fn pool_arrival(world: &mut World, k: &mut K, p: usize) {
     if targets.is_empty() {
         trace.outcome = TxOutcome::EndorsementFailed;
         world.traces.push(trace);
+        world.obs.breakdowns.push(TxStationBreakdown::default());
+        if world.obs.sink.enabled() {
+            let station = world.pools[p].prep.name().to_string();
+            world.emit(
+                now,
+                tx_id.short(),
+                TracePhase::EndorsementFailed,
+                station,
+                0,
+            );
+        }
         return;
     }
     let expected = targets.len();
 
     world.traces.push(trace);
+    world.obs.breakdowns.push(TxStationBreakdown::default());
     world.tx_index.insert(tx_id, seq);
     world.tx_pool.insert(tx_id, p);
     let collector = EndorsementCollector::new(tx_id, world.policy.clone(), expected);
@@ -745,9 +986,16 @@ fn pool_arrival(world: &mut World, k: &mut K, p: usize) {
         .arrivals
         .uniform(-m.client_prep_jitter_ms, m.client_prep_jitter_ms);
     let service = world.ms(m.client_prep_ms + jitter);
-    world.pools[p].in_prep += 1;
-    let done = world.pools[p].prep.submit(now, service);
     let sdk_pre = world.ms(m.sdk_pre_ms);
+    world.pools[p].in_prep += 1;
+    let queued = world.pools[p].prep.would_start_at(now) - now;
+    let done = world.pools[p].prep.submit(now, service);
+    world.attribute(tx_id, StationClass::ClientPrep, queued, service);
+    if world.obs.sink.enabled() {
+        let station = world.pools[p].prep.name().to_string();
+        let depth = world.pools[p].prep.jobs_in_system(now);
+        world.emit(now, tx_id.short(), TracePhase::Created, station, depth);
+    }
     k.schedule(done + sdk_pre, move |w, k| {
         w.pools[p].in_prep -= 1;
         send_proposals(w, k, p, tx_id, targets.clone());
@@ -763,6 +1011,16 @@ fn send_proposals(world: &mut World, k: &mut K, p: usize, tx_id: TxId, targets: 
     if let Some(t) = world.trace_mut(tx_id) {
         t.proposal_sent = Some(now);
     }
+    if world.obs.sink.enabled() {
+        let depth = world.pools[p].pending.len();
+        world.emit(
+            now,
+            tx_id.short(),
+            TracePhase::ProposalSent,
+            format!("pool{p}.nic"),
+            depth,
+        );
+    }
     let bytes = proposal.wire_size();
     for principal in targets {
         let peer_idx = world.peer_of(&principal);
@@ -774,11 +1032,20 @@ fn send_proposals(world: &mut World, k: &mut K, p: usize, tx_id: TxId, targets: 
     }
 }
 
-fn peer_receive_proposal(world: &mut World, k: &mut K, peer_idx: usize, p: usize, proposal: Proposal) {
+fn peer_receive_proposal(
+    world: &mut World,
+    k: &mut K,
+    peer_idx: usize,
+    p: usize,
+    proposal: Proposal,
+) {
     let now = k.now();
     let m = &world.cfg.cost;
     let service = world.ms(m.endorse_tx_ms());
+    let queued = world.peers[peer_idx].endorse.would_start_at(now) - now;
     let done = world.peers[peer_idx].endorse.submit(now, service);
+    // Endorsement fans out: only the slowest endorser is on the critical path.
+    world.attribute_max(proposal.tx_id, StationClass::PeerEndorse, queued, service);
     k.schedule(done, move |w, k| {
         let ch = w.channel_index(&proposal.channel);
         let response = w.peers[peer_idx].channels[ch].endorse(&proposal);
@@ -786,7 +1053,13 @@ fn peer_receive_proposal(world: &mut World, k: &mut K, peer_idx: usize, p: usize
     });
 }
 
-fn send_response(world: &mut World, k: &mut K, peer_idx: usize, p: usize, response: ProposalResponse) {
+fn send_response(
+    world: &mut World,
+    k: &mut K,
+    peer_idx: usize,
+    p: usize,
+    response: ProposalResponse,
+) {
     let now = k.now();
     let bytes = response.wire_size();
     let jitter_ms = world.peers[peer_idx]
@@ -811,15 +1084,26 @@ fn pool_receive_response(world: &mut World, k: &mut K, p: usize, response: Propo
             if let Some(t) = world.trace_mut(tx_id) {
                 t.outcome = TxOutcome::EndorsementFailed;
             }
+            if world.obs.sink.enabled() {
+                let station = world.pools[p].recv.name().to_string();
+                world.emit(
+                    now,
+                    tx_id.short(),
+                    TracePhase::EndorsementFailed,
+                    station,
+                    0,
+                );
+            }
         }
         CollectState::Satisfied => {
             let n = pending.collector.responses().len();
             let m = &world.cfg.cost;
-            let cost = world.ms(
-                m.client_assemble_base_ms + m.client_assemble_per_endorsement_ms * n as f64,
-            );
-            let done = world.pools[p].recv.submit(now, cost);
+            let cost = world
+                .ms(m.client_assemble_base_ms + m.client_assemble_per_endorsement_ms * n as f64);
             let sdk_post = world.ms(m.sdk_post_ms);
+            let queued = world.pools[p].recv.would_start_at(now) - now;
+            let done = world.pools[p].recv.submit(now, cost);
+            world.attribute(tx_id, StationClass::ClientRecv, queued, cost);
             k.schedule(done + sdk_post, move |w, k| client_assemble(w, k, p, tx_id));
         }
     }
@@ -841,6 +1125,16 @@ fn client_assemble(world: &mut World, k: &mut K, p: usize, tx_id: TxId) {
             if let Some(t) = world.trace_mut(tx_id) {
                 t.outcome = TxOutcome::EndorsementFailed;
             }
+            if world.obs.sink.enabled() {
+                let station = world.pools[p].recv.name().to_string();
+                world.emit(
+                    now,
+                    tx_id.short(),
+                    TracePhase::EndorsementFailed,
+                    station,
+                    0,
+                );
+            }
             return;
         }
     };
@@ -848,6 +1142,11 @@ fn client_assemble(world: &mut World, k: &mut K, p: usize, tx_id: TxId) {
     if let Some(t) = world.trace_mut(tx_id) {
         t.endorsed = Some(now);
         t.signatures = sigs;
+    }
+    if world.obs.sink.enabled() {
+        let station = world.pools[p].recv.name().to_string();
+        let depth = world.pools[p].recv.jobs_in_system(now);
+        world.emit(now, tx_id.short(), TracePhase::Endorsed, station, depth);
     }
     submit_to_orderer(world, k, p, tx);
 }
@@ -858,6 +1157,16 @@ fn submit_to_orderer(world: &mut World, k: &mut K, p: usize, tx: Transaction) {
     if let Some(t) = world.trace_mut(tx_id) {
         t.submitted = Some(now);
     }
+    if world.obs.sink.enabled() {
+        let depth = world.pools[p].pending.len();
+        world.emit(
+            now,
+            tx_id.short(),
+            TracePhase::Submitted,
+            format!("pool{p}.nic"),
+            depth,
+        );
+    }
     // Round-robin over OSNs.
     let osn_count = world.osns.len() as u32;
     let o = (world.pools[p].next_osn % osn_count) as usize;
@@ -865,13 +1174,25 @@ fn submit_to_orderer(world: &mut World, k: &mut K, p: usize, tx: Transaction) {
 
     // Arm the 3 s ordering timeout.
     let timeout = world.ms(world.cfg.ordering_timeout_ms as f64);
-    let ev = k.schedule(now + timeout, move |w: &mut World, _| {
+    let ev = k.schedule(now + timeout, move |w: &mut World, k| {
+        let mut timed_out = false;
         if let Some(t) = w.trace_mut(tx_id) {
             if t.order_acked.is_none() && matches!(t.outcome, TxOutcome::InFlight) {
                 t.outcome = TxOutcome::OrderingTimeout;
+                timed_out = true;
             }
         }
         w.pools[p].pending.remove(&tx_id);
+        if timed_out && w.obs.sink.enabled() {
+            let now = k.now();
+            w.emit(
+                now,
+                tx_id.short(),
+                TracePhase::OrderingTimeout,
+                "ordering.timeout".into(),
+                0,
+            );
+        }
     });
     if let Some(pending) = world.pools[p].pending.get_mut(&tx_id) {
         pending.timeout_event = Some(ev);
@@ -890,7 +1211,14 @@ fn submit_to_orderer(world: &mut World, k: &mut K, p: usize, tx: Transaction) {
 
 /// Routes any input through the OSN's CPU station, then applies effects to
 /// the per-channel ordering instance `ch`.
-fn osn_receive(world: &mut World, k: &mut K, o: usize, ch: usize, input: OsnInput, charge_admission: bool) {
+fn osn_receive(
+    world: &mut World,
+    k: &mut K,
+    o: usize,
+    ch: usize,
+    input: OsnInput,
+    charge_admission: bool,
+) {
     if !world.osns[o].alive {
         return;
     }
@@ -907,7 +1235,17 @@ fn osn_receive(world: &mut World, k: &mut K, o: usize, ch: usize, input: OsnInpu
         per_tx * 0.5
     };
     let service = world.ms(cost);
+    // Client broadcasts carry a tx identity to attribute CPU time against;
+    // intra-cluster traffic (Raft/Kafka relays, ticks) does not.
+    let attributed_tx = match &input {
+        OsnInput::Broadcast(tx) if charge_admission => Some(tx.tx_id),
+        _ => None,
+    };
+    let queued = world.osns[o].station.would_start_at(now) - now;
     let done = world.osns[o].station.submit(now, service);
+    if let Some(tx_id) = attributed_tx {
+        world.attribute(tx_id, StationClass::OsnCpu, queued, service);
+    }
     k.schedule(done, move |w, k| {
         if !w.osns[o].alive {
             return;
@@ -933,7 +1271,9 @@ fn apply_osn_effects(world: &mut World, k: &mut K, o: usize, ch: usize, effects:
     for effect in effects {
         match effect {
             OsnEffect::Ack { tx_id } => {
-                let Some(&p) = world.tx_pool.get(&tx_id) else { continue };
+                let Some(&p) = world.tx_pool.get(&tx_id) else {
+                    continue;
+                };
                 let arrival = world.osns[o].egress.transfer(now, 200);
                 k.schedule(arrival, move |w: &mut World, k2| {
                     let now = k2.now();
@@ -942,10 +1282,17 @@ fn apply_osn_effects(world: &mut World, k: &mut K, o: usize, ch: usize, effects:
                             k2.cancel(ev);
                         }
                     }
+                    let mut first_ack = false;
                     if let Some(t) = w.trace_mut(tx_id) {
                         if t.order_acked.is_none() {
                             t.order_acked = Some(now);
+                            first_ack = true;
                         }
+                    }
+                    if first_ack && w.obs.sink.enabled() {
+                        let station = w.osns[o].station.name().to_string();
+                        let depth = w.osns[o].station.jobs_in_system(now);
+                        w.emit(now, tx_id.short(), TracePhase::OrderAcked, station, depth);
                     }
                 });
             }
@@ -1017,12 +1364,30 @@ fn deliver_block(world: &mut World, k: &mut K, o: usize, block: Block) {
     if block.header.number >= world.next_cut_number[ch] {
         world.next_cut_number[ch] = block.header.number + 1;
         world.block_cuts.push((now, block.len()));
+        let station = world
+            .obs
+            .sink
+            .enabled()
+            .then(|| world.osns[o].station.name().to_string());
+        let depth = world.osns[o].station.jobs_in_system(now);
         for tx in &block.transactions {
             let tx_id = tx.tx_id;
             if let Some(t) = world.trace_mut(tx_id) {
                 if t.ordered.is_none() {
                     t.ordered = Some(now);
                 }
+            }
+        }
+        if let Some(station) = station {
+            let tx_ids: Vec<TxId> = block.transactions.iter().map(|t| t.tx_id).collect();
+            for tx_id in tx_ids {
+                world.emit(
+                    now,
+                    tx_id.short(),
+                    TracePhase::Ordered,
+                    station.clone(),
+                    depth,
+                );
             }
         }
     }
@@ -1084,7 +1449,13 @@ fn apply_gossip_effects(world: &mut World, k: &mut K, peer_idx: usize, effects: 
     }
 }
 
-fn peer_receive_gossip(world: &mut World, k: &mut K, peer_idx: usize, from: u32, message: GossipMsg) {
+fn peer_receive_gossip(
+    world: &mut World,
+    k: &mut K,
+    peer_idx: usize,
+    from: u32,
+    message: GossipMsg,
+) {
     let Some(gossip) = world.peers[peer_idx].gossip.as_mut() else {
         return;
     };
@@ -1115,9 +1486,29 @@ fn enqueue_block_validation(world: &mut World, k: &mut K, peer_idx: usize, block
     world.peers[peer_idx].next_expected_block[ch] = block.header.number + 1;
     let is_observer = peer_idx == world.observer;
     if is_observer {
-        for tx_id in block.transactions.iter().map(|t| t.tx_id).collect::<Vec<_>>() {
+        let station = world
+            .obs
+            .sink
+            .enabled()
+            .then(|| world.peers[peer_idx].validate.name().to_string());
+        let depth = world.peers[peer_idx].validate.jobs_in_system(now);
+        for tx_id in block
+            .transactions
+            .iter()
+            .map(|t| t.tx_id)
+            .collect::<Vec<_>>()
+        {
             if let Some(t) = world.trace_mut(tx_id) {
                 t.delivered = Some(now);
+            }
+            if let Some(station) = &station {
+                world.emit(
+                    now,
+                    tx_id.short(),
+                    TracePhase::Delivered,
+                    station.clone(),
+                    depth,
+                );
             }
         }
     }
@@ -1128,14 +1519,35 @@ fn enqueue_block_validation(world: &mut World, k: &mut K, peer_idx: usize, block
         .iter()
         .map(|tx| m.validate_tx_ms(tx.endorsements.len().max(1)))
         .collect();
-    let total_ms: f64 = m.validate_block_overhead_ms + per_tx_ms.iter().sum::<f64>();
+    let overhead_ms = m.validate_block_overhead_ms;
+    let total_ms: f64 = overhead_ms + per_tx_ms.iter().sum::<f64>();
     let service = world.ms(total_ms);
     let start = world.peers[peer_idx].validate.would_start_at(now);
     let done = world.peers[peer_idx].validate.submit(now, service);
+    if is_observer {
+        // Attribute the observer's validate visit per tx: block-level queueing
+        // plus this tx's share of the block's service demand.
+        let queued = start - now;
+        let overhead_share_ms = overhead_ms / per_tx_ms.len().max(1) as f64;
+        let tx_service: Vec<(TxId, SimDuration)> = block
+            .transactions
+            .iter()
+            .zip(&per_tx_ms)
+            .map(|(tx, &ms)| {
+                (
+                    tx.tx_id,
+                    SimDuration::from_millis_f64(ms + overhead_share_ms),
+                )
+            })
+            .collect();
+        for (tx_id, service) in tx_service {
+            world.attribute(tx_id, StationClass::PeerValidate, queued, service);
+        }
+    }
 
     // Progressive per-tx commit instants (for the observer's trace records).
     let commit_times: Vec<SimTime> = {
-        let mut acc = m.validate_block_overhead_ms;
+        let mut acc = overhead_ms;
         per_tx_ms
             .iter()
             .map(|c| {
@@ -1161,8 +1573,7 @@ fn commit_block(
     let ch = world.channel_index(&block.channel);
     let tx_ids: Vec<TxId> = block.transactions.iter().map(|t| t.tx_id).collect();
     let is_observer = peer_idx == world.observer;
-    let stats = world.peers[peer_idx]
-        .channels[ch]
+    let stats = world.peers[peer_idx].channels[ch]
         .validate_and_commit(block)
         .expect("delivered blocks must chain");
     let _ = stats;
@@ -1178,12 +1589,38 @@ fn commit_block(
                 .flags
                 .clone()
         };
+        let station = world
+            .obs
+            .sink
+            .enabled()
+            .then(|| world.peers[peer_idx].validate.name().to_string());
         for (i, tx_id) in tx_ids.iter().enumerate() {
+            let mut e2e = None;
             if let Some(t) = world.trace_mut(*tx_id) {
                 t.committed = Some(commit_times[i]);
                 if matches!(t.outcome, TxOutcome::InFlight) {
                     t.outcome = TxOutcome::Committed(flags[i]);
+                    e2e = Some((commit_times[i] - t.created).as_secs_f64());
                 }
+            }
+            if let Some(e2e_s) = e2e {
+                world.obs.e2e_hist.record(e2e_s);
+                if let Some(&idx) = world.tx_index.get(tx_id) {
+                    if let Some(b) = world.obs.breakdowns.get_mut(idx) {
+                        b.commit_s = commit_times[i].as_secs_f64();
+                        b.end_to_end_s = e2e_s;
+                    }
+                }
+            }
+            if let Some(station) = &station {
+                let t_s = commit_times[i];
+                world.emit(
+                    t_s,
+                    tx_id.short(),
+                    TracePhase::Committed,
+                    station.clone(),
+                    0,
+                );
             }
         }
     }
@@ -1229,7 +1666,13 @@ fn broker_heartbeat(world: &mut World, k: &mut K, b: usize) {
     k.schedule_in(period, move |w, k| broker_heartbeat(w, k, b));
 }
 
-fn apply_broker_effects(world: &mut World, k: &mut K, b: usize, ch: usize, effects: Vec<BrokerEffect>) {
+fn apply_broker_effects(
+    world: &mut World,
+    k: &mut K,
+    b: usize,
+    ch: usize,
+    effects: Vec<BrokerEffect>,
+) {
     let now = k.now();
     for effect in effects {
         match effect {
@@ -1266,7 +1709,9 @@ fn client_event_bytes(event: &ClientEvent) -> u64 {
 }
 
 fn zk_receive(world: &mut World, k: &mut K, ch: usize, message: ZkMsg) {
-    let Some(zk) = world.zks.get_mut(ch) else { return };
+    let Some(zk) = world.zks.get_mut(ch) else {
+        return;
+    };
     let effects = zk.step(message);
     apply_zk_effects(world, k, ch, effects);
 }
@@ -1293,12 +1738,16 @@ fn apply_zk_effects(world: &mut World, k: &mut K, ch: usize, effects: Vec<ZkEffe
             }
         }
         let (target, message) = match effect {
-            ZkEffect::AppointLeader { broker, epoch, replicas } => {
-                (broker, BrokerMsg::AppointLeader { epoch, replicas })
-            }
-            ZkEffect::AppointFollower { broker, leader, epoch } => {
-                (broker, BrokerMsg::AppointFollower { epoch, leader })
-            }
+            ZkEffect::AppointLeader {
+                broker,
+                epoch,
+                replicas,
+            } => (broker, BrokerMsg::AppointLeader { epoch, replicas }),
+            ZkEffect::AppointFollower {
+                broker,
+                leader,
+                epoch,
+            } => (broker, BrokerMsg::AppointFollower { epoch, leader }),
         };
         // Coordination messages travel the same LAN.
         let delay = world.ms(world.cfg.cost.link_propagation_ms + 0.5);

@@ -111,6 +111,27 @@ impl Default for GossipConfig {
     }
 }
 
+/// Observability configuration: what the run records beyond the summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsConfig {
+    /// Record structured per-transaction phase events (exportable as JSONL).
+    /// Off by default: large runs emit one event per phase transition.
+    pub trace_events: bool,
+    /// Time-series sampling period in virtual seconds (queue depths,
+    /// utilization, in-flight transactions, block-cut cadence). Set to `0.0`
+    /// to disable the sampler entirely.
+    pub sample_period_s: f64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            trace_events: false,
+            sample_period_s: 1.0,
+        }
+    }
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -155,6 +176,8 @@ pub struct SimConfig {
     pub gossip: Option<GossipConfig>,
     /// The calibrated cost model.
     pub cost: CostModel,
+    /// Observability: event tracing and time-series sampling.
+    pub obs: ObsConfig,
 }
 
 impl Default for SimConfig {
@@ -178,6 +201,7 @@ impl Default for SimConfig {
             channels: 1,
             gossip: None,
             cost: CostModel::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -218,6 +242,9 @@ impl SimConfig {
         if self.channels == 0 || self.channels > 32 {
             return Err("channels must be in 1..=32".into());
         }
+        if !self.obs.sample_period_s.is_finite() || self.obs.sample_period_s < 0.0 {
+            return Err("metrics sample period must be a finite non-negative number".into());
+        }
         self.batch.validate()
     }
 
@@ -232,9 +259,7 @@ impl SimConfig {
 
     /// Signatures per transaction under the resolved policy (what VSCC pays).
     pub fn signatures_per_tx(&self) -> usize {
-        self.policy
-            .resolve(self.endorsing_peers)
-            .min_endorsements()
+        self.policy.resolve(self.endorsing_peers).min_endorsements()
     }
 }
 
@@ -270,10 +295,16 @@ mod tests {
 
     #[test]
     fn validation_catches_problems() {
-        let c = SimConfig { endorsing_peers: 0, ..SimConfig::default() };
+        let c = SimConfig {
+            endorsing_peers: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let c = SimConfig { duration_secs: 5.0, ..SimConfig::default() };
+        let c = SimConfig {
+            duration_secs: 5.0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let c = SimConfig {
@@ -286,7 +317,10 @@ mod tests {
 
     #[test]
     fn signatures_per_tx_follows_policy() {
-        let mut c = SimConfig { policy: PolicySpec::OrN(10), ..SimConfig::default() };
+        let mut c = SimConfig {
+            policy: PolicySpec::OrN(10),
+            ..SimConfig::default()
+        };
         assert_eq!(c.signatures_per_tx(), 1);
         c.policy = PolicySpec::AndX(5);
         assert_eq!(c.signatures_per_tx(), 5);
@@ -296,7 +330,10 @@ mod tests {
 
     #[test]
     fn solo_always_one_osn() {
-        let mut c = SimConfig { osn_count: 5, ..SimConfig::default() };
+        let mut c = SimConfig {
+            osn_count: 5,
+            ..SimConfig::default()
+        };
         assert_eq!(c.effective_osns(), 1);
         c.orderer_type = OrdererType::Raft;
         assert_eq!(c.effective_osns(), 5);

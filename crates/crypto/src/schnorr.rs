@@ -191,8 +191,14 @@ mod tests {
     fn corrupted_signature_fails() {
         let kp = KeyPair::from_seed(b"alice");
         let sig = kp.sign(b"msg");
-        let bad_e = Signature { e: sig.e ^ 1, s: sig.s };
-        let bad_s = Signature { e: sig.e, s: (sig.s + 1) % Q };
+        let bad_e = Signature {
+            e: sig.e ^ 1,
+            s: sig.s,
+        };
+        let bad_s = Signature {
+            e: sig.e,
+            s: (sig.s + 1) % Q,
+        };
         assert!(!kp.public.verify(b"msg", &bad_e));
         assert!(!kp.public.verify(b"msg", &bad_s));
         let oversize = Signature { e: sig.e, s: Q };

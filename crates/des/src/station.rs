@@ -7,6 +7,7 @@
 //! simulating per-job events — exact, and much faster for large sweeps.
 
 use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
 
 /// A FIFO service station with `c` servers.
 ///
@@ -28,6 +29,9 @@ pub struct Station {
     jobs: u64,
     total_wait: SimDuration,
     last_submit: SimTime,
+    /// Completion instants of in-flight jobs, ascending; drained lazily at
+    /// each submit so memory stays bounded by the in-flight population.
+    completions: VecDeque<SimTime>,
 }
 
 impl Station {
@@ -44,6 +48,7 @@ impl Station {
             jobs: 0,
             total_wait: SimDuration::ZERO,
             last_submit: SimTime::ZERO,
+            completions: VecDeque::new(),
         }
     }
 
@@ -83,6 +88,14 @@ impl Station {
         self.jobs += 1;
         self.busy += service;
         self.total_wait += start - now;
+        while self.completions.front().is_some_and(|&t| t <= now) {
+            self.completions.pop_front();
+        }
+        // Multi-server completions are not monotone in submission order
+        // (a short job on a free server overtakes a long one), so insert
+        // sorted; the insertion point is almost always near the back.
+        let idx = self.completions.partition_point(|&t| t <= done);
+        self.completions.insert(idx, done);
         done
     }
 
@@ -96,6 +109,13 @@ impl Station {
     /// counts servers whose free time is in the future).
     pub fn backlog_servers(&self, now: SimTime) -> usize {
         self.free_at.iter().filter(|&&t| t > now).count()
+    }
+
+    /// Exact number of jobs in the system (in service *or* queued) at `now`,
+    /// for `now` no earlier than the last submission. This is the queue-depth
+    /// gauge sampled by the observability layer.
+    pub fn jobs_in_system(&self, now: SimTime) -> usize {
+        self.completions.len() - self.completions.partition_point(|&t| t <= now)
     }
 
     /// Total jobs submitted.
@@ -166,6 +186,32 @@ mod tests {
         assert_eq!(s.backlog_servers(at(5)), 3);
         assert_eq!(s.backlog_servers(at(15)), 1);
         assert_eq!(s.backlog_servers(at(25)), 0);
+    }
+
+    #[test]
+    fn jobs_in_system_counts_queued_and_serving() {
+        let mut s = Station::new("cpu", 2);
+        s.submit(at(0), ms(10)); // done at 10
+        s.submit(at(0), ms(30)); // done at 30
+        s.submit(at(0), ms(10)); // queued behind server 1, done at 20
+        assert_eq!(s.jobs_in_system(at(0)), 3);
+        assert_eq!(s.jobs_in_system(at(10)), 2); // first job finished at exactly 10
+        assert_eq!(s.jobs_in_system(at(25)), 1);
+        assert_eq!(s.jobs_in_system(at(30)), 0);
+        // Lazy drain at submit keeps the window bounded and counts correct.
+        s.submit(at(40), ms(5));
+        assert_eq!(s.jobs_in_system(at(40)), 1);
+        assert_eq!(s.jobs_in_system(at(45)), 0);
+    }
+
+    #[test]
+    fn jobs_in_system_handles_out_of_order_completions() {
+        let mut s = Station::new("cpu", 2);
+        s.submit(at(0), ms(100)); // done at 100
+        s.submit(at(1), ms(1)); // overtakes: done at 2
+        assert_eq!(s.jobs_in_system(at(1)), 2);
+        assert_eq!(s.jobs_in_system(at(5)), 1);
+        assert_eq!(s.jobs_in_system(at(100)), 0);
     }
 
     #[test]

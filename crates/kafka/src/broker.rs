@@ -19,12 +19,18 @@ pub struct Record {
 impl Record {
     /// A payload record.
     pub fn payload(data: Vec<u8>) -> Self {
-        Record { data, is_timer_marker: false }
+        Record {
+            data,
+            is_timer_marker: false,
+        }
     }
 
     /// A block-timeout marker record.
     pub fn timer_marker() -> Self {
-        Record { data: Vec::new(), is_timer_marker: true }
+        Record {
+            data: Vec::new(),
+            is_timer_marker: true,
+        }
     }
 }
 
@@ -476,10 +482,18 @@ mod tests {
             reply_to: 1,
             record: Record::payload(b"a".to_vec()),
         });
-        let effects = leader.step(BrokerMsg::Consume { reply_to: 9, offset: 0 });
+        let effects = leader.step(BrokerMsg::Consume {
+            reply_to: 9,
+            offset: 0,
+        });
         match &effects[0] {
             BrokerEffect::Reply {
-                event: ClientEvent::ConsumeBatch { records, high_watermark, .. },
+                event:
+                    ClientEvent::ConsumeBatch {
+                        records,
+                        high_watermark,
+                        ..
+                    },
                 ..
             } => {
                 assert!(records.is_empty(), "record above HW must not be served");
@@ -489,7 +503,10 @@ mod tests {
         }
         // After replication it becomes consumable.
         leader.step(BrokerMsg::Fetch { from: 2, offset: 1 });
-        let effects = leader.step(BrokerMsg::Consume { reply_to: 9, offset: 0 });
+        let effects = leader.step(BrokerMsg::Consume {
+            reply_to: 9,
+            offset: 0,
+        });
         match &effects[0] {
             BrokerEffect::Reply {
                 event: ClientEvent::ConsumeBatch { records, .. },
@@ -502,7 +519,10 @@ mod tests {
     #[test]
     fn follower_replicates_via_fetch_response() {
         let mut f = Broker::new(2, KafkaConfig::default());
-        f.step(BrokerMsg::AppointFollower { epoch: 1, leader: 1 });
+        f.step(BrokerMsg::AppointFollower {
+            epoch: 1,
+            leader: 1,
+        });
         let fetches = f.tick();
         assert_eq!(
             fetches,
@@ -513,7 +533,10 @@ mod tests {
         );
         f.step(BrokerMsg::FetchResponse {
             epoch: 1,
-            records: vec![Record::payload(b"a".to_vec()), Record::payload(b"b".to_vec())],
+            records: vec![
+                Record::payload(b"a".to_vec()),
+                Record::payload(b"b".to_vec()),
+            ],
             base_offset: 0,
             high_watermark: 1,
         });
@@ -524,7 +547,10 @@ mod tests {
     #[test]
     fn stale_epoch_fetch_response_ignored() {
         let mut f = Broker::new(2, KafkaConfig::default());
-        f.step(BrokerMsg::AppointFollower { epoch: 5, leader: 1 });
+        f.step(BrokerMsg::AppointFollower {
+            epoch: 5,
+            leader: 1,
+        });
         f.step(BrokerMsg::FetchResponse {
             epoch: 4,
             records: vec![Record::payload(b"stale".to_vec())],
@@ -541,7 +567,10 @@ mod tests {
             ..KafkaConfig::default()
         };
         let mut leader = Broker::new(1, cfg);
-        leader.step(BrokerMsg::AppointLeader { epoch: 1, replicas: vec![1, 2] });
+        leader.step(BrokerMsg::AppointLeader {
+            epoch: 1,
+            replicas: vec![1, 2],
+        });
         leader.step(BrokerMsg::Fetch { from: 2, offset: 0 });
         assert_eq!(leader.isr(), vec![1, 2]);
         leader.step(BrokerMsg::Produce {
@@ -568,14 +597,23 @@ mod tests {
     fn new_leader_keeps_its_log_and_rebuilds_isr() {
         // Follower 2 has replicated 2 records, then gets appointed leader.
         let mut f = Broker::new(2, KafkaConfig::default());
-        f.step(BrokerMsg::AppointFollower { epoch: 1, leader: 1 });
+        f.step(BrokerMsg::AppointFollower {
+            epoch: 1,
+            leader: 1,
+        });
         f.step(BrokerMsg::FetchResponse {
             epoch: 1,
-            records: vec![Record::payload(b"a".to_vec()), Record::payload(b"b".to_vec())],
+            records: vec![
+                Record::payload(b"a".to_vec()),
+                Record::payload(b"b".to_vec()),
+            ],
             base_offset: 0,
             high_watermark: 2,
         });
-        f.step(BrokerMsg::AppointLeader { epoch: 2, replicas: vec![2, 3] });
+        f.step(BrokerMsg::AppointLeader {
+            epoch: 2,
+            replicas: vec![2, 3],
+        });
         assert_eq!(f.role(), &BrokerRole::Leader);
         assert_eq!(f.log_end(), 2);
         assert_eq!(f.isr(), vec![2]);

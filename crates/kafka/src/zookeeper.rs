@@ -229,7 +229,11 @@ mod tests {
         assert_eq!(zk.leader(), Some(1), "first ISR member wins");
         assert!(matches!(
             effects[0],
-            ZkEffect::AppointLeader { broker: 1, epoch: 1, .. }
+            ZkEffect::AppointLeader {
+                broker: 1,
+                epoch: 1,
+                ..
+            }
         ));
         // Later-joining replicas are appointed followers.
         let follower_appointments = effects
@@ -251,9 +255,14 @@ mod tests {
             effects.extend(heartbeat_all(&mut zk, &[2, 3]));
         }
         assert_eq!(zk.leader(), Some(2), "failover to the next ISR member");
-        assert!(effects
-            .iter()
-            .any(|e| matches!(e, ZkEffect::AppointLeader { broker: 2, epoch: 2, .. })));
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            ZkEffect::AppointLeader {
+                broker: 2,
+                epoch: 2,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -277,9 +286,15 @@ mod tests {
     fn isr_updates_only_from_leader() {
         let mut zk = ZkEnsemble::new(3, vec![1, 2, 3], 5);
         heartbeat_all(&mut zk, &[1, 2, 3]);
-        zk.step(ZkMsg::IsrUpdate { from: 2, isr: vec![2] });
+        zk.step(ZkMsg::IsrUpdate {
+            from: 2,
+            isr: vec![2],
+        });
         assert_eq!(zk.isr(), &[1, 2, 3], "non-leader ISR update ignored");
-        zk.step(ZkMsg::IsrUpdate { from: 1, isr: vec![1, 2] });
+        zk.step(ZkMsg::IsrUpdate {
+            from: 1,
+            isr: vec![1, 2],
+        });
         assert_eq!(zk.isr(), &[1, 2]);
     }
 
@@ -289,7 +304,10 @@ mod tests {
         heartbeat_all(&mut zk, &[1]);
         assert_eq!(zk.leader(), Some(1));
         // Leader 1 reports solo ISR, then dies; only non-ISR broker 2 is live.
-        zk.step(ZkMsg::IsrUpdate { from: 1, isr: vec![1] });
+        zk.step(ZkMsg::IsrUpdate {
+            from: 1,
+            isr: vec![1],
+        });
         for _ in 0..5 {
             zk.tick();
             zk.step(ZkMsg::Heartbeat { from: 2 });
@@ -305,7 +323,11 @@ mod tests {
         let effects = zk.step(ZkMsg::Heartbeat { from: 2 });
         assert_eq!(
             effects,
-            vec![ZkEffect::AppointFollower { broker: 2, leader: 1, epoch: 1 }]
+            vec![ZkEffect::AppointFollower {
+                broker: 2,
+                leader: 1,
+                epoch: 1
+            }]
         );
     }
 }

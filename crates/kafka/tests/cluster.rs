@@ -21,7 +21,10 @@ impl Cluster {
     fn new(n: u32) -> Self {
         let ids: Vec<BrokerId> = (0..n).collect();
         let mut c = Cluster {
-            brokers: ids.iter().map(|&i| Broker::new(i, KafkaConfig::default())).collect(),
+            brokers: ids
+                .iter()
+                .map(|&i| Broker::new(i, KafkaConfig::default()))
+                .collect(),
             alive: vec![true; n as usize],
             zk: ZkEnsemble::new(3, ids, 3),
             broker_queue: VecDeque::new(),
@@ -43,12 +46,22 @@ impl Cluster {
 
     fn apply_zk(&mut self, effect: ZkEffect) {
         match effect {
-            ZkEffect::AppointLeader { broker, epoch, replicas } => self
-                .broker_queue
-                .push_back((broker as usize, BrokerMsg::AppointLeader { epoch, replicas })),
-            ZkEffect::AppointFollower { broker, leader, epoch } => self
-                .broker_queue
-                .push_back((broker as usize, BrokerMsg::AppointFollower { epoch, leader })),
+            ZkEffect::AppointLeader {
+                broker,
+                epoch,
+                replicas,
+            } => self.broker_queue.push_back((
+                broker as usize,
+                BrokerMsg::AppointLeader { epoch, replicas },
+            )),
+            ZkEffect::AppointFollower {
+                broker,
+                leader,
+                epoch,
+            } => self.broker_queue.push_back((
+                broker as usize,
+                BrokerMsg::AppointFollower { epoch, leader },
+            )),
         }
     }
 
@@ -81,7 +94,9 @@ impl Cluster {
                 if self.alive[b] {
                     let effects = self.brokers[b].tick();
                     self.apply_broker(b, effects);
-                    self.zk_step(ZkMsg::Heartbeat { from: self.brokers[b].id() });
+                    self.zk_step(ZkMsg::Heartbeat {
+                        from: self.brokers[b].id(),
+                    });
                 }
             }
             for effect in self.zk.tick() {
@@ -105,7 +120,10 @@ impl Cluster {
 
     fn consume_all(&mut self) -> Vec<Record> {
         let l = self.leader();
-        let effects = self.brokers[l].step(BrokerMsg::Consume { reply_to: 99, offset: 0 });
+        let effects = self.brokers[l].step(BrokerMsg::Consume {
+            reply_to: 99,
+            offset: 0,
+        });
         self.apply_broker(l, effects);
         match self.client_events.pop() {
             Some((_, ClientEvent::ConsumeBatch { records, .. })) => records,

@@ -184,7 +184,10 @@ mod tests {
         assert_eq!(s.height(), 2);
         assert_eq!(s.by_number(0).unwrap().len(), 2);
         assert_eq!(s.by_hash(&h0).unwrap().header.number, 0);
-        assert_eq!(s.locate_tx(&Proposal::derive_tx_id(ClientId(0), 3)), Some((1, 0)));
+        assert_eq!(
+            s.locate_tx(&Proposal::derive_tx_id(ClientId(0), 3)),
+            Some((1, 0))
+        );
         assert!(s.contains_tx(&Proposal::derive_tx_id(ClientId(0), 1)));
         assert!(!s.contains_tx(&Proposal::derive_tx_id(ClientId(0), 99)));
         assert!(s.verify_chain().is_ok());

@@ -29,11 +29,14 @@ impl HistoryDb {
 
     /// Records a committed write.
     pub fn record(&mut self, key: &str, tx_id: TxId, version: Version, is_delete: bool) {
-        self.entries.entry(key.to_string()).or_default().push(KeyModification {
-            tx_id,
-            version,
-            is_delete,
-        });
+        self.entries
+            .entry(key.to_string())
+            .or_default()
+            .push(KeyModification {
+                tx_id,
+                version,
+                is_delete,
+            });
     }
 
     /// The full modification history of a key, oldest first.

@@ -120,7 +120,8 @@ impl Ledger {
                 let version = fabricsim_types::Version::new(block.header.number, i as u32);
                 for w in &tx.rw_set.writes {
                     self.state.apply_write(&w.key, w.value.clone(), version);
-                    self.history.record(&w.key, tx.tx_id, version, w.value.is_none());
+                    self.history
+                        .record(&w.key, tx.tx_id, version, w.value.is_none());
                 }
             }
         }

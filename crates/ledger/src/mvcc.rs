@@ -128,10 +128,7 @@ mod tests {
         let state = StateDb::new();
         let store = BlockStore::new();
         let b = block_of(
-            vec![
-                tx(1, &[("k", None)], &["k"]),
-                tx(2, &[("k", None)], &["k"]),
-            ],
+            vec![tx(1, &[("k", None)], &["k"]), tx(2, &[("k", None)], &["k"])],
             0,
         );
         let flags = validate_block(&state, &store, &b, &no_flags(2));
@@ -172,7 +169,10 @@ mod tests {
         let t = tx(1, &[], &["a"]);
         let b = block_of(vec![t.clone(), t], 0);
         let flags = validate_block(&state, &store, &b, &no_flags(2));
-        assert_eq!(flags, vec![ValidationCode::Valid, ValidationCode::DuplicateTxId]);
+        assert_eq!(
+            flags,
+            vec![ValidationCode::Valid, ValidationCode::DuplicateTxId]
+        );
     }
 
     #[test]

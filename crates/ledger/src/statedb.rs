@@ -45,7 +45,8 @@ impl StateDb {
         self.writes_applied += 1;
         match value {
             Some(value) => {
-                self.map.insert(key.to_string(), VersionedValue { value, version });
+                self.map
+                    .insert(key.to_string(), VersionedValue { value, version });
             }
             None => {
                 self.map.remove(key);

@@ -1,6 +1,15 @@
 //! Property-based tests: MVCC commit equals serial execution of the accepted
 //! transactions, and the chain stays verifiable under arbitrary block shapes.
 
+// QUARANTINED (ISSUE 1 satellite: seed-test triage). This property suite
+// depends on the external `proptest` crate, which cannot be fetched in the
+// offline build environment, so the whole workspace failed to resolve. The
+// suite is gated behind the default-off `proptests` feature; to run it,
+// restore `proptest = "1"` as a dev-dependency of this crate and pass
+// `--features proptests`. The deterministic unit/integration tests retain
+// coverage of the same invariants at fixed seeds.
+#![cfg(feature = "proptests")]
+
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
@@ -13,12 +22,7 @@ use fabricsim_types::{
 
 /// A synthetic read-modify-write transaction over a tiny keyspace, carrying
 /// the read versions observed in `observed` (the endorsement-time snapshot).
-fn rmw_tx(
-    nonce: u64,
-    key: &str,
-    value: u8,
-    observed: &BTreeMap<String, Version>,
-) -> Transaction {
+fn rmw_tx(nonce: u64, key: &str, value: u8, observed: &BTreeMap<String, Version>) -> Transaction {
     let mut rw = RwSet::new();
     rw.record_read(key, observed.get(key).copied());
     rw.record_write(key, Some(vec![value]));

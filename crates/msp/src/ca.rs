@@ -31,7 +31,11 @@ impl CertificateAuthority {
     pub fn new(name: impl Into<String>, seed: u64) -> Self {
         let name = name.into();
         let keypair = KeyPair::from_seed(format!("ca:{name}:{seed}").as_bytes());
-        CertificateAuthority { name, seed, keypair }
+        CertificateAuthority {
+            name,
+            seed,
+            keypair,
+        }
     }
 
     /// The public root of trust to hand to MSPs.

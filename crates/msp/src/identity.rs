@@ -52,7 +52,10 @@ pub struct SigningIdentity {
 impl SigningIdentity {
     pub(crate) fn new(certificate: Certificate, keypair: KeyPair) -> Self {
         debug_assert_eq!(certificate.public_key, keypair.public);
-        SigningIdentity { certificate, keypair }
+        SigningIdentity {
+            certificate,
+            keypair,
+        }
     }
 
     /// The public certificate.
@@ -84,7 +87,9 @@ pub enum IdentityError {
 impl fmt::Display for IdentityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IdentityError::UntrustedCertificate => f.write_str("certificate not issued by a trusted CA"),
+            IdentityError::UntrustedCertificate => {
+                f.write_str("certificate not issued by a trusted CA")
+            }
             IdentityError::BadSignature => f.write_str("signature verification failed"),
         }
     }
@@ -114,7 +119,12 @@ impl Msp {
         if cert.issuer != self.root.name {
             return Err(IdentityError::UntrustedCertificate);
         }
-        let tbs = Certificate::tbs_bytes(&cert.subject, &cert.common_name, cert.public_key, &cert.issuer);
+        let tbs = Certificate::tbs_bytes(
+            &cert.subject,
+            &cert.common_name,
+            cert.public_key,
+            &cert.issuer,
+        );
         if self.root.public_key.verify(&tbs, &cert.ca_signature) {
             Ok(())
         } else {

@@ -1,0 +1,407 @@
+//! Bottleneck attribution: decompose end-to-end latency per station.
+//!
+//! The paper attributes Fabric's throughput ceiling by measuring, for each
+//! transaction, how long it *waited* versus how long it was *served* at each
+//! pipeline station, then naming the station whose queue dominates (§IV,
+//! Finding 3: the validation phase). This module computes exactly that from
+//! per-transaction breakdowns the simulator records at each `Station::submit`
+//! call site: `queued = would_start_at(now) - now`, `service` = the sampled
+//! service demand.
+
+/// The pipeline stations latency is attributed to.
+///
+/// A small closed enum (rather than free-form strings) so breakdowns are flat
+/// fixed-size arrays and windows aggregate with no hashing on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StationClass {
+    /// Client-side proposal preparation (signing, marshalling).
+    ClientPrep,
+    /// Client-side endorsement collection / response verification.
+    ClientRecv,
+    /// Peer endorsement (simulate + sign) — parallel across endorsers, so
+    /// per-tx accumulation takes the max over the visit set (critical path).
+    PeerEndorse,
+    /// Ordering-service CPU (batching, consensus bookkeeping).
+    OsnCpu,
+    /// Peer validation + commit (VSCC, MVCC, ledger write).
+    PeerValidate,
+}
+
+impl StationClass {
+    /// Every class, in pipeline order.
+    pub const ALL: [StationClass; 5] = [
+        StationClass::ClientPrep,
+        StationClass::ClientRecv,
+        StationClass::PeerEndorse,
+        StationClass::OsnCpu,
+        StationClass::PeerValidate,
+    ];
+
+    /// Human-readable label, matching the simulator's utilization report
+    /// naming (`"peer validate"` etc.).
+    pub fn label(self) -> &'static str {
+        match self {
+            StationClass::ClientPrep => "client prep",
+            StationClass::ClientRecv => "client recv",
+            StationClass::PeerEndorse => "peer endorse",
+            StationClass::OsnCpu => "osn cpu",
+            StationClass::PeerValidate => "peer validate",
+        }
+    }
+
+    /// Index of this class in the per-station arrays
+    /// ([`TxStationBreakdown::queued_s`] / [`TxStationBreakdown::service_s`]).
+    pub fn idx(self) -> usize {
+        match self {
+            StationClass::ClientPrep => 0,
+            StationClass::ClientRecv => 1,
+            StationClass::PeerEndorse => 2,
+            StationClass::OsnCpu => 3,
+            StationClass::PeerValidate => 4,
+        }
+    }
+}
+
+/// Per-transaction latency decomposition across station classes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TxStationBreakdown {
+    /// Virtual commit time, seconds. Used to assign the tx to a window.
+    pub commit_s: f64,
+    /// End-to-end latency (created → committed), seconds.
+    pub end_to_end_s: f64,
+    /// Time spent queued at each class, indexed per [`StationClass::ALL`].
+    pub queued_s: [f64; 5],
+    /// Time spent in service at each class, same indexing.
+    pub service_s: [f64; 5],
+}
+
+impl TxStationBreakdown {
+    /// Adds one sequential station visit.
+    pub fn add(&mut self, class: StationClass, queued_s: f64, service_s: f64) {
+        let i = class.idx();
+        self.queued_s[i] += queued_s;
+        self.service_s[i] += service_s;
+    }
+
+    /// Folds in one of several *parallel* visits (e.g. fan-out endorsement):
+    /// only the slowest branch is on the critical path, so keep the max
+    /// queued+service pair rather than summing.
+    pub fn add_max(&mut self, class: StationClass, queued_s: f64, service_s: f64) {
+        let i = class.idx();
+        if queued_s + service_s > self.queued_s[i] + self.service_s[i] {
+            self.queued_s[i] = queued_s;
+            self.service_s[i] = service_s;
+        }
+    }
+
+    /// Total attributed queueing time.
+    pub fn total_queued_s(&self) -> f64 {
+        self.queued_s.iter().sum()
+    }
+
+    /// Total attributed service time.
+    pub fn total_service_s(&self) -> f64 {
+        self.service_s.iter().sum()
+    }
+
+    /// Latency not attributed to any station (network propagation, batching
+    /// delay while a block waits to cut, etc.). Clamped at zero.
+    pub fn unattributed_s(&self) -> f64 {
+        (self.end_to_end_s - self.total_queued_s() - self.total_service_s()).max(0.0)
+    }
+}
+
+/// Aggregated attribution for one time window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowAttribution {
+    /// Window start, virtual seconds.
+    pub t0_s: f64,
+    /// Committed transactions in the window.
+    pub tx_count: u64,
+    /// Mean queueing seconds per tx, per class (indexed per [`StationClass::ALL`]).
+    pub mean_queued_s: [f64; 5],
+    /// Mean service seconds per tx, per class.
+    pub mean_service_s: [f64; 5],
+    /// Mean end-to-end latency in the window.
+    pub mean_e2e_s: f64,
+}
+
+impl WindowAttribution {
+    /// The station class with the largest mean queueing time — the window's
+    /// bottleneck in the paper's sense. `None` for an empty window.
+    pub fn dominant(&self) -> Option<StationClass> {
+        if self.tx_count == 0 {
+            return None;
+        }
+        let mut best = StationClass::ALL[0];
+        for c in StationClass::ALL {
+            if self.mean_queued_s[c.idx()] > self.mean_queued_s[best.idx()] {
+                best = c;
+            }
+        }
+        Some(best)
+    }
+}
+
+/// Whole-run bottleneck attribution: per-window aggregates plus run totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottleneckReport {
+    /// Window length, virtual seconds.
+    pub window_s: f64,
+    /// Per-window aggregates, ordered by window start (empty windows kept so
+    /// the timeline has no gaps).
+    pub windows: Vec<WindowAttribution>,
+    /// Whole-run aggregate (window `t0_s = 0`, spanning everything).
+    pub overall: WindowAttribution,
+    /// Mean latency not attributed to any station (propagation, block-cut
+    /// batching delay), per committed tx.
+    pub mean_unattributed_s: f64,
+}
+
+impl BottleneckReport {
+    /// Builds a report from per-transaction breakdowns.
+    ///
+    /// # Panics
+    /// Panics unless `window_s` is positive and finite.
+    pub fn from_breakdowns(txs: &[TxStationBreakdown], window_s: f64) -> Self {
+        assert!(
+            window_s > 0.0 && window_s.is_finite(),
+            "invalid window length"
+        );
+        let horizon = txs.iter().map(|t| t.commit_s).fold(0.0, f64::max);
+        let n_windows = if txs.is_empty() {
+            0
+        } else {
+            (horizon / window_s).floor() as usize + 1
+        };
+        let mut acc: Vec<(u64, [f64; 5], [f64; 5], f64)> =
+            vec![(0, [0.0; 5], [0.0; 5], 0.0); n_windows];
+        let mut overall = (0u64, [0.0f64; 5], [0.0f64; 5], 0.0f64);
+        let mut unattributed = 0.0;
+        fn fold(slot: &mut (u64, [f64; 5], [f64; 5], f64), tx: &TxStationBreakdown) {
+            slot.0 += 1;
+            for i in 0..5 {
+                slot.1[i] += tx.queued_s[i];
+                slot.2[i] += tx.service_s[i];
+            }
+            slot.3 += tx.end_to_end_s;
+        }
+        for tx in txs {
+            let w = ((tx.commit_s / window_s).floor() as usize).min(n_windows.saturating_sub(1));
+            fold(&mut acc[w], tx);
+            fold(&mut overall, tx);
+            unattributed += tx.unattributed_s();
+        }
+        let finish = |t0_s: f64, (count, queued, service, e2e): (u64, [f64; 5], [f64; 5], f64)| {
+            let div = if count == 0 { 1.0 } else { count as f64 };
+            WindowAttribution {
+                t0_s,
+                tx_count: count,
+                mean_queued_s: queued.map(|v| v / div),
+                mean_service_s: service.map(|v| v / div),
+                mean_e2e_s: e2e / div,
+            }
+        };
+        let windows = acc
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| finish(i as f64 * window_s, slot))
+            .collect();
+        let total = overall.0;
+        BottleneckReport {
+            window_s,
+            windows,
+            overall: finish(0.0, overall),
+            mean_unattributed_s: if total == 0 {
+                0.0
+            } else {
+                unattributed / total as f64
+            },
+        }
+    }
+
+    /// The run-level dominant queue, by mean queueing time.
+    pub fn dominant(&self) -> Option<StationClass> {
+        self.overall.dominant()
+    }
+
+    /// Renders a fixed-width human-readable table: one row per station class
+    /// with mean queued/service seconds and their share of end-to-end
+    /// latency, then per-window dominant queues.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("bottleneck attribution (per committed tx)\n");
+        out.push_str(&format!(
+            "{:<14} {:>12} {:>12} {:>8}\n",
+            "station", "queued_s", "service_s", "share"
+        ));
+        let e2e = self.overall.mean_e2e_s.max(f64::MIN_POSITIVE);
+        for c in StationClass::ALL {
+            let q = self.overall.mean_queued_s[c.idx()];
+            let s = self.overall.mean_service_s[c.idx()];
+            out.push_str(&format!(
+                "{:<14} {:>12.6} {:>12.6} {:>7.1}%\n",
+                c.label(),
+                q,
+                s,
+                100.0 * (q + s) / e2e
+            ));
+        }
+        out.push_str(&format!(
+            "{:<14} {:>12} {:>12} {:>7.1}%\n",
+            "unattributed",
+            "-",
+            "-",
+            100.0 * self.mean_unattributed_s / e2e
+        ));
+        match self.dominant() {
+            Some(c) => out.push_str(&format!("dominant queue: {}\n", c.label())),
+            None => out.push_str("dominant queue: n/a (no committed txs)\n"),
+        }
+        if self.windows.len() > 1 {
+            out.push_str("per-window dominant queue:\n");
+            for w in &self.windows {
+                let name = w.dominant().map(StationClass::label).unwrap_or("-");
+                out.push_str(&format!(
+                    "  [{:>8.1}s..{:>8.1}s) txs={:<6} mean_e2e={:>9.4}s  {}\n",
+                    w.t0_s,
+                    w.t0_s + self.window_s,
+                    w.tx_count,
+                    w.mean_e2e_s,
+                    name
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let arr = |xs: &[f64; 5]| {
+            let mut s = String::from("[");
+            for (i, v) in xs.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("{v:.9}"));
+            }
+            s.push(']');
+            s
+        };
+        let win = |w: &WindowAttribution| {
+            format!(
+                "{{\"t0_s\":{:.3},\"tx_count\":{},\"mean_queued_s\":{},\"mean_service_s\":{},\"mean_e2e_s\":{:.9},\"dominant\":{}}}",
+                w.t0_s,
+                w.tx_count,
+                arr(&w.mean_queued_s),
+                arr(&w.mean_service_s),
+                w.mean_e2e_s,
+                match w.dominant() {
+                    Some(c) => format!("\"{}\"", c.label()),
+                    None => "null".into(),
+                }
+            )
+        };
+        let mut out = format!("{{\"window_s\":{},\"stations\":[", self.window_s);
+        for (i, c) in StationClass::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", c.label()));
+        }
+        out.push_str(&format!(
+            "],\"overall\":{},\"mean_unattributed_s\":{:.9},\"windows\":[",
+            win(&self.overall),
+            self.mean_unattributed_s
+        ));
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&win(w));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic two-station tandem queue: station A fast (no queue), station
+    /// B slow (queue builds). The report must finger B.
+    #[test]
+    fn two_station_queue_names_the_slow_station() {
+        let mut txs = Vec::new();
+        for i in 0..100u64 {
+            let mut b = TxStationBreakdown::default();
+            // A: 1 ms service, no queueing.
+            b.add(StationClass::PeerEndorse, 0.0, 0.001);
+            // B: 10 ms service, queue grows linearly with arrival index.
+            let queued = 0.01 * i as f64;
+            b.add(StationClass::PeerValidate, queued, 0.010);
+            b.commit_s = 0.011 + queued;
+            b.end_to_end_s = b.total_queued_s() + b.total_service_s() + 0.002;
+            txs.push(b);
+        }
+        let report = BottleneckReport::from_breakdowns(&txs, 0.25);
+        assert_eq!(report.dominant(), Some(StationClass::PeerValidate));
+        assert_eq!(report.overall.tx_count, 100);
+        // Mean queued at B = 0.01 * mean(0..100) = 0.01 * 49.5.
+        let qb = report.overall.mean_queued_s[StationClass::PeerValidate.idx()];
+        assert!((qb - 0.495).abs() < 1e-9, "mean queued {qb}");
+        // The 2 ms of network delay is unattributed.
+        assert!((report.mean_unattributed_s - 0.002).abs() < 1e-9);
+        // Windows tile [0, max commit] with no gaps.
+        let total: u64 = report.windows.iter().map(|w| w.tx_count).sum();
+        assert_eq!(total, 100);
+        // Later windows hold later (more-queued) txs; each still blames B.
+        for w in report.windows.iter().filter(|w| w.tx_count > 0) {
+            assert_eq!(w.dominant(), Some(StationClass::PeerValidate));
+        }
+        let table = report.render_table();
+        assert!(table.contains("dominant queue: peer validate"), "{table}");
+        let json = report.to_json();
+        assert!(json.contains("\"dominant\":\"peer validate\""), "{json}");
+    }
+
+    #[test]
+    fn parallel_visits_keep_critical_path_only() {
+        let mut b = TxStationBreakdown::default();
+        b.add_max(StationClass::PeerEndorse, 0.001, 0.004);
+        b.add_max(StationClass::PeerEndorse, 0.010, 0.002); // slowest branch
+        b.add_max(StationClass::PeerEndorse, 0.000, 0.003);
+        let i = StationClass::PeerEndorse.idx();
+        assert_eq!((b.queued_s[i], b.service_s[i]), (0.010, 0.002));
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        let report = BottleneckReport::from_breakdowns(&[], 1.0);
+        assert_eq!(report.dominant(), None);
+        assert!(report.windows.is_empty());
+        assert_eq!(report.overall.tx_count, 0);
+        assert!(report.render_table().contains("n/a"));
+        assert!(report.to_json().contains("\"dominant\":null"));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        // The acceptance pipeline matches on these exact strings.
+        let labels: Vec<_> = StationClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "client prep",
+                "client recv",
+                "peer endorse",
+                "osn cpu",
+                "peer validate"
+            ]
+        );
+        for c in StationClass::ALL {
+            assert_eq!(StationClass::ALL[c.idx()], c);
+        }
+    }
+}

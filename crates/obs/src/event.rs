@@ -1,0 +1,367 @@
+//! Structured phase-transition events and their JSONL wire format.
+//!
+//! One event is emitted at every pipeline phase boundary a transaction
+//! crosses, mirroring the log lines the paper's instrumentation patch adds to
+//! Fabric (client submit, endorsement, broadcast, ordering, delivery,
+//! commit). The JSONL schema is flat so external tooling (jq, pandas) can
+//! consume trace files directly.
+
+use std::fmt;
+
+/// The pipeline phase a [`PhaseEvent`] marks the completion (or failure) of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TracePhase {
+    /// Transaction arrived at a client pool.
+    Created,
+    /// Proposal left the client (after prep + SDK pre-latency).
+    ProposalSent,
+    /// A peer finished endorsing the proposal.
+    Endorsed,
+    /// Endorsement set satisfied; envelope assembled and signed.
+    Assembled,
+    /// Envelope handed to the ordering service.
+    Submitted,
+    /// Ordering service acknowledged the broadcast.
+    OrderAcked,
+    /// Packed into a block by the ordering service.
+    Ordered,
+    /// Block containing the transaction arrived at the observer peer.
+    Delivered,
+    /// Validation finished at the observer peer (commit point).
+    Committed,
+    /// Dropped at the client: submission queue saturated.
+    OverloadDropped,
+    /// Endorsement collection failed.
+    EndorsementFailed,
+    /// The ordering service missed the client's broadcast timeout.
+    OrderingTimeout,
+}
+
+impl TracePhase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [TracePhase; 12] = [
+        TracePhase::Created,
+        TracePhase::ProposalSent,
+        TracePhase::Endorsed,
+        TracePhase::Assembled,
+        TracePhase::Submitted,
+        TracePhase::OrderAcked,
+        TracePhase::Ordered,
+        TracePhase::Delivered,
+        TracePhase::Committed,
+        TracePhase::OverloadDropped,
+        TracePhase::EndorsementFailed,
+        TracePhase::OrderingTimeout,
+    ];
+
+    /// Stable snake_case label used on the wire.
+    pub fn label(self) -> &'static str {
+        match self {
+            TracePhase::Created => "created",
+            TracePhase::ProposalSent => "proposal_sent",
+            TracePhase::Endorsed => "endorsed",
+            TracePhase::Assembled => "assembled",
+            TracePhase::Submitted => "submitted",
+            TracePhase::OrderAcked => "order_acked",
+            TracePhase::Ordered => "ordered",
+            TracePhase::Delivered => "delivered",
+            TracePhase::Committed => "committed",
+            TracePhase::OverloadDropped => "overload_dropped",
+            TracePhase::EndorsementFailed => "endorsement_failed",
+            TracePhase::OrderingTimeout => "ordering_timeout",
+        }
+    }
+
+    /// Inverse of [`TracePhase::label`].
+    pub fn from_label(s: &str) -> Option<TracePhase> {
+        TracePhase::ALL.into_iter().find(|p| p.label() == s)
+    }
+}
+
+impl fmt::Display for TracePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One structured trace record: a transaction crossing a phase boundary at a
+/// station, with the queue depth it observed there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseEvent {
+    /// Virtual time of the transition, seconds.
+    pub t_s: f64,
+    /// Short transaction id (hash prefix), or `"-"` for non-tx events.
+    pub tx: String,
+    /// The phase boundary crossed.
+    pub phase: TracePhase,
+    /// Diagnostic name of the station involved (e.g. `peer0.validate`).
+    pub station: String,
+    /// Jobs in system (queued + in service) at the station when the event
+    /// fired.
+    pub queue_depth: u64,
+}
+
+impl PhaseEvent {
+    /// Serializes the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"t_s\":{:.9},\"tx\":\"{}\",\"phase\":\"{}\",\"station\":\"{}\",\"queue_depth\":{}}}",
+            self.t_s,
+            escape(&self.tx),
+            self.phase.label(),
+            escape(&self.station),
+            self.queue_depth
+        )
+    }
+
+    /// Parses one JSONL line produced by [`PhaseEvent::to_json`] (tolerant of
+    /// field order and extra whitespace).
+    ///
+    /// # Errors
+    /// A description of the first syntax or schema problem found.
+    pub fn from_json(line: &str) -> Result<PhaseEvent, String> {
+        let fields = parse_flat_object(line)?;
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {k:?}"))
+        };
+        let t_s = match get("t_s")? {
+            JsonValue::Number(n) => *n,
+            _ => return Err("t_s must be a number".into()),
+        };
+        let tx = match get("tx")? {
+            JsonValue::String(s) => s.clone(),
+            _ => return Err("tx must be a string".into()),
+        };
+        let phase = match get("phase")? {
+            JsonValue::String(s) => {
+                TracePhase::from_label(s).ok_or_else(|| format!("unknown phase {s:?}"))?
+            }
+            _ => return Err("phase must be a string".into()),
+        };
+        let station = match get("station")? {
+            JsonValue::String(s) => s.clone(),
+            _ => return Err("station must be a string".into()),
+        };
+        let queue_depth = match get("queue_depth")? {
+            JsonValue::Number(n) if *n >= 0.0 => *n as u64,
+            _ => return Err("queue_depth must be a non-negative number".into()),
+        };
+        Ok(PhaseEvent {
+            t_s,
+            tx,
+            phase,
+            station,
+            queue_depth,
+        })
+    }
+}
+
+/// Parses a whole JSONL document (one event per non-empty line).
+///
+/// # Errors
+/// The line number and description of the first bad line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<PhaseEvent>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(PhaseEvent::from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+/// JSON string escaping for the characters that can occur in station/tx names
+/// (plus full control-character coverage for safety).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A scalar in a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    String(String),
+    Number(f64),
+}
+
+/// Minimal parser for one-level JSON objects of string/number fields — all
+/// this crate emits, and all it needs to read back. Not a general JSON
+/// parser by design (no nesting, bools or nulls).
+fn parse_flat_object(s: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = s.trim().chars().peekable();
+    let mut fields = Vec::new();
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            other => return Err(format!("expected key string, found {other:?}")),
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => JsonValue::String(parse_string(&mut chars)?),
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                        num.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                JsonValue::Number(
+                    num.parse()
+                        .map_err(|e| format!("bad number {num:?}: {e}"))?,
+                )
+            }
+            other => return Err(format!("unsupported value start {other:?}")),
+        };
+        fields.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".into());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".into()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                    out.push(char::from_u32(code).ok_or("invalid \\u codepoint")?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(phase: TracePhase) -> PhaseEvent {
+        PhaseEvent {
+            t_s: 12.345678901,
+            tx: "ab12cd34".into(),
+            phase,
+            station: "peer0.validate".into(),
+            queue_depth: 7,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_phase() {
+        for phase in TracePhase::ALL {
+            let ev = event(phase);
+            let back = PhaseEvent::from_json(&ev.to_json()).expect("parses");
+            assert_eq!(back, ev, "round-trip for {phase}");
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_documents() {
+        let events: Vec<PhaseEvent> = TracePhase::ALL.into_iter().map(event).collect();
+        let doc: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        let back = parse_jsonl(&doc).expect("document parses");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn parser_tolerates_field_order_and_whitespace() {
+        let line = r#" { "station" : "pool1.prep" , "phase" : "created" ,
+            "queue_depth" : 0 , "tx" : "deadbeef" , "t_s" : 0.5 } "#
+            .replace('\n', " ");
+        let ev = PhaseEvent::from_json(&line).expect("parses");
+        assert_eq!(ev.phase, TracePhase::Created);
+        assert_eq!(ev.station, "pool1.prep");
+        assert!((ev.t_s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parser_rejects_bad_lines() {
+        assert!(PhaseEvent::from_json("not json").is_err());
+        assert!(PhaseEvent::from_json("{}").is_err());
+        assert!(PhaseEvent::from_json(
+            r#"{"t_s":1,"tx":"a","phase":"warp","station":"s","queue_depth":0}"#
+        )
+        .is_err());
+        // Nested objects are out of schema.
+        assert!(PhaseEvent::from_json(r#"{"t_s":{}}"#).is_err());
+    }
+
+    #[test]
+    fn escaping_round_trips_special_characters() {
+        let mut ev = event(TracePhase::Created);
+        ev.station = "we\"ird\\name\twith\ncontrol\u{1}".into();
+        let back = PhaseEvent::from_json(&ev.to_json()).expect("parses");
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn phase_labels_are_unique_and_invertible() {
+        for p in TracePhase::ALL {
+            assert_eq!(TracePhase::from_label(p.label()), Some(p));
+        }
+        assert_eq!(TracePhase::from_label("nope"), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! # fabricsim-obs — sim-time-aware observability
+//!
+//! The paper's entire methodology is log-based: Fabric's phases are
+//! instrumented with timestamps, and the bottleneck is attributed by reading
+//! per-phase queueing out of the logs (§IV). This crate makes that
+//! methodology a first-class, reusable layer over the DES:
+//!
+//! * [`EventSink`] / [`Tracer`] — structured phase-transition events
+//!   (`tx`, `phase`, `station`, `t_s`, `queue_depth`) with a JSONL exporter
+//!   mirroring the paper's log format. Disabled sinks cost one branch per
+//!   call site — simulations pay nothing unless tracing is requested.
+//! * [`LogHistogram`] — log-bucketed (HDR-style) latency histograms:
+//!   O(buckets) memory regardless of sample count, percentile queries exact
+//!   to within one bucket width.
+//! * [`TimeSeries`] / [`MetricsRecorder`] — windowed time-series sampled
+//!   every N virtual seconds (queue depths, station utilization, in-flight
+//!   transactions, block-cut cadence).
+//! * [`BottleneckReport`] — decomposes each committed transaction's
+//!   end-to-end latency into per-station service vs. queueing time and names
+//!   the dominant queue per window, turning the paper's Finding 3 ("validate
+//!   is the bottleneck") into a computed artifact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bottleneck;
+mod event;
+mod hist;
+mod series;
+mod sink;
+
+pub use bottleneck::{BottleneckReport, StationClass, TxStationBreakdown, WindowAttribution};
+pub use event::{parse_jsonl, PhaseEvent, TracePhase};
+pub use hist::LogHistogram;
+pub use series::{MetricsRecorder, TimeSeries};
+pub use sink::{EventSink, Tracer};

@@ -1,0 +1,126 @@
+//! Event sinks: where phase events go, if anywhere.
+//!
+//! The hot path is the *disabled* case — every instrumentation point in the
+//! simulator guards on [`EventSink::enabled`], which compiles to a single
+//! discriminant check, so runs without tracing pay one predictable branch per
+//! phase transition and allocate nothing.
+
+use crate::event::PhaseEvent;
+
+/// Anything that can consume phase events.
+pub trait Tracer {
+    /// Whether events should be constructed at all. Call sites must guard on
+    /// this before building a [`PhaseEvent`] (constructing one allocates).
+    fn enabled(&self) -> bool;
+    /// Consumes one event. No-op when disabled.
+    fn record(&mut self, ev: PhaseEvent);
+}
+
+/// The standard sink: disabled (free) or collecting into memory.
+#[derive(Debug, Clone, Default)]
+pub enum EventSink {
+    /// Drop everything; `enabled()` is false.
+    #[default]
+    Disabled,
+    /// Append every event to a vector, in emission (= virtual time) order.
+    Memory(Vec<PhaseEvent>),
+}
+
+impl EventSink {
+    /// A sink that records nothing.
+    pub fn disabled() -> Self {
+        EventSink::Disabled
+    }
+
+    /// A sink that collects events in memory.
+    pub fn in_memory() -> Self {
+        EventSink::Memory(Vec::new())
+    }
+
+    /// Whether call sites should construct and record events.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        matches!(self, EventSink::Memory(_))
+    }
+
+    /// Records one event (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, ev: PhaseEvent) {
+        if let EventSink::Memory(buf) = self {
+            buf.push(ev);
+        }
+    }
+
+    /// The events collected so far (empty when disabled).
+    pub fn events(&self) -> &[PhaseEvent] {
+        match self {
+            EventSink::Disabled => &[],
+            EventSink::Memory(buf) => buf,
+        }
+    }
+
+    /// Consumes the sink, yielding its events.
+    pub fn into_events(self) -> Vec<PhaseEvent> {
+        match self {
+            EventSink::Disabled => Vec::new(),
+            EventSink::Memory(buf) => buf,
+        }
+    }
+
+    /// Renders every collected event as a JSONL document.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events() {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Tracer for EventSink {
+    fn enabled(&self) -> bool {
+        EventSink::enabled(self)
+    }
+    fn record(&mut self, ev: PhaseEvent) {
+        EventSink::record(self, ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TracePhase;
+
+    fn ev(t_s: f64) -> PhaseEvent {
+        PhaseEvent {
+            t_s,
+            tx: "aa".into(),
+            phase: TracePhase::Created,
+            station: "s".into(),
+            queue_depth: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let mut sink = EventSink::disabled();
+        assert!(!sink.enabled());
+        sink.record(ev(1.0));
+        assert!(sink.events().is_empty());
+        assert_eq!(sink.to_jsonl(), "");
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut sink = EventSink::in_memory();
+        assert!(sink.enabled());
+        sink.record(ev(1.0));
+        sink.record(ev(2.0));
+        assert_eq!(sink.events().len(), 2);
+        assert!(sink.events()[0].t_s < sink.events()[1].t_s);
+        let jsonl = sink.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert_eq!(sink.into_events().len(), 2);
+    }
+}

@@ -31,7 +31,12 @@ impl BlockAssembler {
 
     /// Assembles the next block in the chain from a cut batch.
     pub fn assemble(&mut self, batch: Vec<Transaction>) -> Block {
-        let block = Block::assemble(self.channel.clone(), self.next_number, self.prev_hash, batch);
+        let block = Block::assemble(
+            self.channel.clone(),
+            self.next_number,
+            self.prev_hash,
+            batch,
+        );
         self.next_number += 1;
         self.prev_hash = block.header.hash();
         block

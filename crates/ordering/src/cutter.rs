@@ -203,7 +203,11 @@ mod tests {
         c.ordered(tx(1, 10));
         c.ordered(tx(2, 10));
         let out = c.ordered(tx(3, 5000));
-        assert_eq!(out.batches.len(), 2, "previous pair, then the oversize tx alone");
+        assert_eq!(
+            out.batches.len(),
+            2,
+            "previous pair, then the oversize tx alone"
+        );
         assert_eq!(out.batches[0].len(), 2);
         assert_eq!(out.batches[1].len(), 1);
     }

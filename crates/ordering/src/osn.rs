@@ -232,7 +232,9 @@ impl OsnNode {
                     Vec::new() // no leader known: drop; client times out
                 }
             }
-            Engine::Kafka { leader, unacked, .. } => {
+            Engine::Kafka {
+                leader, unacked, ..
+            } => {
                 unacked.push_back(tx.tx_id);
                 vec![OsnEffect::SendBroker {
                     to: *leader,
@@ -250,7 +252,10 @@ impl OsnNode {
         let timeout_ms = self.cutter.timeout_ms();
         let outcome = self.cutter.ordered(tx);
         if let Some(seq) = outcome.arm_timer {
-            effects.push(OsnEffect::ArmBatchTimer { after_ms: timeout_ms, seq });
+            effects.push(OsnEffect::ArmBatchTimer {
+                after_ms: timeout_ms,
+                seq,
+            });
         }
         for batch in outcome.batches {
             self.emit_block(batch, effects);
@@ -275,7 +280,9 @@ impl OsnNode {
     // closure-friendly wrapper (kept simple: re-match inside absorb call sites).
     fn engine_raft_delivered(&mut self) -> &mut u64 {
         match &mut self.engine {
-            Engine::Raft { delivered_height, .. } => delivered_height,
+            Engine::Raft {
+                delivered_height, ..
+            } => delivered_height,
             _ => unreachable!("raft-only path"),
         }
     }
@@ -291,7 +298,10 @@ impl OsnNode {
                 };
                 let raft_effects = node.step(from as u64 + 1, raft_msg);
                 let mut effects = Vec::new();
-                let Engine::Raft { delivered_height, .. } = &mut self.engine else {
+                let Engine::Raft {
+                    delivered_height, ..
+                } = &mut self.engine
+                else {
                     unreachable!()
                 };
                 Self::absorb_raft(raft_effects, delivered_height, &mut effects);
@@ -388,7 +398,11 @@ impl OsnNode {
                     });
                 }
             }
-            ClientEvent::ConsumeBatch { base_offset, records, .. } => {
+            ClientEvent::ConsumeBatch {
+                base_offset,
+                records,
+                ..
+            } => {
                 if base_offset != *next_offset {
                     // Overlap or gap: only consume forward from our cursor.
                     if base_offset > *next_offset {
@@ -402,10 +416,16 @@ impl OsnNode {
                         // Fabric's TTC-X: cut the pending batch if the marker
                         // targets the block we are currently accumulating.
                         let target = u64::from_le_bytes(
-                            record.data.get(..8).unwrap_or(&[0; 8]).try_into().unwrap_or([0; 8]),
+                            record
+                                .data
+                                .get(..8)
+                                .unwrap_or(&[0; 8])
+                                .try_into()
+                                .unwrap_or([0; 8]),
                         );
                         // Marker data is absent for generic markers.
-                        let applies = record.data.is_empty() || target == self.assembler.next_number();
+                        let applies =
+                            record.data.is_empty() || target == self.assembler.next_number();
                         if applies {
                             if let Some(batch) = self.cutter.cut() {
                                 let block = self.assembler.assemble(batch);
@@ -416,7 +436,10 @@ impl OsnNode {
                         let timeout_ms = self.cutter.timeout_ms();
                         let outcome = self.cutter.ordered(tx);
                         if let Some(seq) = outcome.arm_timer {
-                            effects.push(OsnEffect::ArmBatchTimer { after_ms: timeout_ms, seq });
+                            effects.push(OsnEffect::ArmBatchTimer {
+                                after_ms: timeout_ms,
+                                seq,
+                            });
                         }
                         for batch in outcome.batches {
                             let block = self.assembler.assemble(batch);
@@ -448,7 +471,11 @@ impl OsnNode {
                 self.emit_block(batch, &mut effects);
                 effects
             }
-            Engine::Kafka { leader, last_ttc_sent, .. } => {
+            Engine::Kafka {
+                leader,
+                last_ttc_sent,
+                ..
+            } => {
                 // Post a time-to-cut marker for the block we are accumulating;
                 // all OSNs will cut when it arrives in the stream. Only post
                 // once per block number (duplicate markers are ignored by
@@ -481,14 +508,21 @@ impl OsnNode {
             Engine::Raft { node, .. } => {
                 let raft_effects = node.tick();
                 let mut effects = Vec::new();
-                let Engine::Raft { delivered_height, .. } = &mut self.engine else {
+                let Engine::Raft {
+                    delivered_height, ..
+                } = &mut self.engine
+                else {
                     unreachable!()
                 };
                 Self::absorb_raft(raft_effects, delivered_height, &mut effects);
                 self.observe_delivered(&effects);
                 effects
             }
-            Engine::Kafka { leader, next_offset, .. } => {
+            Engine::Kafka {
+                leader,
+                next_offset,
+                ..
+            } => {
                 vec![OsnEffect::SendBroker {
                     to: *leader,
                     message: BrokerMsg::Consume {
@@ -532,7 +566,9 @@ mod tests {
         let mut osn = OsnNode::solo(0, ChannelId::default_channel(), batch_cfg(2));
         let e1 = osn.handle(OsnInput::Broadcast(tx(1)));
         assert!(matches!(e1[0], OsnEffect::Ack { .. }));
-        assert!(e1.iter().any(|e| matches!(e, OsnEffect::ArmBatchTimer { .. })));
+        assert!(e1
+            .iter()
+            .any(|e| matches!(e, OsnEffect::ArmBatchTimer { .. })));
         let e2 = osn.handle(OsnInput::Broadcast(tx(2)));
         let block = e2
             .iter()
@@ -602,7 +638,8 @@ mod tests {
 
     #[test]
     fn raft_follower_relays_to_leader() {
-        let mut leader = OsnNode::raft(0, ChannelId::default_channel(), batch_cfg(1), vec![0, 1], 1);
+        let mut leader =
+            OsnNode::raft(0, ChannelId::default_channel(), batch_cfg(1), vec![0, 1], 1);
         let mut follower =
             OsnNode::raft(1, ChannelId::default_channel(), batch_cfg(1), vec![0, 1], 2);
         // Elect OSN 0 by hand: tick it to candidacy, deliver vote.
@@ -631,7 +668,10 @@ mod tests {
         let effects = follower.handle(OsnInput::Broadcast(tx(5)));
         assert!(matches!(
             &effects[..],
-            [OsnEffect::SendOsn { to: 0, message: OsnMsg::Relay(_) }]
+            [OsnEffect::SendOsn {
+                to: 0,
+                message: OsnMsg::Relay(_)
+            }]
         ));
     }
 
@@ -643,7 +683,10 @@ mod tests {
         let effects = osn.handle(OsnInput::Broadcast(tx(1)));
         assert!(matches!(
             &effects[..],
-            [OsnEffect::SendBroker { to: 0, message: BrokerMsg::Produce { .. } }]
+            [OsnEffect::SendBroker {
+                to: 0,
+                message: BrokerMsg::Produce { .. }
+            }]
         ));
         // ProduceAck surfaces the client ack.
         let effects = osn.handle(OsnInput::Kafka(ClientEvent::ProduceAck { offset: 0 }));
@@ -652,7 +695,10 @@ mod tests {
         let effects = osn.handle(OsnInput::Tick);
         assert!(matches!(
             &effects[..],
-            [OsnEffect::SendBroker { message: BrokerMsg::Consume { offset: 0, .. }, .. }]
+            [OsnEffect::SendBroker {
+                message: BrokerMsg::Consume { offset: 0, .. },
+                ..
+            }]
         ));
         // Consuming two records cuts a block (count = 2).
         let records = vec![
@@ -693,9 +739,10 @@ mod tests {
         // Timer fires: OSN posts a TTC marker (does not cut locally).
         let effects = osn.handle(OsnInput::BatchTimer { seq });
         let marker = match &effects[..] {
-            [OsnEffect::SendBroker { message: BrokerMsg::Produce { record, .. }, .. }] => {
-                record.clone()
-            }
+            [OsnEffect::SendBroker {
+                message: BrokerMsg::Produce { record, .. },
+                ..
+            }] => record.clone(),
             other => panic!("unexpected {other:?}"),
         };
         assert!(marker.is_timer_marker);
@@ -721,7 +768,9 @@ mod tests {
             records: vec![Record::payload(encode_tx(&tx(1))), marker0.clone()],
             high_watermark: 2,
         }));
-        assert!(effects.iter().any(|e| matches!(e, OsnEffect::BlockReady(b) if b.header.number == 0)));
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, OsnEffect::BlockReady(b) if b.header.number == 0)));
         // A duplicate marker for block 0 arrives after a pending tx for block 1.
         let effects = osn.handle(OsnInput::Kafka(ClientEvent::ConsumeBatch {
             base_offset: 2,
@@ -729,7 +778,9 @@ mod tests {
             high_watermark: 4,
         }));
         assert!(
-            !effects.iter().any(|e| matches!(e, OsnEffect::BlockReady(_))),
+            !effects
+                .iter()
+                .any(|e| matches!(e, OsnEffect::BlockReady(_))),
             "stale marker must not cut block 1"
         );
         assert_eq!(osn.cutter.pending_count(), 1);

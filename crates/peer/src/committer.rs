@@ -76,10 +76,12 @@ pub fn vscc_block(
     block
         .transactions
         .iter()
-        .map(|tx| match vscc_tx(tx, config, msp, client_certs, endorser_keys) {
-            VsccVerdict::Pass => None,
-            VsccVerdict::Fail(code) => Some(code),
-        })
+        .map(
+            |tx| match vscc_tx(tx, config, msp, client_certs, endorser_keys) {
+                VsccVerdict::Pass => None,
+                VsccVerdict::Fail(code) => Some(code),
+            },
+        )
         .collect()
 }
 
@@ -146,7 +148,10 @@ mod tests {
     fn fixture(policy: Policy, n_endorsers: u32) -> Fixture {
         let ca = CertificateAuthority::new("ca", 1);
         let client = ca.enroll(
-            Principal { org: OrgId(1), role: "client".into() },
+            Principal {
+                org: OrgId(1),
+                role: "client".into(),
+            },
             "client0",
         );
         let endorsers: Vec<_> = (1..=n_endorsers)
@@ -268,7 +273,10 @@ mod tests {
         tx.rw_set = RwSet::new();
         tx.payload = Vec::new();
         tx.signature = f.client.sign(&tx.signed_bytes());
-        assert_eq!(verdict(&f, &tx), VsccVerdict::Fail(ValidationCode::BadPayload));
+        assert_eq!(
+            verdict(&f, &tx),
+            VsccVerdict::Fail(ValidationCode::BadPayload)
+        );
     }
 
     #[test]
@@ -277,7 +285,10 @@ mod tests {
         let mut tx = endorsed_tx(&f, &[0]);
         tx.channel = ChannelId("other".into());
         tx.signature = f.client.sign(&tx.signed_bytes());
-        assert_eq!(verdict(&f, &tx), VsccVerdict::Fail(ValidationCode::BadPayload));
+        assert_eq!(
+            verdict(&f, &tx),
+            VsccVerdict::Fail(ValidationCode::BadPayload)
+        );
     }
 
     #[test]

@@ -177,7 +177,9 @@ impl GossipNode {
         for to in self.pick_fanout() {
             effects.push(GossipEffect::Send {
                 to,
-                message: GossipMsg::Push { block: block.clone() },
+                message: GossipMsg::Push {
+                    block: block.clone(),
+                },
             });
         }
         self.buffered.insert(number, block);
@@ -222,7 +224,15 @@ mod tests {
         assert_eq!(deliveries(&e0), vec![0]);
         let pushes = e0
             .iter()
-            .filter(|e| matches!(e, GossipEffect::Send { message: GossipMsg::Push { .. }, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    GossipEffect::Send {
+                        message: GossipMsg::Push { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(pushes, 2, "fanout pushes");
         assert_eq!(g.delivered_height(), 1);
@@ -236,7 +246,11 @@ mod tests {
         let e0 = g.step(1, GossipMsg::Push { block: block(0) });
         assert_eq!(deliveries(&e0), vec![0]);
         let e1 = g.step(1, GossipMsg::Push { block: block(1) });
-        assert_eq!(deliveries(&e1), vec![1, 2], "buffered block drains in order");
+        assert_eq!(
+            deliveries(&e1),
+            vec![1, 2],
+            "buffered block drains in order"
+        );
         assert_eq!(g.delivered_height(), 3);
     }
 
@@ -288,7 +302,7 @@ mod tests {
             })
             .collect();
         let mut inflight: Vec<(u32, u32, GossipMsg)> = Vec::new();
-        let mut drive = |nodes: &mut Vec<GossipNode>, inflight: &mut Vec<(u32, u32, GossipMsg)>| {
+        let drive = |nodes: &mut Vec<GossipNode>, inflight: &mut Vec<(u32, u32, GossipMsg)>| {
             for _ in 0..200 {
                 // Anti-entropy everywhere.
                 for i in 0..n {

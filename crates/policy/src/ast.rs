@@ -30,7 +30,11 @@ impl Policy {
     /// Panics if `n == 0`.
     pub fn or_of_orgs(n: u32) -> Policy {
         assert!(n > 0, "policy needs at least one principal");
-        Policy::Or((1..=n).map(|i| Policy::Principal(Principal::peer(OrgId(i)))).collect())
+        Policy::Or(
+            (1..=n)
+                .map(|i| Policy::Principal(Principal::peer(OrgId(i))))
+                .collect(),
+        )
     }
 
     /// `AND('Org1.peer', …, 'OrgX.peer')` — the paper's `AND-x` policy.
@@ -39,7 +43,11 @@ impl Policy {
     /// Panics if `x == 0`.
     pub fn and_of_orgs(x: u32) -> Policy {
         assert!(x > 0, "policy needs at least one principal");
-        Policy::And((1..=x).map(|i| Policy::Principal(Principal::peer(OrgId(i)))).collect())
+        Policy::And(
+            (1..=x)
+                .map(|i| Policy::Principal(Principal::peer(OrgId(i))))
+                .collect(),
+        )
     }
 
     /// `OutOf(k, 'Org1.peer', …, 'OrgN.peer')` — "k of n" policies.
@@ -47,10 +55,15 @@ impl Policy {
     /// # Panics
     /// Panics if `k == 0`, `n == 0` or `k > n`.
     pub fn k_of_n_orgs(k: usize, n: u32) -> Policy {
-        assert!(k > 0 && n > 0 && k <= n as usize, "invalid k-of-n: {k} of {n}");
+        assert!(
+            k > 0 && n > 0 && k <= n as usize,
+            "invalid k-of-n: {k} of {n}"
+        );
         Policy::OutOf(
             k,
-            (1..=n).map(|i| Policy::Principal(Principal::peer(OrgId(i)))).collect(),
+            (1..=n)
+                .map(|i| Policy::Principal(Principal::peer(OrgId(i))))
+                .collect(),
         )
     }
 
@@ -139,7 +152,11 @@ impl Policy {
                 let n = children.len();
                 let mut idx: Vec<usize> = (0..*k).collect();
                 if *k == 0 || *k > n {
-                    return if *k == 0 { vec![BTreeSet::new()] } else { Vec::new() };
+                    return if *k == 0 {
+                        vec![BTreeSet::new()]
+                    } else {
+                        Vec::new()
+                    };
                 }
                 loop {
                     let subset: Vec<Policy> = idx.iter().map(|&i| children[i].clone()).collect();
@@ -304,7 +321,10 @@ mod tests {
 
     #[test]
     fn display_form() {
-        assert_eq!(Policy::or_of_orgs(2).to_string(), "OR('Org1.peer','Org2.peer')");
+        assert_eq!(
+            Policy::or_of_orgs(2).to_string(),
+            "OR('Org1.peer','Org2.peer')"
+        );
         assert_eq!(
             Policy::k_of_n_orgs(2, 3).to_string(),
             "OutOf(2,'Org1.peer','Org2.peer','Org3.peer')"
@@ -314,8 +334,12 @@ mod tests {
     #[test]
     fn validate_catches_bad_shapes() {
         assert!(Policy::And(vec![]).validate().is_err());
-        assert!(Policy::OutOf(0, vec![Policy::Principal(p(1))]).validate().is_err());
-        assert!(Policy::OutOf(3, vec![Policy::Principal(p(1))]).validate().is_err());
+        assert!(Policy::OutOf(0, vec![Policy::Principal(p(1))])
+            .validate()
+            .is_err());
+        assert!(Policy::OutOf(3, vec![Policy::Principal(p(1))])
+            .validate()
+            .is_err());
         assert!(Policy::k_of_n_orgs(1, 1).validate().is_ok());
     }
 

@@ -36,7 +36,11 @@ impl ParsePolicyError {
 
 impl fmt::Display for ParsePolicyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "policy parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "policy parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -53,8 +57,7 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self.pos < self.input.len() && self.input.as_bytes()[self.pos].is_ascii_whitespace()
-        {
+        while self.pos < self.input.len() && self.input.as_bytes()[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
     }
@@ -79,8 +82,7 @@ impl<'a> Parser<'a> {
     fn ident(&mut self) -> String {
         self.skip_ws();
         let start = self.pos;
-        while self.pos < self.input.len()
-            && self.input.as_bytes()[self.pos].is_ascii_alphanumeric()
+        while self.pos < self.input.len() && self.input.as_bytes()[self.pos].is_ascii_alphanumeric()
         {
             self.pos += 1;
         }
@@ -110,7 +112,10 @@ impl<'a> Parser<'a> {
         let text = &self.input[start..self.pos];
         self.pos += 1; // closing quote
         Principal::parse(text).ok_or_else(|| {
-            ParsePolicyError::new(format!("invalid principal {text:?} (want Org<N>.role)"), start)
+            ParsePolicyError::new(
+                format!("invalid principal {text:?} (want Org<N>.role)"),
+                start,
+            )
         })
     }
 
@@ -163,9 +168,7 @@ impl FromStr for Policy {
         if p.pos != s.len() {
             return Err(ParsePolicyError::new("trailing input", p.pos));
         }
-        policy
-            .validate()
-            .map_err(|m| ParsePolicyError::new(m, 0))?;
+        policy.validate().map_err(|m| ParsePolicyError::new(m, 0))?;
         Ok(policy)
     }
 }
@@ -187,7 +190,9 @@ mod tests {
 
     #[test]
     fn parses_out_of() {
-        let p: Policy = "OutOf(2,'Org1.peer','Org2.peer','Org3.peer')".parse().unwrap();
+        let p: Policy = "OutOf(2,'Org1.peer','Org2.peer','Org3.peer')"
+            .parse()
+            .unwrap();
         assert_eq!(p, Policy::k_of_n_orgs(2, 3));
     }
 
@@ -196,9 +201,7 @@ mod tests {
         let p: Policy = " AND( 'Org1.peer' , OR('Org2.peer', 'Org3.peer') ) "
             .parse()
             .unwrap();
-        assert!(p.is_satisfied_by(
-            [Principal::peer(OrgId(1)), Principal::peer(OrgId(2))].iter()
-        ));
+        assert!(p.is_satisfied_by([Principal::peer(OrgId(1)), Principal::peer(OrgId(2))].iter()));
     }
 
     #[test]

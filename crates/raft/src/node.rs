@@ -341,7 +341,8 @@ impl RaftNode {
         last_log_term: Term,
         effects: &mut Vec<Effect>,
     ) {
-        let up_to_date = (last_log_term, last_log_index) >= (self.last_log_term(), self.last_log_index());
+        let up_to_date =
+            (last_log_term, last_log_index) >= (self.last_log_term(), self.last_log_index());
         let grant = term == self.current_term
             && up_to_date
             && (self.voted_for.is_none() || self.voted_for == Some(from));
@@ -358,7 +359,13 @@ impl RaftNode {
         });
     }
 
-    fn on_vote_response(&mut self, from: RaftId, term: Term, granted: bool, effects: &mut Vec<Effect>) {
+    fn on_vote_response(
+        &mut self,
+        from: RaftId,
+        term: Term,
+        granted: bool,
+        effects: &mut Vec<Effect>,
+    ) {
         if self.role != Role::Candidate || term != self.current_term {
             return;
         }
@@ -474,7 +481,12 @@ impl RaftNode {
     // ---- replication helpers -------------------------------------------------
 
     fn broadcast_append(&mut self, effects: &mut Vec<Effect>) {
-        let peers: Vec<RaftId> = self.peers.iter().copied().filter(|&p| p != self.id).collect();
+        let peers: Vec<RaftId> = self
+            .peers
+            .iter()
+            .copied()
+            .filter(|&p| p != self.id)
+            .collect();
         for p in peers {
             self.send_append_to(p, effects);
         }
@@ -522,9 +534,8 @@ impl RaftNode {
 
     fn emit_applied(&mut self, effects: &mut Vec<Effect>) {
         if self.commit_index > self.last_applied {
-            let newly: Vec<Entry> = self.log
-                [self.last_applied as usize..self.commit_index as usize]
-                .to_vec();
+            let newly: Vec<Entry> =
+                self.log[self.last_applied as usize..self.commit_index as usize].to_vec();
             self.last_applied = self.commit_index;
             effects.push(Effect::Commit(newly));
         }
@@ -643,7 +654,11 @@ mod tests {
                 term: 1,
                 prev_log_index: 0,
                 prev_log_term: 0,
-                entries: vec![Entry { term: 1, index: 1, data: b"x".to_vec() }],
+                entries: vec![Entry {
+                    term: 1,
+                    index: 1,
+                    data: b"x".to_vec(),
+                }],
                 leader_commit: 0,
             },
         );
@@ -681,14 +696,24 @@ mod tests {
             effects.extend(leader.tick());
         }
         let term = leader.term();
-        effects.extend(leader.step(2, Message::RequestVoteResponse { term, granted: true }));
+        effects.extend(leader.step(
+            2,
+            Message::RequestVoteResponse {
+                term,
+                granted: true,
+            },
+        ));
         assert_eq!(leader.role(), Role::Leader);
 
         let (idx, effects) = leader.propose(b"tx".to_vec()).unwrap();
         // Simulate follower 2 acking everything.
         let mut commit_seen = false;
         for e in effects {
-            if let Effect::Send { to: 2, message: Message::AppendEntries { entries, .. } } = &e {
+            if let Effect::Send {
+                to: 2,
+                message: Message::AppendEntries { entries, .. },
+            } = &e
+            {
                 let match_index = entries.last().map_or(0, |e| e.index);
                 let resp = leader.step(
                     2,
@@ -737,8 +762,16 @@ mod tests {
                 prev_log_index: 0,
                 prev_log_term: 0,
                 entries: vec![
-                    Entry { term: 1, index: 1, data: b"a".to_vec() },
-                    Entry { term: 1, index: 2, data: b"b".to_vec() },
+                    Entry {
+                        term: 1,
+                        index: 1,
+                        data: b"a".to_vec(),
+                    },
+                    Entry {
+                        term: 1,
+                        index: 2,
+                        data: b"b".to_vec(),
+                    },
                 ],
                 leader_commit: 0,
             },
@@ -751,7 +784,11 @@ mod tests {
                 term: 2,
                 prev_log_index: 1,
                 prev_log_term: 1,
-                entries: vec![Entry { term: 2, index: 2, data: b"c".to_vec() }],
+                entries: vec![Entry {
+                    term: 2,
+                    index: 2,
+                    data: b"c".to_vec(),
+                }],
                 leader_commit: 0,
             },
         );

@@ -137,8 +137,16 @@ mod tests {
 
     #[test]
     fn noop_detection() {
-        let noop = Entry { term: 1, index: 1, data: Vec::new() };
-        let real = Entry { term: 1, index: 2, data: b"tx".to_vec() };
+        let noop = Entry {
+            term: 1,
+            index: 1,
+            data: Vec::new(),
+        };
+        let real = Entry {
+            term: 1,
+            index: 2,
+            data: b"tx".to_vec(),
+        };
         assert!(noop.is_noop());
         assert!(!real.is_noop());
     }

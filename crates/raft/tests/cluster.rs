@@ -223,7 +223,10 @@ fn leader_crash_and_recovery() {
         .map(|(_, v)| v.len())
         .max()
         .unwrap();
-    assert!(after > before, "no progress after leader crash: {after} <= {before}");
+    assert!(
+        after > before,
+        "no progress after leader crash: {after} <= {before}"
+    );
     // Restart the crashed node: it must catch up without violating safety.
     c.restart(leader, 0xbeef);
     for _ in 0..10_000 {

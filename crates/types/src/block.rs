@@ -212,7 +212,12 @@ mod tests {
     fn validation_codes() {
         assert!(ValidationCode::Valid.is_valid());
         assert!(!ValidationCode::MvccReadConflict.is_valid());
-        let mut b = Block::assemble(ChannelId::default_channel(), 1, Hash256::ZERO, vec![tx(0), tx(1)]);
+        let mut b = Block::assemble(
+            ChannelId::default_channel(),
+            1,
+            Hash256::ZERO,
+            vec![tx(0), tx(1)],
+        );
         assert_eq!(b.valid_count(), 0);
         b.metadata.flags = vec![ValidationCode::Valid, ValidationCode::MvccReadConflict];
         assert_eq!(b.valid_count(), 1);

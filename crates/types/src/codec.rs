@@ -35,7 +35,9 @@ struct Writer {
 
 impl Writer {
     fn new() -> Self {
-        Writer { buf: Vec::with_capacity(256) }
+        Writer {
+            buf: Vec::with_capacity(256),
+        }
     }
     fn u8(&mut self, x: u8) {
         self.buf.push(x);
@@ -105,7 +107,10 @@ impl<'a> Reader<'a> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
-            Err(DecodeError(format!("{} trailing bytes", self.buf.len() - self.pos)))
+            Err(DecodeError(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )))
         }
     }
 }
@@ -193,11 +198,21 @@ fn read_tx(r: &mut Reader<'_>) -> Result<Transaction, DecodeError> {
             .ok_or_else(|| DecodeError(format!("bad principal {principal_text:?}")))?;
         let endorser_key = PublicKey::from_element(r.u64()?)
             .ok_or_else(|| DecodeError("endorser key not in group".into()))?;
-        let signature = Signature { e: r.u64()?, s: r.u64()? };
-        endorsements.push(Endorsement { endorser, endorser_key, signature });
+        let signature = Signature {
+            e: r.u64()?,
+            s: r.u64()?,
+        };
+        endorsements.push(Endorsement {
+            endorser,
+            endorser_key,
+            signature,
+        });
     }
     let creator = ClientId(r.u32()?);
-    let signature = Signature { e: r.u64()?, s: r.u64()? };
+    let signature = Signature {
+        e: r.u64()?,
+        s: r.u64()?,
+    };
     Ok(Transaction {
         tx_id,
         channel,
@@ -294,7 +309,11 @@ pub fn decode_block(bytes: &[u8]) -> Result<Block, DecodeError> {
     r.finish()?;
     Ok(Block {
         channel,
-        header: BlockHeader { number, previous_hash, data_hash },
+        header: BlockHeader {
+            number,
+            previous_hash,
+            data_hash,
+        },
         transactions,
         metadata: BlockMetadata { flags },
     })
@@ -385,7 +404,9 @@ mod tests {
         let mut corrupted = bytes.clone();
         let idx = bytes.len() - 30;
         corrupted[idx] ^= 0xFF;
-        if let Ok(t) = decode_tx(&corrupted) { assert_ne!(t, tx) }
+        if let Ok(t) = decode_tx(&corrupted) {
+            assert_ne!(t, tx)
+        }
     }
 
     #[test]

@@ -112,11 +112,20 @@ mod tests {
 
     #[test]
     fn validate_rejects_zeroes() {
-        let b = BatchConfig { max_message_count: 0, ..BatchConfig::default() };
+        let b = BatchConfig {
+            max_message_count: 0,
+            ..BatchConfig::default()
+        };
         assert!(b.validate().is_err());
-        let b = BatchConfig { batch_timeout_ms: 0, ..BatchConfig::default() };
+        let b = BatchConfig {
+            batch_timeout_ms: 0,
+            ..BatchConfig::default()
+        };
         assert!(b.validate().is_err());
-        let b = BatchConfig { max_bytes: 0, ..BatchConfig::default() };
+        let b = BatchConfig {
+            max_bytes: 0,
+            ..BatchConfig::default()
+        };
         assert!(b.validate().is_err());
     }
 

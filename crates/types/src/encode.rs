@@ -27,14 +27,17 @@ pub struct Encoder {
 impl Encoder {
     /// Starts an encoding with a domain-separation tag.
     pub fn new(domain: &str) -> Self {
-        let mut e = Encoder { buf: Vec::with_capacity(128) };
+        let mut e = Encoder {
+            buf: Vec::with_capacity(128),
+        };
         e.bytes(domain.as_bytes());
         e
     }
 
     /// Appends a length-prefixed byte string.
     pub fn bytes(&mut self, data: &[u8]) -> &mut Self {
-        self.buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(data.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(data);
         self
     }

@@ -105,7 +105,11 @@ impl WireSize for ProposalResponse {
                 .iter()
                 .map(|r| r.key.len() as u64 + 13)
                 .sum::<u64>();
-        MSG_OVERHEAD + 32 + rw + self.payload.len() as u64 + if self.endorsement.is_some() { 64 } else { 1 }
+        MSG_OVERHEAD
+            + 32
+            + rw
+            + self.payload.len() as u64
+            + if self.endorsement.is_some() { 64 } else { 1 }
     }
 }
 

@@ -198,6 +198,10 @@ mod tests {
     fn version_ordering() {
         assert!(Version::new(1, 5) < Version::new(2, 0));
         assert!(Version::new(2, 0) < Version::new(2, 1));
-        assert_ne!(Version::GENESIS, Version::new(0, 0), "sentinel must not collide with block 0 / tx 0");
+        assert_ne!(
+            Version::GENESIS,
+            Version::new(0, 0),
+            "sentinel must not collide with block 0 / tx 0"
+        );
     }
 }

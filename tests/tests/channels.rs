@@ -46,7 +46,11 @@ fn channels_work_on_every_orderer() {
         );
         // Blocks exist on all channels: with load split three ways and the
         // 1 s timeout, each channel cuts ~1 block per second.
-        assert!(r.observer_height > 20, "{orderer}: height {} too low", r.observer_height);
+        assert!(
+            r.observer_height > 20,
+            "{orderer}: height {} too low",
+            r.observer_height
+        );
     }
 }
 

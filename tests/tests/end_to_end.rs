@@ -14,15 +14,18 @@ fn every_orderer_commits_a_verified_chain() {
             (68.0..92.0).contains(&tput),
             "{orderer}: committed {tput} tps at 80 offered"
         );
-        assert_eq!(r.summary.committed_invalid, 0, "{orderer}: no conflicts expected");
+        assert_eq!(
+            r.summary.committed_invalid, 0,
+            "{orderer}: no conflicts expected"
+        );
         assert_eq!(r.summary.endorsement_failures, 0);
     }
 }
 
 #[test]
 fn committed_transactions_carry_policy_satisfying_endorsements() {
-    let r = Simulation::new(quick_config(OrdererType::Solo, PolicySpec::AndX(3), 60.0))
-        .run_detailed();
+    let r =
+        Simulation::new(quick_config(OrdererType::Solo, PolicySpec::AndX(3), 60.0)).run_detailed();
     let committed: Vec<_> = r
         .traces
         .iter()
@@ -39,8 +42,8 @@ fn committed_transactions_carry_policy_satisfying_endorsements() {
 
 #[test]
 fn or_transactions_carry_single_endorsement() {
-    let r = Simulation::new(quick_config(OrdererType::Solo, PolicySpec::OrN(5), 60.0))
-        .run_detailed();
+    let r =
+        Simulation::new(quick_config(OrdererType::Solo, PolicySpec::OrN(5), 60.0)).run_detailed();
     let with_sig: Vec<usize> = r
         .traces
         .iter()
@@ -127,8 +130,8 @@ fn block_batching_follows_config() {
 
 #[test]
 fn phase_timestamps_are_monotone_per_transaction() {
-    let r = Simulation::new(quick_config(OrdererType::Kafka, PolicySpec::OrN(5), 80.0))
-        .run_detailed();
+    let r =
+        Simulation::new(quick_config(OrdererType::Kafka, PolicySpec::OrN(5), 80.0)).run_detailed();
     let mut checked = 0;
     for t in r.traces.iter().filter(|t| t.is_success()) {
         let created = t.created;

@@ -21,7 +21,10 @@ fn smallbank_runs_and_conserves_money() {
     // produce some MVCC conflicts under concurrency.
     let mut accounts = 0;
     for (k, v) in &r.final_state {
-        assert!(k.starts_with("sav") || k.starts_with("chk"), "unexpected key {k}");
+        assert!(
+            k.starts_with("sav") || k.starts_with("chk"),
+            "unexpected key {k}"
+        );
         let parsed: u64 = String::from_utf8_lossy(v).parse().expect("balance parses");
         let _ = parsed;
         accounts += 1;
@@ -89,7 +92,10 @@ fn utilization_report_identifies_the_validate_bottleneck() {
     let r = Simulation::new(cfg).run_detailed();
     let u = &r.utilization;
     let (name, load) = u.hottest();
-    assert_eq!(name, "peer validate", "hottest station: {name} at {load:.2}");
+    assert_eq!(
+        name, "peer validate",
+        "hottest station: {name} at {load:.2}"
+    );
     assert!(load > 0.8, "validate should be near saturation: {load:.2}");
     // Endorsement stations stay cool (finding 3: endorsement is cheap).
     assert!(u.peer_endorse.iter().all(|&x| x < 0.2));

@@ -17,10 +17,7 @@ fn gossip_delivery_matches_direct_delivery() {
     // Same committed work within a small tolerance (gossip adds a hop or two
     // of latency but loses nothing).
     let (dt, gt) = (d.summary.committed_tps(), g.summary.committed_tps());
-    assert!(
-        (dt - gt).abs() < 8.0,
-        "direct {dt} tps vs gossip {gt} tps"
-    );
+    assert!((dt - gt).abs() < 8.0, "direct {dt} tps vs gossip {gt} tps");
     assert_eq!(g.summary.endorsement_failures, 0);
     // The observer still reaches the same height ballpark.
     assert!(g.observer_height + 3 >= d.observer_height);

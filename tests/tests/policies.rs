@@ -18,7 +18,10 @@ fn out_of_policy_commits_with_k_signatures() {
         .map(|t| t.signatures)
         .collect();
     assert!(!sigs.is_empty());
-    assert!(sigs.iter().all(|&s| s == 2), "OutOf(2,...) needs 2 endorsements");
+    assert!(
+        sigs.iter().all(|&s| s == 2),
+        "OutOf(2,...) needs 2 endorsements"
+    );
     assert_eq!(r.summary.endorsement_failures, 0);
 }
 
@@ -34,7 +37,10 @@ fn custom_nested_policy_commits() {
         .filter(|t| t.is_success())
         .map(|t| t.signatures)
         .collect();
-    assert!(sigs.iter().all(|&s| s == 2), "minimal sets have 2 principals");
+    assert!(
+        sigs.iter().all(|&s| s == 2),
+        "minimal sets have 2 principals"
+    );
 }
 
 #[test]
@@ -54,8 +60,8 @@ fn policy_requiring_undeployed_org_fails_endorsement() {
 
 #[test]
 fn or_rotation_spreads_load_across_endorsers() {
-    let r = Simulation::new(quick_config(OrdererType::Solo, PolicySpec::OrN(5), 100.0))
-        .run_detailed();
+    let r =
+        Simulation::new(quick_config(OrdererType::Solo, PolicySpec::OrN(5), 100.0)).run_detailed();
     // All committed; endorsement failures none. (Load spread is verified at
     // the TargetSelector unit level; here we check the pipeline tolerates
     // rotation without divergent read-sets.)
@@ -63,8 +69,7 @@ fn or_rotation_spreads_load_across_endorsers() {
     assert_eq!(r.summary.endorsement_failures, 0);
     // Every committed tx carries exactly one endorsement, and collectively
     // more than one distinct signer appears.
-    let endorsed: Vec<&fabricsim::TxTrace> =
-        r.traces.iter().filter(|t| t.is_success()).collect();
+    let endorsed: Vec<&fabricsim::TxTrace> = r.traces.iter().filter(|t| t.is_success()).collect();
     assert!(endorsed.iter().all(|t| t.signatures == 1));
 }
 
