@@ -98,6 +98,98 @@ fn bench_ledger(r: &mut Runner) {
     });
 }
 
+fn bench_vscc(r: &mut Runner) {
+    use std::collections::HashMap;
+
+    use fabricsim_msp::{CertificateAuthority, Msp};
+    use fabricsim_peer::{vscc_block_pooled, PeerConfig};
+    use fabricsim_types::{Endorsement, ProposalResponse};
+
+    let ca = CertificateAuthority::new("bench-ca", 1);
+    let client = ca.enroll(
+        Principal {
+            org: OrgId(1),
+            role: "client".into(),
+        },
+        "client0",
+    );
+    let endorsers: Vec<_> = (1..=3)
+        .map(|i| ca.enroll(Principal::peer(OrgId(i)), &format!("peer{i}")))
+        .collect();
+    let mut endorser_keys: HashMap<Principal, Vec<_>> = HashMap::new();
+    for e in &endorsers {
+        endorser_keys
+            .entry(e.principal().clone())
+            .or_default()
+            .push(e.certificate().public_key);
+    }
+    let config = PeerConfig {
+        channel: ChannelId::default_channel(),
+        endorsement_policy: Policy::and_of_orgs(3),
+        is_endorser: false,
+        validator_pool_size: 1,
+    };
+    let msp = Msp::new(ca.root_of_trust());
+    let client_certs = HashMap::from([(ClientId(0), client.certificate().clone())]);
+    let txs: Vec<Transaction> = (0..1024)
+        .map(|nonce| {
+            let creator = ClientId(0);
+            let tx_id = Proposal::derive_tx_id(creator, nonce);
+            let mut rw = RwSet::new();
+            rw.record_write("k", Some(vec![1]));
+            let resp = ProposalResponse::signed_bytes(tx_id, &rw, b"");
+            let endorsements = endorsers
+                .iter()
+                .map(|e| Endorsement {
+                    endorser: e.principal().clone(),
+                    endorser_key: e.certificate().public_key,
+                    signature: e.sign(&resp),
+                })
+                .collect();
+            let mut t = Transaction {
+                tx_id,
+                channel: ChannelId::default_channel(),
+                chaincode: "kv".into(),
+                rw_set: rw,
+                payload: Vec::new(),
+                endorsements,
+                creator,
+                signature: KeyPair::from_seed(b"tmp").sign(b"x"),
+            };
+            t.signature = client.sign(&t.signed_bytes());
+            t
+        })
+        .collect();
+    let block = Block::assemble(
+        ChannelId::default_channel(),
+        0,
+        fabricsim_crypto::Hash256::ZERO,
+        txs,
+    );
+    // ISSUE acceptance pair: the VSCC stage serial vs a 4-wide pool on a
+    // 1000+-tx block of fully signed AND3 transactions.
+    r.bench("peer/vscc_1024tx_serial", || {
+        vscc_block_pooled(
+            black_box(&block),
+            &config,
+            &msp,
+            &client_certs,
+            &endorser_keys,
+            1,
+        )
+    });
+    r.bench("peer/vscc_1024tx_pool4", || {
+        vscc_block_pooled(
+            black_box(&block),
+            &config,
+            &msp,
+            &client_certs,
+            &endorser_keys,
+            4,
+        )
+    });
+}
+
 fn bench_raft(r: &mut Runner) {
     let mut node = RaftNode::new(1, vec![1], RaftConfig::default(), 7);
     while node.role() != Role::Leader {
@@ -195,6 +287,7 @@ fn main() {
     bench_policy(&mut r);
     bench_codec(&mut r);
     bench_ledger(&mut r);
+    bench_vscc(&mut r);
     bench_raft(&mut r);
     bench_kafka(&mut r);
     bench_des_kernel(&mut r);

@@ -6,7 +6,8 @@
 //! cargo run -p fabricsim-bench --release --bin experiments -- fig2 fig8 table2
 //! ```
 //!
-//! Targets: `fig2 fig3 fig4 fig5 fig6 fig7 table2 table3 fig8 ablations all`.
+//! Targets: `fig2 fig3 fig4 fig5 fig6 fig7 table2 table3 fig8 pool ablations
+//! all` (`pool` runs only the validator-pool what-if sweep).
 //! Figures 2–7 share one λ-sweep (as in the paper: one deployment,
 //! per-phase instrumentation), so asking for several of them runs it once.
 
@@ -16,8 +17,8 @@ use std::path::PathBuf;
 use fabricsim::experiment::{
     ablation_bandwidth, ablation_batch_size, ablation_batch_timeout, ablation_channels,
     ablation_gossip, ablation_mvcc_conflicts, ablation_payload_size,
-    ablation_validation_parallelism, endorsing_peer_scalability, filter_policy, osn_scalability,
-    overall_sweep, Effort,
+    ablation_validation_parallelism, ablation_validator_pool, endorsing_peer_scalability,
+    filter_policy, osn_scalability, overall_sweep, Effort,
 };
 use fabricsim::report::{phase_table, Row};
 use fabricsim_bench::write_csv;
@@ -42,6 +43,7 @@ fn main() {
             "table2",
             "table3",
             "fig8",
+            "pool",
             "ablations",
         ];
     }
@@ -179,6 +181,16 @@ fn main() {
             phase_table("Ablation — channel count (horizontal scaling)", &channels)
         );
         write_csv(&results, "ablation_channels", &channels);
+    }
+
+    if wants("pool") {
+        eprintln!("running the validator-pool what-if sweep ({effort:?})...");
+        let pool = ablation_validator_pool(effort);
+        println!(
+            "{}",
+            phase_table("What-if — VSCC pool width (serial commit tail)", &pool)
+        );
+        write_csv(&results, "ablation_validator_pool", &pool);
     }
 
     eprintln!("done.");

@@ -18,6 +18,7 @@
 //!   --batch-timeout MS               BatchTimeout (default 1000)
 //!   --osns COUNT                     ordering nodes (default 3)
 //!   --channels COUNT                 independent channels (default 1)
+//!   --validator-pool COUNT           VSCC worker-pool width per committer (default 1)
 //!   --brokers COUNT / --zk COUNT     kafka substrate sizes (default 3)
 //!   --workload kvput|rmw|transfer|smallbank   (default kvput)
 //!   --payload BYTES                  value size for kvput/rmw (default 1)
@@ -39,6 +40,7 @@ fn usage() -> ! {
     eprintln!("usage: fabricsim [--orderer solo|kafka|raft] [--peers N] [--policy OR10|AND5|...]");
     eprintln!("                 [--rate TPS] [--duration S] [--batch-size N] [--batch-timeout MS]");
     eprintln!("                 [--osns N] [--channels N] [--brokers N] [--zk N]");
+    eprintln!("                 [--validator-pool N]");
     eprintln!("                 [--workload kvput|rmw|transfer|smallbank]");
     eprintln!("                 [--payload BYTES] [--seed N] [--csv] [--json]");
     eprintln!("                 [--trace-out FILE] [--metrics-out FILE]");
@@ -101,6 +103,9 @@ fn main() {
             }
             "--osns" => cfg.osn_count = value().parse().unwrap_or_else(|_| usage()),
             "--channels" => cfg.channels = value().parse().unwrap_or_else(|_| usage()),
+            "--validator-pool" => {
+                cfg.cost.validator_pool_size = value().parse().unwrap_or_else(|_| usage())
+            }
             "--brokers" => cfg.broker_count = value().parse().unwrap_or_else(|_| usage()),
             "--zk" => cfg.zk_count = value().parse().unwrap_or_else(|_| usage()),
             "--workload" => workload = value().to_lowercase(),

@@ -232,6 +232,30 @@ pub fn ablation_validation_parallelism(effort: Effort) -> Vec<Row> {
         .collect()
 }
 
+/// Ablation: widen only the VSCC worker pool while MVCC + commit stay serial —
+/// the staged-pipeline what-if. Same load point as
+/// [`ablation_validation_parallelism`], so the two sweeps are directly
+/// comparable: pooling VSCC buys most of the headroom of fully parallel
+/// committers until the serial commit tail binds.
+pub fn ablation_validator_pool(effort: Effort) -> Vec<Row> {
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|pool| {
+            let mut cfg = base_config(effort);
+            cfg.policy = PolicySpec::OrN(10);
+            cfg.arrival_rate_tps = 500.0;
+            cfg.cost.validator_pool_size = pool;
+            // Give the execute phase headroom so validation stays the knee.
+            cfg.endorsing_peers = 10;
+            cfg.cost.client_prep_ms = 12.0;
+            Row {
+                label: format!("validator_pool={pool}"),
+                summary: Simulation::new(cfg).run(),
+            }
+        })
+        .collect()
+}
+
 /// Ablation: MVCC conflict rate under a hot-key read-modify-write workload.
 pub fn ablation_mvcc_conflicts(effort: Effort) -> Vec<Row> {
     [2usize, 8, 32, 128, 1024]

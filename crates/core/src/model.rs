@@ -63,6 +63,11 @@ pub struct CostModel {
     pub commit_ms: f64,
     /// Committer threads (Fabric 1.4's commit path is serial: 1).
     pub validate_threads: usize,
+    /// VSCC worker-pool size *within* one committer pipeline: per-tx VSCC
+    /// checks for one block are fanned out over this many workers while MVCC
+    /// and the state/blockstore commit stay serial (Javaid et al.; Thakkar et
+    /// al.). 1 = stock Fabric 1.4 behaviour.
+    pub validator_pool_size: usize,
 
     // ---- ordering service ----
     /// OSN admission (envelope checks) per transaction, ms.
@@ -79,6 +84,10 @@ pub struct CostModel {
     pub broker_tick_ms: f64,
     /// Broker → ZooKeeper heartbeat period, ms.
     pub zk_heartbeat_ms: f64,
+    /// CPU threads per ordering-service node (admission + consensus work).
+    pub osn_cpu_threads: usize,
+    /// CPU threads per Kafka broker.
+    pub broker_cpu_threads: usize,
 
     // ---- network ----
     /// Link bandwidth, bits per second (paper: 1 Gbps Ethernet).
@@ -111,6 +120,7 @@ impl Default for CostModel {
             mvcc_ms: 0.25,
             commit_ms: 0.55,
             validate_threads: 1,
+            validator_pool_size: 1,
 
             osn_admission_ms: 0.10,
             solo_order_ms: 0.05,
@@ -119,6 +129,8 @@ impl Default for CostModel {
             osn_tick_ms: 10.0,
             broker_tick_ms: 5.0,
             zk_heartbeat_ms: 500.0,
+            osn_cpu_threads: 2,
+            broker_cpu_threads: 2,
 
             link_bandwidth_bps: 1_000_000_000,
             link_propagation_ms: 0.15,
@@ -133,10 +145,55 @@ impl CostModel {
         self.vscc_base_ms + self.vscc_per_sig_ms * sigs as f64 + self.mvcc_ms + self.commit_ms
     }
 
+    /// VSCC stage CPU per transaction (creator + endorsement signature
+    /// checks, policy evaluation) at `sigs` signatures, ms. This is the part
+    /// of [`CostModel::validate_tx_ms`] that parallelizes across the
+    /// validator pool.
+    pub fn vscc_tx_ms(&self, sigs: usize) -> f64 {
+        self.vscc_base_ms + self.vscc_per_sig_ms * sigs as f64
+    }
+
+    /// Serial commit-stage CPU per transaction (MVCC read-set check + state
+    /// and blockstore writes), ms.
+    pub fn commit_tx_ms(&self) -> f64 {
+        self.mvcc_ms + self.commit_ms
+    }
+
+    /// Makespan of running the per-transaction VSCC costs `per_tx_ms` over
+    /// `workers` pool workers, ms. Deterministic greedy list schedule:
+    /// transactions are assigned in tx order to the earliest-free worker —
+    /// exactly the schedule the functional pipeline's chunk split
+    /// approximates, and at `workers == 1` it degenerates to the plain
+    /// left-to-right sum (bit-identical f64 accumulation).
+    pub fn vscc_makespan_ms(per_tx_ms: &[f64], workers: usize) -> f64 {
+        let workers = workers.max(1);
+        if workers == 1 {
+            return per_tx_ms.iter().sum();
+        }
+        let mut free = vec![0.0f64; workers.min(per_tx_ms.len().max(1))];
+        for &c in per_tx_ms {
+            let slot = free
+                .iter_mut()
+                .enumerate()
+                .min_by(|(ai, a), (bi, b)| a.total_cmp(b).then(ai.cmp(bi)))
+                .map(|(_, v)| v)
+                .expect("at least one worker");
+            *slot += c;
+        }
+        free.iter().fold(0.0f64, |m, &v| m.max(v))
+    }
+
     /// Theoretical validate-phase capacity (tps) at `sigs` signatures per
-    /// transaction, ignoring block overhead.
+    /// transaction, ignoring block overhead. Accounts for the VSCC pool: with
+    /// `p` pool workers the VSCC stage of a full block shrinks ≈`1/p` while
+    /// MVCC + commit stay serial.
     pub fn validate_capacity_tps(&self, sigs: usize) -> f64 {
-        1000.0 * self.validate_threads as f64 / self.validate_tx_ms(sigs)
+        if self.validator_pool_size <= 1 {
+            return 1000.0 * self.validate_threads as f64 / self.validate_tx_ms(sigs);
+        }
+        let pool = self.validator_pool_size as f64;
+        let per_tx = self.vscc_tx_ms(sigs) / pool + self.commit_tx_ms();
+        1000.0 * self.validate_threads as f64 / per_tx
     }
 
     /// Theoretical execute-phase capacity (tps) with `pools` client pools.
@@ -188,5 +245,58 @@ mod tests {
     #[test]
     fn ms_helper() {
         assert_eq!(CostModel::ms(1.5).as_nanos(), 1_500_000);
+    }
+
+    #[test]
+    fn stage_costs_sum_to_the_whole() {
+        let m = CostModel::default();
+        for sigs in [1, 3, 5] {
+            assert!((m.vscc_tx_ms(sigs) + m.commit_tx_ms() - m.validate_tx_ms(sigs)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vscc_pool_relieves_the_validate_bottleneck() {
+        // The Javaid-style relief curve: capacity grows with pool size but
+        // saturates at the serial commit stage (Amdahl).
+        let mut m = CostModel::default();
+        let c1 = m.validate_capacity_tps(1);
+        m.validator_pool_size = 4;
+        let c4 = m.validate_capacity_tps(1);
+        m.validator_pool_size = 1024;
+        let ceiling = m.validate_capacity_tps(1);
+        assert!(c4 > c1 * 1.5, "4 workers should relieve VSCC: {c1} -> {c4}");
+        let serial_cap = 1000.0 / m.commit_tx_ms();
+        assert!(
+            ceiling < serial_cap && ceiling > serial_cap * 0.9,
+            "huge pools pin capacity at the serial commit stage: {ceiling} vs {serial_cap}"
+        );
+    }
+
+    #[test]
+    fn makespan_single_worker_is_the_plain_sum() {
+        let costs = [2.42, 2.42, 4.1, 0.3, 2.42];
+        let serial: f64 = costs.iter().sum();
+        assert_eq!(CostModel::vscc_makespan_ms(&costs, 1), serial);
+        assert_eq!(CostModel::vscc_makespan_ms(&costs, 0), serial);
+    }
+
+    #[test]
+    fn makespan_shrinks_with_workers_but_not_below_critical_path() {
+        let costs: Vec<f64> = (0..100).map(|i| 2.0 + (i % 7) as f64 * 0.42).collect();
+        let serial: f64 = costs.iter().sum();
+        let m2 = CostModel::vscc_makespan_ms(&costs, 2);
+        let m4 = CostModel::vscc_makespan_ms(&costs, 4);
+        assert!(m2 < serial && m4 < m2, "{serial} {m2} {m4}");
+        // Greedy list scheduling is within 2x of the lower bound sum/p.
+        assert!(m4 >= serial / 4.0 && m4 <= serial / 2.0);
+        // More workers than jobs: the longest single job is the makespan.
+        let longest = costs.iter().fold(0.0f64, |m, &v| m.max(v));
+        assert_eq!(CostModel::vscc_makespan_ms(&costs, 1000), longest);
+    }
+
+    #[test]
+    fn makespan_of_empty_block_is_zero() {
+        assert_eq!(CostModel::vscc_makespan_ms(&[], 4), 0.0);
     }
 }

@@ -60,8 +60,11 @@ pub struct UtilizationReport {
     pub pool_recv: Vec<f64>,
     /// Per-peer endorsement-station utilization.
     pub peer_endorse: Vec<f64>,
-    /// Per-peer committer utilization — the paper's bottleneck lives here.
-    pub peer_validate: Vec<f64>,
+    /// Per-peer VSCC-stage utilization (true per-tx CPU work over the
+    /// validator pool) — the paper's bottleneck lives in this stage.
+    pub peer_vscc: Vec<f64>,
+    /// Per-peer serial MVCC + commit-stage utilization.
+    pub peer_commit: Vec<f64>,
     /// Per-OSN CPU utilization.
     pub osn_cpu: Vec<f64>,
 }
@@ -74,7 +77,8 @@ impl UtilizationReport {
             ("client-pool prep", max(&self.pool_prep)),
             ("client-pool recv", max(&self.pool_recv)),
             ("peer endorse", max(&self.peer_endorse)),
-            ("peer validate", max(&self.peer_validate)),
+            ("peer vscc", max(&self.peer_vscc)),
+            ("peer commit", max(&self.peer_commit)),
             ("osn cpu", max(&self.osn_cpu)),
         ]
         .into_iter()
@@ -158,7 +162,12 @@ struct PeerNode {
     /// One [`Peer`] per channel (separate ledgers on shared hardware).
     channels: Vec<Peer>,
     endorse: Station,
-    validate: Station,
+    /// VSCC stage of the validation pipeline: per-tx signature/policy checks
+    /// over `validator_pool_size` workers per committer pipeline.
+    vscc: Station,
+    /// Serial MVCC + state/blockstore commit stage; one server per committer
+    /// pipeline — this station is the queueing backbone of the validate phase.
+    commit: Station,
     egress: Link,
     jitter: RngStream,
     /// Per-channel number of the next block this peer expects from its
@@ -359,10 +368,15 @@ impl Simulation {
                 .iter()
                 .map(|p| p.endorse.utilization(horizon))
                 .collect(),
-            peer_validate: world
+            peer_vscc: world
                 .peers
                 .iter()
-                .map(|p| p.validate.utilization(horizon))
+                .map(|p| p.vscc.utilization(horizon))
+                .collect(),
+            peer_commit: world
+                .peers
+                .iter()
+                .map(|p| p.commit.utilization(horizon))
                 .collect(),
             osn_cpu: world
                 .osns
@@ -463,6 +477,7 @@ fn build_world(cfg: &SimConfig) -> World {
                     channel: channel.clone(),
                     endorsement_policy: policy.clone(),
                     is_endorser,
+                    validator_pool_size: m.validator_pool_size.max(1),
                 },
             );
             match &cfg.workload {
@@ -499,8 +514,13 @@ fn build_world(cfg: &SimConfig) -> World {
             gossip,
             endorse: Station::new(format!("peer{i}.endorse"), m.peer_endorse_threads),
             // One committer pipeline per channel on shared cores (Fabric runs
-            // a commit goroutine per channel).
-            validate: Station::new(format!("peer{i}.validate"), m.validate_threads * n_channels),
+            // a commit goroutine per channel); each pipeline fans its VSCC
+            // checks out over the validator pool while commit stays serial.
+            vscc: Station::new(
+                format!("peer{i}.vscc"),
+                m.validator_pool_size.max(1) * m.validate_threads * n_channels,
+            ),
+            commit: Station::new(format!("peer{i}.commit"), m.validate_threads * n_channels),
             egress: Link::new(
                 format!("peer{i}.nic"),
                 m.link_bandwidth_bps,
@@ -589,7 +609,7 @@ fn build_world(cfg: &SimConfig) -> World {
             .collect();
         osns.push(OsnActor {
             nodes,
-            station: Station::new(format!("osn{o}.cpu"), 2),
+            station: Station::new(format!("osn{o}.cpu"), m.osn_cpu_threads),
             egress: Link::new(
                 format!("osn{o}.nic"),
                 m.link_bandwidth_bps,
@@ -623,7 +643,7 @@ fn build_world(cfg: &SimConfig) -> World {
                         )
                     })
                     .collect(),
-                station: Station::new(format!("broker{b}.cpu"), 2),
+                station: Station::new(format!("broker{b}.cpu"), m.broker_cpu_threads),
                 egress: Link::new(
                     format!("broker{b}.nic"),
                     m.link_bandwidth_bps,
@@ -729,20 +749,26 @@ fn obs_sample(world: &mut World, k: &mut K) {
         .iter()
         .map(|p| p.endorse.jobs_in_system(now))
         .sum();
-    let peer_validate: usize = world
+    let peer_vscc: usize = world.peers.iter().map(|p| p.vscc.jobs_in_system(now)).sum();
+    let peer_commit: usize = world
         .peers
         .iter()
-        .map(|p| p.validate.jobs_in_system(now))
+        .map(|p| p.commit.jobs_in_system(now))
         .sum();
     let osn_cpu: usize = world
         .osns
         .iter()
         .map(|o| o.station.jobs_in_system(now))
         .sum();
-    let validate_util = world
+    let vscc_util = world
         .peers
         .iter()
-        .map(|p| p.validate.utilization(now))
+        .map(|p| p.vscc.utilization(now))
+        .fold(0.0, f64::max);
+    let commit_util = world
+        .peers
+        .iter()
+        .map(|p| p.commit.utilization(now))
         .fold(0.0, f64::max);
     let inflight = world
         .traces
@@ -760,9 +786,11 @@ fn obs_sample(world: &mut World, k: &mut K) {
     rec.sample("queue.pool_prep", pool_prep as f64);
     rec.sample("queue.pool_recv", pool_recv as f64);
     rec.sample("queue.peer_endorse", peer_endorse as f64);
-    rec.sample("queue.peer_validate", peer_validate as f64);
+    rec.sample("queue.peer_vscc", peer_vscc as f64);
+    rec.sample("queue.peer_commit", peer_commit as f64);
     rec.sample("queue.osn_cpu", osn_cpu as f64);
-    rec.sample("util.peer_validate", validate_util);
+    rec.sample("util.peer_vscc", vscc_util);
+    rec.sample("util.peer_commit", commit_util);
     rec.sample("inflight.txs", inflight as f64);
     rec.sample("blocks.cut_per_tick", new_cuts as f64);
     rec.end_tick();
@@ -1490,8 +1518,8 @@ fn enqueue_block_validation(world: &mut World, k: &mut K, peer_idx: usize, block
             .obs
             .sink
             .enabled()
-            .then(|| world.peers[peer_idx].validate.name().to_string());
-        let depth = world.peers[peer_idx].validate.jobs_in_system(now);
+            .then(|| world.peers[peer_idx].vscc.name().to_string());
+        let depth = world.peers[peer_idx].vscc.jobs_in_system(now);
         for tx_id in block
             .transactions
             .iter()
@@ -1513,52 +1541,113 @@ fn enqueue_block_validation(world: &mut World, k: &mut K, peer_idx: usize, block
         }
     }
     let m = &world.cfg.cost;
-    // Per-transaction validation costs (progressive within the block).
-    let per_tx_ms: Vec<f64> = block
+    let pool = m.validator_pool_size.max(1);
+    // Per-transaction stage costs (progressive within the block).
+    let vscc_tx_ms: Vec<f64> = block
         .transactions
         .iter()
-        .map(|tx| m.validate_tx_ms(tx.endorsements.len().max(1)))
+        .map(|tx| m.vscc_tx_ms(tx.endorsements.len().max(1)))
         .collect();
+    let commit_tx_ms = m.commit_tx_ms();
     let overhead_ms = m.validate_block_overhead_ms;
-    let total_ms: f64 = overhead_ms + per_tx_ms.iter().sum::<f64>();
-    let service = world.ms(total_ms);
-    let start = world.peers[peer_idx].validate.would_start_at(now);
-    let done = world.peers[peer_idx].validate.submit(now, service);
-    if is_observer {
-        // Attribute the observer's validate visit per tx: block-level queueing
-        // plus this tx's share of the block's service demand.
-        let queued = start - now;
-        let overhead_share_ms = overhead_ms / per_tx_ms.len().max(1) as f64;
-        let tx_service: Vec<(TxId, SimDuration)> = block
+    // Blocks are serviced in delivery order and VSCC cannot overtake an
+    // earlier block's commit, so the serial commit station is the queueing
+    // backbone of the staged pipeline: the block's VSCC stage begins when a
+    // committer slot frees up, and the commit stage follows immediately.
+    let start = world.peers[peer_idx].commit.would_start_at(now);
+    type StageTimes = (SimDuration, SimDuration, Vec<SimTime>, Vec<SimTime>);
+    let (vscc_service, commit_service, commit_times, vscc_times): StageTimes = if pool <= 1 {
+        // Serial stock-Fabric path. Timing reproduces the single-station
+        // model exactly: the block's total service is one f64 sum, and the
+        // split point is carved out by *integer* subtraction so
+        // vscc_service + commit_service == total_service bit-for-bit.
+        let per_tx_ms: Vec<f64> = block
             .transactions
             .iter()
-            .zip(&per_tx_ms)
-            .map(|(tx, &ms)| {
+            .map(|tx| m.validate_tx_ms(tx.endorsements.len().max(1)))
+            .collect();
+        let total_ms: f64 = overhead_ms + per_tx_ms.iter().sum::<f64>();
+        let total_service = world.ms(total_ms);
+        let vscc_service = world.ms(vscc_tx_ms.iter().sum::<f64>()).min(total_service);
+        let commit_service = total_service - vscc_service;
+        // Each tx's VSCC check runs at the head of its own serial slice, so
+        // its vscc-done instant sits inside the slice, clamped to never land
+        // after the commit record it precedes.
+        let mut acc = overhead_ms;
+        let mut commit_times = Vec::with_capacity(per_tx_ms.len());
+        let mut vscc_times = Vec::with_capacity(per_tx_ms.len());
+        for (c, &v) in per_tx_ms.iter().zip(&vscc_tx_ms) {
+            let committed = start + SimDuration::from_millis_f64(acc + c);
+            vscc_times.push((start + SimDuration::from_millis_f64(acc + v)).min(committed));
+            acc += c;
+            commit_times.push(committed);
+        }
+        (vscc_service, commit_service, commit_times, vscc_times)
+    } else {
+        // Pooled path: the VSCC stage's makespan is a deterministic
+        // earliest-free-worker schedule of the per-tx costs over `pool`
+        // workers; MVCC + ledger write stay serial behind it. The stage is a
+        // barrier, so every tx's vscc-done instant is the stage end.
+        let vscc_service = world.ms(crate::model::CostModel::vscc_makespan_ms(&vscc_tx_ms, pool));
+        let commit_service = world.ms(overhead_ms + commit_tx_ms * block.transactions.len() as f64);
+        let vscc_end = start + vscc_service;
+        let commit_times = {
+            let mut acc = overhead_ms;
+            (0..block.transactions.len())
+                .map(|_| {
+                    acc += commit_tx_ms;
+                    vscc_end + SimDuration::from_millis_f64(acc)
+                })
+                .collect()
+        };
+        let vscc_times = vec![vscc_end; block.transactions.len()];
+        (vscc_service, commit_service, commit_times, vscc_times)
+    };
+    // Observational per-tx VSCC visits: the station's busy time is the pool's
+    // real CPU demand, so its utilization reads as aggregate core usage.
+    let vscc_services: Vec<SimDuration> = vscc_tx_ms.iter().map(|&ms| world.ms(ms)).collect();
+    for s in vscc_services {
+        world.peers[peer_idx].vscc.submit_ready(now, start, s);
+    }
+    let vscc_end = start + vscc_service;
+    let done = world.peers[peer_idx]
+        .commit
+        .submit_ready(now, vscc_end, commit_service);
+    debug_assert_eq!(done, vscc_end + commit_service);
+    if is_observer {
+        // Attribute each stage per tx: block-level queueing lands on the VSCC
+        // stage (it is what the block waits to enter); the commit stage then
+        // runs back-to-back, charged this tx's serial share plus its slice of
+        // the block overhead.
+        let queued = start - now;
+        let overhead_share_ms = overhead_ms / block.transactions.len().max(1) as f64;
+        let tx_service: Vec<(TxId, SimDuration, SimDuration)> = block
+            .transactions
+            .iter()
+            .zip(&vscc_tx_ms)
+            .map(|(tx, &vscc_ms)| {
                 (
                     tx.tx_id,
-                    SimDuration::from_millis_f64(ms + overhead_share_ms),
+                    SimDuration::from_millis_f64(vscc_ms),
+                    SimDuration::from_millis_f64(commit_tx_ms + overhead_share_ms),
                 )
             })
             .collect();
-        for (tx_id, service) in tx_service {
-            world.attribute(tx_id, StationClass::PeerValidate, queued, service);
+        for (tx_id, vscc_s, commit_s) in tx_service {
+            world.attribute(tx_id, StationClass::PeerVscc, queued, vscc_s);
+            world.attribute(tx_id, StationClass::PeerCommit, SimDuration::ZERO, commit_s);
         }
     }
 
-    // Progressive per-tx commit instants (for the observer's trace records).
-    let commit_times: Vec<SimTime> = {
-        let mut acc = overhead_ms;
-        per_tx_ms
-            .iter()
-            .map(|c| {
-                acc += c;
-                start + SimDuration::from_millis_f64(acc)
-            })
-            .collect()
-    };
-
     k.schedule(done, move |w, k| {
-        commit_block(w, k, peer_idx, block.clone(), commit_times.clone());
+        commit_block(
+            w,
+            k,
+            peer_idx,
+            block.clone(),
+            vscc_times.clone(),
+            commit_times.clone(),
+        );
     });
 }
 
@@ -1567,6 +1656,7 @@ fn commit_block(
     k: &mut K,
     peer_idx: usize,
     block: Block,
+    vscc_times: Vec<SimTime>,
     commit_times: Vec<SimTime>,
 ) {
     let _ = k;
@@ -1589,11 +1679,16 @@ fn commit_block(
                 .flags
                 .clone()
         };
-        let station = world
+        let vscc_station = world
             .obs
             .sink
             .enabled()
-            .then(|| world.peers[peer_idx].validate.name().to_string());
+            .then(|| world.peers[peer_idx].vscc.name().to_string());
+        let commit_station = world
+            .obs
+            .sink
+            .enabled()
+            .then(|| world.peers[peer_idx].commit.name().to_string());
         for (i, tx_id) in tx_ids.iter().enumerate() {
             let mut e2e = None;
             if let Some(t) = world.trace_mut(*tx_id) {
@@ -1612,7 +1707,16 @@ fn commit_block(
                     }
                 }
             }
-            if let Some(station) = &station {
+            if let Some(station) = &vscc_station {
+                world.emit(
+                    vscc_times[i],
+                    tx_id.short(),
+                    TracePhase::VsccDone,
+                    station.clone(),
+                    0,
+                );
+            }
+            if let Some(station) = &commit_station {
                 let t_s = commit_times[i];
                 world.emit(
                     t_s,

@@ -69,12 +69,28 @@ impl Station {
     /// Panics if submissions go backwards in time (the FIFO closed form relies
     /// on time-ordered submission).
     pub fn submit(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        self.submit_ready(now, now, service)
+    }
+
+    /// Submits a job that *arrives* (joins the FIFO queue) at `now` but only
+    /// becomes *ready to run* at `ready >= now`; returns the completion
+    /// instant. The server is chosen at arrival (FIFO order is preserved), yet
+    /// service starts no earlier than `ready` — this models a downstream stage
+    /// whose input is produced at a known future instant by an upstream stage
+    /// (e.g. a commit stage fed by VSCC). Queueing delay is accounted from
+    /// `ready`, not from `now`. `submit(now, s)` ≡ `submit_ready(now, now, s)`.
+    ///
+    /// # Panics
+    /// Panics if *arrival* times go backwards (the FIFO closed form relies on
+    /// arrival-ordered submission); `ready` instants need not be monotone.
+    pub fn submit_ready(&mut self, now: SimTime, ready: SimTime, service: SimDuration) -> SimTime {
         assert!(
             now >= self.last_submit,
             "station {}: submissions must be time-ordered",
             self.name
         );
         self.last_submit = now;
+        let ready = ready.max(now);
         // Earliest-free server takes the job.
         let (idx, &free) = self
             .free_at
@@ -82,12 +98,12 @@ impl Station {
             .enumerate()
             .min_by_key(|(_, &t)| t)
             .expect("at least one server");
-        let start = now.max(free);
+        let start = ready.max(free);
         let done = start + service;
         self.free_at[idx] = done;
         self.jobs += 1;
         self.busy += service;
-        self.total_wait += start - now;
+        self.total_wait += start - ready;
         while self.completions.front().is_some_and(|&t| t <= now) {
             self.completions.pop_front();
         }
@@ -240,6 +256,46 @@ mod tests {
         assert_eq!(s.busy_time(), SimDuration::ZERO);
         // Server is still busy until 10ms.
         assert_eq!(s.submit(at(5), ms(1)), at(11));
+    }
+
+    #[test]
+    fn submit_ready_defers_service_start() {
+        let mut s = Station::new("commit", 1);
+        // Arrives at 0, but input only ready at 10: service runs 10..15.
+        assert_eq!(s.submit_ready(at(0), at(10), ms(5)), at(15));
+        // No queueing was experienced: the job started the moment it was ready.
+        assert_eq!(s.total_wait(), SimDuration::ZERO);
+        // Next job arrives at 2, ready at 12, but the server is busy until 15.
+        assert_eq!(s.submit_ready(at(2), at(12), ms(5)), at(20));
+        assert_eq!(s.total_wait(), ms(3));
+        assert_eq!(s.busy_time(), ms(10));
+    }
+
+    #[test]
+    fn submit_ready_with_ready_now_matches_submit() {
+        let mut a = Station::new("a", 2);
+        let mut b = Station::new("b", 2);
+        for (t, d) in [(0, 10), (0, 30), (5, 10), (40, 5)] {
+            assert_eq!(a.submit(at(t), ms(d)), b.submit_ready(at(t), at(t), ms(d)));
+        }
+        assert_eq!(a.total_wait(), b.total_wait());
+        assert_eq!(a.busy_time(), b.busy_time());
+    }
+
+    #[test]
+    fn submit_ready_allows_non_monotone_ready_instants() {
+        let mut s = Station::new("commit", 2);
+        // Block A on server 1 is ready late; block B arrives later but is
+        // ready earlier (its VSCC stage was shorter). Arrival order is
+        // monotone, so this must not panic, and B may finish first.
+        assert_eq!(s.submit_ready(at(0), at(50), ms(5)), at(55));
+        assert_eq!(s.submit_ready(at(1), at(10), ms(5)), at(15));
+    }
+
+    #[test]
+    fn submit_ready_clamps_ready_to_arrival() {
+        let mut s = Station::new("cpu", 1);
+        assert_eq!(s.submit_ready(at(10), at(0), ms(5)), at(15));
     }
 
     #[test]

@@ -104,16 +104,59 @@ impl Ledger {
     /// Panics if `pre_flags.len() != block.transactions.len()`.
     pub fn validate_and_commit(
         &mut self,
-        mut block: Block,
+        block: Block,
         pre_flags: Vec<Option<ValidationCode>>,
+    ) -> Result<Vec<ValidationCode>, ChainError> {
+        let flags = self.mvcc_flags(&block, &pre_flags)?;
+        self.commit(block, flags.clone());
+        Ok(flags)
+    }
+
+    /// The MVCC stage of the validation pipeline: checks that `block` chains
+    /// onto the current tip and revalidates every still-eligible transaction's
+    /// read set against the world state (plus earlier writes in the same
+    /// block). Pure with respect to the ledger — nothing is written.
+    ///
+    /// # Errors
+    /// Returns [`ChainError`] if the block does not chain onto the current tip.
+    ///
+    /// # Panics
+    /// Panics if `pre_flags.len() != block.transactions.len()`.
+    pub fn mvcc_flags(
+        &self,
+        block: &Block,
+        pre_flags: &[Option<ValidationCode>],
     ) -> Result<Vec<ValidationCode>, ChainError> {
         assert_eq!(
             pre_flags.len(),
             block.transactions.len(),
             "one pre-flag per transaction"
         );
-        self.blocks.check_chains(&block)?;
-        let flags = mvcc::validate_block(&self.state, &self.blocks, &block, &pre_flags);
+        self.blocks.check_chains(block)?;
+        Ok(mvcc::validate_block(
+            &self.state,
+            &self.blocks,
+            block,
+            pre_flags,
+        ))
+    }
+
+    /// The commit stage of the validation pipeline: applies the writes of
+    /// transactions flagged valid (in block order), stamps `flags` into the
+    /// block metadata, and appends the block — including invalid transactions
+    /// — to the chain. `flags` must come from [`Ledger::mvcc_flags`] on this
+    /// same block at this same height; the stage itself is serial, exactly as
+    /// in Fabric 1.4.
+    ///
+    /// # Panics
+    /// Panics if `flags.len() != block.transactions.len()` or if the block
+    /// does not chain (the MVCC stage checked it already).
+    pub fn commit(&mut self, mut block: Block, flags: Vec<ValidationCode>) {
+        assert_eq!(
+            flags.len(),
+            block.transactions.len(),
+            "one flag per transaction"
+        );
         // Apply valid writes in order.
         for (i, tx) in block.transactions.iter().enumerate() {
             if flags[i].is_valid() {
@@ -125,11 +168,10 @@ impl Ledger {
                 }
             }
         }
-        block.metadata.flags = flags.clone();
+        block.metadata.flags = flags;
         self.blocks
             .append(block)
-            .expect("chain check performed above");
-        Ok(flags)
+            .expect("chain checked by the MVCC stage");
     }
 }
 
@@ -198,6 +240,49 @@ mod tests {
             .unwrap();
         assert_eq!(flags, vec![ValidationCode::EndorsementPolicyFailure]);
         assert!(l.state().get("a").is_none());
+    }
+
+    #[test]
+    fn staged_mvcc_then_commit_matches_composed_path() {
+        let mut staged = Ledger::new("ch");
+        let mut composed = Ledger::new("ch");
+        let txs = || {
+            vec![
+                tx(1, &[("a", b"1")], &[]),
+                tx(2, &[("b", b"2")], &[("a", None)]), // stale once tx 1 lands
+            ]
+        };
+        let b = block(&staged, txs());
+        let flags = staged.mvcc_flags(&b, &[None, None]).unwrap();
+        assert_eq!(staged.height(), 0, "mvcc stage must not write");
+        assert!(staged.state().get("a").is_none());
+        staged.commit(b, flags.clone());
+
+        let want = composed
+            .validate_and_commit(block(&composed, txs()), vec![None, None])
+            .unwrap();
+        assert_eq!(flags, want);
+        assert_eq!(staged.height(), composed.height());
+        assert_eq!(
+            staged.blocks().tip_hash(),
+            composed.blocks().tip_hash(),
+            "staged and composed paths must produce the identical chain"
+        );
+    }
+
+    #[test]
+    fn mvcc_stage_rejects_non_chaining_block() {
+        let mut l = Ledger::new("ch");
+        let b0 = block(&l, vec![tx(1, &[("a", b"1")], &[])]);
+        l.validate_and_commit(b0, vec![None]).unwrap();
+        // A block built against the pre-commit tip no longer chains.
+        let stale_block = Block::assemble(
+            ChannelId::default_channel(),
+            0,
+            Hash256::ZERO,
+            vec![tx(2, &[("b", b"2")], &[])],
+        );
+        assert!(l.mvcc_flags(&stale_block, &[None]).is_err());
     }
 
     #[test]

@@ -23,29 +23,35 @@ pub enum StationClass {
     PeerEndorse,
     /// Ordering-service CPU (batching, consensus bookkeeping).
     OsnCpu,
-    /// Peer validation + commit (VSCC, MVCC, ledger write).
-    PeerValidate,
+    /// VSCC stage of the peer's validation pipeline (signatures, endorsement
+    /// policy) — the parallelizable part.
+    PeerVscc,
+    /// Serial tail of the validation pipeline (MVCC read-set check, state-DB
+    /// and blockstore write).
+    PeerCommit,
 }
 
 impl StationClass {
     /// Every class, in pipeline order.
-    pub const ALL: [StationClass; 5] = [
+    pub const ALL: [StationClass; 6] = [
         StationClass::ClientPrep,
         StationClass::ClientRecv,
         StationClass::PeerEndorse,
         StationClass::OsnCpu,
-        StationClass::PeerValidate,
+        StationClass::PeerVscc,
+        StationClass::PeerCommit,
     ];
 
     /// Human-readable label, matching the simulator's utilization report
-    /// naming (`"peer validate"` etc.).
+    /// naming (`"peer vscc"` etc.).
     pub fn label(self) -> &'static str {
         match self {
             StationClass::ClientPrep => "client prep",
             StationClass::ClientRecv => "client recv",
             StationClass::PeerEndorse => "peer endorse",
             StationClass::OsnCpu => "osn cpu",
-            StationClass::PeerValidate => "peer validate",
+            StationClass::PeerVscc => "peer vscc",
+            StationClass::PeerCommit => "peer commit",
         }
     }
 
@@ -57,7 +63,8 @@ impl StationClass {
             StationClass::ClientRecv => 1,
             StationClass::PeerEndorse => 2,
             StationClass::OsnCpu => 3,
-            StationClass::PeerValidate => 4,
+            StationClass::PeerVscc => 4,
+            StationClass::PeerCommit => 5,
         }
     }
 }
@@ -70,9 +77,9 @@ pub struct TxStationBreakdown {
     /// End-to-end latency (created → committed), seconds.
     pub end_to_end_s: f64,
     /// Time spent queued at each class, indexed per [`StationClass::ALL`].
-    pub queued_s: [f64; 5],
+    pub queued_s: [f64; 6],
     /// Time spent in service at each class, same indexing.
-    pub service_s: [f64; 5],
+    pub service_s: [f64; 6],
 }
 
 impl TxStationBreakdown {
@@ -119,9 +126,9 @@ pub struct WindowAttribution {
     /// Committed transactions in the window.
     pub tx_count: u64,
     /// Mean queueing seconds per tx, per class (indexed per [`StationClass::ALL`]).
-    pub mean_queued_s: [f64; 5],
+    pub mean_queued_s: [f64; 6],
     /// Mean service seconds per tx, per class.
-    pub mean_service_s: [f64; 5],
+    pub mean_service_s: [f64; 6],
     /// Mean end-to-end latency in the window.
     pub mean_e2e_s: f64,
 }
@@ -174,13 +181,13 @@ impl BottleneckReport {
         } else {
             (horizon / window_s).floor() as usize + 1
         };
-        let mut acc: Vec<(u64, [f64; 5], [f64; 5], f64)> =
-            vec![(0, [0.0; 5], [0.0; 5], 0.0); n_windows];
-        let mut overall = (0u64, [0.0f64; 5], [0.0f64; 5], 0.0f64);
+        let mut acc: Vec<(u64, [f64; 6], [f64; 6], f64)> =
+            vec![(0, [0.0; 6], [0.0; 6], 0.0); n_windows];
+        let mut overall = (0u64, [0.0f64; 6], [0.0f64; 6], 0.0f64);
         let mut unattributed = 0.0;
-        fn fold(slot: &mut (u64, [f64; 5], [f64; 5], f64), tx: &TxStationBreakdown) {
+        fn fold(slot: &mut (u64, [f64; 6], [f64; 6], f64), tx: &TxStationBreakdown) {
             slot.0 += 1;
-            for i in 0..5 {
+            for i in 0..6 {
                 slot.1[i] += tx.queued_s[i];
                 slot.2[i] += tx.service_s[i];
             }
@@ -192,7 +199,7 @@ impl BottleneckReport {
             fold(&mut overall, tx);
             unattributed += tx.unattributed_s();
         }
-        let finish = |t0_s: f64, (count, queued, service, e2e): (u64, [f64; 5], [f64; 5], f64)| {
+        let finish = |t0_s: f64, (count, queued, service, e2e): (u64, [f64; 6], [f64; 6], f64)| {
             let div = if count == 0 { 1.0 } else { count as f64 };
             WindowAttribution {
                 t0_s,
@@ -277,7 +284,7 @@ impl BottleneckReport {
 
     /// Renders the report as a JSON object.
     pub fn to_json(&self) -> String {
-        let arr = |xs: &[f64; 5]| {
+        let arr = |xs: &[f64; 6]| {
             let mut s = String::from("[");
             for (i, v) in xs.iter().enumerate() {
                 if i > 0 {
@@ -340,16 +347,16 @@ mod tests {
             b.add(StationClass::PeerEndorse, 0.0, 0.001);
             // B: 10 ms service, queue grows linearly with arrival index.
             let queued = 0.01 * i as f64;
-            b.add(StationClass::PeerValidate, queued, 0.010);
+            b.add(StationClass::PeerVscc, queued, 0.010);
             b.commit_s = 0.011 + queued;
             b.end_to_end_s = b.total_queued_s() + b.total_service_s() + 0.002;
             txs.push(b);
         }
         let report = BottleneckReport::from_breakdowns(&txs, 0.25);
-        assert_eq!(report.dominant(), Some(StationClass::PeerValidate));
+        assert_eq!(report.dominant(), Some(StationClass::PeerVscc));
         assert_eq!(report.overall.tx_count, 100);
         // Mean queued at B = 0.01 * mean(0..100) = 0.01 * 49.5.
-        let qb = report.overall.mean_queued_s[StationClass::PeerValidate.idx()];
+        let qb = report.overall.mean_queued_s[StationClass::PeerVscc.idx()];
         assert!((qb - 0.495).abs() < 1e-9, "mean queued {qb}");
         // The 2 ms of network delay is unattributed.
         assert!((report.mean_unattributed_s - 0.002).abs() < 1e-9);
@@ -358,12 +365,12 @@ mod tests {
         assert_eq!(total, 100);
         // Later windows hold later (more-queued) txs; each still blames B.
         for w in report.windows.iter().filter(|w| w.tx_count > 0) {
-            assert_eq!(w.dominant(), Some(StationClass::PeerValidate));
+            assert_eq!(w.dominant(), Some(StationClass::PeerVscc));
         }
         let table = report.render_table();
-        assert!(table.contains("dominant queue: peer validate"), "{table}");
+        assert!(table.contains("dominant queue: peer vscc"), "{table}");
         let json = report.to_json();
-        assert!(json.contains("\"dominant\":\"peer validate\""), "{json}");
+        assert!(json.contains("\"dominant\":\"peer vscc\""), "{json}");
     }
 
     #[test]
@@ -397,7 +404,8 @@ mod tests {
                 "client recv",
                 "peer endorse",
                 "osn cpu",
-                "peer validate"
+                "peer vscc",
+                "peer commit"
             ]
         );
         for c in StationClass::ALL {

@@ -27,6 +27,10 @@ pub enum TracePhase {
     Ordered,
     /// Block containing the transaction arrived at the observer peer.
     Delivered,
+    /// The VSCC check (signatures + endorsement policy) finished for this
+    /// transaction; MVCC/commit still pending. Under a pooled validator the
+    /// stage is a barrier, so every tx in a block shares the stage-end time.
+    VsccDone,
     /// Validation finished at the observer peer (commit point).
     Committed,
     /// Dropped at the client: submission queue saturated.
@@ -39,7 +43,7 @@ pub enum TracePhase {
 
 impl TracePhase {
     /// Every phase, in pipeline order.
-    pub const ALL: [TracePhase; 12] = [
+    pub const ALL: [TracePhase; 13] = [
         TracePhase::Created,
         TracePhase::ProposalSent,
         TracePhase::Endorsed,
@@ -48,6 +52,7 @@ impl TracePhase {
         TracePhase::OrderAcked,
         TracePhase::Ordered,
         TracePhase::Delivered,
+        TracePhase::VsccDone,
         TracePhase::Committed,
         TracePhase::OverloadDropped,
         TracePhase::EndorsementFailed,
@@ -65,6 +70,7 @@ impl TracePhase {
             TracePhase::OrderAcked => "order_acked",
             TracePhase::Ordered => "ordered",
             TracePhase::Delivered => "delivered",
+            TracePhase::VsccDone => "vscc_done",
             TracePhase::Committed => "committed",
             TracePhase::OverloadDropped => "overload_dropped",
             TracePhase::EndorsementFailed => "endorsement_failed",

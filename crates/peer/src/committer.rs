@@ -85,6 +85,30 @@ pub fn vscc_block(
         .collect()
 }
 
+/// [`vscc_block`] with the per-tx checks fanned out over a pool of `workers`
+/// scoped threads (the VSCC stage of [`crate::ValidationPipeline`]). Returns
+/// flags in transaction order, bit-for-bit identical to the serial path
+/// regardless of scheduling; `workers <= 1` runs inline without spawning.
+pub fn vscc_block_pooled(
+    block: &Block,
+    config: &PeerConfig,
+    msp: &Msp,
+    client_certs: &HashMap<ClientId, Certificate>,
+    endorser_keys: &HashMap<Principal, Vec<PublicKey>>,
+    workers: usize,
+) -> Vec<Option<ValidationCode>> {
+    let mut flags = vec![None; block.transactions.len()];
+    crate::ValidationPipeline::new(workers).vscc_flags(
+        block,
+        config,
+        msp,
+        client_certs,
+        endorser_keys,
+        &mut flags,
+    );
+    flags
+}
+
 /// VSCC for a single transaction: payload shape, creator signature, every
 /// endorsement signature (authenticated against registered endorser keys),
 /// and endorsement-policy satisfaction.
@@ -131,79 +155,13 @@ pub fn vscc_tx(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{fixture, Fixture};
     use fabricsim_crypto::KeyPair;
-    use fabricsim_msp::CertificateAuthority;
     use fabricsim_policy::Policy;
-    use fabricsim_types::{ChannelId, Endorsement, OrgId, Proposal, ProposalResponse, RwSet};
-
-    struct Fixture {
-        config: PeerConfig,
-        msp: Msp,
-        client_certs: HashMap<ClientId, Certificate>,
-        endorser_keys: HashMap<Principal, Vec<PublicKey>>,
-        client: fabricsim_msp::SigningIdentity,
-        endorsers: Vec<fabricsim_msp::SigningIdentity>,
-    }
-
-    fn fixture(policy: Policy, n_endorsers: u32) -> Fixture {
-        let ca = CertificateAuthority::new("ca", 1);
-        let client = ca.enroll(
-            Principal {
-                org: OrgId(1),
-                role: "client".into(),
-            },
-            "client0",
-        );
-        let endorsers: Vec<_> = (1..=n_endorsers)
-            .map(|i| ca.enroll(Principal::peer(OrgId(i)), &format!("peer{i}")))
-            .collect();
-        let mut endorser_keys: HashMap<Principal, Vec<PublicKey>> = HashMap::new();
-        for e in &endorsers {
-            endorser_keys
-                .entry(e.principal().clone())
-                .or_default()
-                .push(e.certificate().public_key);
-        }
-        Fixture {
-            config: PeerConfig {
-                channel: ChannelId::default_channel(),
-                endorsement_policy: policy,
-                is_endorser: false,
-            },
-            msp: Msp::new(ca.root_of_trust()),
-            client_certs: HashMap::from([(ClientId(0), client.certificate().clone())]),
-            endorser_keys,
-            client,
-            endorsers,
-        }
-    }
+    use fabricsim_types::{ChannelId, RwSet};
 
     fn endorsed_tx(f: &Fixture, endorser_indices: &[usize]) -> Transaction {
-        let creator = ClientId(0);
-        let tx_id = Proposal::derive_tx_id(creator, 7);
-        let mut rw = RwSet::new();
-        rw.record_write("k", Some(vec![1]));
-        let resp = ProposalResponse::signed_bytes(tx_id, &rw, b"");
-        let endorsements = endorser_indices
-            .iter()
-            .map(|&i| Endorsement {
-                endorser: f.endorsers[i].principal().clone(),
-                endorser_key: f.endorsers[i].certificate().public_key,
-                signature: f.endorsers[i].sign(&resp),
-            })
-            .collect();
-        let mut tx = Transaction {
-            tx_id,
-            channel: ChannelId::default_channel(),
-            chaincode: "kv".into(),
-            rw_set: rw,
-            payload: Vec::new(),
-            endorsements,
-            creator,
-            signature: KeyPair::from_seed(b"tmp").sign(b"x"),
-        };
-        tx.signature = f.client.sign(&tx.signed_bytes());
-        tx
+        crate::testutil::endorsed_tx(f, 7, endorser_indices)
     }
 
     fn verdict(f: &Fixture, tx: &Transaction) -> VsccVerdict {

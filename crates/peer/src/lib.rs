@@ -7,11 +7,13 @@
 //!    submitted before, carries a valid client signature, and its submitter is
 //!    authorized on the channel — then executes the chaincode against
 //!    committed state and signs the resulting read/write set (ESCC).
-//! 2. **Validate and commit** blocks (validate phase). The committer runs
-//!    VSCC per transaction (creator signature, every endorsement signature,
-//!    endorsement-policy satisfaction) and the MVCC read-set check, then
-//!    appends the block and applies valid writes. This is the pipeline the
-//!    paper identifies as the system bottleneck.
+//! 2. **Validate and commit** blocks (validate phase). The committer runs the
+//!    staged [`ValidationPipeline`]: block checks + dedup, then VSCC per
+//!    transaction (creator signature, every endorsement signature,
+//!    endorsement-policy satisfaction) fanned out over a deterministic worker
+//!    pool, then the serial MVCC read-set check and ledger commit. This is
+//!    the pipeline the paper identifies as the system bottleneck — and the
+//!    VSCC stage is the part that parallelizes.
 //!
 //! [`Peer`] is a plain synchronous object; the simulation layer (`fabricsim`
 //! core) charges calibrated CPU time around these calls.
@@ -22,7 +24,11 @@
 mod committer;
 pub mod gossip;
 mod peer;
+mod pipeline;
+#[cfg(test)]
+mod testutil;
 
-pub use committer::{vscc_block, vscc_tx, CommitStats, VsccVerdict};
+pub use committer::{vscc_block, vscc_block_pooled, vscc_tx, CommitStats, VsccVerdict};
 pub use gossip::{GossipEffect, GossipMsg, GossipNode};
 pub use peer::{Peer, PeerConfig};
+pub use pipeline::ValidationPipeline;

@@ -11,7 +11,8 @@ use fabricsim_types::{
     Block, ChannelId, ClientId, Endorsement, Principal, Proposal, ProposalResponse, Version,
 };
 
-use crate::committer::{self, CommitStats};
+use crate::committer::CommitStats;
+use crate::pipeline::ValidationPipeline;
 
 /// Static configuration for a peer.
 #[derive(Debug, Clone)]
@@ -23,6 +24,9 @@ pub struct PeerConfig {
     /// Whether this peer endorses proposals (endorsing peers also validate;
     /// non-endorsing peers only validate — paper Fig. 1).
     pub is_endorser: bool,
+    /// VSCC worker-pool size for the committer's validation pipeline
+    /// (1 = stock Fabric 1.4 serial validation).
+    pub validator_pool_size: usize,
 }
 
 /// A peer node: identity, ledger, installed chaincodes and the trust
@@ -212,20 +216,24 @@ impl Peer {
 
     // ---- validate phase --------------------------------------------------------
 
-    /// Validates (VSCC + MVCC) and commits a delivered block.
+    /// Validates and commits a delivered block through the staged
+    /// [`ValidationPipeline`]: (1) block checks + dedup, (2) per-tx VSCC over
+    /// the configured worker pool, (3) serial MVCC + state/blockstore commit.
     ///
     /// # Errors
     /// Returns [`ChainError`] if the block does not chain onto this peer's
     /// ledger tip.
     pub fn validate_and_commit(&mut self, block: Block) -> Result<CommitStats, ChainError> {
-        let pre_flags = committer::vscc_block(
+        let pipeline = ValidationPipeline::new(self.config.validator_pool_size);
+        let pre_flags = pipeline.pre_commit_flags(
             &block,
             &self.config,
             &self.msp,
             &self.client_certs,
             &self.endorser_keys,
         );
-        let flags = self.ledger.validate_and_commit(block, pre_flags)?;
+        let flags = self.ledger.mvcc_flags(&block, &pre_flags)?;
+        self.ledger.commit(block, flags.clone());
         self.blocks_committed += 1;
         Ok(CommitStats::from_flags(&flags))
     }
@@ -266,6 +274,7 @@ mod tests {
                 channel: ChannelId::default_channel(),
                 endorsement_policy: Policy::or_of_orgs(1),
                 is_endorser: true,
+                validator_pool_size: 1,
             },
         );
         peer.install_chaincode(Box::new(KvWrite));
@@ -348,6 +357,7 @@ mod tests {
                 channel: ChannelId::default_channel(),
                 endorsement_policy: Policy::or_of_orgs(1),
                 is_endorser: false,
+                validator_pool_size: 1,
             },
         );
         assert!(!committer_only.is_endorser());

@@ -108,7 +108,7 @@ fn main() {
         .bottleneck
         .dominant()
         .expect("saturated run has committed txs");
-    assert_eq!(dominant.label(), "peer validate");
+    assert_eq!(dominant.label(), "peer vscc");
     println!();
 
     println!("findings:");

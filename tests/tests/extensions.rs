@@ -92,11 +92,13 @@ fn utilization_report_identifies_the_validate_bottleneck() {
     let r = Simulation::new(cfg).run_detailed();
     let u = &r.utilization;
     let (name, load) = u.hottest();
-    assert_eq!(
-        name, "peer validate",
-        "hottest station: {name} at {load:.2}"
-    );
-    assert!(load > 0.8, "validate should be near saturation: {load:.2}");
+    assert_eq!(name, "peer vscc", "hottest station: {name} at {load:.2}");
+    // The VSCC station's busy time is the pool's CPU demand alone (the serial
+    // commit tail is accounted separately), so "near saturation" sits lower
+    // than the old single validate station did.
+    assert!(load > 0.6, "vscc should run hot: {load:.2}");
+    // The serial commit tail is busy but not the binding stage.
+    assert!(u.peer_commit.iter().all(|&x| x < load));
     // Endorsement stations stay cool (finding 3: endorsement is cheap).
     assert!(u.peer_endorse.iter().all(|&x| x < 0.2));
     // OSN CPU stays cool (finding 2: ordering is never the bottleneck).

@@ -76,6 +76,7 @@ fn trace_events_round_trip_through_jsonl() {
         TracePhase::Submitted,
         TracePhase::Ordered,
         TracePhase::Delivered,
+        TracePhase::VsccDone,
         TracePhase::Committed,
     ];
     let tx = committed[committed.len() / 2];
@@ -95,13 +96,13 @@ fn trace_events_round_trip_through_jsonl() {
 }
 
 #[test]
-fn bottleneck_report_names_peer_validate_past_saturation() {
+fn bottleneck_report_names_peer_vscc_past_saturation() {
     // Paper Finding 3: validation is the bottleneck, and AND-x policies
     // saturate it sooner. At 250 tps an AND5 deployment is past the knee.
     let r = Simulation::new(obs_config(PolicySpec::AndX(5), 250.0)).run_detailed();
     let report = &r.observability.bottleneck;
     let dominant = report.dominant().expect("committed txs exist");
-    assert_eq!(dominant.label(), "peer validate");
+    assert_eq!(dominant.label(), "peer vscc");
 
     // Attribution accounting: queueing at the validator dominates its own
     // service time and every other station's queueing.
@@ -114,10 +115,8 @@ fn bottleneck_report_names_peer_validate_past_saturation() {
         }
     }
     // The rendered table and JSON both name the dominant queue.
-    assert!(report
-        .render_table()
-        .contains("dominant queue: peer validate"));
-    assert!(report.to_json().contains("\"dominant\":\"peer validate\""));
+    assert!(report.render_table().contains("dominant queue: peer vscc"));
+    assert!(report.to_json().contains("\"dominant\":\"peer vscc\""));
 }
 
 #[test]
@@ -131,8 +130,10 @@ fn metrics_recorder_samples_every_virtual_second() {
     assert!(m.ticks() >= 14, "15s run should yield ~15 one-second ticks");
     for name in [
         "queue.pool_prep",
-        "queue.peer_validate",
-        "util.peer_validate",
+        "queue.peer_vscc",
+        "queue.peer_commit",
+        "util.peer_vscc",
+        "util.peer_commit",
         "inflight.txs",
         "blocks.cut_per_tick",
     ] {
