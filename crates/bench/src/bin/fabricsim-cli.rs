@@ -6,7 +6,20 @@
 //!     --orderer raft --peers 10 --policy AND5 --rate 250 --duration 60
 //! ```
 //!
-//! Flags (all optional):
+//! Two subcommands ride along:
+//!
+//! ```text
+//!   fabricsim analyze --trace FILE [--top K] [--json]
+//!       offline trace analysis of a --trace-out JSONL file: per-segment
+//!       latency decomposition (queue vs service), critical-path dominance
+//!       histogram, top-K slowest transaction waterfalls
+//!   fabricsim bench [--out FILE] [--check FILE] [--tolerance PCT]
+//!       run the fixed perf scenario matrix; --out writes the baseline
+//!       (BENCH_fabricsim.json schema), --check compares against one and
+//!       exits non-zero on >tolerance regressions (default 20%)
+//! ```
+//!
+//! Flags of the default run mode (all optional):
 //!
 //! ```text
 //!   --orderer solo|kafka|raft        consensus (default solo)
@@ -33,8 +46,10 @@
 use std::env;
 use std::process::exit;
 
+use fabricsim::obs::{parse_jsonl, TraceAnalysis};
 use fabricsim::report::{to_csv, Row};
 use fabricsim::{predict, OrdererType, PolicySpec, SimConfig, Simulation, WorkloadKind};
+use fabricsim_bench::perf;
 
 fn usage() -> ! {
     eprintln!("usage: fabricsim [--orderer solo|kafka|raft] [--peers N] [--policy OR10|AND5|...]");
@@ -44,7 +59,125 @@ fn usage() -> ! {
     eprintln!("                 [--workload kvput|rmw|transfer|smallbank]");
     eprintln!("                 [--payload BYTES] [--seed N] [--csv] [--json]");
     eprintln!("                 [--trace-out FILE] [--metrics-out FILE]");
+    eprintln!("       fabricsim analyze --trace FILE [--top K] [--json]");
+    eprintln!("       fabricsim bench [--out FILE] [--check FILE] [--tolerance PCT]");
     exit(2);
+}
+
+/// `fabricsim analyze`: offline latency decomposition of a JSONL trace.
+fn cmd_analyze(args: &[String]) -> ! {
+    let mut trace: Option<String> = None;
+    let mut top = 5usize;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--trace" => trace = Some(value()),
+            "--top" => top = value().parse().unwrap_or_else(|_| usage()),
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown analyze flag {other:?}");
+                usage()
+            }
+        }
+    }
+    let Some(path) = trace else {
+        eprintln!("analyze requires --trace FILE (produced by a run with --trace-out)");
+        exit(2);
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read trace {path}: {e}");
+        exit(1);
+    });
+    let events = parse_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse trace {path}: {e}");
+        exit(1);
+    });
+    let analysis = TraceAnalysis::from_events(&events, top);
+    if json {
+        println!("{}", analysis.to_json());
+    } else {
+        print!("{}", analysis.render_table());
+    }
+    exit(0);
+}
+
+/// `fabricsim bench`: run the perf matrix; write and/or check a baseline.
+fn cmd_bench(args: &[String]) -> ! {
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut tolerance = perf::DEFAULT_TOLERANCE;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--out" => out = Some(value()),
+            "--check" => check = Some(value()),
+            "--tolerance" => {
+                let pct: f64 = value().parse().unwrap_or_else(|_| usage());
+                tolerance = pct / 100.0;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown bench flag {other:?}");
+                usage()
+            }
+        }
+    }
+    eprintln!(
+        "running calibration + {} scenarios...",
+        perf::scenario_matrix().len()
+    );
+    let report = perf::run_all();
+    for s in &report.scenarios {
+        eprintln!(
+            "  {}: {:.1} committed tps, {:.3}s mean latency, {:.0} ms wall",
+            s.name, s.committed_tps, s.overall_latency_mean_s, s.wall_clock_ms
+        );
+    }
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write baseline to {path}: {e}");
+            exit(1);
+        }
+        eprintln!("wrote baseline {path}");
+    }
+    if let Some(path) = &check {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            exit(1);
+        });
+        let baseline = perf::BenchReport::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse baseline {path}: {e}");
+            exit(1);
+        });
+        let cmp = perf::compare(&baseline, &report, tolerance);
+        for note in &cmp.notes {
+            eprintln!("note: {note}");
+        }
+        if cmp.failures.is_empty() {
+            println!(
+                "perf check PASSED against {path} ({} scenarios, tolerance ±{:.0}%)",
+                baseline.scenarios.len(),
+                tolerance * 100.0
+            );
+        } else {
+            for f in &cmp.failures {
+                eprintln!("FAIL: {f}");
+            }
+            eprintln!(
+                "perf check FAILED against {path}: {} regression(s)",
+                cmp.failures.len()
+            );
+            exit(1);
+        }
+    }
+    if out.is_none() && check.is_none() {
+        print!("{}", report.to_json());
+    }
+    exit(0);
 }
 
 fn parse_policy(s: &str) -> PolicySpec {
@@ -72,6 +205,11 @@ fn main() {
     let mut metrics_out: Option<String> = None;
 
     let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        _ => {}
+    }
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || it.next().cloned().unwrap_or_else(|| usage());
@@ -226,6 +364,10 @@ fn main() {
         "ledger     : height {}, chain verified: {}",
         result.observer_height, result.chain_ok
     );
+    println!(
+        "provenance : seed {}, config digest {}",
+        s.seed, s.config_digest
+    );
     println!();
     print!("{}", result.observability.bottleneck.render_table());
 }
@@ -267,6 +409,7 @@ fn json_summary(label: &str, result: &fabricsim::RunResult) -> String {
     format!(
         concat!(
             "{{\"label\":\"{label}\",",
+            "\"seed\":{seed},\"config_digest\":\"{digest}\",",
             "\"offered_tps\":{offered:.3},",
             "\"execute_tps\":{exec_tps:.3},\"order_tps\":{order_tps:.3},\"validate_tps\":{valid_tps:.3},",
             "\"execute_latency_mean_s\":{exec_lat:.6},",
@@ -282,6 +425,8 @@ fn json_summary(label: &str, result: &fabricsim::RunResult) -> String {
             "\"bottleneck\":{bottleneck}}}"
         ),
         label = json_escape(label),
+        seed = s.seed,
+        digest = json_escape(&s.config_digest),
         offered = s.offered_tps,
         exec_tps = s.execute.throughput_tps,
         order_tps = s.order.throughput_tps,

@@ -1,0 +1,445 @@
+//! Machine-readable perf-regression harness (`fabricsim bench`).
+//!
+//! Runs a fixed scenario matrix (offered-load sweep × validator-pool width),
+//! records both *simulated* metrics (committed throughput, mean end-to-end
+//! latency — fully deterministic given the seed) and *wall-clock* cost of
+//! each run, and writes them as a stable-schema JSON baseline
+//! (`BENCH_fabricsim.json` at the repo root). CI re-runs the matrix and
+//! fails on >20% regressions.
+//!
+//! Wall clock is noisy across machines, so every report also carries a
+//! [`calibration`](BenchReport::calibration_ms) measurement: the wall cost
+//! of a fixed, deterministic CPU workload on the machine that produced the
+//! report. Comparisons normalize wall-clock by the calibration ratio, so a
+//! baseline recorded on a fast CI runner doesn't flag a slower laptop (and
+//! vice versa). Runs cheaper than [`WALL_FLOOR_MS`] are never compared on
+//! wall clock at all — they are dominated by noise.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use fabricsim::obs::Json;
+use fabricsim::{OrdererType, PolicySpec, SimConfig, Simulation};
+
+/// Schema version of the baseline JSON. Bump on incompatible change.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Baseline wall-clock floor (milliseconds): scenarios whose *baseline* wall
+/// cost is below this are excluded from wall-clock comparison.
+pub const WALL_FLOOR_MS: f64 = 100.0;
+
+/// Default regression tolerance (fractional): fail beyond ±20%.
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// One point of the fixed scenario matrix.
+#[derive(Debug, Clone)]
+pub struct BenchScenario {
+    /// Stable scenario name (key used to match baseline ↔ current).
+    pub name: String,
+    /// Offered load, transactions per second.
+    pub offered_tps: f64,
+    /// VSCC validator-pool width per committing peer.
+    pub validator_pool: usize,
+}
+
+/// Measured result of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario name (matches [`BenchScenario::name`]).
+    pub name: String,
+    /// Offered load, tps.
+    pub offered_tps: f64,
+    /// Validator-pool width.
+    pub validator_pool: usize,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// [`SimConfig::digest`] of the run — detects silent scenario drift.
+    pub config_digest: String,
+    /// Committed (validate-phase) throughput, tps. Deterministic.
+    pub committed_tps: f64,
+    /// Mean end-to-end latency, seconds. Deterministic.
+    pub overall_latency_mean_s: f64,
+    /// Wall-clock cost of the run, milliseconds. Machine-dependent.
+    pub wall_clock_ms: f64,
+}
+
+/// A full bench report: calibration + every scenario result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`] at write time).
+    pub schema_version: u64,
+    /// Wall cost of the fixed calibration workload on this machine, ms.
+    pub calibration_ms: f64,
+    /// Per-scenario results, in matrix order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+/// Outcome of comparing a current report against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Hard failures (regressions beyond tolerance). Non-empty ⇒ CI fails.
+    pub failures: Vec<String>,
+    /// Informational notes (digest drift, skipped comparisons, speedups).
+    pub notes: Vec<String>,
+}
+
+/// The fixed scenario matrix: offered-load sweep × validator-pool {1, 4}.
+///
+/// Solo ordering with an AND5 endorsement policy keeps the VSCC stage
+/// signature-heavy (the paper's validate bottleneck), so widening the pool
+/// from 1 to 4 is visible in both throughput and wall clock.
+pub fn scenario_matrix() -> Vec<BenchScenario> {
+    let mut out = Vec::new();
+    for &pool in &[1usize, 4] {
+        for &rate in &[100.0f64, 250.0, 500.0] {
+            out.push(BenchScenario {
+                name: format!("solo_and5_r{rate:.0}_p{pool}"),
+                offered_tps: rate,
+                validator_pool: pool,
+            });
+        }
+    }
+    out
+}
+
+/// The exact [`SimConfig`] a scenario runs with. Fixed seed, fixed duration:
+/// the simulated metrics in the baseline are bit-reproducible.
+pub fn scenario_config(s: &BenchScenario) -> SimConfig {
+    let mut cfg = SimConfig {
+        orderer_type: OrdererType::Solo,
+        policy: PolicySpec::AndX(5),
+        endorsing_peers: 10,
+        arrival_rate_tps: s.offered_tps,
+        duration_secs: 20.0,
+        warmup_secs: 4.0,
+        cooldown_secs: 2.0,
+        seed: 42,
+        ..SimConfig::default()
+    };
+    cfg.cost.validator_pool_size = s.validator_pool;
+    cfg
+}
+
+/// Runs the fixed calibration workload and returns its wall cost in ms.
+///
+/// A pure-integer xorshift loop: deterministic, allocation-free, and scales
+/// with single-core CPU speed the same way the DES event loop does.
+pub fn calibrate() -> f64 {
+    let start = Instant::now();
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for _ in 0..200_000_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    black_box(x);
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Runs one scenario and measures it.
+pub fn run_scenario(s: &BenchScenario) -> ScenarioResult {
+    let cfg = scenario_config(s);
+    let start = Instant::now();
+    let result = Simulation::new(cfg).run_detailed();
+    let wall_clock_ms = start.elapsed().as_secs_f64() * 1e3;
+    let sum = &result.summary;
+    ScenarioResult {
+        name: s.name.clone(),
+        offered_tps: s.offered_tps,
+        validator_pool: s.validator_pool,
+        seed: sum.seed,
+        config_digest: sum.config_digest.clone(),
+        committed_tps: sum.validate.throughput_tps,
+        overall_latency_mean_s: sum.overall_latency.mean_s,
+        wall_clock_ms,
+    }
+}
+
+/// Runs calibration plus the whole matrix.
+pub fn run_all() -> BenchReport {
+    let calibration_ms = calibrate();
+    let scenarios = scenario_matrix().iter().map(run_scenario).collect();
+    BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        calibration_ms,
+        scenarios,
+    }
+}
+
+impl BenchReport {
+    /// Serializes the report as pretty-printed JSON (the baseline format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"schema_version\": {},\n  \"generator\": \"fabricsim bench\",\n  \"calibration_ms\": {},\n  \"scenarios\": [\n",
+            self.schema_version, self.calibration_ms
+        ));
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str(&format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"offered_tps\": {}, \"validator_pool\": {}, ",
+                    "\"seed\": {}, \"config_digest\": \"{}\", \"committed_tps\": {}, ",
+                    "\"overall_latency_mean_s\": {}, \"wall_clock_ms\": {}}}{}\n"
+                ),
+                s.name,
+                s.offered_tps,
+                s.validator_pool,
+                s.seed,
+                s.config_digest,
+                s.committed_tps,
+                s.overall_latency_mean_s,
+                s.wall_clock_ms,
+                if i + 1 < self.scenarios.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a baseline produced by [`BenchReport::to_json`].
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let v = Json::parse(text)?;
+        let num = |v: &Json, k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing numeric field {k:?}"))
+        };
+        let schema_version = num(&v, "schema_version")? as u64;
+        if schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "baseline schema_version {schema_version} != supported {BENCH_SCHEMA_VERSION}; \
+                 regenerate with `fabricsim bench --out`"
+            ));
+        }
+        let calibration_ms = num(&v, "calibration_ms")?;
+        let arr = v
+            .get("scenarios")
+            .and_then(Json::as_array)
+            .ok_or("missing \"scenarios\" array")?;
+        let mut scenarios = Vec::with_capacity(arr.len());
+        for s in arr {
+            let st = |k: &str| -> Result<String, String> {
+                s.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("missing string field {k:?}"))
+            };
+            scenarios.push(ScenarioResult {
+                name: st("name")?,
+                offered_tps: num(s, "offered_tps")?,
+                validator_pool: num(s, "validator_pool")? as usize,
+                seed: num(s, "seed")? as u64,
+                config_digest: st("config_digest")?,
+                committed_tps: num(s, "committed_tps")?,
+                overall_latency_mean_s: num(s, "overall_latency_mean_s")?,
+                wall_clock_ms: num(s, "wall_clock_ms")?,
+            });
+        }
+        Ok(BenchReport {
+            schema_version,
+            calibration_ms,
+            scenarios,
+        })
+    }
+}
+
+/// Compares `current` against `baseline` with a fractional `tolerance`.
+///
+/// * **Simulated throughput** (`committed_tps`) is deterministic: a drop
+///   beyond tolerance is a hard failure on any machine.
+/// * **Wall clock** is first normalized by the calibration ratio
+///   (`baseline.calibration_ms / current.calibration_ms`), then compared;
+///   scenarios with a baseline wall cost under [`WALL_FLOOR_MS`] are
+///   skipped (noted, not failed).
+/// * **Config-digest drift** means the scenario definition itself changed;
+///   it is noted so a "pass" can't silently compare different experiments.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance: f64) -> Comparison {
+    let mut cmp = Comparison::default();
+    let speed_ratio = if current.calibration_ms > 0.0 {
+        baseline.calibration_ms / current.calibration_ms
+    } else {
+        1.0
+    };
+    cmp.notes.push(format!(
+        "calibration: baseline {:.0} ms, current {:.0} ms (normalizing wall clock by ×{:.3})",
+        baseline.calibration_ms, current.calibration_ms, speed_ratio
+    ));
+    for b in &baseline.scenarios {
+        let Some(c) = current.scenarios.iter().find(|c| c.name == b.name) else {
+            cmp.failures
+                .push(format!("{}: scenario missing from current run", b.name));
+            continue;
+        };
+        if b.config_digest != c.config_digest {
+            cmp.notes.push(format!(
+                "{}: config digest drifted ({} -> {}); simulated metrics not directly comparable",
+                b.name, b.config_digest, c.config_digest
+            ));
+        }
+        if c.committed_tps < b.committed_tps * (1.0 - tolerance) {
+            cmp.failures.push(format!(
+                "{}: committed_tps regressed {:.1} -> {:.1} tps ({:+.1}%, tolerance ±{:.0}%)",
+                b.name,
+                b.committed_tps,
+                c.committed_tps,
+                (c.committed_tps / b.committed_tps - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+        if b.wall_clock_ms < WALL_FLOOR_MS {
+            cmp.notes.push(format!(
+                "{}: baseline wall clock {:.0} ms under {WALL_FLOOR_MS:.0} ms floor; skipped",
+                b.name, b.wall_clock_ms
+            ));
+            continue;
+        }
+        let normalized_ms = c.wall_clock_ms * speed_ratio;
+        if normalized_ms > b.wall_clock_ms * (1.0 + tolerance) {
+            cmp.failures.push(format!(
+                "{}: wall clock regressed {:.0} -> {:.0} ms normalized ({:+.1}%, tolerance ±{:.0}%)",
+                b.name,
+                b.wall_clock_ms,
+                normalized_ms,
+                (normalized_ms / b.wall_clock_ms - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        } else if normalized_ms < b.wall_clock_ms * (1.0 - tolerance) {
+            cmp.notes.push(format!(
+                "{}: wall clock improved {:.0} -> {:.0} ms normalized",
+                b.name, b.wall_clock_ms, normalized_ms
+            ));
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, tps: f64, wall: f64) -> ScenarioResult {
+        ScenarioResult {
+            name: name.into(),
+            offered_tps: 100.0,
+            validator_pool: 1,
+            seed: 42,
+            config_digest: "0123456789abcdef".into(),
+            committed_tps: tps,
+            overall_latency_mean_s: 0.5,
+            wall_clock_ms: wall,
+        }
+    }
+
+    fn report(calibration: f64, scenarios: Vec<ScenarioResult>) -> BenchReport {
+        BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            calibration_ms: calibration,
+            scenarios,
+        }
+    }
+
+    #[test]
+    fn matrix_is_load_sweep_times_pool() {
+        let m = scenario_matrix();
+        assert_eq!(m.len(), 6);
+        let mut names: Vec<&str> = m.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6, "scenario names must be unique");
+        assert!(m.iter().any(|s| s.validator_pool == 1));
+        assert!(m.iter().any(|s| s.validator_pool == 4));
+        for s in &m {
+            assert!(scenario_config(s).validate().is_ok(), "{} invalid", s.name);
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report(
+            500.0,
+            vec![result("a", 99.5, 250.0), result("b", 480.0, 2000.0)],
+        );
+        let parsed = BenchReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected() {
+        let mut r = report(500.0, vec![]);
+        r.schema_version = BENCH_SCHEMA_VERSION + 1;
+        let err = BenchReport::parse(&r.to_json()).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(500.0, vec![result("a", 99.5, 250.0)]);
+        let cmp = compare(&r, &r, DEFAULT_TOLERANCE);
+        assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
+    }
+
+    #[test]
+    fn throughput_regression_fails() {
+        let base = report(500.0, vec![result("a", 100.0, 250.0)]);
+        let cur = report(500.0, vec![result("a", 70.0, 250.0)]);
+        let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert_eq!(cmp.failures.len(), 1);
+        assert!(
+            cmp.failures[0].contains("committed_tps"),
+            "{:?}",
+            cmp.failures
+        );
+    }
+
+    #[test]
+    fn slower_machine_does_not_fail_wall_clock() {
+        // Machine is uniformly 2x slower: calibration and scenario wall both
+        // double. Normalization cancels it out.
+        let base = report(500.0, vec![result("a", 100.0, 250.0)]);
+        let cur = report(1000.0, vec![result("a", 100.0, 500.0)]);
+        let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
+    }
+
+    #[test]
+    fn genuine_wall_clock_regression_fails() {
+        let base = report(500.0, vec![result("a", 100.0, 250.0)]);
+        let cur = report(500.0, vec![result("a", 100.0, 400.0)]);
+        let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert_eq!(cmp.failures.len(), 1);
+        assert!(cmp.failures[0].contains("wall clock"), "{:?}", cmp.failures);
+    }
+
+    #[test]
+    fn sub_floor_wall_clock_is_skipped() {
+        let base = report(500.0, vec![result("a", 100.0, 50.0)]);
+        let cur = report(500.0, vec![result("a", 100.0, 5000.0)]);
+        let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
+        assert!(cmp.notes.iter().any(|n| n.contains("floor")));
+    }
+
+    #[test]
+    fn missing_scenario_fails() {
+        let base = report(500.0, vec![result("a", 100.0, 250.0)]);
+        let cur = report(500.0, vec![]);
+        let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert_eq!(cmp.failures.len(), 1);
+        assert!(cmp.failures[0].contains("missing"));
+    }
+
+    #[test]
+    fn digest_drift_is_noted_not_failed() {
+        let base = report(500.0, vec![result("a", 100.0, 250.0)]);
+        let mut cur = base.clone();
+        cur.scenarios[0].config_digest = "feedfacefeedface".into();
+        let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
+        assert!(cmp.notes.iter().any(|n| n.contains("digest drifted")));
+    }
+}

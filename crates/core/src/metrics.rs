@@ -191,6 +191,13 @@ pub struct SummaryReport {
     pub mean_block_size: f64,
     /// Blocks cut in the window.
     pub blocks_cut: usize,
+    /// RNG seed the run used — with [`SummaryReport::config_digest`], every
+    /// report/trace/bench artifact carries what it takes to reproduce it.
+    /// Zero when the summary was aggregated outside a simulation run.
+    pub seed: u64,
+    /// Short config fingerprint (`SimConfig::digest`). Empty when the
+    /// summary was aggregated outside a simulation run.
+    pub config_digest: String,
 }
 
 impl SummaryReport {
@@ -305,6 +312,10 @@ pub fn summarize(
         mean_block_time_s,
         mean_block_size,
         blocks_cut: cuts.len(),
+        // Provenance is the run's, not the trace set's: `Simulation` stamps
+        // both fields after aggregation.
+        seed: 0,
+        config_digest: String::new(),
     }
 }
 

@@ -52,26 +52,41 @@ pub fn phase_table(title: &str, rows: &[Row]) -> String {
 }
 
 /// Renders rows as CSV (one line per row, with a header).
+///
+/// Each latency phase (`execute`, `order`, `order_validate`, `overall`) gets
+/// the full mean/p50/p95/p99 quartet so decomposition plots don't need a
+/// re-run, and the trailing `seed`/`config_digest` columns tie every row back
+/// to the exact run that produced it.
 pub fn to_csv(rows: &[Row]) -> String {
     let mut out = String::from(
-        "label,offered_tps,execute_tps,order_tps,validate_tps,execute_lat_mean_s,execute_lat_p95_s,order_validate_lat_mean_s,order_validate_lat_p95_s,order_validate_lat_p99_s,overall_lat_mean_s,created,committed_valid,committed_invalid,overload_dropped,ordering_timeouts,ordering_timeouts_per_s,overload_dropped_per_s,endorsement_failures,mean_block_time_s,mean_block_size,blocks_cut\n",
+        "label,offered_tps,execute_tps,order_tps,validate_tps,execute_lat_mean_s,execute_lat_p50_s,execute_lat_p95_s,execute_lat_p99_s,order_lat_mean_s,order_lat_p50_s,order_lat_p95_s,order_lat_p99_s,order_validate_lat_mean_s,order_validate_lat_p50_s,order_validate_lat_p95_s,order_validate_lat_p99_s,overall_lat_mean_s,overall_lat_p50_s,overall_lat_p95_s,overall_lat_p99_s,created,committed_valid,committed_invalid,overload_dropped,ordering_timeouts,ordering_timeouts_per_s,overload_dropped_per_s,endorsement_failures,mean_block_time_s,mean_block_size,blocks_cut,seed,config_digest\n",
     );
     for r in rows {
         let s = &r.summary;
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             escape_csv(&r.label),
             s.offered_tps,
             s.execute.throughput_tps,
             s.order.throughput_tps,
             s.validate.throughput_tps,
             s.execute.latency.mean_s,
+            s.execute.latency.p50_s,
             s.execute.latency.p95_s,
+            s.execute.latency.p99_s,
+            s.order.latency.mean_s,
+            s.order.latency.p50_s,
+            s.order.latency.p95_s,
+            s.order.latency.p99_s,
             s.validate.latency.mean_s,
+            s.validate.latency.p50_s,
             s.validate.latency.p95_s,
             s.validate.latency.p99_s,
             s.overall_latency.mean_s,
+            s.overall_latency.p50_s,
+            s.overall_latency.p95_s,
+            s.overall_latency.p99_s,
             s.created,
             s.committed_valid,
             s.committed_invalid,
@@ -83,6 +98,8 @@ pub fn to_csv(rows: &[Row]) -> String {
             s.mean_block_time_s,
             s.mean_block_size,
             s.blocks_cut,
+            s.seed,
+            escape_csv(&s.config_digest),
         );
     }
     out
@@ -168,6 +185,8 @@ mod tests {
                 mean_block_time_s: 1.0,
                 mean_block_size: 99.0,
                 blocks_cut: 10,
+                seed: 42,
+                config_digest: "deadbeefdeadbeef".into(),
             },
         }
     }
@@ -187,6 +206,21 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("label,offered_tps"));
         assert!(lines[1].starts_with("a,100"));
+        // Header and data rows have the same number of columns.
+        let cols = lines[0].split(',').count();
+        assert_eq!(lines[1].split(',').count(), cols);
+        // Per-phase percentile columns and provenance are present.
+        for col in [
+            "execute_lat_p50_s",
+            "order_lat_p99_s",
+            "order_validate_lat_p50_s",
+            "overall_lat_p99_s",
+            "seed",
+            "config_digest",
+        ] {
+            assert!(lines[0].split(',').any(|c| c == col), "missing {col}");
+        }
+        assert!(lines[1].ends_with("42,deadbeefdeadbeef"));
     }
 
     #[test]

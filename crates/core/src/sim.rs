@@ -232,13 +232,38 @@ struct World {
 
 type K = Kernel<World>;
 
+/// The station class whose attribution is complete once a transaction
+/// crosses `phase` — the snapshot point for the cumulative queue/service
+/// totals stamped on phase events. Classes are pipeline-ordered, so
+/// "through class C" means "summed over every class up to and including C".
+fn through_class(phase: TracePhase) -> StationClass {
+    match phase {
+        TracePhase::Created | TracePhase::ProposalSent => StationClass::ClientPrep,
+        // Endorsement fan-out and the client's response handling are both
+        // settled by the time the envelope is assembled.
+        TracePhase::Endorsed | TracePhase::Assembled | TracePhase::Submitted => {
+            StationClass::PeerEndorse
+        }
+        TracePhase::OrderAcked | TracePhase::Ordered | TracePhase::Delivered => {
+            StationClass::OsnCpu
+        }
+        TracePhase::VsccDone => StationClass::PeerVscc,
+        // Commit, plus the terminal failures (whatever was attributed).
+        TracePhase::Committed
+        | TracePhase::OverloadDropped
+        | TracePhase::EndorsementFailed
+        | TracePhase::OrderingTimeout => StationClass::PeerCommit,
+    }
+}
+
 impl World {
     fn trace_mut(&mut self, tx_id: TxId) -> Option<&mut TxTrace> {
         let idx = *self.tx_index.get(&tx_id)?;
         self.traces.get_mut(idx)
     }
 
-    /// Records a structured phase event. Call sites must guard on
+    /// Records a structured phase event for a non-indexed transaction (no
+    /// attribution to snapshot). Call sites must guard on
     /// `self.obs.sink.enabled()` before building the station string so that
     /// disabled tracing allocates nothing.
     fn emit(&mut self, now: SimTime, tx: String, phase: TracePhase, station: String, depth: usize) {
@@ -248,6 +273,38 @@ impl World {
             phase,
             station,
             queue_depth: depth as u64,
+            cum_queued_s: 0.0,
+            cum_service_s: 0.0,
+        });
+    }
+
+    /// Records a structured phase event for an indexed transaction, stamping
+    /// it with the tx's cumulative station attribution *through* the phase
+    /// (see [`through_class`]) so the trace analyzer can split each
+    /// inter-phase segment into queue-wait vs service. Same guard contract
+    /// as [`World::emit`]. Read-only with respect to simulation state.
+    fn emit_tx(
+        &mut self,
+        t: SimTime,
+        tx_id: TxId,
+        phase: TracePhase,
+        station: String,
+        depth: usize,
+    ) {
+        let (cum_queued_s, cum_service_s) = self
+            .tx_index
+            .get(&tx_id)
+            .and_then(|&idx| self.obs.breakdowns.get(idx))
+            .map(|b| b.cumulative_through(through_class(phase)))
+            .unwrap_or((0.0, 0.0));
+        self.obs.sink.record(PhaseEvent {
+            t_s: t.as_secs_f64(),
+            tx: tx_id.short(),
+            phase,
+            station,
+            queue_depth: depth as u64,
+            cum_queued_s,
+            cum_service_s,
         });
     }
 
@@ -345,12 +402,14 @@ impl Simulation {
 
         let w0 = SimTime::from_secs_f64(cfg.warmup_secs);
         let w1 = SimTime::from_secs_f64(cfg.duration_secs - cfg.cooldown_secs);
-        let summary = summarize(
+        let mut summary = summarize(
             &world.traces,
             &world.block_cuts,
             (w0, w1),
             cfg.arrival_rate_tps,
         );
+        summary.seed = cfg.seed;
+        summary.config_digest = cfg.digest();
         let horizon = SimTime::from_secs_f64(cfg.duration_secs);
         let utilization = UtilizationReport {
             pool_prep: world
@@ -981,13 +1040,7 @@ fn pool_arrival(world: &mut World, k: &mut K, p: usize) {
         world.obs.breakdowns.push(TxStationBreakdown::default());
         if world.obs.sink.enabled() {
             let station = world.pools[p].prep.name().to_string();
-            world.emit(
-                now,
-                tx_id.short(),
-                TracePhase::EndorsementFailed,
-                station,
-                0,
-            );
+            world.emit_tx(now, tx_id, TracePhase::EndorsementFailed, station, 0);
         }
         return;
     }
@@ -1022,7 +1075,7 @@ fn pool_arrival(world: &mut World, k: &mut K, p: usize) {
     if world.obs.sink.enabled() {
         let station = world.pools[p].prep.name().to_string();
         let depth = world.pools[p].prep.jobs_in_system(now);
-        world.emit(now, tx_id.short(), TracePhase::Created, station, depth);
+        world.emit_tx(now, tx_id, TracePhase::Created, station, depth);
     }
     k.schedule(done + sdk_pre, move |w, k| {
         w.pools[p].in_prep -= 1;
@@ -1041,9 +1094,9 @@ fn send_proposals(world: &mut World, k: &mut K, p: usize, tx_id: TxId, targets: 
     }
     if world.obs.sink.enabled() {
         let depth = world.pools[p].pending.len();
-        world.emit(
+        world.emit_tx(
             now,
-            tx_id.short(),
+            tx_id,
             TracePhase::ProposalSent,
             format!("pool{p}.nic"),
             depth,
@@ -1114,13 +1167,7 @@ fn pool_receive_response(world: &mut World, k: &mut K, p: usize, response: Propo
             }
             if world.obs.sink.enabled() {
                 let station = world.pools[p].recv.name().to_string();
-                world.emit(
-                    now,
-                    tx_id.short(),
-                    TracePhase::EndorsementFailed,
-                    station,
-                    0,
-                );
+                world.emit_tx(now, tx_id, TracePhase::EndorsementFailed, station, 0);
             }
         }
         CollectState::Satisfied => {
@@ -1155,13 +1202,7 @@ fn client_assemble(world: &mut World, k: &mut K, p: usize, tx_id: TxId) {
             }
             if world.obs.sink.enabled() {
                 let station = world.pools[p].recv.name().to_string();
-                world.emit(
-                    now,
-                    tx_id.short(),
-                    TracePhase::EndorsementFailed,
-                    station,
-                    0,
-                );
+                world.emit_tx(now, tx_id, TracePhase::EndorsementFailed, station, 0);
             }
             return;
         }
@@ -1174,7 +1215,7 @@ fn client_assemble(world: &mut World, k: &mut K, p: usize, tx_id: TxId) {
     if world.obs.sink.enabled() {
         let station = world.pools[p].recv.name().to_string();
         let depth = world.pools[p].recv.jobs_in_system(now);
-        world.emit(now, tx_id.short(), TracePhase::Endorsed, station, depth);
+        world.emit_tx(now, tx_id, TracePhase::Endorsed, station, depth);
     }
     submit_to_orderer(world, k, p, tx);
 }
@@ -1187,9 +1228,9 @@ fn submit_to_orderer(world: &mut World, k: &mut K, p: usize, tx: Transaction) {
     }
     if world.obs.sink.enabled() {
         let depth = world.pools[p].pending.len();
-        world.emit(
+        world.emit_tx(
             now,
-            tx_id.short(),
+            tx_id,
             TracePhase::Submitted,
             format!("pool{p}.nic"),
             depth,
@@ -1213,9 +1254,9 @@ fn submit_to_orderer(world: &mut World, k: &mut K, p: usize, tx: Transaction) {
         w.pools[p].pending.remove(&tx_id);
         if timed_out && w.obs.sink.enabled() {
             let now = k.now();
-            w.emit(
+            w.emit_tx(
                 now,
-                tx_id.short(),
+                tx_id,
                 TracePhase::OrderingTimeout,
                 "ordering.timeout".into(),
                 0,
@@ -1320,7 +1361,7 @@ fn apply_osn_effects(world: &mut World, k: &mut K, o: usize, ch: usize, effects:
                     if first_ack && w.obs.sink.enabled() {
                         let station = w.osns[o].station.name().to_string();
                         let depth = w.osns[o].station.jobs_in_system(now);
-                        w.emit(now, tx_id.short(), TracePhase::OrderAcked, station, depth);
+                        w.emit_tx(now, tx_id, TracePhase::OrderAcked, station, depth);
                     }
                 });
             }
@@ -1409,13 +1450,7 @@ fn deliver_block(world: &mut World, k: &mut K, o: usize, block: Block) {
         if let Some(station) = station {
             let tx_ids: Vec<TxId> = block.transactions.iter().map(|t| t.tx_id).collect();
             for tx_id in tx_ids {
-                world.emit(
-                    now,
-                    tx_id.short(),
-                    TracePhase::Ordered,
-                    station.clone(),
-                    depth,
-                );
+                world.emit_tx(now, tx_id, TracePhase::Ordered, station.clone(), depth);
             }
         }
     }
@@ -1530,13 +1565,7 @@ fn enqueue_block_validation(world: &mut World, k: &mut K, peer_idx: usize, block
                 t.delivered = Some(now);
             }
             if let Some(station) = &station {
-                world.emit(
-                    now,
-                    tx_id.short(),
-                    TracePhase::Delivered,
-                    station.clone(),
-                    depth,
-                );
+                world.emit_tx(now, tx_id, TracePhase::Delivered, station.clone(), depth);
             }
         }
     }
@@ -1708,19 +1737,18 @@ fn commit_block(
                 }
             }
             if let Some(station) = &vscc_station {
-                world.emit(
+                world.emit_tx(
                     vscc_times[i],
-                    tx_id.short(),
+                    *tx_id,
                     TracePhase::VsccDone,
                     station.clone(),
                     0,
                 );
             }
             if let Some(station) = &commit_station {
-                let t_s = commit_times[i];
-                world.emit(
-                    t_s,
-                    tx_id.short(),
+                world.emit_tx(
+                    commit_times[i],
+                    *tx_id,
                     TracePhase::Committed,
                     station.clone(),
                     0,

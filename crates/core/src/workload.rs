@@ -248,6 +248,28 @@ impl SimConfig {
         self.batch.validate()
     }
 
+    /// A short stable fingerprint of everything that shapes the run's
+    /// *results*: SHA-256 over the canonical `Debug` rendering of the
+    /// config with the observability block normalized away (tracing and
+    /// sampling never perturb the simulation, so two runs that differ only
+    /// there are the same experiment). 16 hex chars — enough to compare
+    /// artifacts, short enough for a CSV column.
+    ///
+    /// The digest identifies a config *within one build* of the simulator;
+    /// it is not stable across field additions (any new cost-model knob
+    /// deliberately changes it).
+    pub fn digest(&self) -> String {
+        let canonical = SimConfig {
+            obs: ObsConfig {
+                trace_events: false,
+                sample_period_s: 0.0,
+            },
+            ..self.clone()
+        };
+        let hash = fabricsim_crypto::sha256(format!("{canonical:?}").as_bytes());
+        hash.to_hex()[..16].to_string()
+    }
+
     /// The effective number of OSNs (Solo always runs exactly one).
     pub fn effective_osns(&self) -> u32 {
         if self.orderer_type == OrdererType::Solo {
@@ -326,6 +348,39 @@ mod tests {
         assert_eq!(c.signatures_per_tx(), 5);
         c.endorsing_peers = 3;
         assert_eq!(c.signatures_per_tx(), 3, "AND5 with 3 deployed = AND3");
+    }
+
+    #[test]
+    fn digest_tracks_experiment_identity_not_observability() {
+        let base = SimConfig::default();
+        let d = base.digest();
+        assert_eq!(d.len(), 16);
+        assert!(d.chars().all(|c| c.is_ascii_hexdigit()));
+        // Deterministic, and insensitive to observability toggles…
+        let mut traced = base.clone();
+        traced.obs.trace_events = true;
+        traced.obs.sample_period_s = 0.25;
+        assert_eq!(traced.digest(), d);
+        // …but sensitive to anything that shapes results.
+        for cfg in [
+            SimConfig {
+                seed: 43,
+                ..base.clone()
+            },
+            SimConfig {
+                arrival_rate_tps: 101.0,
+                ..base.clone()
+            },
+            SimConfig {
+                policy: PolicySpec::AndX(5),
+                ..base.clone()
+            },
+        ] {
+            assert_ne!(cfg.digest(), d, "{cfg:?}");
+        }
+        let mut pooled = base.clone();
+        pooled.cost.validator_pool_size = 4;
+        assert_ne!(pooled.digest(), d);
     }
 
     #[test]

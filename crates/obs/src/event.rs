@@ -59,6 +59,51 @@ impl TracePhase {
         TracePhase::OrderingTimeout,
     ];
 
+    /// The committing pipeline, in causal order: every phase a transaction
+    /// can cross on its way to commit. Terminal failure phases
+    /// ([`TracePhase::OverloadDropped`], [`TracePhase::EndorsementFailed`],
+    /// [`TracePhase::OrderingTimeout`]) are excluded — they end a
+    /// transaction, they are not stages of it.
+    pub const PIPELINE: [TracePhase; 10] = [
+        TracePhase::Created,
+        TracePhase::ProposalSent,
+        TracePhase::Endorsed,
+        TracePhase::Assembled,
+        TracePhase::Submitted,
+        TracePhase::OrderAcked,
+        TracePhase::Ordered,
+        TracePhase::Delivered,
+        TracePhase::VsccDone,
+        TracePhase::Committed,
+    ];
+
+    /// Position of this phase in [`TracePhase::PIPELINE`], or `None` for the
+    /// terminal failure phases. This is the *only* ordering the trace
+    /// analyzer relies on; do not infer order from [`TracePhase::ALL`], whose
+    /// tail holds the failure phases in arbitrary order.
+    pub fn pipeline_index(self) -> Option<usize> {
+        match self {
+            TracePhase::Created => Some(0),
+            TracePhase::ProposalSent => Some(1),
+            TracePhase::Endorsed => Some(2),
+            TracePhase::Assembled => Some(3),
+            TracePhase::Submitted => Some(4),
+            TracePhase::OrderAcked => Some(5),
+            TracePhase::Ordered => Some(6),
+            TracePhase::Delivered => Some(7),
+            TracePhase::VsccDone => Some(8),
+            TracePhase::Committed => Some(9),
+            TracePhase::OverloadDropped
+            | TracePhase::EndorsementFailed
+            | TracePhase::OrderingTimeout => None,
+        }
+    }
+
+    /// True for the terminal failure phases (no [`TracePhase::pipeline_index`]).
+    pub fn is_failure(self) -> bool {
+        self.pipeline_index().is_none()
+    }
+
     /// Stable snake_case label used on the wire.
     pub fn label(self) -> &'static str {
         match self {
@@ -105,18 +150,35 @@ pub struct PhaseEvent {
     /// Jobs in system (queued + in service) at the station when the event
     /// fired.
     pub queue_depth: u64,
+    /// Cumulative *queueing* seconds attributed to this transaction across
+    /// every station class up to and including the one this phase completes
+    /// (see the station attribution in `fabricsim-core`). Differencing two
+    /// consecutive pipeline events splits the segment between them into
+    /// queue-wait vs service. Zero for non-tx events and pre-attribution
+    /// traces (the field is optional on the wire, defaulting to 0).
+    pub cum_queued_s: f64,
+    /// Cumulative *service* seconds, same convention as
+    /// [`PhaseEvent::cum_queued_s`].
+    pub cum_service_s: f64,
 }
 
 impl PhaseEvent {
     /// Serializes the event as one JSON object (no trailing newline).
+    ///
+    /// `t_s` is printed with 9 decimals (exact: virtual time is integer
+    /// nanoseconds); the cumulative attribution fields use Rust's
+    /// shortest-round-trip float formatting so the JSONL codec stays
+    /// lossless.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"t_s\":{:.9},\"tx\":\"{}\",\"phase\":\"{}\",\"station\":\"{}\",\"queue_depth\":{}}}",
+            "{{\"t_s\":{:.9},\"tx\":\"{}\",\"phase\":\"{}\",\"station\":\"{}\",\"queue_depth\":{},\"cum_queued_s\":{},\"cum_service_s\":{}}}",
             self.t_s,
             escape(&self.tx),
             self.phase.label(),
             escape(&self.station),
-            self.queue_depth
+            self.queue_depth,
+            self.cum_queued_s,
+            self.cum_service_s
         )
     }
 
@@ -156,12 +218,23 @@ impl PhaseEvent {
             JsonValue::Number(n) if *n >= 0.0 => *n as u64,
             _ => return Err("queue_depth must be a non-negative number".into()),
         };
+        // Optional (added after the first trace schema version): absent in
+        // old traces, which parse as "no attribution recorded".
+        let optional_num = |k: &str| match fields.iter().find(|(key, _)| key == k) {
+            None => Ok(0.0),
+            Some((_, JsonValue::Number(n))) => Ok(*n),
+            Some(_) => Err(format!("{k} must be a number")),
+        };
+        let cum_queued_s = optional_num("cum_queued_s")?;
+        let cum_service_s = optional_num("cum_service_s")?;
         Ok(PhaseEvent {
             t_s,
             tx,
             phase,
             station,
             queue_depth,
+            cum_queued_s,
+            cum_service_s,
         })
     }
 }
@@ -312,6 +385,10 @@ mod tests {
             phase,
             station: "peer0.validate".into(),
             queue_depth: 7,
+            // Deliberately not representable in few decimals: the codec must
+            // round-trip arbitrary f64 attribution sums losslessly.
+            cum_queued_s: 0.1 + 0.2,
+            cum_service_s: 1.0 / 3.0,
         }
     }
 
@@ -369,5 +446,55 @@ mod tests {
             assert_eq!(TracePhase::from_label(p.label()), Some(p));
         }
         assert_eq!(TracePhase::from_label("nope"), None);
+    }
+
+    #[test]
+    fn parser_defaults_missing_attribution_fields() {
+        // Traces written before the cum_* fields existed must still parse.
+        let ev = PhaseEvent::from_json(
+            r#"{"t_s":1.5,"tx":"aa","phase":"created","station":"s","queue_depth":2}"#,
+        )
+        .expect("v1 schema parses");
+        assert_eq!((ev.cum_queued_s, ev.cum_service_s), (0.0, 0.0));
+    }
+
+    /// Locks the analyzer's load-bearing phase order. `PIPELINE` is the
+    /// committing pipeline in causal order; `pipeline_index` is its inverse;
+    /// the failure phases sit outside it.
+    #[test]
+    fn pipeline_order_is_locked() {
+        assert_eq!(
+            TracePhase::PIPELINE,
+            [
+                TracePhase::Created,
+                TracePhase::ProposalSent,
+                TracePhase::Endorsed,
+                TracePhase::Assembled,
+                TracePhase::Submitted,
+                TracePhase::OrderAcked,
+                TracePhase::Ordered,
+                TracePhase::Delivered,
+                TracePhase::VsccDone,
+                TracePhase::Committed,
+            ]
+        );
+        for (i, p) in TracePhase::PIPELINE.into_iter().enumerate() {
+            assert_eq!(p.pipeline_index(), Some(i), "{p}");
+            assert!(!p.is_failure());
+        }
+        for p in [
+            TracePhase::OverloadDropped,
+            TracePhase::EndorsementFailed,
+            TracePhase::OrderingTimeout,
+        ] {
+            assert_eq!(p.pipeline_index(), None, "{p}");
+            assert!(p.is_failure());
+        }
+        // Every phase is either in the pipeline or a failure — no third kind.
+        assert_eq!(
+            TracePhase::ALL.len(),
+            TracePhase::PIPELINE.len() + 3,
+            "new phases must be classified in pipeline_index()"
+        );
     }
 }

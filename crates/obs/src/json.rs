@@ -1,0 +1,253 @@
+//! A minimal recursive JSON reader for the crate's own artifacts.
+//!
+//! The repo is zero-dependency by policy, so the bench harness needs a small
+//! parser to read back `BENCH_fabricsim.json` baselines. This is a general
+//! (nested) JSON value parser, unlike the flat single-object reader in
+//! `event.rs` which stays specialized for the hot JSONL path.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (kept as f64; fine for the magnitudes we store).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is not preserved (sorted map) — irrelevant for
+    /// reading our own artifacts back.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a complete JSON document.
+    ///
+    /// # Errors
+    /// A description of the first syntax problem found.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            chars: text.chars().peekable(),
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.chars.next().is_some() {
+            return Err("trailing characters after document".into());
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected {want:?}, found {other:?}")),
+        }
+    }
+
+    fn keyword(&mut self, rest: &str, value: Json) -> Result<Json, String> {
+        for want in rest.chars() {
+            self.expect(want)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.chars.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => {
+                self.chars.next();
+                self.keyword("rue", Json::Bool(true))
+            }
+            Some('f') => {
+                self.chars.next();
+                self.keyword("alse", Json::Bool(false))
+            }
+            Some('n') => {
+                self.chars.next();
+                self.keyword("ull", Json::Null)
+            }
+            Some(c) if c.is_ascii_digit() || *c == '-' => self.number(),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.chars.peek() == Some(&'}') {
+            self.chars.next();
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.chars.next() {
+                Some(',') => continue,
+                Some('}') => return Ok(Json::Obj(map)),
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.chars.peek() == Some(&']') {
+            self.chars.next();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.chars.next() {
+                Some(',') => continue,
+                Some(']') => return Ok(Json::Arr(items)),
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let hex: String = (0..4).filter_map(|_| self.chars.next()).collect();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                        out.push(char::from_u32(code).ok_or("invalid \\u codepoint")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let mut num = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                num.push(c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        num.parse()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {num:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = r#" {"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": null}, "e": true} "#;
+        let v = Json::parse(doc).expect("parses");
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Null));
+        assert_eq!(v.get("e"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "{\"a\":1} extra",
+            "\"unterminated",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn round_trips_empty_containers() {
+        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(BTreeMap::new()));
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(Vec::new()));
+    }
+}

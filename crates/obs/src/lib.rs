@@ -19,18 +19,32 @@
 //!   end-to-end latency into per-station service vs. queueing time and names
 //!   the dominant queue per window, turning the paper's Finding 3 ("validate
 //!   is the bottleneck") into a computed artifact.
+//! * [`TxSpan`] / [`TraceAnalysis`] — offline trace analysis: reconstructs
+//!   per-transaction span waterfalls from a JSONL trace, aggregates
+//!   inter-phase segment latency distributions (queue-wait vs service), and
+//!   attributes each transaction's critical path to the segment that
+//!   dominated it — the per-millisecond version of the paper's Fig. 6/7
+//!   latency-decomposition discussion.
+//! * [`Json`] — a minimal recursive JSON reader so artifacts such as the
+//!   bench baseline can be parsed back without external dependencies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analyze;
 mod bottleneck;
 mod event;
 mod hist;
+mod json;
 mod series;
 mod sink;
+mod span;
 
+pub use analyze::{Dist, SegmentStats, SlowTx, TraceAnalysis};
 pub use bottleneck::{BottleneckReport, StationClass, TxStationBreakdown, WindowAttribution};
 pub use event::{parse_jsonl, PhaseEvent, TracePhase};
 pub use hist::LogHistogram;
+pub use json::Json;
 pub use series::{MetricsRecorder, TimeSeries};
 pub use sink::{EventSink, Tracer};
+pub use span::{reconstruct, Segment, TxSpan, PIPELINE_LEN};

@@ -99,6 +99,8 @@ mod tests {
             phase: TracePhase::Created,
             station: "s".into(),
             queue_depth: 0,
+            cum_queued_s: 0.0,
+            cum_service_s: 0.0,
         }
     }
 
