@@ -6,17 +6,23 @@
 //!     --orderer raft --peers 10 --policy AND5 --rate 250 --duration 60
 //! ```
 //!
-//! Two subcommands ride along:
+//! Three subcommands ride along:
 //!
 //! ```text
 //!   fabricsim analyze --trace FILE [--top K] [--json]
+//!            [--chrome-out FILE] [--flame-out FILE]
 //!       offline trace analysis of a --trace-out JSONL file: per-segment
 //!       latency decomposition (queue vs service), critical-path dominance
-//!       histogram, top-K slowest transaction waterfalls
+//!       histogram, top-K slowest transaction waterfalls; --chrome-out
+//!       writes a Chrome/Perfetto trace (open in ui.perfetto.dev),
+//!       --flame-out writes collapsed stacks for flamegraph.pl / inferno
 //!   fabricsim bench [--out FILE] [--check FILE] [--tolerance PCT]
 //!       run the fixed perf scenario matrix; --out writes the baseline
 //!       (BENCH_fabricsim.json schema), --check compares against one and
 //!       exits non-zero on >tolerance regressions (default 20%)
+//!   fabricsim metrics-check FILE
+//!       validate a scraped /metrics body against the Prometheus text
+//!       exposition subset the exporter emits; exit 0 when valid
 //! ```
 //!
 //! Flags of the default run mode (all optional):
@@ -41,12 +47,19 @@
 //!                                    attribution) instead of the report
 //!   --trace-out FILE                 record phase events, write JSONL trace
 //!   --metrics-out FILE               write sampled time-series as CSV
+//!   --serve-metrics PORT             serve live Prometheus metrics on
+//!                                    127.0.0.1:PORT while the run advances
+//!                                    (0 picks an ephemeral port; the bound
+//!                                    address is printed to stderr)
 //! ```
 
 use std::env;
 use std::process::exit;
 
-use fabricsim::obs::{parse_jsonl, TraceAnalysis};
+use fabricsim::obs::{
+    chrome_trace, collapsed_stacks, parse_jsonl, reconstruct, validate_exposition, JsonlFileSink,
+    MetricsServer, TraceAnalysis,
+};
 use fabricsim::report::{to_csv, Row};
 use fabricsim::{predict, OrdererType, PolicySpec, SimConfig, Simulation, WorkloadKind};
 use fabricsim_bench::perf;
@@ -58,9 +71,11 @@ fn usage() -> ! {
     eprintln!("                 [--validator-pool N]");
     eprintln!("                 [--workload kvput|rmw|transfer|smallbank]");
     eprintln!("                 [--payload BYTES] [--seed N] [--csv] [--json]");
-    eprintln!("                 [--trace-out FILE] [--metrics-out FILE]");
+    eprintln!("                 [--trace-out FILE] [--metrics-out FILE] [--serve-metrics PORT]");
     eprintln!("       fabricsim analyze --trace FILE [--top K] [--json]");
+    eprintln!("                 [--chrome-out FILE] [--flame-out FILE]");
     eprintln!("       fabricsim bench [--out FILE] [--check FILE] [--tolerance PCT]");
+    eprintln!("       fabricsim metrics-check FILE");
     exit(2);
 }
 
@@ -69,6 +84,8 @@ fn cmd_analyze(args: &[String]) -> ! {
     let mut trace: Option<String> = None;
     let mut top = 5usize;
     let mut json = false;
+    let mut chrome_out: Option<String> = None;
+    let mut flame_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || it.next().cloned().unwrap_or_else(|| usage());
@@ -76,6 +93,8 @@ fn cmd_analyze(args: &[String]) -> ! {
             "--trace" => trace = Some(value()),
             "--top" => top = value().parse().unwrap_or_else(|_| usage()),
             "--json" => json = true,
+            "--chrome-out" => chrome_out = Some(value()),
+            "--flame-out" => flame_out = Some(value()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown analyze flag {other:?}");
@@ -95,6 +114,21 @@ fn cmd_analyze(args: &[String]) -> ! {
         eprintln!("cannot parse trace {path}: {e}");
         exit(1);
     });
+    if let Some(out) = &chrome_out {
+        if let Err(e) = std::fs::write(out, chrome_trace(&events)) {
+            eprintln!("cannot write chrome trace to {out}: {e}");
+            exit(1);
+        }
+        eprintln!("wrote chrome trace {out} (open in ui.perfetto.dev or chrome://tracing)");
+    }
+    if let Some(out) = &flame_out {
+        let spans = reconstruct(&events);
+        if let Err(e) = std::fs::write(out, collapsed_stacks(&spans)) {
+            eprintln!("cannot write collapsed stacks to {out}: {e}");
+            exit(1);
+        }
+        eprintln!("wrote collapsed stacks {out} (feed to flamegraph.pl or inferno-flamegraph)");
+    }
     let analysis = TraceAnalysis::from_events(&events, top);
     if json {
         println!("{}", analysis.to_json());
@@ -102,6 +136,32 @@ fn cmd_analyze(args: &[String]) -> ! {
         print!("{}", analysis.render_table());
     }
     exit(0);
+}
+
+/// `fabricsim metrics-check`: validate a scraped exposition body.
+fn cmd_metrics_check(args: &[String]) -> ! {
+    let [path] = args else {
+        eprintln!("metrics-check requires exactly one FILE (a scraped /metrics body)");
+        exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    match validate_exposition(&text) {
+        Ok(()) => {
+            let series = text
+                .lines()
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .count();
+            println!("{path}: valid exposition ({series} series)");
+            exit(0);
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID exposition: {e}");
+            exit(1);
+        }
+    }
 }
 
 /// `fabricsim bench`: run the perf matrix; write and/or check a baseline.
@@ -203,11 +263,13 @@ fn main() {
     let mut json = false;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut serve_metrics: Option<u16> = None;
 
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("metrics-check") => cmd_metrics_check(&args[1..]),
         _ => {}
     }
     let mut it = args.iter();
@@ -253,6 +315,7 @@ fn main() {
             "--json" => json = true,
             "--trace-out" => trace_out = Some(value()),
             "--metrics-out" => metrics_out = Some(value()),
+            "--serve-metrics" => serve_metrics = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -283,6 +346,19 @@ fn main() {
         exit(2);
     }
 
+    // Start the live plane before the run so a scraper watches it advance.
+    // The server handle is held to the end of main; dropping it joins the
+    // exporter thread.
+    let _metrics_server = serve_metrics.map(|port| {
+        let live = fabricsim::live::install_global();
+        let server = MetricsServer::serve(live.registry().clone(), port).unwrap_or_else(|e| {
+            eprintln!("cannot bind metrics server on 127.0.0.1:{port}: {e}");
+            exit(1);
+        });
+        eprintln!("serving /metrics and /healthz on http://{}", server.addr());
+        server
+    });
+
     let prediction = predict(&cfg);
     let label = format!(
         "{}/{} λ={:.0}",
@@ -294,7 +370,14 @@ fn main() {
     let s = &result.summary;
 
     if let Some(path) = &trace_out {
-        if let Err(e) = std::fs::write(path, result.observability.events_jsonl()) {
+        let write = || -> std::io::Result<u64> {
+            let mut sink = JsonlFileSink::create(path)?;
+            for ev in &result.observability.events {
+                sink.write_event(ev)?;
+            }
+            sink.finish()
+        };
+        if let Err(e) = write() {
             eprintln!("cannot write trace to {path}: {e}");
             exit(1);
         }

@@ -15,6 +15,58 @@ use crate::report::Row;
 use crate::sim::Simulation;
 use crate::workload::{GossipConfig, PolicySpec, SimConfig, WorkloadKind};
 
+/// Coarse scenario-level progress for the long sweeps.
+///
+/// Disabled by default so library users and tests stay silent; the
+/// `experiments` binary enables it (unless `--quiet`). Each sweep registers
+/// its scenario count up front and every completed run prints one stderr
+/// line: `[i/N] elapsed label: committed tps`. Wall-clock time never feeds
+/// back into the simulation, so enabling progress cannot perturb results.
+pub mod progress {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static TOTAL: AtomicU64 = AtomicU64::new(0);
+    static DONE: AtomicU64 = AtomicU64::new(0);
+    static START: OnceLock<Instant> = OnceLock::new();
+
+    /// Turns on progress lines for this process.
+    pub fn enable() {
+        START.get_or_init(Instant::now);
+        ENABLED.store(true, Ordering::Relaxed);
+    }
+
+    /// True when [`enable`] was called.
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Registers `n` upcoming scenarios (called at the top of each sweep).
+    pub(super) fn batch(n: usize) {
+        TOTAL.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Reports one completed scenario.
+    pub(super) fn done(label: &str, tps: f64) {
+        if !enabled() {
+            return;
+        }
+        let i = DONE.fetch_add(1, Ordering::Relaxed) + 1;
+        let n = TOTAL.load(Ordering::Relaxed);
+        let elapsed = START.get_or_init(Instant::now).elapsed().as_secs_f64();
+        eprintln!("  [{i}/{n}] {elapsed:6.1}s  {label}: {tps:.1} committed tps");
+    }
+}
+
+/// Runs one labelled scenario, reporting progress when enabled.
+fn run_row(label: String, cfg: SimConfig) -> Row {
+    let summary = Simulation::new(cfg).run();
+    progress::done(&label, summary.committed_tps());
+    Row { label, summary }
+}
+
 /// Run length preset: `Full` reproduces the paper-scale windows; `Quick` is
 /// for CI and the Criterion benches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,19 +115,20 @@ fn base_config(effort: Effort) -> SimConfig {
 /// The master λ-sweep behind Figs. 2–7: `{Solo, Kafka, Raft} × {OR10, AND5}`
 /// at 10 endorsing peers, transaction size 1 byte, BatchSize 100 / 1 s.
 pub fn overall_sweep(effort: Effort) -> Vec<Row> {
+    let rates = effort.rates();
+    progress::batch(OrdererType::ALL.len() * 2 * rates.len());
     let mut rows = Vec::new();
     for orderer in OrdererType::ALL {
         for policy in [PolicySpec::OrN(10), PolicySpec::AndX(5)] {
-            for &rate in &effort.rates() {
+            for &rate in &rates {
                 let mut cfg = base_config(effort);
                 cfg.orderer_type = orderer;
                 cfg.policy = policy.clone();
                 cfg.arrival_rate_tps = rate;
-                let summary = Simulation::new(cfg).run();
-                rows.push(Row {
-                    label: format!("{orderer}/{} λ={rate:.0}", policy.label()),
-                    summary,
-                });
+                rows.push(run_row(
+                    format!("{orderer}/{} λ={rate:.0}", policy.label()),
+                    cfg,
+                ));
             }
         }
     }
@@ -103,6 +156,7 @@ pub fn endorsing_peer_scalability(effort: Effort) -> (Vec<Row>, Vec<Row>) {
         (PolicySpec::AndX(5), &[1, 3, 5]),
         (PolicySpec::AndX(3), &[1, 3]),
     ];
+    progress::batch(cells.iter().map(|(_, counts)| counts.len()).sum::<usize>() * 2);
     let mut tput_rows = Vec::new();
     let mut lat_rows = Vec::new();
     for (policy, counts) in cells {
@@ -119,17 +173,11 @@ pub fn endorsing_peer_scalability(effort: Effort) -> (Vec<Row>, Vec<Row>) {
 
             let mut high = cfg.clone();
             high.arrival_rate_tps = capacity * 1.2;
-            tput_rows.push(Row {
-                label: format!("{} n={n}", policy.label()),
-                summary: Simulation::new(high).run(),
-            });
+            tput_rows.push(run_row(format!("{} n={n}", policy.label()), high));
 
             let mut low = cfg;
             low.arrival_rate_tps = capacity * 0.85;
-            lat_rows.push(Row {
-                label: format!("{} n={n}", policy.label()),
-                summary: Simulation::new(low).run(),
-            });
+            lat_rows.push(run_row(format!("{} n={n}", policy.label()), low));
         }
     }
     (tput_rows, lat_rows)
@@ -145,6 +193,7 @@ pub fn osn_scalability(effort: Effort) -> (Vec<Row>, Vec<Row>) {
         Effort::Full => &[4, 6, 8, 10, 12],
         Effort::Quick => &[4, 12],
     };
+    progress::batch(2 * 2 * osn_counts.len() * 2);
     let mut tput_rows = Vec::new();
     let mut lat_rows = Vec::new();
     for ensemble in [3u32, 7] {
@@ -160,17 +209,11 @@ pub fn osn_scalability(effort: Effort) -> (Vec<Row>, Vec<Row>) {
 
                 let mut high = cfg.clone();
                 high.arrival_rate_tps = 350.0;
-                tput_rows.push(Row {
-                    label: label.clone(),
-                    summary: Simulation::new(high).run(),
-                });
+                tput_rows.push(run_row(label.clone(), high));
 
                 let mut low = cfg;
                 low.arrival_rate_tps = 260.0;
-                lat_rows.push(Row {
-                    label,
-                    summary: Simulation::new(low).run(),
-                });
+                lat_rows.push(run_row(label, low));
             }
         }
     }
@@ -179,34 +222,32 @@ pub fn osn_scalability(effort: Effort) -> (Vec<Row>, Vec<Row>) {
 
 /// Ablation: BatchSize sweep (the paper's §III block-cutting rule 1).
 pub fn ablation_batch_size(effort: Effort) -> Vec<Row> {
-    [10usize, 50, 100, 200, 500]
+    let sizes = [10usize, 50, 100, 200, 500];
+    progress::batch(sizes.len());
+    sizes
         .into_iter()
         .map(|size| {
             let mut cfg = base_config(effort);
             cfg.policy = PolicySpec::OrN(10);
             cfg.arrival_rate_tps = 250.0;
             cfg.batch.max_message_count = size;
-            Row {
-                label: format!("BatchSize={size}"),
-                summary: Simulation::new(cfg).run(),
-            }
+            run_row(format!("BatchSize={size}"), cfg)
         })
         .collect()
 }
 
 /// Ablation: BatchTimeout sweep at a low rate where timeout-cutting dominates.
 pub fn ablation_batch_timeout(effort: Effort) -> Vec<Row> {
-    [250u64, 500, 1_000, 2_000]
+    let timeouts = [250u64, 500, 1_000, 2_000];
+    progress::batch(timeouts.len());
+    timeouts
         .into_iter()
         .map(|ms| {
             let mut cfg = base_config(effort);
             cfg.policy = PolicySpec::OrN(10);
             cfg.arrival_rate_tps = 40.0;
             cfg.batch.batch_timeout_ms = ms;
-            Row {
-                label: format!("BatchTimeout={ms}ms"),
-                summary: Simulation::new(cfg).run(),
-            }
+            run_row(format!("BatchTimeout={ms}ms"), cfg)
         })
         .collect()
 }
@@ -214,7 +255,9 @@ pub fn ablation_batch_timeout(effort: Effort) -> Vec<Row> {
 /// Ablation: what if the committer were parallel? (The paper's conclusion
 /// implies the validate bottleneck; this quantifies the headroom.)
 pub fn ablation_validation_parallelism(effort: Effort) -> Vec<Row> {
-    [1usize, 2, 4, 8]
+    let threads = [1usize, 2, 4, 8];
+    progress::batch(threads.len());
+    threads
         .into_iter()
         .map(|threads| {
             let mut cfg = base_config(effort);
@@ -224,10 +267,7 @@ pub fn ablation_validation_parallelism(effort: Effort) -> Vec<Row> {
             // Give the execute phase headroom so validation stays the knee.
             cfg.endorsing_peers = 10;
             cfg.cost.client_prep_ms = 12.0;
-            Row {
-                label: format!("validate_threads={threads}"),
-                summary: Simulation::new(cfg).run(),
-            }
+            run_row(format!("validate_threads={threads}"), cfg)
         })
         .collect()
 }
@@ -238,7 +278,9 @@ pub fn ablation_validation_parallelism(effort: Effort) -> Vec<Row> {
 /// comparable: pooling VSCC buys most of the headroom of fully parallel
 /// committers until the serial commit tail binds.
 pub fn ablation_validator_pool(effort: Effort) -> Vec<Row> {
-    [1usize, 2, 4, 8]
+    let pools = [1usize, 2, 4, 8];
+    progress::batch(pools.len());
+    pools
         .into_iter()
         .map(|pool| {
             let mut cfg = base_config(effort);
@@ -248,17 +290,16 @@ pub fn ablation_validator_pool(effort: Effort) -> Vec<Row> {
             // Give the execute phase headroom so validation stays the knee.
             cfg.endorsing_peers = 10;
             cfg.cost.client_prep_ms = 12.0;
-            Row {
-                label: format!("validator_pool={pool}"),
-                summary: Simulation::new(cfg).run(),
-            }
+            run_row(format!("validator_pool={pool}"), cfg)
         })
         .collect()
 }
 
 /// Ablation: MVCC conflict rate under a hot-key read-modify-write workload.
 pub fn ablation_mvcc_conflicts(effort: Effort) -> Vec<Row> {
-    [2usize, 8, 32, 128, 1024]
+    let keyspaces = [2usize, 8, 32, 128, 1024];
+    progress::batch(keyspaces.len());
+    keyspaces
         .into_iter()
         .map(|keyspace| {
             let mut cfg = base_config(effort);
@@ -268,10 +309,7 @@ pub fn ablation_mvcc_conflicts(effort: Effort) -> Vec<Row> {
                 keyspace,
                 payload_bytes: 1,
             };
-            Row {
-                label: format!("keyspace={keyspace}"),
-                summary: Simulation::new(cfg).run(),
-            }
+            run_row(format!("keyspace={keyspace}"), cfg)
         })
         .collect()
 }
@@ -281,6 +319,7 @@ pub fn ablation_mvcc_conflicts(effort: Effort) -> Vec<Row> {
 /// discusses: gossip bounds the orderer's delivery fan-out at the cost of one
 /// extra mesh hop of latency.
 pub fn ablation_gossip(effort: Effort) -> Vec<Row> {
+    progress::batch(3 * 2);
     let mut rows = Vec::new();
     for committers in [2u32, 8, 16] {
         for gossip in [None, Some(GossipConfig::default())] {
@@ -294,10 +333,7 @@ pub fn ablation_gossip(effort: Effort) -> Vec<Row> {
             } else {
                 "direct"
             };
-            rows.push(Row {
-                label: format!("{mode} committers={committers}"),
-                summary: Simulation::new(cfg).run(),
-            });
+            rows.push(run_row(format!("{mode} committers={committers}"), cfg));
         }
     }
     rows
@@ -306,27 +342,26 @@ pub fn ablation_gossip(effort: Effort) -> Vec<Row> {
 /// Ablation: network bandwidth sensitivity (the paper's testbed was 1 Gbps;
 /// related work reports bandwidth becoming the bottleneck at scale).
 pub fn ablation_bandwidth(effort: Effort) -> Vec<Row> {
-    [
+    let bands = [
         (10_000_000u64, "10Mbps"),
         (100_000_000, "100Mbps"),
         (1_000_000_000, "1Gbps"),
-    ]
-    .into_iter()
-    .map(|(bps, label)| {
-        let mut cfg = base_config(effort);
-        cfg.policy = PolicySpec::OrN(10);
-        cfg.arrival_rate_tps = 250.0;
-        cfg.committing_peers = 8;
-        cfg.workload = WorkloadKind::KvPut {
-            payload_bytes: 1024,
-        };
-        cfg.cost.link_bandwidth_bps = bps;
-        Row {
-            label: label.to_string(),
-            summary: Simulation::new(cfg).run(),
-        }
-    })
-    .collect()
+    ];
+    progress::batch(bands.len());
+    bands
+        .into_iter()
+        .map(|(bps, label)| {
+            let mut cfg = base_config(effort);
+            cfg.policy = PolicySpec::OrN(10);
+            cfg.arrival_rate_tps = 250.0;
+            cfg.committing_peers = 8;
+            cfg.workload = WorkloadKind::KvPut {
+                payload_bytes: 1024,
+            };
+            cfg.cost.link_bandwidth_bps = bps;
+            run_row(label.to_string(), cfg)
+        })
+        .collect()
 }
 
 /// Ablation: channel count — Fabric's horizontal-scaling mechanism (paper
@@ -334,7 +369,9 @@ pub fn ablation_bandwidth(effort: Effort) -> Vec<Row> {
 /// Each channel gets its own consensus instance and commit pipeline; the
 /// validate ceiling multiplies until the client pools bind.
 pub fn ablation_channels(effort: Effort) -> Vec<Row> {
-    [1u32, 2, 4]
+    let channel_counts = [1u32, 2, 4];
+    progress::batch(channel_counts.len());
+    channel_counts
         .into_iter()
         .map(|channels| {
             let mut cfg = base_config(effort);
@@ -342,17 +379,16 @@ pub fn ablation_channels(effort: Effort) -> Vec<Row> {
             cfg.policy = PolicySpec::OrN(10);
             cfg.channels = channels;
             cfg.arrival_rate_tps = 500.0; // above the single-channel ceiling
-            Row {
-                label: format!("channels={channels}"),
-                summary: Simulation::new(cfg).run(),
-            }
+            run_row(format!("channels={channels}"), cfg)
         })
         .collect()
 }
 
 /// Ablation: payload (transaction value) size.
 pub fn ablation_payload_size(effort: Effort) -> Vec<Row> {
-    [1usize, 64, 1024, 8192]
+    let sizes = [1usize, 64, 1024, 8192];
+    progress::batch(sizes.len());
+    sizes
         .into_iter()
         .map(|bytes| {
             let mut cfg = base_config(effort);
@@ -361,10 +397,7 @@ pub fn ablation_payload_size(effort: Effort) -> Vec<Row> {
             cfg.workload = WorkloadKind::KvPut {
                 payload_bytes: bytes,
             };
-            Row {
-                label: format!("payload={bytes}B"),
-                summary: Simulation::new(cfg).run(),
-            }
+            run_row(format!("payload={bytes}B"), cfg)
         })
         .collect()
 }

@@ -36,6 +36,7 @@
 
 pub mod analytic;
 pub mod experiment;
+pub mod live;
 pub mod metrics;
 mod model;
 pub mod report;
@@ -45,6 +46,7 @@ mod workload;
 pub use analytic::{predict, Phase, Prediction};
 pub use fabricsim_obs as obs;
 pub use fabricsim_types::{BatchConfig, ChannelId, OrdererType, ValidationCode};
+pub use live::LiveMetrics;
 pub use metrics::{PhaseReport, SummaryReport, TxOutcome, TxTrace};
 pub use model::CostModel;
 pub use sim::{FaultPlan, RunObservability, RunResult, Simulation, UtilizationReport};

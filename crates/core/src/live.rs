@@ -1,0 +1,249 @@
+//! The live observability plane: wall-clock-side metrics the simulation
+//! updates as it advances.
+//!
+//! A [`LiveMetrics`] bundle holds atomic counters, gauges and a log-bucketed
+//! latency histogram registered in a [`MetricsRegistry`]; the simulation
+//! bumps them at its existing phase-transition sites and a
+//! [`fabricsim_obs::MetricsServer`] serves the registry as Prometheus text
+//! exposition format while the run is still in progress.
+//!
+//! Determinism contract: the plane is strictly **write-only** from the
+//! simulation's perspective. Nothing in the event loop ever reads a live
+//! value back, so attaching a bundle (or scraping it concurrently) cannot
+//! change a run's outcome; with no bundle attached the per-site cost is one
+//! branch on an `Option`. Like the other observability toggles, the plane is
+//! masked out of [`crate::SimConfig::digest`]'s provenance hash.
+
+use std::sync::{Arc, OnceLock};
+
+use fabricsim_obs::{Counter, Gauge, LiveHistogram, MetricsRegistry};
+
+/// The simulator's live metric handles, all registered in one registry.
+///
+/// Metric names follow Prometheus conventions (`_total` counters, base-unit
+/// `_seconds` histograms). Every handle is cheap to clone and safe to bump
+/// from the simulation thread while an exporter renders concurrently.
+#[derive(Debug)]
+pub struct LiveMetrics {
+    registry: MetricsRegistry,
+    /// Transactions admitted by a client pool.
+    pub txs_created: Counter,
+    /// Transactions committed with `ValidationCode::Valid`.
+    pub txs_committed_valid: Counter,
+    /// Transactions committed but flagged invalid (MVCC conflict, policy…).
+    pub txs_committed_invalid: Counter,
+    /// Arrivals dropped at a saturated client submission queue.
+    pub txs_failed_overload: Counter,
+    /// Endorsement-collection failures.
+    pub txs_failed_endorsement: Counter,
+    /// Client-side ordering timeouts.
+    pub txs_failed_timeout: Counter,
+    /// Blocks cut by the ordering service (first delivery wins).
+    pub blocks_cut: Counter,
+    /// Transactions carried by those blocks.
+    pub block_txs: Counter,
+    /// Simulation runs started in this process.
+    pub runs_started: Counter,
+    /// Simulation runs completed in this process.
+    pub runs_completed: Counter,
+    /// End-to-end latency of committed transactions (virtual seconds).
+    pub e2e_latency: LiveHistogram,
+    /// Current virtual time of the in-progress run.
+    pub sim_time: Gauge,
+    /// Transactions in flight (created, not yet terminal).
+    pub inflight: Gauge,
+    /// Summed queue depth of the client-pool prep stations.
+    pub q_pool_prep: Gauge,
+    /// Summed queue depth of the client-pool receive stations.
+    pub q_pool_recv: Gauge,
+    /// Summed queue depth of the peer endorsement stations.
+    pub q_peer_endorse: Gauge,
+    /// Summed queue depth of the peer VSCC stations.
+    pub q_peer_vscc: Gauge,
+    /// Summed queue depth of the peer commit stations.
+    pub q_peer_commit: Gauge,
+    /// Summed queue depth of the OSN CPU stations.
+    pub q_osn_cpu: Gauge,
+    /// Max per-peer VSCC-station utilization so far.
+    pub util_peer_vscc: Gauge,
+    /// Max per-peer commit-station utilization so far.
+    pub util_peer_commit: Gauge,
+}
+
+impl LiveMetrics {
+    /// Registers a fresh bundle in its own registry.
+    pub fn new() -> Arc<LiveMetrics> {
+        LiveMetrics::register(MetricsRegistry::new())
+    }
+
+    /// Registers the simulator's metric families in `registry`. Also installs
+    /// the peer-pipeline and ordering-cutter hooks (process-global; the first
+    /// registry to install them wins).
+    pub fn register(registry: MetricsRegistry) -> Arc<LiveMetrics> {
+        let committed = "Transactions committed at the observer peer, by validity.";
+        let failed = "Transactions that terminated without committing, by reason.";
+        let queue = "Summed jobs in system over the station class.";
+        let util = "Max per-station utilization of the class so far this run.";
+        let m = LiveMetrics {
+            txs_created: registry.counter(
+                "fabricsim_txs_created_total",
+                "Transactions admitted by a client pool.",
+                &[],
+            ),
+            txs_committed_valid: registry.counter(
+                "fabricsim_txs_committed_total",
+                committed,
+                &[("validity", "valid")],
+            ),
+            txs_committed_invalid: registry.counter(
+                "fabricsim_txs_committed_total",
+                committed,
+                &[("validity", "invalid")],
+            ),
+            txs_failed_overload: registry.counter(
+                "fabricsim_txs_failed_total",
+                failed,
+                &[("reason", "overload")],
+            ),
+            txs_failed_endorsement: registry.counter(
+                "fabricsim_txs_failed_total",
+                failed,
+                &[("reason", "endorsement")],
+            ),
+            txs_failed_timeout: registry.counter(
+                "fabricsim_txs_failed_total",
+                failed,
+                &[("reason", "ordering_timeout")],
+            ),
+            blocks_cut: registry.counter(
+                "fabricsim_blocks_cut_total",
+                "Blocks cut by the ordering service.",
+                &[],
+            ),
+            block_txs: registry.counter(
+                "fabricsim_block_txs_total",
+                "Transactions carried by cut blocks.",
+                &[],
+            ),
+            runs_started: registry.counter(
+                "fabricsim_runs_started_total",
+                "Simulation runs started.",
+                &[],
+            ),
+            runs_completed: registry.counter(
+                "fabricsim_runs_completed_total",
+                "Simulation runs completed.",
+                &[],
+            ),
+            e2e_latency: registry.histogram(
+                "fabricsim_e2e_latency_seconds",
+                "End-to-end latency of committed transactions (virtual time).",
+                &[],
+                1e-4,
+                3600.0,
+                5,
+            ),
+            sim_time: registry.gauge(
+                "fabricsim_sim_time_seconds",
+                "Current virtual time of the in-progress run.",
+                &[],
+            ),
+            inflight: registry.gauge(
+                "fabricsim_inflight_txs",
+                "Transactions created but not yet terminal.",
+                &[],
+            ),
+            q_pool_prep: registry.gauge(
+                "fabricsim_queue_depth",
+                queue,
+                &[("station", "pool_prep")],
+            ),
+            q_pool_recv: registry.gauge(
+                "fabricsim_queue_depth",
+                queue,
+                &[("station", "pool_recv")],
+            ),
+            q_peer_endorse: registry.gauge(
+                "fabricsim_queue_depth",
+                queue,
+                &[("station", "peer_endorse")],
+            ),
+            q_peer_vscc: registry.gauge(
+                "fabricsim_queue_depth",
+                queue,
+                &[("station", "peer_vscc")],
+            ),
+            q_peer_commit: registry.gauge(
+                "fabricsim_queue_depth",
+                queue,
+                &[("station", "peer_commit")],
+            ),
+            q_osn_cpu: registry.gauge("fabricsim_queue_depth", queue, &[("station", "osn_cpu")]),
+            util_peer_vscc: registry.gauge(
+                "fabricsim_station_utilization",
+                util,
+                &[("station", "peer_vscc")],
+            ),
+            util_peer_commit: registry.gauge(
+                "fabricsim_station_utilization",
+                util,
+                &[("station", "peer_commit")],
+            ),
+            registry,
+        };
+        fabricsim_peer::install_metrics(fabricsim_peer::PipelineMetrics::register(&m.registry));
+        fabricsim_ordering::install_metrics(fabricsim_ordering::CutterMetrics::register(
+            &m.registry,
+        ));
+        Arc::new(m)
+    }
+
+    /// The registry backing this bundle (what an exporter serves).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+}
+
+static GLOBAL: OnceLock<Arc<LiveMetrics>> = OnceLock::new();
+
+/// Installs (or returns the already-installed) process-global bundle. CLI
+/// binaries call this once when `--serve-metrics` is requested; every
+/// [`crate::Simulation`] constructed afterwards reports into it.
+pub fn install_global() -> Arc<LiveMetrics> {
+    GLOBAL.get_or_init(LiveMetrics::new).clone()
+}
+
+/// The process-global bundle, if one was installed.
+pub fn global() -> Option<Arc<LiveMetrics>> {
+    GLOBAL.get().cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabricsim_obs::validate_exposition;
+
+    #[test]
+    fn fresh_bundle_renders_a_valid_exposition() {
+        let m = LiveMetrics::new();
+        m.txs_created.add(10);
+        m.txs_committed_valid.add(9);
+        m.txs_committed_invalid.inc();
+        m.e2e_latency.observe(0.75);
+        m.sim_time.set(12.5);
+        m.q_peer_vscc.set(4.0);
+        let text = m.registry().render();
+        validate_exposition(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+        assert!(text.contains("fabricsim_txs_committed_total{validity=\"valid\"} 9"));
+        assert!(text.contains("fabricsim_e2e_latency_seconds_count 1"));
+        assert!(text.contains("fabricsim_queue_depth{station=\"peer_vscc\"} 4"));
+    }
+
+    #[test]
+    fn install_global_is_idempotent() {
+        let a = install_global();
+        let b = install_global();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(global().is_some());
+    }
+}

@@ -2,6 +2,7 @@
 //! ZooKeeper wired over the DES kernel with the calibrated cost model.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use fabricsim_chaincode::samples::{AssetTransfer, KvWrite, Nondeterministic, Smallbank};
 use fabricsim_des::{EventId, Kernel, Link, RngStream, SimDuration, SimTime, Station};
@@ -19,11 +20,12 @@ use fabricsim_policy::Policy;
 use fabricsim_types::encode::WireSize;
 use fabricsim_types::{
     Block, ChannelId, ClientId, OrdererType, OrgId, Principal, Proposal, ProposalResponse,
-    Transaction, TxId,
+    Transaction, TxId, ValidationCode,
 };
 
 use fabricsim_client::{ClientSdk, CollectState, EndorsementCollector, TargetSelector};
 
+use crate::live::LiveMetrics;
 use crate::metrics::{summarize, SummaryReport, TxOutcome, TxTrace};
 use crate::workload::{SimConfig, WorkloadKind};
 
@@ -208,6 +210,10 @@ struct ObsState {
     e2e_hist: LogHistogram,
     /// Block-cut count at the previous sampler tick (for the cadence series).
     last_block_cuts: usize,
+    /// Live observability plane, if one is attached (write-only: the event
+    /// loop never reads these values back, so scraping them concurrently
+    /// cannot perturb a deterministic run).
+    live: Option<Arc<LiveMetrics>>,
 }
 
 struct World {
@@ -361,10 +367,15 @@ impl World {
 pub struct Simulation {
     cfg: SimConfig,
     faults: FaultPlan,
+    live: Option<Arc<LiveMetrics>>,
 }
 
 impl Simulation {
     /// Creates a simulation from a validated configuration.
+    ///
+    /// If a process-global [`LiveMetrics`] bundle was installed (see
+    /// [`crate::live::install_global`]), the run reports into it; use
+    /// [`Simulation::with_live_metrics`] to attach an explicit bundle instead.
     ///
     /// # Panics
     /// Panics if the configuration is invalid.
@@ -373,12 +384,21 @@ impl Simulation {
         Simulation {
             cfg,
             faults: FaultPlan::default(),
+            live: crate::live::global(),
         }
     }
 
     /// Adds fault injections to the run.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attaches an explicit live-metrics bundle (overriding any process
+    /// global). The run bumps its counters and gauges as virtual time
+    /// advances; an exporter thread can scrape them concurrently.
+    pub fn with_live_metrics(mut self, live: Arc<LiveMetrics>) -> Self {
+        self.live = Some(live);
         self
     }
 
@@ -391,14 +411,21 @@ impl Simulation {
     pub fn run_detailed(self) -> RunResult {
         let cfg = self.cfg;
         let faults = self.faults;
-        let mut world = build_world(&cfg);
+        let mut world = build_world(&cfg, self.live);
         let mut kernel: K = Kernel::new();
         let end = SimTime::from_secs_f64(cfg.duration_secs);
         kernel.set_horizon(end);
 
+        if let Some(live) = &world.obs.live {
+            live.runs_started.inc();
+        }
         bootstrap(&mut world, &mut kernel);
         schedule_faults(&faults, &mut kernel);
         kernel.run(&mut world);
+        flush_partial_tick(&mut world, end);
+        if let Some(live) = &world.obs.live {
+            live.runs_completed.inc();
+        }
 
         let w0 = SimTime::from_secs_f64(cfg.warmup_secs);
         let w1 = SimTime::from_secs_f64(cfg.duration_secs - cfg.cooldown_secs);
@@ -497,7 +524,7 @@ impl Simulation {
 
 // ---- world construction ------------------------------------------------------
 
-fn build_world(cfg: &SimConfig) -> World {
+fn build_world(cfg: &SimConfig, live: Option<Arc<LiveMetrics>>) -> World {
     let n_channels = cfg.channels as usize;
     let channel_ids: Vec<ChannelId> = if n_channels == 1 {
         vec![ChannelId::default_channel()]
@@ -750,6 +777,7 @@ fn build_world(cfg: &SimConfig) -> World {
                 .then(|| MetricsRecorder::new(cfg.obs.sample_period_s)),
             e2e_hist: LogHistogram::latency(),
             last_block_cuts: 0,
+            live,
         },
         cfg: cfg.clone(),
     }
@@ -764,8 +792,10 @@ fn bootstrap(world: &mut World, k: &mut K) {
     }
     // Time-series sampler (reads state only: scheduling it never perturbs
     // the simulated system, so traced and untraced runs stay bit-identical).
-    if world.obs.recorder.is_some() {
-        let period = SimDuration::from_secs_f64(world.cfg.obs.sample_period_s);
+    // A live-metrics bundle keeps the sweep running even when the recorder
+    // is disabled, so an exporter always has fresh gauges to serve.
+    if world.obs.recorder.is_some() || world.obs.live.is_some() {
+        let period = SimDuration::from_secs_f64(sample_period_s(world));
         k.schedule_in(period, obs_sample);
     }
     // OSN ticks (Raft elections/heartbeats; Kafka consume polling).
@@ -798,63 +828,140 @@ fn bootstrap(world: &mut World, k: &mut K) {
     }
 }
 
-/// Periodic read-only gauge sweep feeding the [`MetricsRecorder`].
-fn obs_sample(world: &mut World, k: &mut K) {
-    let now = k.now();
-    let pool_prep: usize = world.pools.iter().map(|p| p.prep.jobs_in_system(now)).sum();
-    let pool_recv: usize = world.pools.iter().map(|p| p.recv.jobs_in_system(now)).sum();
-    let peer_endorse: usize = world
-        .peers
-        .iter()
-        .map(|p| p.endorse.jobs_in_system(now))
-        .sum();
-    let peer_vscc: usize = world.peers.iter().map(|p| p.vscc.jobs_in_system(now)).sum();
-    let peer_commit: usize = world
-        .peers
-        .iter()
-        .map(|p| p.commit.jobs_in_system(now))
-        .sum();
-    let osn_cpu: usize = world
-        .osns
-        .iter()
-        .map(|o| o.station.jobs_in_system(now))
-        .sum();
-    let vscc_util = world
-        .peers
-        .iter()
-        .map(|p| p.vscc.utilization(now))
-        .fold(0.0, f64::max);
-    let commit_util = world
-        .peers
-        .iter()
-        .map(|p| p.commit.utilization(now))
-        .fold(0.0, f64::max);
-    let inflight = world
-        .traces
-        .iter()
-        .filter(|t| matches!(t.outcome, TxOutcome::InFlight))
-        .count();
+/// One read-only sweep of the gauges both sampling surfaces consume.
+struct GaugeSweep {
+    pool_prep: usize,
+    pool_recv: usize,
+    peer_endorse: usize,
+    peer_vscc: usize,
+    peer_commit: usize,
+    osn_cpu: usize,
+    vscc_util: f64,
+    commit_util: f64,
+    inflight: usize,
+    /// Blocks cut since the previous sweep.
+    new_cuts: usize,
+}
+
+fn sweep_gauges(world: &mut World, now: SimTime) -> GaugeSweep {
     let cuts = world.block_cuts.len();
     let new_cuts = cuts - world.obs.last_block_cuts;
     world.obs.last_block_cuts = cuts;
-    let rec = world
-        .obs
-        .recorder
-        .as_mut()
-        .expect("sampler runs only with a recorder");
-    rec.sample("queue.pool_prep", pool_prep as f64);
-    rec.sample("queue.pool_recv", pool_recv as f64);
-    rec.sample("queue.peer_endorse", peer_endorse as f64);
-    rec.sample("queue.peer_vscc", peer_vscc as f64);
-    rec.sample("queue.peer_commit", peer_commit as f64);
-    rec.sample("queue.osn_cpu", osn_cpu as f64);
-    rec.sample("util.peer_vscc", vscc_util);
-    rec.sample("util.peer_commit", commit_util);
-    rec.sample("inflight.txs", inflight as f64);
-    rec.sample("blocks.cut_per_tick", new_cuts as f64);
-    rec.end_tick();
-    let period = SimDuration::from_secs_f64(world.cfg.obs.sample_period_s);
+    GaugeSweep {
+        pool_prep: world.pools.iter().map(|p| p.prep.jobs_in_system(now)).sum(),
+        pool_recv: world.pools.iter().map(|p| p.recv.jobs_in_system(now)).sum(),
+        peer_endorse: world
+            .peers
+            .iter()
+            .map(|p| p.endorse.jobs_in_system(now))
+            .sum(),
+        peer_vscc: world.peers.iter().map(|p| p.vscc.jobs_in_system(now)).sum(),
+        peer_commit: world
+            .peers
+            .iter()
+            .map(|p| p.commit.jobs_in_system(now))
+            .sum(),
+        osn_cpu: world
+            .osns
+            .iter()
+            .map(|o| o.station.jobs_in_system(now))
+            .sum(),
+        vscc_util: world
+            .peers
+            .iter()
+            .map(|p| p.vscc.utilization(now))
+            .fold(0.0, f64::max),
+        commit_util: world
+            .peers
+            .iter()
+            .map(|p| p.commit.utilization(now))
+            .fold(0.0, f64::max),
+        inflight: world
+            .traces
+            .iter()
+            .filter(|t| matches!(t.outcome, TxOutcome::InFlight))
+            .count(),
+        new_cuts,
+    }
+}
+
+/// Publishes a sweep to the live plane's gauges, if one is attached.
+fn publish_live(world: &World, now: SimTime, s: &GaugeSweep) {
+    let Some(live) = &world.obs.live else { return };
+    live.sim_time.set(now.as_secs_f64());
+    live.inflight.set(s.inflight as f64);
+    live.q_pool_prep.set(s.pool_prep as f64);
+    live.q_pool_recv.set(s.pool_recv as f64);
+    live.q_peer_endorse.set(s.peer_endorse as f64);
+    live.q_peer_vscc.set(s.peer_vscc as f64);
+    live.q_peer_commit.set(s.peer_commit as f64);
+    live.q_osn_cpu.set(s.osn_cpu as f64);
+    live.util_peer_vscc.set(s.vscc_util);
+    live.util_peer_commit.set(s.commit_util);
+}
+
+/// The sampler cadence: the configured period, or 1 s when only the live
+/// plane is attached (`sample_period_s == 0` disables the recorder).
+fn sample_period_s(world: &World) -> f64 {
+    if world.cfg.obs.sample_period_s > 0.0 {
+        world.cfg.obs.sample_period_s
+    } else {
+        1.0
+    }
+}
+
+/// Records a sweep into the recorder's per-window series.
+fn record_sweep(rec: &mut MetricsRecorder, s: &GaugeSweep, cut_scale: f64) {
+    rec.sample("queue.pool_prep", s.pool_prep as f64);
+    rec.sample("queue.pool_recv", s.pool_recv as f64);
+    rec.sample("queue.peer_endorse", s.peer_endorse as f64);
+    rec.sample("queue.peer_vscc", s.peer_vscc as f64);
+    rec.sample("queue.peer_commit", s.peer_commit as f64);
+    rec.sample("queue.osn_cpu", s.osn_cpu as f64);
+    rec.sample("util.peer_vscc", s.vscc_util);
+    rec.sample("util.peer_commit", s.commit_util);
+    rec.sample("inflight.txs", s.inflight as f64);
+    rec.sample("blocks.cut_per_tick", s.new_cuts as f64 * cut_scale);
+}
+
+/// Periodic read-only gauge sweep feeding the [`MetricsRecorder`] and the
+/// live plane.
+fn obs_sample(world: &mut World, k: &mut K) {
+    let now = k.now();
+    let s = sweep_gauges(world, now);
+    publish_live(world, now, &s);
+    if let Some(rec) = world.obs.recorder.as_mut() {
+        record_sweep(rec, &s, 1.0);
+        rec.end_tick();
+    }
+    let period = SimDuration::from_secs_f64(sample_period_s(world));
     k.schedule_in(period, obs_sample);
+}
+
+/// Flushes the recorder's final partial window at the horizon. The sampler
+/// only fires on whole periods, so a run whose duration is not an exact
+/// multiple of the period used to silently drop the tail; this closes the
+/// gap with a width-weighted window. The cadence series is scaled by
+/// `period / width` so its weighted mean stays in blocks-per-period units.
+fn flush_partial_tick(world: &mut World, horizon: SimTime) {
+    let Some(rec) = world.obs.recorder.as_ref() else {
+        // Still leave the live gauges at their horizon values.
+        let s = sweep_gauges(world, horizon);
+        publish_live(world, horizon, &s);
+        return;
+    };
+    let period = world.cfg.obs.sample_period_s;
+    let width = world.cfg.duration_secs - rec.ticks() as f64 * period;
+    if width <= 1e-9 {
+        // The horizon landed on a tick boundary (modulo fp noise): no tail.
+        return;
+    }
+    let width = width.min(period);
+    let s = sweep_gauges(world, horizon);
+    publish_live(world, horizon, &s);
+    let rec = world.obs.recorder.as_mut().expect("checked above");
+    record_sweep(rec, &s, period / width);
+    rec.end_partial_tick(width);
 }
 
 fn schedule_faults(faults: &FaultPlan, k: &mut K) {
@@ -1003,6 +1110,9 @@ fn pool_arrival(world: &mut World, k: &mut K, p: usize) {
         trace.outcome = TxOutcome::OverloadDropped;
         world.traces.push(trace);
         world.obs.breakdowns.push(TxStationBreakdown::default());
+        if let Some(live) = &world.obs.live {
+            live.txs_failed_overload.inc();
+        }
         if world.obs.sink.enabled() {
             let station = world.pools[p].prep.name().to_string();
             let depth = world.pools[p].in_prep;
@@ -1038,6 +1148,9 @@ fn pool_arrival(world: &mut World, k: &mut K, p: usize) {
         trace.outcome = TxOutcome::EndorsementFailed;
         world.traces.push(trace);
         world.obs.breakdowns.push(TxStationBreakdown::default());
+        if let Some(live) = &world.obs.live {
+            live.txs_failed_endorsement.inc();
+        }
         if world.obs.sink.enabled() {
             let station = world.pools[p].prep.name().to_string();
             world.emit_tx(now, tx_id, TracePhase::EndorsementFailed, station, 0);
@@ -1050,6 +1163,9 @@ fn pool_arrival(world: &mut World, k: &mut K, p: usize) {
     world.obs.breakdowns.push(TxStationBreakdown::default());
     world.tx_index.insert(tx_id, seq);
     world.tx_pool.insert(tx_id, p);
+    if let Some(live) = &world.obs.live {
+        live.txs_created.inc();
+    }
     let collector = EndorsementCollector::new(tx_id, world.policy.clone(), expected);
     world.pools[p].pending.insert(
         tx_id,
@@ -1165,6 +1281,9 @@ fn pool_receive_response(world: &mut World, k: &mut K, p: usize, response: Propo
             if let Some(t) = world.trace_mut(tx_id) {
                 t.outcome = TxOutcome::EndorsementFailed;
             }
+            if let Some(live) = &world.obs.live {
+                live.txs_failed_endorsement.inc();
+            }
             if world.obs.sink.enabled() {
                 let station = world.pools[p].recv.name().to_string();
                 world.emit_tx(now, tx_id, TracePhase::EndorsementFailed, station, 0);
@@ -1199,6 +1318,9 @@ fn client_assemble(world: &mut World, k: &mut K, p: usize, tx_id: TxId) {
             world.pools[p].pending.remove(&tx_id);
             if let Some(t) = world.trace_mut(tx_id) {
                 t.outcome = TxOutcome::EndorsementFailed;
+            }
+            if let Some(live) = &world.obs.live {
+                live.txs_failed_endorsement.inc();
             }
             if world.obs.sink.enabled() {
                 let station = world.pools[p].recv.name().to_string();
@@ -1252,6 +1374,11 @@ fn submit_to_orderer(world: &mut World, k: &mut K, p: usize, tx: Transaction) {
             }
         }
         w.pools[p].pending.remove(&tx_id);
+        if timed_out {
+            if let Some(live) = &w.obs.live {
+                live.txs_failed_timeout.inc();
+            }
+        }
         if timed_out && w.obs.sink.enabled() {
             let now = k.now();
             w.emit_tx(
@@ -1433,6 +1560,10 @@ fn deliver_block(world: &mut World, k: &mut K, o: usize, block: Block) {
     if block.header.number >= world.next_cut_number[ch] {
         world.next_cut_number[ch] = block.header.number + 1;
         world.block_cuts.push((now, block.len()));
+        if let Some(live) = &world.obs.live {
+            live.blocks_cut.inc();
+            live.block_txs.add(block.len() as u64);
+        }
         let station = world
             .obs
             .sink
@@ -1729,6 +1860,14 @@ fn commit_block(
             }
             if let Some(e2e_s) = e2e {
                 world.obs.e2e_hist.record(e2e_s);
+                if let Some(live) = &world.obs.live {
+                    live.e2e_latency.observe(e2e_s);
+                    if flags[i] == ValidationCode::Valid {
+                        live.txs_committed_valid.inc();
+                    } else {
+                        live.txs_committed_invalid.inc();
+                    }
+                }
                 if let Some(&idx) = world.tx_index.get(tx_id) {
                     if let Some(b) = world.obs.breakdowns.get_mut(idx) {
                         b.commit_s = commit_times[i].as_secs_f64();

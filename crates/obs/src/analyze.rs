@@ -64,7 +64,7 @@ impl SegmentStats {
     }
 }
 
-fn phase_group_of(from: TracePhase) -> &'static str {
+pub(crate) fn phase_group_of(from: TracePhase) -> &'static str {
     let i = from.pipeline_index().unwrap_or(usize::MAX);
     if i < TracePhase::Endorsed.pipeline_index().unwrap_or(0) {
         "execute"

@@ -1,0 +1,220 @@
+//! A dependency-free `/metrics` + `/healthz` HTTP exporter.
+//!
+//! [`MetricsServer::serve`] binds a [`std::net::TcpListener`] on localhost
+//! and answers scrapes from a background thread while the simulation runs on
+//! the main one. The HTTP support is deliberately tiny — enough for
+//! `curl`/Prometheus `GET`s, nothing else — because the repo is
+//! zero-dependency by policy and the exporter must never become a reason to
+//! pull in a web stack.
+//!
+//! Shutdown is cooperative: dropping the server sets a flag and pokes the
+//! listener with a loopback connection so the blocking `accept` wakes up and
+//! the thread exits before `drop` returns.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::registry::MetricsRegistry;
+
+/// A background HTTP server exposing one [`MetricsRegistry`].
+///
+/// Routes:
+/// * `GET /metrics` — Prometheus text exposition format 0.0.4;
+/// * `GET /healthz` — `{"status":"ok","uptime_s":<wall seconds>}`;
+/// * anything else — 404.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `127.0.0.1:port` (`port` 0 picks an ephemeral port — read it
+    /// back with [`MetricsServer::port`]) and starts answering requests on a
+    /// background thread.
+    ///
+    /// # Errors
+    /// The bind error, if the port is taken or privileged.
+    pub fn serve(registry: MetricsRegistry, port: u16) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread_shutdown = Arc::clone(&shutdown);
+        let started = Instant::now();
+        let handle = std::thread::Builder::new()
+            .name("fabricsim-metrics".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // One request per connection; errors on a single
+                        // scrape must not take the exporter down.
+                        let _ = handle_request(stream, &registry, started);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port (the ephemeral one when constructed with port 0).
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop; if the connect fails the listener is already
+        // gone and the thread has exited.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn handle_request(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    started: Instant,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read until the end of the request head (or a sane cap); the body of a
+    // GET is empty so this terminates fast.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
+    let method = request_line.next().unwrap_or("");
+    let path = request_line.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                registry.render(),
+            ),
+            "/healthz" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                format!(
+                    "{{\"status\":\"ok\",\"uptime_s\":{:.3}}}\n",
+                    started.elapsed().as_secs_f64()
+                ),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found; try /metrics or /healthz\n".to_string(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Issues a plain `GET` against a local exporter and returns
+/// `(status_line, body)`. Test/CLI helper so callers don't need an HTTP
+/// client; not a general-purpose HTTP getter.
+///
+/// # Errors
+/// Propagates connect/read errors; malformed responses error too.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no header/body split")
+    })?;
+    let status = head.lines().next().unwrap_or("").to_string();
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::validate_exposition;
+
+    #[test]
+    fn serves_metrics_and_healthz_then_shuts_down() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("demo_total", "Demo counter.", &[]);
+        c.add(7);
+        let server = MetricsServer::serve(reg.clone(), 0).expect("bind ephemeral");
+        let addr = server.addr();
+
+        let (status, body) = http_get(addr, "/metrics").expect("scrape");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("demo_total 7\n"), "{body}");
+        validate_exposition(&body).expect("valid exposition");
+
+        // Scrapes see live updates: the counter moved between requests.
+        c.add(3);
+        let (_, body) = http_get(addr, "/metrics").expect("scrape 2");
+        assert!(body.contains("demo_total 10\n"), "{body}");
+
+        let (status, body) = http_get(addr, "/healthz").expect("health");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"uptime_s\":"), "{body}");
+
+        let (status, _) = http_get(addr, "/nope").expect("404 route");
+        assert!(status.contains("404"), "{status}");
+
+        drop(server);
+        // The port is released: a fresh bind on the same address succeeds.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "port not released after drop");
+    }
+
+    #[test]
+    fn rejects_non_get_methods() {
+        let server = MetricsServer::serve(MetricsRegistry::new(), 0).expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Collapsed-stacks export for flamegraph tooling.
+//!
+//! Emits the `folded` format consumed by Brendan Gregg's `flamegraph.pl`,
+//! `inferno-flamegraph` and speedscope: one line per unique stack,
+//! `frame;frame;frame <value>`. Stacks are three frames deep —
+//! `fabricsim;<phase group>;<from→to segment>` — so the rendered graph
+//! shows the execute / order / validate split at the second level and the
+//! per-segment latency decomposition at the leaves, mirroring the analyzer
+//! table.
+//!
+//! Values are summed virtual **nanoseconds** over committed spans (virtual
+//! time is integer nanoseconds, so the totals are exact). Divide a stack's
+//! total by `committed` and by 1e9 to recover the analyzer's per-committed-tx
+//! segment mean — the reconciliation the acceptance test locks to 1e-6.
+
+use crate::analyze::phase_group_of;
+use crate::span::TxSpan;
+
+/// Renders committed spans as collapsed stacks, in pipeline order.
+///
+/// Failure and incomplete spans contribute nothing (they have no end-to-end
+/// latency to attribute); an empty input yields an empty document.
+pub fn collapsed_stacks(spans: &[TxSpan]) -> String {
+    // Keyed by (from, to) pipeline indices so output order is causal.
+    let mut totals: std::collections::BTreeMap<(usize, usize), u128> =
+        std::collections::BTreeMap::new();
+    for span in spans.iter().filter(|s| s.is_committed()) {
+        for seg in span.segments() {
+            let key = (
+                seg.from.pipeline_index().expect("pipeline phase"),
+                seg.to.pipeline_index().expect("pipeline phase"),
+            );
+            // Round, don't truncate: dt is an integer count of nanoseconds
+            // that went through f64 subtraction.
+            *totals.entry(key).or_insert(0) += (seg.dt_s * 1e9).round() as u128;
+        }
+    }
+    let mut out = String::new();
+    for ((from, to), ns) in totals {
+        let from = crate::event::TracePhase::PIPELINE[from];
+        let to = crate::event::TracePhase::PIPELINE[to];
+        out.push_str(&format!(
+            "fabricsim;{};{}→{} {ns}\n",
+            phase_group_of(from),
+            from.label(),
+            to.label()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::TraceAnalysis;
+    use crate::event::{PhaseEvent, TracePhase};
+    use crate::span::reconstruct;
+
+    fn ev(tx: &str, phase: TracePhase, t_s: f64) -> PhaseEvent {
+        PhaseEvent {
+            t_s,
+            tx: tx.into(),
+            phase,
+            station: "st".into(),
+            queue_depth: 0,
+            cum_queued_s: 0.0,
+            cum_service_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn stacks_aggregate_and_reconcile_with_analyzer_means() {
+        let events = vec![
+            ev("a", TracePhase::Created, 1.0),
+            ev("a", TracePhase::Ordered, 1.25),
+            ev("a", TracePhase::Committed, 2.0),
+            ev("b", TracePhase::Created, 2.0),
+            ev("b", TracePhase::Ordered, 2.5),
+            ev("b", TracePhase::Committed, 2.6),
+            ev("c", TracePhase::Created, 3.0), // incomplete: excluded
+        ];
+        let spans = reconstruct(&events);
+        let folded = collapsed_stacks(&spans);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "fabricsim;execute;created→ordered 750000000",
+                "fabricsim;order;ordered→committed 850000000",
+            ]
+        );
+        // Reconciliation: stack_ns / committed / 1e9 == analyzer mean_s.
+        let analysis = TraceAnalysis::from_spans(&spans, 0);
+        for line in lines {
+            let (stack, ns) = line.rsplit_once(' ').expect("folded line");
+            let leaf = stack.rsplit(';').next().expect("leaf frame");
+            let seg = analysis
+                .segments
+                .iter()
+                .find(|s| s.name() == leaf)
+                .unwrap_or_else(|| panic!("analyzer lacks segment {leaf}"));
+            let mean_from_flame =
+                ns.parse::<u128>().expect("ns value") as f64 / 1e9 / analysis.committed as f64;
+            assert!(
+                (mean_from_flame - seg.mean_s).abs() < 1e-6,
+                "{leaf}: flame {mean_from_flame} vs analyzer {}",
+                seg.mean_s
+            );
+        }
+    }
+
+    #[test]
+    fn failures_and_empty_input_contribute_nothing() {
+        let events = vec![
+            ev("x", TracePhase::Created, 1.0),
+            ev("x", TracePhase::OverloadDropped, 1.1),
+        ];
+        assert_eq!(collapsed_stacks(&reconstruct(&events)), "");
+        assert_eq!(collapsed_stacks(&[]), "");
+    }
+}

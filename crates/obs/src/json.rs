@@ -250,4 +250,84 @@ mod tests {
         assert_eq!(Json::parse("{}").unwrap(), Json::Obj(BTreeMap::new()));
         assert_eq!(Json::parse("[]").unwrap(), Json::Arr(Vec::new()));
     }
+
+    #[test]
+    fn decodes_string_escapes() {
+        // \uXXXX (BMP), backslash, quote, and the short escapes together.
+        let v = Json::parse(r#""Aé中 \\ \" \/ \n\r\t\b\f""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé中 \\ \" / \n\r\t\u{8}\u{c}"));
+        // Escapes are also decoded in object keys.
+        let v = Json::parse(r#"{"a\"b\\c": 1}"#).unwrap();
+        assert_eq!(v.get("a\"b\\c").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_bad_unicode_escapes() {
+        for bad in [
+            r#""\uD800""#, // lone surrogate is not a scalar value
+            r#""\u12""#,   // truncated hex
+            r#""\uZZZZ""#, // not hex
+            r#""\x41""#,   // unknown escape letter
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn parses_deeply_nested_containers() {
+        let depth = 200;
+        let deep_arr = "[".repeat(depth) + &"]".repeat(depth);
+        assert!(Json::parse(&deep_arr).is_ok(), "deep arrays parse");
+        let deep_obj = "{\"k\":".repeat(depth) + "null" + &"}".repeat(depth);
+        let mut v = &Json::parse(&deep_obj).expect("deep objects parse");
+        for _ in 0..depth {
+            v = v.get("k").expect("every level has k");
+        }
+        assert_eq!(v, &Json::Null);
+        // Unbalanced deep nesting still errors rather than hanging.
+        assert!(Json::parse(&"[".repeat(depth)).is_err());
+    }
+
+    #[test]
+    fn parses_exponent_form_numbers() {
+        for (text, want) in [
+            ("1e3", 1000.0),
+            ("1E3", 1000.0),
+            ("2.5e-2", 0.025),
+            ("-1.5E+10", -1.5e10),
+            ("0.0001e4", 1.0),
+            ("-0", 0.0),
+        ] {
+            let v = Json::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(v.as_f64(), Some(want), "{text}");
+        }
+    }
+
+    #[test]
+    fn malformed_input_rejection_table() {
+        for (bad, why) in [
+            ("", "empty document"),
+            ("   ", "whitespace only"),
+            ("{", "unterminated object"),
+            ("[", "unterminated array"),
+            ("[1,]", "trailing comma in array"),
+            ("{\"a\":1,}", "trailing comma in object"),
+            ("{\"a\"}", "missing colon"),
+            ("{\"a\":}", "missing value"),
+            ("{a:1}", "unquoted key"),
+            ("[1 2]", "missing comma"),
+            ("tru", "truncated keyword"),
+            ("nul", "truncated null"),
+            ("TRUE", "wrong case keyword"),
+            ("{\"a\":1} extra", "trailing characters"),
+            ("\"unterminated", "unterminated string"),
+            ("1.2.3", "double decimal point"),
+            ("1e", "dangling exponent"),
+            ("--1", "double sign"),
+            ("'single'", "single quotes"),
+            (",", "bare comma"),
+        ] {
+            assert!(Json::parse(bad).is_err(), "{why}: {bad:?} should fail");
+        }
+    }
 }

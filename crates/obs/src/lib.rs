@@ -27,24 +27,42 @@
 //!   latency-decomposition discussion.
 //! * [`Json`] — a minimal recursive JSON reader so artifacts such as the
 //!   bench baseline can be parsed back without external dependencies.
+//! * [`MetricsRegistry`] / [`MetricsServer`] — the *live* plane: atomic
+//!   counters, gauges and log-bucketed histograms the simulator bumps on the
+//!   wall-clock side, served as Prometheus text exposition format over
+//!   `/metrics` (plus `/healthz`) from a dependency-free TCP listener.
+//!   Strictly write-only from the simulation's perspective, so enabling it
+//!   never perturbs a deterministic run.
+//! * [`chrome_trace`] / [`collapsed_stacks`] — standard-tooling exports:
+//!   Chrome Trace Event Format JSON for Perfetto and folded stacks for
+//!   flamegraph renderers, both derived from the same reconstructed spans
+//!   the analyzer uses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analyze;
 mod bottleneck;
+mod chrome;
 mod event;
+mod exporter;
+mod flame;
 mod hist;
 mod json;
+mod registry;
 mod series;
 mod sink;
 mod span;
 
 pub use analyze::{Dist, SegmentStats, SlowTx, TraceAnalysis};
 pub use bottleneck::{BottleneckReport, StationClass, TxStationBreakdown, WindowAttribution};
+pub use chrome::chrome_trace;
 pub use event::{parse_jsonl, PhaseEvent, TracePhase};
+pub use exporter::{http_get, MetricsServer};
+pub use flame::collapsed_stacks;
 pub use hist::LogHistogram;
 pub use json::Json;
+pub use registry::{validate_exposition, Counter, Gauge, LiveHistogram, MetricsRegistry};
 pub use series::{MetricsRecorder, TimeSeries};
-pub use sink::{EventSink, Tracer};
+pub use sink::{EventSink, JsonlFileSink, Tracer};
 pub use span::{reconstruct, Segment, TxSpan, PIPELINE_LEN};

@@ -1,0 +1,854 @@
+//! Live metrics registry: atomic counters, gauges and histograms.
+//!
+//! Unlike the rest of this crate — which records on the *virtual* clock and
+//! is read after the run — the registry is the wall-clock side of the
+//! observability plane: the simulator bumps lock-free handles as it advances,
+//! and the [`crate::MetricsServer`] renders a consistent-enough snapshot in
+//! Prometheus text exposition format whenever a scraper asks. Handles are
+//! cheap `Arc` clones, so the simulation threads never take the registry
+//! lock; only registration (start-up) and rendering (scrape) do.
+//!
+//! The plane is strictly write-only from the simulator's point of view: no
+//! simulation decision ever reads a live metric, which is what keeps traced
+//! and untraced runs bit-identical (the determinism contract in DESIGN.md
+//! §12).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing integer metric (Prometheus `counter`).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A floating-point metric that can go up and down (Prometheus `gauge`).
+///
+/// Stored as the `f64` bit pattern in an `AtomicU64`; the zero default is
+/// exactly `0.0`.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A thread-safe log-bucketed histogram (Prometheus `histogram`).
+///
+/// Same geometry as [`crate::LogHistogram`]: bucket `0` covers `(0, lo]`,
+/// bucket `i ≥ 1` covers `(lo·g^(i-1), lo·g^i]`, plus an explicit overflow
+/// bucket rendered as `le="+Inf"`. Counts are relaxed atomics; the running
+/// sum is a CAS loop over the `f64` bit pattern. A scrape may observe a
+/// sample in a bucket before it is in the sum (or vice versa) — acceptable
+/// skew for a live plane, and gone by the final scrape.
+#[derive(Debug, Clone)]
+pub struct LiveHistogram {
+    core: Arc<HistCore>,
+}
+
+#[derive(Debug)]
+struct HistCore {
+    lo: f64,
+    ln_growth: f64,
+    /// Finite bucket upper bounds, ascending; `counts` has one extra slot
+    /// for the `+Inf` overflow bucket.
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+}
+
+impl LiveHistogram {
+    /// Creates a histogram resolving `(0, hi]` with `buckets_per_decade`
+    /// buckets per factor of ten, anchored at `lo` (same layout rule as
+    /// [`crate::LogHistogram::new`]).
+    ///
+    /// # Panics
+    /// Panics unless `0 < lo < hi` and `buckets_per_decade ≥ 1`.
+    pub fn new(lo: f64, hi: f64, buckets_per_decade: u32) -> Self {
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+        assert!(buckets_per_decade >= 1, "need one bucket per decade");
+        let growth = 10f64.powf(1.0 / buckets_per_decade as f64);
+        let decades = (hi / lo).log10();
+        let n = (decades * buckets_per_decade as f64).ceil() as usize + 1;
+        let bounds: Vec<f64> = (0..n).map(|i| lo * growth.powi(i as i32)).collect();
+        let counts = (0..n + 1).map(|_| AtomicU64::new(0)).collect();
+        LiveHistogram {
+            core: Arc::new(HistCore {
+                lo,
+                ln_growth: growth.ln(),
+                bounds,
+                counts,
+                sum_bits: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A latency histogram resolving 100 µs .. 1 h at 5 buckets per decade —
+    /// coarse enough to keep `/metrics` small, fine enough to watch a knee
+    /// move.
+    pub fn latency() -> Self {
+        LiveHistogram::new(1e-4, 3600.0, 5)
+    }
+
+    /// Records one sample. Non-finite or negative samples are ignored (a
+    /// live plane must never panic the simulation).
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() || v < 0.0 {
+            return;
+        }
+        let c = &*self.core;
+        let idx = if v <= c.lo {
+            0
+        } else {
+            (((v / c.lo).ln() / c.ln_growth).ceil() as usize).min(c.counts.len() - 1)
+        };
+        c.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = c.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match c
+                .sum_bits
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.core
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative `(upper_bound, count ≤ upper_bound)` pairs, ending with the
+    /// `+Inf` bucket (`f64::INFINITY`). This is the exposition-format view.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let c = &*self.core;
+        let mut cum = 0u64;
+        let mut out = Vec::with_capacity(c.counts.len());
+        for (i, cnt) in c.counts.iter().enumerate() {
+            cum += cnt.load(Ordering::Relaxed);
+            let bound = c.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, cum));
+        }
+        out
+    }
+}
+
+/// The metric kind of a family, fixed at first registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Value {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(LiveHistogram),
+}
+
+#[derive(Debug)]
+struct Series {
+    labels: Vec<(String, String)>,
+    value: Value,
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    series: Vec<Series>,
+}
+
+/// A shareable collection of metric families, rendered on demand in
+/// Prometheus text exposition format (version 0.0.4).
+///
+/// Families and series keep registration order, so `/metrics` output is
+/// stable across scrapes. Registering the same `(name, labels)` twice
+/// returns a handle to the same underlying metric.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    families: Arc<Mutex<Vec<Family>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or looks up) a counter.
+    ///
+    /// # Panics
+    /// Panics on an invalid metric/label name or a kind clash with an
+    /// existing family — both programming errors, caught in tests.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, Kind::Counter, labels, || {
+            Value::Counter(Counter::default())
+        }) {
+            Value::Counter(c) => c,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Registers (or looks up) a gauge.
+    ///
+    /// # Panics
+    /// Same contract as [`MetricsRegistry::counter`].
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, Kind::Gauge, labels, || {
+            Value::Gauge(Gauge::default())
+        }) {
+            Value::Gauge(g) => g,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Registers (or looks up) a histogram with the given log-bucket layout
+    /// (see [`LiveHistogram::new`]). The layout of an already-registered
+    /// series wins.
+    ///
+    /// # Panics
+    /// Same contract as [`MetricsRegistry::counter`].
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        lo: f64,
+        hi: f64,
+        buckets_per_decade: u32,
+    ) -> LiveHistogram {
+        match self.register(name, help, Kind::Histogram, labels, || {
+            Value::Histogram(LiveHistogram::new(lo, hi, buckets_per_decade))
+        }) {
+            Value::Histogram(h) => h,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Value,
+    ) -> Value {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name {k:?}");
+        }
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut families = self.families.lock().expect("registry lock");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert!(
+                    f.kind == kind,
+                    "metric {name:?} registered as {} and {}",
+                    f.kind.label(),
+                    kind.label()
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(s) = family.series.iter().find(|s| s.labels == labels) {
+            return s.value.clone();
+        }
+        let value = make();
+        family.series.push(Series {
+            labels,
+            value: value.clone(),
+        });
+        value
+    }
+
+    /// Renders the whole registry in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().expect("registry lock");
+        let mut out = String::new();
+        for f in families.iter() {
+            out.push_str(&format!("# HELP {} {}\n", f.name, escape_help(&f.help)));
+            out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind.label()));
+            for s in &f.series {
+                match &s.value {
+                    Value::Counter(c) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            f.name,
+                            render_labels(&s.labels, None),
+                            c.get()
+                        ));
+                    }
+                    Value::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            f.name,
+                            render_labels(&s.labels, None),
+                            fmt_f64(g.get())
+                        ));
+                    }
+                    Value::Histogram(h) => {
+                        for (bound, cum) in h.cumulative_buckets() {
+                            let le = if bound.is_infinite() {
+                                "+Inf".to_string()
+                            } else {
+                                fmt_f64(bound)
+                            };
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                f.name,
+                                render_labels(&s.labels, Some(&le)),
+                                cum
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            f.name,
+                            render_labels(&s.labels, None),
+                            fmt_f64(h.sum())
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            f.name,
+                            render_labels(&s.labels, None),
+                            h.count()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Formats an `f64` the way the exposition format expects (`Inf`/`NaN`
+/// spelled out; otherwise Rust's shortest decimal round-trip form).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// HELP-line escaping: backslash and newline only (per the format spec).
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Label-value escaping: backslash, double quote, newline.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{}\"", escape_label(le)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Validates Prometheus text exposition format: the repo-local checker used
+/// by the CI smoke job and the integration tests.
+///
+/// Checks, for the strict subset this crate emits:
+/// * every line is a `# HELP`/`# TYPE` comment, blank, or a sample;
+/// * sample metric names and label names are well-formed, label values are
+///   properly quoted (escapes limited to `\\`, `\"`, `\n`);
+/// * every sample belongs to a family with a preceding `# TYPE` line
+///   (histogram samples may use the `_bucket`/`_sum`/`_count` suffixes);
+/// * counter and bucket values are finite and non-negative;
+/// * per histogram series: bucket counts are monotone non-decreasing in
+///   ascending `le`, a `le="+Inf"` bucket exists, and `_count` equals it.
+///
+/// # Errors
+/// The line number and description of the first problem found.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // (family, labels-minus-le) -> buckets/sum/count seen.
+    #[derive(Default)]
+    struct HistSeries {
+        buckets: Vec<(f64, f64)>,
+        sum: Option<f64>,
+        count: Option<f64>,
+    }
+    let mut hists: BTreeMap<(String, String), HistSeries> = BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let err = |msg: String| Err(format!("line {n}: {msg}"));
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let name = it.next().unwrap_or("");
+            let kind = it.next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return err(format!("bad metric name in TYPE: {name:?}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return err(format!("unknown metric type {kind:?}"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return err(format!("duplicate TYPE for {name:?}"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return err(format!("bad metric name in HELP: {name:?}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        let (name, labels, value) = match parse_sample_line(line) {
+            Ok(t) => t,
+            Err(e) => return err(e),
+        };
+        // Resolve the family: exact name, or histogram suffix.
+        let (family, suffix) = match types.get(&name) {
+            Some(_) => (name.clone(), ""),
+            None => {
+                let stripped = ["_bucket", "_sum", "_count"]
+                    .iter()
+                    .find_map(|s| name.strip_suffix(s).map(|base| (base.to_string(), *s)));
+                match stripped {
+                    Some((base, s))
+                        if types.get(&base).map(String::as_str) == Some("histogram") =>
+                    {
+                        (base, s)
+                    }
+                    _ => return err(format!("sample {name:?} has no preceding TYPE line")),
+                }
+            }
+        };
+        let kind = types[&family].clone();
+        if kind == "histogram" && suffix.is_empty() {
+            return err(format!(
+                "histogram {family:?} sampled without _bucket/_sum/_count suffix"
+            ));
+        }
+        if kind == "counter" && (value.is_nan() || value < 0.0) {
+            return err(format!(
+                "counter {name:?} has negative or NaN value {value}"
+            ));
+        }
+        if kind == "histogram" {
+            let mut le: Option<String> = None;
+            let mut rest_labels: Vec<(String, String)> = Vec::new();
+            for (k, v) in labels {
+                if k == "le" {
+                    le = Some(v);
+                } else {
+                    rest_labels.push((k, v));
+                }
+            }
+            let series_key = (
+                family.clone(),
+                rest_labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v},"))
+                    .collect::<String>(),
+            );
+            let h = hists.entry(series_key).or_default();
+            match suffix {
+                "_bucket" => {
+                    let le = match le {
+                        Some(le) => le,
+                        None => return err(format!("{name:?} bucket missing le label")),
+                    };
+                    let bound = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        match le.parse::<f64>() {
+                            Ok(b) => b,
+                            Err(e) => return err(format!("bad le {le:?}: {e}")),
+                        }
+                    };
+                    if value.is_nan() || value < 0.0 {
+                        return err(format!("bucket value {value} invalid"));
+                    }
+                    h.buckets.push((bound, value));
+                }
+                "_sum" => h.sum = Some(value),
+                "_count" => h.count = Some(value),
+                _ => unreachable!("suffix matched above"),
+            }
+        }
+    }
+
+    for ((family, labels), h) in &hists {
+        let what = format!("histogram {family:?}{{{labels}}}");
+        if h.buckets.is_empty() {
+            return Err(format!("{what}: no buckets"));
+        }
+        for w in h.buckets.windows(2) {
+            if w[1].0 < w[0].0 {
+                return Err(format!("{what}: le bounds not ascending"));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!(
+                    "{what}: bucket counts not monotone ({} after {})",
+                    w[1].1, w[0].1
+                ));
+            }
+        }
+        let last = h.buckets.last().expect("non-empty");
+        if !last.0.is_infinite() {
+            return Err(format!("{what}: missing le=\"+Inf\" bucket"));
+        }
+        let count = h.count.ok_or(format!("{what}: missing _count"))?;
+        if h.sum.is_none() {
+            return Err(format!("{what}: missing _sum"));
+        }
+        if count != last.1 {
+            return Err(format!("{what}: _count {count} != +Inf bucket {}", last.1));
+        }
+    }
+    Ok(())
+}
+
+/// Parses one sample line: `name{labels} value [timestamp]`.
+#[allow(clippy::type_complexity)]
+fn parse_sample_line(line: &str) -> Result<(String, Vec<(String, String)>, f64), String> {
+    let mut chars = line.chars().peekable();
+    let mut name = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            name.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    if !valid_metric_name(&name) {
+        return Err(format!("bad metric name at {line:?}"));
+    }
+    let mut labels = Vec::new();
+    if chars.peek() == Some(&'{') {
+        chars.next();
+        loop {
+            while chars.peek() == Some(&' ') {
+                chars.next();
+            }
+            if chars.peek() == Some(&'}') {
+                chars.next();
+                break;
+            }
+            let mut key = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    key.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            if !valid_label_name(&key) {
+                return Err(format!("bad label name {key:?}"));
+            }
+            if chars.next() != Some('=') || chars.next() != Some('"') {
+                return Err(format!("label {key:?} not followed by =\""));
+            }
+            let mut val = String::new();
+            loop {
+                match chars.next() {
+                    None => return Err("unterminated label value".into()),
+                    Some('"') => break,
+                    Some('\\') => match chars.next() {
+                        Some('\\') => val.push('\\'),
+                        Some('"') => val.push('"'),
+                        Some('n') => val.push('\n'),
+                        other => return Err(format!("bad label escape {other:?}")),
+                    },
+                    Some(c) => val.push(c),
+                }
+            }
+            labels.push((key, val));
+            match chars.peek() {
+                Some(',') => {
+                    chars.next();
+                }
+                Some('}') => {}
+                other => return Err(format!("expected ',' or '}}' in labels, found {other:?}")),
+            }
+        }
+    }
+    let rest: String = chars.collect();
+    let mut parts = rest.split_whitespace();
+    let value = parts
+        .next()
+        .ok_or_else(|| format!("missing value in {line:?}"))?;
+    let value = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse::<f64>()
+            .map_err(|e| format!("bad value {v:?}: {e}"))?,
+    };
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>()
+            .map_err(|e| format!("bad timestamp {ts:?}: {e}"))?;
+    }
+    if parts.next().is_some() {
+        return Err(format!("trailing tokens in {line:?}"));
+    }
+    Ok((name, labels, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_with_labels() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter(
+            "fabricsim_txs_total",
+            "Transactions seen.",
+            &[("kind", "valid")],
+        );
+        let c2 = reg.counter(
+            "fabricsim_txs_total",
+            "Transactions seen.",
+            &[("kind", "invalid")],
+        );
+        let g = reg.gauge("fabricsim_sim_time_seconds", "Virtual clock.", &[]);
+        c.inc();
+        c.add(2);
+        c2.inc();
+        g.set(12.5);
+        let text = reg.render();
+        assert!(text.contains("# HELP fabricsim_txs_total Transactions seen.\n"));
+        assert!(text.contains("# TYPE fabricsim_txs_total counter\n"));
+        assert!(text.contains("fabricsim_txs_total{kind=\"valid\"} 3\n"));
+        assert!(text.contains("fabricsim_txs_total{kind=\"invalid\"} 1\n"));
+        assert!(text.contains("# TYPE fabricsim_sim_time_seconds gauge\n"));
+        assert!(text.contains("fabricsim_sim_time_seconds 12.5\n"));
+        validate_exposition(&text).expect("render is valid exposition");
+    }
+
+    #[test]
+    fn reregistration_returns_the_same_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x_total", "X.", &[("l", "1")]);
+        let b = reg.counter("x_total", "X.", &[("l", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(b.get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter and gauge")]
+    fn kind_clash_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x_total", "X.", &[]);
+        reg.gauge("x_total", "X.", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_metric_name_panics() {
+        MetricsRegistry::new().counter("bad name", "X.", &[]);
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_with_inf() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_seconds", "Latency.", &[], 0.001, 10.0, 1);
+        h.observe(0.0005); // bucket 0
+        h.observe(0.5);
+        h.observe(1e9); // overflow -> +Inf only
+        let text = reg.render();
+        assert!(text.contains("# TYPE lat_seconds histogram\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_seconds_count 3\n"));
+        validate_exposition(&text).expect("valid");
+        // Cumulative counts are monotone and end at the total.
+        let cum = h.cumulative_buckets();
+        assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(cum.last().unwrap().1, 3);
+        assert!(cum.last().unwrap().0.is_infinite());
+        assert!((h.sum() - (0.0005 + 0.5 + 1e9)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn histogram_ignores_invalid_samples() {
+        let h = LiveHistogram::latency();
+        h.observe(f64::NAN);
+        h.observe(-1.0);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        h.observe(0.25);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn histogram_is_shareable_across_threads() {
+        let h = LiveHistogram::new(0.001, 10.0, 5);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe(0.001 * (i % 100 + 1) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        let expect: f64 = 4.0 * (1..=100).map(|i| 0.001 * i as f64).sum::<f64>() * 10.0;
+        assert!((h.sum() - expect).abs() < 1e-9 * expect);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x_total", "X.", &[("station", "we\"ird\\na\nme")])
+            .inc();
+        let text = reg.render();
+        assert!(text.contains("x_total{station=\"we\\\"ird\\\\na\\nme\"} 1\n"));
+        validate_exposition(&text).expect("escaped output is valid");
+    }
+
+    #[test]
+    fn checker_rejects_broken_documents() {
+        for (bad, why) in [
+            ("x_total 1\n", "no TYPE"),
+            ("# TYPE x_total counter\nx_total -1\n", "negative counter"),
+            ("# TYPE x_total counter\nx_total NaN\n", "NaN counter"),
+            ("# TYPE h histogram\nh_sum 1\nh_count 1\n", "no buckets"),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+                "non-monotone buckets",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+                "missing +Inf",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 1\n",
+                "_count != +Inf",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+                "missing _sum",
+            ),
+            ("# TYPE h histogram\nh 3\n", "unsuffixed histogram sample"),
+            ("# TYPE x_total counter\nx_total{l=\"v} 1\n", "unterminated label"),
+            ("# TYPE x_total counter\nx_total 1 2 3\n", "trailing tokens"),
+            ("# TYPE x_total wat\n", "unknown type"),
+        ] {
+            assert!(validate_exposition(bad).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn checker_accepts_timestamps_and_plain_comments() {
+        let ok = "# a comment\n# TYPE x_total counter\nx_total{a=\"b\"} 1 1700000000\n";
+        validate_exposition(ok).expect("valid");
+    }
+}

@@ -6,6 +6,11 @@
 //! and calls [`MetricsRecorder::sample`]. Series are aligned — sample `i` of
 //! every series was taken at virtual time `i * period_s` — so exports are a
 //! plain rectangular table.
+//!
+//! When the simulation horizon is not a whole number of periods, the final
+//! *partial* window is flushed with [`MetricsRecorder::end_partial_tick`] and
+//! carries its actual width, so width-weighted statistics don't under-report
+//! the tail of short runs.
 
 use std::collections::HashMap;
 
@@ -18,6 +23,10 @@ pub struct TimeSeries {
     pub period_s: f64,
     /// Samples; index `i` was taken at virtual time `i * period_s`.
     pub values: Vec<f64>,
+    /// Width of the final window when it was cut short by the simulation
+    /// horizon (`None` when every window is a full period). Set by
+    /// [`MetricsRecorder::end_partial_tick`].
+    pub tail_width_s: Option<f64>,
 }
 
 impl TimeSeries {
@@ -35,13 +44,26 @@ impl TimeSeries {
         self.values.iter().copied().fold(0.0, f64::max)
     }
 
-    /// Mean sample (0 when empty).
+    /// Width-weighted mean sample (0 when empty): every window weighs its
+    /// own duration, so a flushed partial tail contributes proportionally to
+    /// its actual width instead of a full period.
     pub fn mean(&self) -> f64 {
         if self.values.is_empty() {
-            0.0
-        } else {
-            self.values.iter().sum::<f64>() / self.values.len() as f64
+            return 0.0;
         }
+        let n = self.values.len();
+        let tail_w = match self.tail_width_s {
+            Some(w) => w,
+            None => self.period_s,
+        };
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &v) in self.values.iter().enumerate() {
+            let w = if i == n - 1 { tail_w } else { self.period_s };
+            num += v * w;
+            den += w;
+        }
+        num / den
     }
 }
 
@@ -57,6 +79,8 @@ pub struct MetricsRecorder {
     index: HashMap<String, usize>,
     /// Number of completed sampling ticks.
     ticks: usize,
+    /// Width of the final (partial) tick, once flushed.
+    tail_width_s: Option<f64>,
 }
 
 impl MetricsRecorder {
@@ -74,6 +98,7 @@ impl MetricsRecorder {
             series: Vec::new(),
             index: HashMap::new(),
             ticks: 0,
+            tail_width_s: None,
         }
     }
 
@@ -82,9 +107,16 @@ impl MetricsRecorder {
         self.period_s
     }
 
-    /// Number of completed sampling ticks.
+    /// Number of completed sampling ticks (a flushed partial tail counts as
+    /// one tick).
     pub fn ticks(&self) -> usize {
         self.ticks
+    }
+
+    /// Width of the flushed final partial window, if the run ended mid-window
+    /// (see [`MetricsRecorder::end_partial_tick`]).
+    pub fn tail_width_s(&self) -> Option<f64> {
+        self.tail_width_s
     }
 
     /// Records `value` for `name` at the current tick. A series that first
@@ -98,6 +130,7 @@ impl MetricsRecorder {
                     name: name.to_string(),
                     period_s: self.period_s,
                     values: vec![0.0; self.ticks],
+                    tail_width_s: None,
                 });
                 self.index.insert(name.to_string(), i);
                 i
@@ -118,11 +151,37 @@ impl MetricsRecorder {
     /// Marks the end of one sampling tick; series not sampled this tick are
     /// padded with zero so indices keep meaning "tick number".
     pub fn end_tick(&mut self) {
+        assert!(
+            self.tail_width_s.is_none(),
+            "end_tick after the partial tail was flushed"
+        );
         self.ticks += 1;
         for s in &mut self.series {
             while s.values.len() < self.ticks {
                 s.values.push(0.0);
             }
+        }
+    }
+
+    /// Flushes the final *partial* window: like [`MetricsRecorder::end_tick`]
+    /// but records that this last window spans only `width_s` virtual
+    /// seconds (the remainder of the horizon), so width-weighted statistics
+    /// treat it proportionally. Call at most once, as the last tick of the
+    /// run.
+    ///
+    /// # Panics
+    /// Panics unless `0 < width_s ≤ period_s`, or if a tail was already
+    /// flushed.
+    pub fn end_partial_tick(&mut self, width_s: f64) {
+        assert!(
+            width_s > 0.0 && width_s <= self.period_s && width_s.is_finite(),
+            "partial tick width {width_s} outside (0, {}]",
+            self.period_s
+        );
+        self.end_tick();
+        self.tail_width_s = Some(width_s);
+        for s in &mut self.series {
+            s.tail_width_s = Some(width_s);
         }
     }
 
@@ -158,12 +217,13 @@ impl MetricsRecorder {
     }
 
     /// Renders the recorder as a JSON object:
-    /// `{"period_s":..,"ticks":..,"series":{"name":[..],..}}`.
+    /// `{"period_s":..,"ticks":..[,"tail_width_s":..],"series":{"name":[..],..}}`.
     pub fn to_json(&self) -> String {
-        let mut out = format!(
-            "{{\"period_s\":{},\"ticks\":{},\"series\":{{",
-            self.period_s, self.ticks
-        );
+        let mut out = format!("{{\"period_s\":{},\"ticks\":{}", self.period_s, self.ticks);
+        if let Some(w) = self.tail_width_s {
+            out.push_str(&format!(",\"tail_width_s\":{w}"));
+        }
+        out.push_str(",\"series\":{");
         for (i, s) in self.series.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -234,6 +294,7 @@ mod tests {
         let json = rec.to_json();
         assert!(json.contains("\"period_s\":1"));
         assert!(json.contains("\"a\":[1.500000]"));
+        assert!(!json.contains("tail_width_s"));
     }
 
     #[test]
@@ -242,8 +303,57 @@ mod tests {
             name: "x".into(),
             period_s: 1.0,
             values: vec![1.0, 3.0],
+            tail_width_s: None,
         };
         assert_eq!(ts.max(), 3.0);
         assert_eq!(ts.mean(), 2.0);
+    }
+
+    #[test]
+    fn partial_tail_is_flushed_and_weighted() {
+        // Two full 1 s windows then a 0.25 s tail the horizon cut short.
+        let mut rec = MetricsRecorder::new(1.0);
+        rec.sample("q", 2.0);
+        rec.end_tick();
+        rec.sample("q", 4.0);
+        rec.end_tick();
+        rec.sample("q", 8.0);
+        rec.end_partial_tick(0.25);
+        assert_eq!(rec.ticks(), 3);
+        assert_eq!(rec.tail_width_s(), Some(0.25));
+        let s = rec.get("q").unwrap();
+        assert_eq!(s.values, vec![2.0, 4.0, 8.0]);
+        // Weighted: (2·1 + 4·1 + 8·0.25) / 2.25, not the naive (2+4+8)/3.
+        let want = (2.0 + 4.0 + 8.0 * 0.25) / 2.25;
+        assert!((s.mean() - want).abs() < 1e-12, "{} vs {want}", s.mean());
+        // The tail row still appears in exports.
+        assert_eq!(rec.to_csv().lines().count(), 4);
+        assert!(rec.to_json().contains("\"tail_width_s\":0.25"));
+    }
+
+    #[test]
+    fn partial_tail_pads_unsampled_series() {
+        let mut rec = MetricsRecorder::new(1.0);
+        rec.sample("a", 1.0);
+        rec.sample("b", 5.0);
+        rec.end_tick();
+        rec.sample("a", 3.0); // "b" not sampled in the tail window
+        rec.end_partial_tick(0.5);
+        assert_eq!(rec.get("b").unwrap().values, vec![5.0, 0.0]);
+        assert_eq!(rec.get("b").unwrap().tail_width_s, Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "after the partial tail")]
+    fn ticks_after_the_tail_panic() {
+        let mut rec = MetricsRecorder::new(1.0);
+        rec.end_partial_tick(0.5);
+        rec.end_tick();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,")]
+    fn oversized_tail_panics() {
+        MetricsRecorder::new(1.0).end_partial_tick(1.5);
     }
 }

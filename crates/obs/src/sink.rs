@@ -5,6 +5,10 @@
 //! discriminant check, so runs without tracing pay one predictable branch per
 //! phase transition and allocate nothing.
 
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
 use crate::event::PhaseEvent;
 
 /// Anything that can consume phase events.
@@ -87,6 +91,93 @@ impl Tracer for EventSink {
     }
 }
 
+/// A buffered JSONL trace writer streaming events straight to disk.
+///
+/// Events are rendered as one JSON object per line through a
+/// [`BufWriter`], so long traces never accumulate in memory the way
+/// [`EventSink::Memory`] does. The buffer flushes on [`JsonlFileSink::finish`]
+/// *and* on drop — a CLI that errors out (or a caller that forgets `finish`)
+/// still leaves a parseable, line-complete file behind; only events buffered
+/// after the last successful write to a failing device can be lost, and
+/// `finish` is the path that reports such errors instead of swallowing them.
+#[derive(Debug)]
+pub struct JsonlFileSink {
+    writer: Option<BufWriter<File>>,
+    path: PathBuf,
+    written: u64,
+}
+
+impl JsonlFileSink {
+    /// Creates (truncating) `path` and returns a sink writing to it.
+    ///
+    /// # Errors
+    /// The underlying file-creation error.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlFileSink> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(JsonlFileSink {
+            writer: Some(BufWriter::new(file)),
+            path,
+            written: 0,
+        })
+    }
+
+    /// The path this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Events written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Writes one event as a JSONL line.
+    ///
+    /// # Errors
+    /// The underlying write error.
+    pub fn write_event(&mut self, ev: &PhaseEvent) -> std::io::Result<()> {
+        let w = self.writer.as_mut().expect("sink not finished");
+        w.write_all(ev.to_json().as_bytes())?;
+        w.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flushes and closes the file, reporting any deferred I/O error. After
+    /// `finish` the drop flush is a no-op.
+    ///
+    /// # Errors
+    /// The flush error, if buffered lines could not be written out.
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        if let Some(mut w) = self.writer.take() {
+            w.flush()?;
+        }
+        Ok(self.written)
+    }
+}
+
+impl Drop for JsonlFileSink {
+    fn drop(&mut self) {
+        // Best-effort: a sink dropped on an early-exit path must still leave
+        // a parseable file. Errors are unreportable here; callers that care
+        // use `finish`.
+        if let Some(mut w) = self.writer.take() {
+            let _ = w.flush();
+        }
+    }
+}
+
+impl Tracer for JsonlFileSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+    fn record(&mut self, ev: PhaseEvent) {
+        // The Tracer trait has no error channel; defer failures to `finish`.
+        let _ = self.write_event(&ev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +202,43 @@ mod tests {
         sink.record(ev(1.0));
         assert!(sink.events().is_empty());
         assert_eq!(sink.to_jsonl(), "");
+    }
+
+    #[test]
+    fn dropped_file_sink_leaves_a_parseable_file() {
+        let path =
+            std::env::temp_dir().join(format!("fabricsim-sink-drop-{}.jsonl", std::process::id()));
+        {
+            let mut sink = JsonlFileSink::create(&path).expect("create");
+            assert!(Tracer::enabled(&sink));
+            for i in 0..100 {
+                sink.record(ev(i as f64));
+            }
+            assert_eq!(sink.written(), 100);
+            // No finish(): the sink is dropped here, as on an early CLI exit.
+        }
+        let text = std::fs::read_to_string(&path).expect("file exists");
+        let events = crate::event::parse_jsonl(&text).expect("drop-flushed file parses");
+        assert_eq!(events.len(), 100);
+        assert_eq!(events[99].t_s, 99.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn finished_file_sink_reports_count_and_survives_double_flush() {
+        let path = std::env::temp_dir().join(format!(
+            "fabricsim-sink-finish-{}.jsonl",
+            std::process::id()
+        ));
+        let mut sink = JsonlFileSink::create(&path).expect("create");
+        sink.write_event(&ev(1.0)).expect("write");
+        sink.write_event(&ev(2.0)).expect("write");
+        assert_eq!(sink.path(), path.as_path());
+        assert_eq!(sink.finish().expect("finish"), 2);
+        let events = crate::event::parse_jsonl(&std::fs::read_to_string(&path).expect("read"))
+            .expect("parses");
+        assert_eq!(events.len(), 2);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

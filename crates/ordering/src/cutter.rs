@@ -62,7 +62,11 @@ impl BlockCutter {
         // Rule 2a: the new transaction would overflow the byte budget — cut
         // what we have first.
         if !self.pending.is_empty() && self.pending_bytes + tx_bytes > self.config.max_bytes {
-            outcome.batches.push(self.take_pending());
+            let batch = self.take_pending();
+            if let Some(m) = crate::metrics::metrics() {
+                m.record_cut(crate::metrics::CutReason::Bytes, batch.len());
+            }
+            outcome.batches.push(batch);
         }
 
         let was_empty = self.pending.is_empty();
@@ -74,7 +78,16 @@ impl BlockCutter {
         if self.pending.len() >= self.config.max_message_count
             || self.pending_bytes >= self.config.max_bytes
         {
-            outcome.batches.push(self.take_pending());
+            let reason = if self.pending.len() >= self.config.max_message_count {
+                crate::metrics::CutReason::Size
+            } else {
+                crate::metrics::CutReason::Bytes
+            };
+            let batch = self.take_pending();
+            if let Some(m) = crate::metrics::metrics() {
+                m.record_cut(reason, batch.len());
+            }
+            outcome.batches.push(batch);
         } else if was_empty {
             // Rule 3 setup: first tx into an empty batch starts the timer.
             self.timer_seq += 1;
@@ -89,7 +102,11 @@ impl BlockCutter {
         if seq != self.timer_seq || self.pending.is_empty() {
             return None;
         }
-        Some(self.take_pending())
+        let batch = self.take_pending();
+        if let Some(m) = crate::metrics::metrics() {
+            m.record_cut(crate::metrics::CutReason::Timeout, batch.len());
+        }
+        Some(batch)
     }
 
     /// True while `seq` is the live (most recently armed, not yet
@@ -106,7 +123,11 @@ impl BlockCutter {
         if self.pending.is_empty() {
             None
         } else {
-            Some(self.take_pending())
+            let batch = self.take_pending();
+            if let Some(m) = crate::metrics::metrics() {
+                m.record_cut(crate::metrics::CutReason::Timeout, batch.len());
+            }
+            Some(batch)
         }
     }
 

@@ -1,0 +1,104 @@
+//! Live metrics hooks for the ordering service's block cutter.
+//!
+//! Wall-clock-side counters for the live observability plane: the cutter
+//! bumps them as batches are cut, an exporter thread reads them, and the
+//! simulation never reads them back — installing them cannot perturb a
+//! deterministic run. Process-global for the same reason as the peer
+//! pipeline's hooks: [`crate::BlockCutter`] is embedded per channel per OSN,
+//! and threading shared handles through every embedder would churn the API
+//! for a write-only concern.
+
+use std::sync::OnceLock;
+
+use fabricsim_obs::{Counter, MetricsRegistry};
+
+/// Why a batch was cut (Fabric's three batching rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutReason {
+    /// Rule 1: the batch reached `max_message_count`.
+    Size,
+    /// Rule 2: the byte budget was reached or would have been exceeded.
+    Bytes,
+    /// Rule 3: the batch timeout fired (or a Kafka time-to-cut marker).
+    Timeout,
+}
+
+/// Counters the block cutter maintains.
+#[derive(Debug, Clone)]
+pub struct CutterMetrics {
+    cuts_size: Counter,
+    cuts_bytes: Counter,
+    cuts_timeout: Counter,
+    /// Transactions batched into cut blocks.
+    pub batched_txs: Counter,
+}
+
+impl CutterMetrics {
+    /// Registers the cutter counter family in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> CutterMetrics {
+        let help = "Batches cut by the ordering service, by batching rule.";
+        CutterMetrics {
+            cuts_size: registry.counter(
+                "fabricsim_ordering_batches_cut_total",
+                help,
+                &[("reason", "size")],
+            ),
+            cuts_bytes: registry.counter(
+                "fabricsim_ordering_batches_cut_total",
+                help,
+                &[("reason", "bytes")],
+            ),
+            cuts_timeout: registry.counter(
+                "fabricsim_ordering_batches_cut_total",
+                help,
+                &[("reason", "timeout")],
+            ),
+            batched_txs: registry.counter(
+                "fabricsim_ordering_batched_txs_total",
+                "Transactions batched into cut blocks.",
+                &[],
+            ),
+        }
+    }
+
+    /// Records one cut of `txs` transactions.
+    pub fn record_cut(&self, reason: CutReason, txs: usize) {
+        match reason {
+            CutReason::Size => self.cuts_size.inc(),
+            CutReason::Bytes => self.cuts_bytes.inc(),
+            CutReason::Timeout => self.cuts_timeout.inc(),
+        }
+        self.batched_txs.add(txs as u64);
+    }
+}
+
+static GLOBAL: OnceLock<CutterMetrics> = OnceLock::new();
+
+/// Installs the process-global cutter metrics (first install wins).
+pub fn install_metrics(metrics: CutterMetrics) -> bool {
+    GLOBAL.set(metrics).is_ok()
+}
+
+/// The installed metrics, if any.
+pub(crate) fn metrics() -> Option<&'static CutterMetrics> {
+    GLOBAL.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_reasons_map_to_labelled_series() {
+        let registry = MetricsRegistry::new();
+        let m = CutterMetrics::register(&registry);
+        m.record_cut(CutReason::Size, 100);
+        m.record_cut(CutReason::Timeout, 7);
+        m.record_cut(CutReason::Timeout, 3);
+        let text = registry.render();
+        assert!(text.contains("fabricsim_ordering_batches_cut_total{reason=\"size\"} 1"));
+        assert!(text.contains("fabricsim_ordering_batches_cut_total{reason=\"timeout\"} 2"));
+        assert!(text.contains("fabricsim_ordering_batched_txs_total 110"));
+        fabricsim_obs::validate_exposition(&text).expect("valid exposition");
+    }
+}

@@ -23,6 +23,7 @@
 
 mod committer;
 pub mod gossip;
+mod metrics;
 mod peer;
 mod pipeline;
 #[cfg(test)]
@@ -30,5 +31,6 @@ mod testutil;
 
 pub use committer::{vscc_block, vscc_block_pooled, vscc_tx, CommitStats, VsccVerdict};
 pub use gossip::{GossipEffect, GossipMsg, GossipNode};
+pub use metrics::{install_metrics, PipelineMetrics};
 pub use peer::{Peer, PeerConfig};
 pub use pipeline::ValidationPipeline;

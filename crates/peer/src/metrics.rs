@@ -1,0 +1,83 @@
+//! Live metrics hooks for the validation pipeline.
+//!
+//! The counters live on the wall-clock side of the live observability plane:
+//! the pipeline bumps them as blocks are validated, a metrics exporter reads
+//! them concurrently, and nothing in the simulation ever reads them back —
+//! so installing (or not installing) them cannot perturb a deterministic run.
+//!
+//! The hook is process-global because [`crate::ValidationPipeline`] is a
+//! `Copy` value threaded through every committer; storing shared handles in
+//! it would change its type for every embedder. Install once per process
+//! (typically from the simulator's live-metrics bootstrap) and every
+//! pipeline in the process reports.
+
+use std::sync::OnceLock;
+
+use fabricsim_obs::{Counter, MetricsRegistry};
+
+/// Counters the VSCC stage of the validation pipeline maintains.
+#[derive(Debug, Clone)]
+pub struct PipelineMetrics {
+    /// Blocks whose VSCC stage ran.
+    pub vscc_blocks: Counter,
+    /// Per-transaction VSCC checks performed (signature + policy).
+    pub vscc_checks: Counter,
+    /// VSCC checks that rejected the transaction.
+    pub vscc_rejects: Counter,
+}
+
+impl PipelineMetrics {
+    /// Registers the pipeline counter family in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> PipelineMetrics {
+        PipelineMetrics {
+            vscc_blocks: registry.counter(
+                "fabricsim_peer_vscc_blocks_total",
+                "Blocks whose VSCC stage was executed by the validation pipeline.",
+                &[],
+            ),
+            vscc_checks: registry.counter(
+                "fabricsim_peer_vscc_checks_total",
+                "Per-transaction VSCC checks (creator signature, endorsements, policy).",
+                &[],
+            ),
+            vscc_rejects: registry.counter(
+                "fabricsim_peer_vscc_rejects_total",
+                "VSCC checks that flagged the transaction invalid.",
+                &[],
+            ),
+        }
+    }
+}
+
+static GLOBAL: OnceLock<PipelineMetrics> = OnceLock::new();
+
+/// Installs the process-global pipeline metrics. Returns `false` when a set
+/// was already installed (the first install wins; handles are shared, so a
+/// second install with the same registry would be a no-op anyway).
+pub fn install_metrics(metrics: PipelineMetrics) -> bool {
+    GLOBAL.set(metrics).is_ok()
+}
+
+/// The installed metrics, if any.
+pub(crate) fn metrics() -> Option<&'static PipelineMetrics> {
+    GLOBAL.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_counters_render_in_exposition() {
+        let registry = MetricsRegistry::new();
+        let m = PipelineMetrics::register(&registry);
+        m.vscc_blocks.inc();
+        m.vscc_checks.add(50);
+        m.vscc_rejects.add(3);
+        let text = registry.render();
+        assert!(text.contains("fabricsim_peer_vscc_blocks_total 1"));
+        assert!(text.contains("fabricsim_peer_vscc_checks_total 50"));
+        assert!(text.contains("fabricsim_peer_vscc_rejects_total 3"));
+        fabricsim_obs::validate_exposition(&text).expect("valid exposition");
+    }
+}

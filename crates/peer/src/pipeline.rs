@@ -91,6 +91,10 @@ impl ValidationPipeline {
             "one flag slot per transaction"
         );
         let n = block.transactions.len();
+        // Live-plane accounting: flags set before this stage were block-level
+        // rejects, not VSCC work, so count only the slots still eligible.
+        let eligible = flags.iter().filter(|f| f.is_none()).count();
+        let rejected_before = n - eligible;
         let workers = self.pool_size.min(n.max(1));
         let run = |out: &mut [Option<ValidationCode>], txs: &[fabricsim_types::Transaction]| {
             for (slot, tx) in out.iter_mut().zip(txs) {
@@ -104,19 +108,26 @@ impl ValidationPipeline {
         };
         if workers <= 1 {
             run(flags, &block.transactions);
-            return;
+        } else {
+            // Each worker owns a disjoint tx-indexed chunk of the output, so
+            // the merged result is independent of scheduling order.
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|s| {
+                for (out, txs) in flags
+                    .chunks_mut(chunk)
+                    .zip(block.transactions.chunks(chunk))
+                {
+                    s.spawn(move || run(out, txs));
+                }
+            });
         }
-        // Each worker owns a disjoint tx-indexed chunk of the output, so the
-        // merged result is independent of scheduling order.
-        let chunk = n.div_ceil(workers);
-        std::thread::scope(|s| {
-            for (out, txs) in flags
-                .chunks_mut(chunk)
-                .zip(block.transactions.chunks(chunk))
-            {
-                s.spawn(move || run(out, txs));
-            }
-        });
+        if let Some(m) = crate::metrics::metrics() {
+            let rejected_after = flags.iter().filter(|f| f.is_some()).count();
+            m.vscc_blocks.inc();
+            m.vscc_checks.add(eligible as u64);
+            m.vscc_rejects
+                .add((rejected_after - rejected_before) as u64);
+        }
     }
 
     /// Stages 1 + 2 composed: the pre-commit flags the ledger's MVCC stage

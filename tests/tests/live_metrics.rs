@@ -1,0 +1,106 @@
+//! The live observability plane against real runs: counters must advance
+//! while the simulation is still in progress, totals must reconcile with the
+//! run's own accounting, and attaching the plane must never change results.
+//!
+//! These tests use explicit [`fabricsim::LiveMetrics`] bundles (never the
+//! process global), so the plain `Simulation::new(cfg)` runs here are
+//! genuinely plane-free controls.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use fabricsim::{LiveMetrics, OrdererType, PolicySpec, Simulation};
+use fabricsim_integration::quick_config;
+
+#[test]
+fn attaching_the_live_plane_never_changes_results() {
+    let cfg = quick_config(OrdererType::Raft, PolicySpec::OrN(5), 150.0);
+
+    let plain = Simulation::new(cfg.clone()).run_detailed();
+    let live = LiveMetrics::new();
+    let attached = Simulation::new(cfg)
+        .with_live_metrics(live.clone())
+        .run_detailed();
+
+    // Byte-identity of everything the run reports: summary (incl. the
+    // provenance digest), ledger state and block cadence.
+    assert_eq!(
+        format!("{:?}", plain.summary),
+        format!("{:?}", attached.summary)
+    );
+    assert_eq!(plain.observer_height, attached.observer_height);
+    assert_eq!(plain.final_state, attached.final_state);
+    assert_eq!(plain.block_cuts, attached.block_cuts);
+    assert!(live.txs_created.get() > 0, "the attached run did report");
+}
+
+#[test]
+fn totals_reconcile_with_the_run_accounting() {
+    let cfg = quick_config(OrdererType::Solo, PolicySpec::OrN(5), 150.0);
+    let live = LiveMetrics::new();
+    let r = Simulation::new(cfg)
+        .with_live_metrics(live.clone())
+        .run_detailed();
+
+    // Both the run-local histogram and the live one are fed at the same
+    // commit site, so their counts agree exactly.
+    let committed = live.txs_committed_valid.get() + live.txs_committed_invalid.get();
+    assert_eq!(committed, r.observability.e2e_hist.count());
+    assert_eq!(committed, live.e2e_latency.count());
+    let hist_sum = r.observability.e2e_hist.mean() * committed as f64;
+    assert!(
+        (live.e2e_latency.sum() - hist_sum).abs() < 1e-6 * hist_sum.max(1.0),
+        "same samples, same sum"
+    );
+    // Every block-cut record has a live counterpart.
+    assert_eq!(live.blocks_cut.get() as usize, r.block_cuts.len());
+    let block_txs: usize = r.block_cuts.iter().map(|(_, n)| *n).sum();
+    assert_eq!(live.block_txs.get() as usize, block_txs);
+    assert_eq!(live.runs_started.get(), 1);
+    assert_eq!(live.runs_completed.get(), 1);
+    // Gauges were left at their horizon values by the final sweep.
+    assert!((live.sim_time.get() - 12.0).abs() < 1e-9);
+}
+
+#[test]
+fn counters_advance_while_the_run_is_in_progress() {
+    // Long enough that the scraping thread reliably observes the middle of
+    // the run even on a fast machine.
+    let mut cfg = quick_config(OrdererType::Solo, PolicySpec::OrN(5), 300.0);
+    cfg.duration_secs = 40.0;
+    let live = LiveMetrics::new();
+    let done = Arc::new(AtomicBool::new(false));
+
+    let worker = {
+        let live = live.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let summary = Simulation::new(cfg).with_live_metrics(live).run();
+            done.store(true, Ordering::SeqCst);
+            summary
+        })
+    };
+
+    // Poll until the plane shows progress while the run is still going.
+    let mut mid = 0u64;
+    for _ in 0..600_000 {
+        if done.load(Ordering::SeqCst) {
+            break;
+        }
+        mid = live.txs_created.get();
+        if mid > 0 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    assert!(
+        mid > 0 && !done.load(Ordering::SeqCst),
+        "a scrape mid-run must see live counters (saw {mid})"
+    );
+
+    let summary = worker.join().expect("simulation thread");
+    let end = live.txs_created.get();
+    assert!(end >= mid, "counters are monotone");
+    assert!(summary.committed_valid > 0, "the run itself succeeded");
+    assert_eq!(live.runs_completed.get(), 1);
+}

@@ -1,0 +1,62 @@
+//! End-to-end scrape of the live observability plane: install the process
+//! global, run a simulation, serve the registry and validate what an actual
+//! HTTP scrape returns.
+//!
+//! Kept in its own integration binary because the cross-crate peer/ordering
+//! hooks are process-global (first installer wins): this process installs
+//! them exactly once, via `fabricsim::live::install_global`.
+
+use fabricsim::obs::{http_get, validate_exposition, MetricsServer};
+use fabricsim::{OrdererType, PolicySpec, Simulation};
+use fabricsim_integration::quick_config;
+
+#[test]
+fn a_real_scrape_is_valid_and_reflects_the_whole_pipeline() {
+    let live = fabricsim::live::install_global();
+    // `Simulation::new` picks the global up on its own — that is the code
+    // path the CLI's --serve-metrics uses.
+    let summary = Simulation::new(quick_config(OrdererType::Solo, PolicySpec::OrN(5), 150.0)).run();
+    assert!(summary.committed_valid > 0);
+
+    let server = MetricsServer::serve(live.registry().clone(), 0).expect("bind ephemeral port");
+    let (status, body) = http_get(server.addr(), "/metrics").expect("scrape /metrics");
+    assert!(status.contains("200"), "{status}");
+    validate_exposition(&body).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{body}"));
+
+    let series_value = |needle: &str| -> f64 {
+        body.lines()
+            .find(|l| l.starts_with(needle))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("series {needle} missing from scrape:\n{body}"))
+    };
+    // Core counters.
+    assert!(series_value("fabricsim_txs_created_total") > 0.0);
+    assert!(series_value("fabricsim_txs_committed_total{validity=\"valid\"}") > 0.0);
+    assert!(series_value("fabricsim_runs_completed_total") >= 1.0);
+    assert!(series_value("fabricsim_e2e_latency_seconds_count") > 0.0);
+    // The peer validation pipeline reported through its hook.
+    assert!(series_value("fabricsim_peer_vscc_blocks_total") > 0.0);
+    assert!(series_value("fabricsim_peer_vscc_checks_total") > 0.0);
+    // The ordering service block cutter reported through its hook, and its
+    // per-reason split sums to the run's cut count.
+    let cut_total: f64 = ["size", "bytes", "timeout"]
+        .iter()
+        .map(|r| {
+            series_value(&format!(
+                "fabricsim_ordering_batches_cut_total{{reason=\"{r}\"}}"
+            ))
+        })
+        .sum();
+    assert!(cut_total >= summary.blocks_cut as f64);
+    assert!(series_value("fabricsim_ordering_batched_txs_total") > 0.0);
+
+    // Health endpoint.
+    let (status, body) = http_get(server.addr(), "/healthz").expect("scrape /healthz");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("ok"), "{body}");
+
+    // Unknown paths 404 rather than wedging the exporter.
+    let (status, _) = http_get(server.addr(), "/nope").expect("scrape /nope");
+    assert!(status.contains("404"), "{status}");
+}
