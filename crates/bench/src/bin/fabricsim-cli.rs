@@ -76,6 +76,7 @@ fn usage() -> ! {
     eprintln!("                 [--chrome-out FILE] [--flame-out FILE]");
     eprintln!("       fabricsim bench [--out FILE] [--check FILE] [--tolerance PCT]");
     eprintln!("       fabricsim metrics-check FILE");
+    eprintln!("       fabricsim lint [--json [FILE.json]] [--root DIR] [--list-rules] [PATHS…]");
     exit(2);
 }
 
@@ -270,6 +271,7 @@ fn main() {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("metrics-check") => cmd_metrics_check(&args[1..]),
+        Some("lint") => exit(fabricsim_lint::cli_run(&args[1..])),
         _ => {}
     }
     let mut it = args.iter();

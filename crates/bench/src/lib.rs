@@ -30,6 +30,8 @@ pub mod perf;
 /// # Panics
 /// Panics on I/O errors — the harness wants loud failures.
 pub fn write_csv(results_dir: &Path, name: &str, rows: &[Row]) {
+    // lint:allow(no-unwrap-in-lib) -- harness entry point: an unwritable results dir is fatal
+    // by design
     fs::create_dir_all(results_dir).expect("create results dir");
     let path = results_dir.join(format!("{name}.csv"));
     fs::write(&path, to_csv(rows)).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
@@ -46,7 +48,9 @@ pub fn write_csv(results_dir: &Path, name: &str, rows: &[Row]) {
 /// numbers robust to scheduler noise without Criterion's full bootstrap.
 pub mod microbench {
     use std::hint::black_box;
-    use std::time::{Duration, Instant};
+    use std::time::Duration;
+
+    use fabricsim::obs::WallClock;
 
     /// One reported measurement.
     #[derive(Debug, Clone)]
@@ -99,12 +103,11 @@ pub mod microbench {
             // Grow the batch until it is long enough to time reliably.
             let mut batch: u64 = 1;
             loop {
-                let t = Instant::now();
+                let t = WallClock::start();
                 for _ in 0..batch {
                     black_box(f());
                 }
-                let elapsed = t.elapsed();
-                if elapsed >= Duration::from_millis(5) || batch >= 1 << 24 {
+                if t.elapsed_s() >= 0.005 || batch >= 1 << 24 {
                     break;
                 }
                 batch = (batch * 4).min(1 << 24);
@@ -112,18 +115,18 @@ pub mod microbench {
             // Sample batches within the budget.
             let mut per_iter_ns: Vec<f64> = Vec::new();
             let mut iters = 0u64;
-            let start = Instant::now();
+            let start = WallClock::start();
             while per_iter_ns.len() < 25
-                && (per_iter_ns.is_empty() || start.elapsed() < self.budget)
+                && (per_iter_ns.is_empty() || start.elapsed_s() < self.budget.as_secs_f64())
             {
-                let t = Instant::now();
+                let t = WallClock::start();
                 for _ in 0..batch {
                     black_box(f());
                 }
-                per_iter_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+                per_iter_ns.push(t.elapsed_s() * 1e9 / batch as f64);
                 iters += batch;
             }
-            per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+            per_iter_ns.sort_by(f64::total_cmp);
             let m = Measurement {
                 name: name.to_string(),
                 median_ns: per_iter_ns[per_iter_ns.len() / 2],

@@ -16,9 +16,8 @@
 //! wall clock at all — they are dominated by noise.
 
 use std::hint::black_box;
-use std::time::Instant;
 
-use fabricsim::obs::Json;
+use fabricsim::obs::{Json, WallClock};
 use fabricsim::{OrdererType, PolicySpec, SimConfig, Simulation};
 
 /// Schema version of the baseline JSON. Bump on incompatible change.
@@ -125,7 +124,7 @@ pub fn scenario_config(s: &BenchScenario) -> SimConfig {
 /// A pure-integer xorshift loop: deterministic, allocation-free, and scales
 /// with single-core CPU speed the same way the DES event loop does.
 pub fn calibrate() -> f64 {
-    let start = Instant::now();
+    let start = WallClock::start();
     let mut x = 0x9e3779b97f4a7c15u64;
     for _ in 0..200_000_000u64 {
         x ^= x << 13;
@@ -133,15 +132,15 @@ pub fn calibrate() -> f64 {
         x ^= x << 17;
     }
     black_box(x);
-    start.elapsed().as_secs_f64() * 1e3
+    start.elapsed_s() * 1e3
 }
 
 /// Runs one scenario and measures it.
 pub fn run_scenario(s: &BenchScenario) -> ScenarioResult {
     let cfg = scenario_config(s);
-    let start = Instant::now();
+    let start = WallClock::start();
     let result = Simulation::new(cfg).run_detailed();
-    let wall_clock_ms = start.elapsed().as_secs_f64() * 1e3;
+    let wall_clock_ms = start.elapsed_s() * 1e3;
     let sum = &result.summary;
     ScenarioResult {
         name: s.name.clone(),

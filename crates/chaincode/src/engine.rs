@@ -1,6 +1,6 @@
 //! The [`Chaincode`] trait and per-peer registry.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -65,9 +65,15 @@ pub trait Chaincode: fmt::Debug + Send {
 }
 
 /// The chaincodes installed on a peer, by name.
+///
+/// A `BTreeMap` so every view of the registry (iteration, [`names`]) is
+/// deterministically ordered — `HashMap`'s per-process `RandomState` is
+/// banned from sim-critical crates by `fabricsim-lint`.
+///
+/// [`names`]: ChaincodeRegistry::names
 #[derive(Debug, Default)]
 pub struct ChaincodeRegistry {
-    installed: HashMap<String, Box<dyn Chaincode>>,
+    installed: BTreeMap<String, Box<dyn Chaincode>>,
 }
 
 impl ChaincodeRegistry {
@@ -93,11 +99,9 @@ impl ChaincodeRegistry {
             .ok_or_else(|| ChaincodeError::NotInstalled(name.to_string()))
     }
 
-    /// Names of installed chaincodes, sorted.
+    /// Names of installed chaincodes, sorted (the map's native order).
     pub fn names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.installed.keys().map(String::as_str).collect();
-        names.sort_unstable();
-        names
+        self.installed.keys().map(String::as_str).collect()
     }
 }
 

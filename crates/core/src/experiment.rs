@@ -25,26 +25,33 @@ use crate::workload::{GossipConfig, PolicySpec, SimConfig, WorkloadKind};
 pub mod progress {
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::OnceLock;
-    use std::time::Instant;
+
+    use fabricsim_obs::WallClock;
 
     static ENABLED: AtomicBool = AtomicBool::new(false);
     static TOTAL: AtomicU64 = AtomicU64::new(0);
     static DONE: AtomicU64 = AtomicU64::new(0);
-    static START: OnceLock<Instant> = OnceLock::new();
+    static START: OnceLock<WallClock> = OnceLock::new();
 
     /// Turns on progress lines for this process.
     pub fn enable() {
-        START.get_or_init(Instant::now);
+        START.get_or_init(WallClock::start);
+        // lint:allow(atomics-ordering-annotated) -- cosmetic stderr flag;
+        // no other memory depends on observing it in order.
         ENABLED.store(true, Ordering::Relaxed);
     }
 
     /// True when [`enable`] was called.
     pub fn enabled() -> bool {
+        // lint:allow(atomics-ordering-annotated) -- see `enable`: the flag
+        // gates stderr output only, stale reads just delay a progress line.
         ENABLED.load(Ordering::Relaxed)
     }
 
     /// Registers `n` upcoming scenarios (called at the top of each sweep).
     pub(super) fn batch(n: usize) {
+        // lint:allow(atomics-ordering-annotated) -- monotonic counter read
+        // back only for the cosmetic `[i/N]` denominator.
         TOTAL.fetch_add(n as u64, Ordering::Relaxed);
     }
 
@@ -53,9 +60,13 @@ pub mod progress {
         if !enabled() {
             return;
         }
+        // lint:allow(atomics-ordering-annotated) -- monotonic counters that
+        // feed one stderr line; an interleaving can at worst reorder lines.
         let i = DONE.fetch_add(1, Ordering::Relaxed) + 1;
+        // lint:allow(atomics-ordering-annotated) -- same cosmetic counter
+        // family as above.
         let n = TOTAL.load(Ordering::Relaxed);
-        let elapsed = START.get_or_init(Instant::now).elapsed().as_secs_f64();
+        let elapsed = START.get_or_init(WallClock::start).elapsed_s();
         eprintln!("  [{i}/{n}] {elapsed:6.1}s  {label}: {tps:.1} committed tps");
     }
 }

@@ -122,7 +122,7 @@ impl LatencyStats {
         if samples.is_empty() {
             return LatencyStats::default();
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        samples.sort_by(f64::total_cmp);
         let count = samples.len();
         let mean_s = samples.iter().sum::<f64>() / count as f64;
         let pick = |q: f64| {
@@ -200,10 +200,69 @@ pub struct SummaryReport {
     pub config_digest: String,
 }
 
+impl LatencyStats {
+    /// Compact JSON object. Floats use Rust's shortest-roundtrip `{}`
+    /// rendering, so equal stats always produce byte-equal JSON.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_s\":{},\"p50_s\":{},\"p95_s\":{},\"p99_s\":{},\"max_s\":{}}}",
+            self.count, self.mean_s, self.p50_s, self.p95_s, self.p99_s, self.max_s
+        )
+    }
+}
+
+impl PhaseReport {
+    /// Compact JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"throughput_tps\":{},\"latency\":{}}}",
+            self.throughput_tps,
+            self.latency.to_json()
+        )
+    }
+}
+
 impl SummaryReport {
     /// The paper's headline throughput: valid commits per second.
     pub fn committed_tps(&self) -> f64 {
         self.validate.throughput_tps
+    }
+
+    /// Serializes the full report as one compact JSON object.
+    ///
+    /// Every field participates and the rendering is deterministic
+    /// (fixed key order, shortest-roundtrip floats), so two identical runs
+    /// must produce *byte-identical* strings — the determinism regression
+    /// test compares reports with plain string equality.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"offered_tps\":{},\"window_secs\":{},\"execute\":{},\"order\":{},\
+             \"validate\":{},\"overall_latency\":{},\"created\":{},\
+             \"committed_valid\":{},\"committed_invalid\":{},\"overload_dropped\":{},\
+             \"ordering_timeouts\":{},\"endorsement_failures\":{},\
+             \"ordering_timeouts_per_s\":{},\"overload_dropped_per_s\":{},\
+             \"mean_block_time_s\":{},\"mean_block_size\":{},\"blocks_cut\":{},\
+             \"seed\":{},\"config_digest\":\"{}\"}}",
+            self.offered_tps,
+            self.window_secs,
+            self.execute.to_json(),
+            self.order.to_json(),
+            self.validate.to_json(),
+            self.overall_latency.to_json(),
+            self.created,
+            self.committed_valid,
+            self.committed_invalid,
+            self.overload_dropped,
+            self.ordering_timeouts,
+            self.endorsement_failures,
+            self.ordering_timeouts_per_s,
+            self.overload_dropped_per_s,
+            self.mean_block_time_s,
+            self.mean_block_size,
+            self.blocks_cut,
+            self.seed,
+            self.config_digest
+        )
     }
 }
 
@@ -273,8 +332,8 @@ pub fn summarize(
 
     let cuts: Vec<&(SimTime, usize)> = block_cuts.iter().filter(|(t, _)| in_window(*t)).collect();
     let mean_block_time_s = if cuts.len() >= 2 {
-        let first = cuts.first().expect("len >= 2").0;
-        let last = cuts.last().expect("len >= 2").0;
+        let first = cuts[0].0;
+        let last = cuts[cuts.len() - 1].0;
         (last - first).as_secs_f64() / (cuts.len() - 1) as f64
     } else {
         0.0

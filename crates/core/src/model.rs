@@ -177,6 +177,8 @@ impl CostModel {
                 .enumerate()
                 .min_by(|(ai, a), (bi, b)| a.total_cmp(b).then(ai.cmp(bi)))
                 .map(|(_, v)| v)
+                // lint:allow(no-unwrap-in-lib) -- free is non-empty: its length has a max(..,
+                // 1) lower bound
                 .expect("at least one worker");
             *slot += c;
         }

@@ -84,7 +84,8 @@ impl UtilizationReport {
             ("osn cpu", max(&self.osn_cpu)),
         ]
         .into_iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        // lint:allow(no-unwrap-in-lib) -- max_by over a non-empty array literal
         .expect("non-empty")
     }
 }
@@ -358,6 +359,8 @@ impl World {
         self.channel_ids
             .iter()
             .position(|c| c == id)
+            // lint:allow(no-unwrap-in-lib) -- channel ids come from validated config; a miss a
+            // is simulator bug
             .expect("unknown channel")
     }
 }
@@ -380,6 +383,8 @@ impl Simulation {
     /// # Panics
     /// Panics if the configuration is invalid.
     pub fn new(cfg: SimConfig) -> Self {
+        // lint:allow(no-unwrap-in-lib) -- constructor fail-fast: an invalid config is a caller
+        // bug
         cfg.validate().expect("invalid simulation config");
         Simulation {
             cfg,
@@ -959,6 +964,7 @@ fn flush_partial_tick(world: &mut World, horizon: SimTime) {
     let width = width.min(period);
     let s = sweep_gauges(world, horizon);
     publish_live(world, horizon, &s);
+    // lint:allow(no-unwrap-in-lib) -- recorder presence was checked at function entry
     let rec = world.obs.recorder.as_mut().expect("checked above");
     record_sweep(rec, &s, period / width);
     rec.end_partial_tick(width);
@@ -1602,12 +1608,8 @@ fn deliver_block(world: &mut World, k: &mut K, o: usize, block: Block) {
 /// Entry point for blocks arriving from the ordering service (or from a
 /// failover replay). Routes through the gossip layer when enabled.
 fn peer_receive_block(world: &mut World, k: &mut K, peer_idx: usize, block: Block) {
-    if world.peers[peer_idx].gossip.is_some() {
-        let effects = world.peers[peer_idx]
-            .gossip
-            .as_mut()
-            .expect("checked above")
-            .on_block_from_orderer(block);
+    if let Some(gossip) = world.peers[peer_idx].gossip.as_mut() {
+        let effects = gossip.on_block_from_orderer(block);
         apply_gossip_effects(world, k, peer_idx, effects);
     } else {
         enqueue_block_validation(world, k, peer_idx, block);
@@ -1661,6 +1663,8 @@ fn gossip_tick(world: &mut World, k: &mut K, peer_idx: usize) {
     if let Some(gossip) = world.peers[peer_idx].gossip.as_mut() {
         let effects = gossip.tick();
         apply_gossip_effects(world, k, peer_idx, effects);
+        // lint:allow(no-unwrap-in-lib) -- peers carry a gossip layer only when cfg.gossip is
+        // Some
         let period = world.ms(world.cfg.gossip.expect("gossip enabled").anti_entropy_ms as f64);
         k.schedule_in(period, move |w, k| gossip_tick(w, k, peer_idx));
     }
@@ -1825,6 +1829,8 @@ fn commit_block(
     let is_observer = peer_idx == world.observer;
     let stats = world.peers[peer_idx].channels[ch]
         .validate_and_commit(block)
+        // lint:allow(no-unwrap-in-lib) -- ordering delivers blocks in order; a chain break is
+        // a simulator bug
         .expect("delivered blocks must chain");
     let _ = stats;
     if is_observer {
@@ -1834,6 +1840,8 @@ fn commit_block(
             ledger
                 .blocks()
                 .by_number(height - 1)
+                // lint:allow(no-unwrap-in-lib) -- reads back the block committed two above
+                // statements
                 .expect("just committed")
                 .metadata
                 .flags

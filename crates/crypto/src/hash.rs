@@ -30,10 +30,11 @@ impl Hash256 {
 
     /// Lowercase hex encoding of the digest.
     pub fn to_hex(&self) -> String {
+        const HEX: &[u8; 16] = b"0123456789abcdef";
         let mut s = String::with_capacity(64);
         for b in &self.0 {
-            s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
-            s.push(char::from_digit((b & 0xF) as u32, 16).unwrap());
+            s.push(HEX[(b >> 4) as usize] as char);
+            s.push(HEX[(b & 0xF) as usize] as char);
         }
         s
     }
@@ -63,6 +64,8 @@ impl Hash256 {
 
     /// First 8 bytes of the digest as a little-endian u64 (for cheap keying).
     pub fn prefix_u64(&self) -> u64 {
+        // lint:allow(no-unwrap-in-lib) -- 8-byte prefix of a 32-byte digest; the length always
+        // matches
         u64::from_le_bytes(self.0[..8].try_into().unwrap())
     }
 }

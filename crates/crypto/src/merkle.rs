@@ -56,21 +56,24 @@ impl MerkleTree {
                 levels: vec![vec![hash_leaf(b"")]],
             };
         }
-        let mut levels = vec![leaf_hashes];
-        while levels.last().unwrap().len() > 1 {
-            let prev = levels.last().unwrap();
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            for pair in prev.chunks(2) {
+        let mut levels = Vec::new();
+        let mut cur = leaf_hashes;
+        while cur.len() > 1 {
+            let mut next = Vec::with_capacity(cur.len().div_ceil(2));
+            for pair in cur.chunks(2) {
                 let right = pair.get(1).unwrap_or(&pair[0]);
                 next.push(hash_pair(&pair[0], right));
             }
-            levels.push(next);
+            levels.push(std::mem::replace(&mut cur, next));
         }
+        levels.push(cur);
         MerkleTree { levels }
     }
 
     /// The Merkle root.
     pub fn root(&self) -> Hash256 {
+        // lint:allow(no-unwrap-in-lib) -- levels is non-empty: both
+        // constructor paths push at least one level.
         self.levels.last().unwrap()[0]
     }
 

@@ -66,6 +66,8 @@ impl SecretKey {
             h.update(seed);
             h.finalize()
         };
+        // lint:allow(no-unwrap-in-lib) -- 8-byte prefix of a 32-byte digest; the length always
+        // matches
         let raw = u64::from_be_bytes(digest.as_bytes()[..8].try_into().unwrap());
         SecretKey(1 + raw % (Q - 1))
     }
@@ -116,6 +118,8 @@ impl KeyPair {
     pub fn sign(&self, message: &[u8]) -> Signature {
         // Deterministic nonce: k = H(sk || m) reduced into [1, Q).
         let nonce_tag = hmac_sha256(&self.secret.0.to_be_bytes(), message);
+        // lint:allow(no-unwrap-in-lib) -- 8-byte prefix of a 32-byte digest; the length always
+        // matches
         let k = 1 + u64::from_be_bytes(nonce_tag.as_bytes()[..8].try_into().unwrap()) % (Q - 1);
         let r = pow_mod(G, k, P);
         let e = challenge(r, self.public, message);
@@ -147,6 +151,8 @@ fn challenge(r: u64, pk: PublicKey, message: &[u8]) -> u64 {
     h.update(&pk.0.to_be_bytes());
     h.update(message);
     let digest = h.finalize();
+    // lint:allow(no-unwrap-in-lib) -- 8-byte prefix of a 32-byte digest; the length always
+    // matches
     u64::from_be_bytes(digest.as_bytes()[..8].try_into().unwrap()) % Q
 }
 

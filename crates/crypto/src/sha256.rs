@@ -59,6 +59,8 @@ impl Sha256 {
         self.total_len = self
             .total_len
             .checked_add(data.len() as u64)
+            // lint:allow(no-unwrap-in-lib) -- message bit length fits u64 for any in-memory
+            // slice
             .expect("sha256 input too long");
         if self.buf_len > 0 {
             let take = (64 - self.buf_len).min(data.len());

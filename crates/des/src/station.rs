@@ -97,6 +97,8 @@ impl Station {
             .iter()
             .enumerate()
             .min_by_key(|(_, &t)| t)
+            // lint:allow(no-unwrap-in-lib) -- station construction validates at least one
+            // server
             .expect("at least one server");
         let start = ready.max(free);
         let done = start + service;

@@ -131,6 +131,8 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
+        // lint:allow(no-unwrap-in-lib) -- deliberate guard: wrap-around would silently corrupt
+        // sim time
         SimTime(self.0.checked_add(rhs.0).expect("sim time overflow"))
     }
 }
@@ -144,6 +146,8 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
+        // lint:allow(no-unwrap-in-lib) -- deliberate guard: wrap-around would silently corrupt
+        // sim time
         SimDuration(self.0.checked_sub(rhs.0).expect("sim time underflow"))
     }
 }
@@ -151,6 +155,8 @@ impl Sub<SimTime> for SimTime {
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
+        // lint:allow(no-unwrap-in-lib) -- deliberate guard: wrap-around would silently corrupt
+        // sim time
         SimTime(self.0.checked_sub(rhs.0).expect("sim time underflow"))
     }
 }
@@ -158,6 +164,8 @@ impl Sub<SimDuration> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
+        // lint:allow(no-unwrap-in-lib) -- deliberate guard: wrap-around would silently corrupt
+        // durations
         SimDuration(self.0.checked_add(rhs.0).expect("duration overflow"))
     }
 }
@@ -171,6 +179,8 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
+        // lint:allow(no-unwrap-in-lib) -- deliberate guard: wrap-around would silently corrupt
+        // durations
         SimDuration(self.0.checked_sub(rhs.0).expect("duration underflow"))
     }
 }
@@ -184,6 +194,8 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
+        // lint:allow(no-unwrap-in-lib) -- deliberate guard: wrap-around would silently corrupt
+        // durations
         SimDuration(self.0.checked_mul(rhs).expect("duration overflow"))
     }
 }

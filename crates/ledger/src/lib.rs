@@ -171,6 +171,8 @@ impl Ledger {
         block.metadata.flags = flags;
         self.blocks
             .append(block)
+            // lint:allow(no-unwrap-in-lib) -- the MVCC stage verified chain linkage before
+            // this commit
             .expect("chain checked by the MVCC stage");
     }
 }

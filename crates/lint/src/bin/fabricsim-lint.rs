@@ -1,0 +1,15 @@
+//! `fabricsim-lint` — the CI entry point for the repo's determinism &
+//! soundness static analysis. See the library docs for the rule catalogue.
+//!
+//! ```text
+//! cargo run -p fabricsim-lint                      # human output
+//! cargo run -p fabricsim-lint -- --json            # JSON to stdout
+//! cargo run -p fabricsim-lint -- --json report.json  # JSON artifact (CI)
+//! cargo run -p fabricsim-lint -- --list-rules
+//! cargo run -p fabricsim-lint -- crates/core        # subset
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(fabricsim_lint::cli_run(&args));
+}

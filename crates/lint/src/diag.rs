@@ -1,0 +1,298 @@
+//! Typed diagnostics and their human / JSON renderings.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Every rule the engine knows, including the two meta-rules that police the
+/// `lint:allow` annotations themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// `Instant::now` / `SystemTime` outside the audited `obs::WallClock`.
+    NoWallClock,
+    /// Iterating a `HashMap`/`HashSet` in a simulation-critical crate.
+    NoHashmapIteration,
+    /// `==` / `!=` against a float operand outside tests.
+    NoFloatEq,
+    /// `unwrap()` / `expect()` in non-test library code.
+    NoUnwrapInLib,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    ForbidUnsafePresent,
+    /// `thread::sleep` in a simulation-critical crate.
+    NoThreadSleep,
+    /// `Ordering::Relaxed` without a written justification.
+    AtomicsOrderingAnnotated,
+    /// A `lint:allow` with no `-- <justification>` suffix.
+    AllowMissingJustification,
+    /// A `lint:allow` naming a rule id the engine does not know.
+    AllowUnknownRule,
+}
+
+impl RuleId {
+    /// Every rule, in catalogue order.
+    pub const ALL: [RuleId; 9] = [
+        RuleId::NoWallClock,
+        RuleId::NoHashmapIteration,
+        RuleId::NoFloatEq,
+        RuleId::NoUnwrapInLib,
+        RuleId::ForbidUnsafePresent,
+        RuleId::NoThreadSleep,
+        RuleId::AtomicsOrderingAnnotated,
+        RuleId::AllowMissingJustification,
+        RuleId::AllowUnknownRule,
+    ];
+
+    /// The kebab-case id used in diagnostics and `lint:allow(...)`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::NoWallClock => "no-wall-clock",
+            RuleId::NoHashmapIteration => "no-hashmap-iteration",
+            RuleId::NoFloatEq => "no-float-eq",
+            RuleId::NoUnwrapInLib => "no-unwrap-in-lib",
+            RuleId::ForbidUnsafePresent => "forbid-unsafe-present",
+            RuleId::NoThreadSleep => "no-thread-sleep",
+            RuleId::AtomicsOrderingAnnotated => "atomics-ordering-annotated",
+            RuleId::AllowMissingJustification => "allow-missing-justification",
+            RuleId::AllowUnknownRule => "allow-unknown-rule",
+        }
+    }
+
+    /// Inverse of [`RuleId::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+
+    /// One-line description for `--list-rules` and the docs.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::NoWallClock => {
+                "Instant::now/SystemTime banned outside the audited obs::WallClock entry point; \
+                 simulated time must come from the DES clock"
+            }
+            RuleId::NoHashmapIteration => {
+                "iterating HashMap/HashSet in sim-critical crates is nondeterministic per process \
+                 (RandomState); use BTreeMap/BTreeSet or sort before iterating"
+            }
+            RuleId::NoFloatEq => {
+                "==/!= on float operands outside tests; use an epsilon, an integer \
+                 re-expression, or bit comparison"
+            }
+            RuleId::NoUnwrapInLib => {
+                "unwrap()/expect() in non-test library code turns recoverable errors into panics"
+            }
+            RuleId::ForbidUnsafePresent => "every crate root must keep #![forbid(unsafe_code)]",
+            RuleId::NoThreadSleep => {
+                "thread::sleep in sim-critical crates couples results to the host scheduler"
+            }
+            RuleId::AtomicsOrderingAnnotated => {
+                "Ordering::Relaxed sites outside obs/registry need a written justification"
+            }
+            RuleId::AllowMissingJustification => "every lint:allow must carry `-- <justification>`",
+            RuleId::AllowUnknownRule => "lint:allow names a rule id the engine does not know",
+        }
+    }
+
+    /// Meta-rules police the annotations and cannot themselves be allowed.
+    #[must_use]
+    pub fn suppressible(self) -> bool {
+        !matches!(
+            self,
+            RuleId::AllowMissingJustification | RuleId::AllowUnknownRule
+        )
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One violation at one source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (characters).
+    pub col: u32,
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// How to fix it, when the rule has a canonical remedy.
+    pub suggestion: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n    help: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything one engine run produced.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Unsuppressed violations, sorted by (file, line, col, rule).
+    pub violations: Vec<Diagnostic>,
+    /// Count of diagnostics suppressed by a justified `lint:allow`.
+    pub suppressed: usize,
+    /// Number of files checked.
+    pub checked_files: usize,
+}
+
+impl LintReport {
+    /// True when CI should pass.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The `--json` rendering (schema `fabricsim-lint/v1`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"fabricsim-lint/v1\",\n");
+        push_kv(&mut out, "checked_files", &self.checked_files.to_string());
+        push_kv(&mut out, "suppressed", &self.suppressed.to_string());
+        push_kv(
+            &mut out,
+            "violation_count",
+            &self.violations.len().to_string(),
+        );
+        out.push_str("  \"violations\": [");
+        for (i, d) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(
+                out,
+                "\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}",
+                json_string(&d.file),
+                d.line,
+                d.col,
+                json_string(d.rule.as_str()),
+                json_string(&d.message),
+            );
+            if let Some(s) = &d.suggestion {
+                let _ = write!(out, ", \"suggestion\": {}", json_string(s));
+            }
+            out.push('}');
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// The human rendering: one block per violation plus a summary line.
+    #[must_use]
+    pub fn to_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.violations {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "fabricsim-lint: {} file(s) checked, {} violation(s), {} suppressed by lint:allow",
+            self.checked_files,
+            self.violations.len(),
+            self.suppressed
+        );
+        out
+    }
+}
+
+fn push_kv(out: &mut String, key: &str, raw_value: &str) {
+    let _ = writeln!(out, "  \"{key}\": {raw_value},");
+}
+
+/// Minimal JSON string escaping (the repo-wide zero-dependency subset).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(RuleId::parse("no-such-rule"), None);
+    }
+
+    #[test]
+    fn display_is_file_line_col_rule() {
+        let d = Diagnostic {
+            file: "crates/core/src/sim.rs".into(),
+            line: 7,
+            col: 13,
+            rule: RuleId::NoWallClock,
+            message: "wall-clock read".into(),
+            suggestion: Some("use the DES clock".into()),
+        };
+        let s = d.to_string();
+        assert!(s.starts_with("crates/core/src/sim.rs:7:13: [no-wall-clock]"));
+        assert!(s.contains("help: use the DES clock"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let report = LintReport {
+            violations: vec![Diagnostic {
+                file: "a.rs".into(),
+                line: 1,
+                col: 2,
+                rule: RuleId::NoFloatEq,
+                message: "float \"eq\"".into(),
+                suggestion: None,
+            }],
+            suppressed: 3,
+            checked_files: 9,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"fabricsim-lint/v1\""));
+        assert!(json.contains("\"rule\": \"no-float-eq\""));
+        assert!(json.contains("\\\"eq\\\""));
+        assert!(json.contains("\"checked_files\": 9"));
+    }
+
+    #[test]
+    fn json_string_escapes_controls() {
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("q\"q"), "\"q\\\"q\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

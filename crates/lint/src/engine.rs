@@ -1,0 +1,241 @@
+//! File classification, workspace walking, and rule orchestration.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::allow::{allow_diagnostics, collect_allows, is_suppressed};
+use crate::diag::{Diagnostic, LintReport};
+use crate::rules::{run_rules, FileContext, FileKind};
+use crate::tokenizer::tokenize;
+
+/// Classifies one workspace-relative path. `None` means the file is not
+/// linted at all (fixtures, non-Rust files).
+#[must_use]
+pub fn classify(rel_path: &str) -> Option<FileContext> {
+    let is_rust = Path::new(rel_path)
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("rs"));
+    if !is_rust || rel_path.contains("/fixtures/") {
+        return None;
+    }
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let (crate_name, kind, is_crate_root) = match parts.as_slice() {
+        ["crates", name, "src", "bin", ..] => (Some(*name), FileKind::Bin, false),
+        ["crates", name, "src", "lib.rs"] => (Some(*name), FileKind::Lib, true),
+        ["crates", name, "src", ..] => (Some(*name), FileKind::Lib, false),
+        ["crates", name, "tests" | "benches", ..] => (Some(*name), FileKind::Test, false),
+        ["tests", "src", ..] => (Some("integration"), FileKind::Lib, false),
+        ["tests", "tests", ..] => (Some("integration"), FileKind::Test, false),
+        ["examples", ..] => (Some("examples"), FileKind::Example, false),
+        // Anything else (scratch files handed to the CLI) is linted at full
+        // strictness: library code in a sim-critical crate.
+        _ => (None, FileKind::Lib, false),
+    };
+    Some(FileContext {
+        rel_path: rel_path.to_string(),
+        crate_name: crate_name.map(str::to_string),
+        kind,
+        is_crate_root,
+    })
+}
+
+/// Lints one file's source text: code rules, then the allow layer.
+///
+/// Returns the surviving diagnostics and how many were suppressed by a
+/// justified `lint:allow`.
+#[must_use]
+pub fn lint_source(ctx: &FileContext, src: &str) -> (Vec<Diagnostic>, usize) {
+    let tokens = tokenize(src);
+    let allows = collect_allows(&tokens);
+    let raw = run_rules(ctx, &tokens);
+    let mut kept: Vec<Diagnostic> = Vec::new();
+    let mut suppressed = 0usize;
+    for d in raw {
+        if is_suppressed(&d, &allows) {
+            suppressed += 1;
+        } else {
+            kept.push(d);
+        }
+    }
+    // The annotations themselves are audited everywhere, tests included.
+    kept.extend(allow_diagnostics(&ctx.rel_path, &allows));
+    kept.sort_by_key(|d| (d.line, d.col, d.rule));
+    (kept, suppressed)
+}
+
+/// The directories a whole-workspace run walks.
+const WORKSPACE_DIRS: &[&str] = &["crates", "examples", "tests"];
+
+/// Lints the whole workspace at `root`, or just `paths` (files or
+/// directories, relative to `root` or absolute) when non-empty.
+///
+/// # Errors
+/// I/O errors from the walk or file reads; `NotFound` when a given path
+/// does not exist or `root` has no workspace directory at all.
+pub fn lint_paths(root: &Path, paths: &[String]) -> io::Result<LintReport> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    if paths.is_empty() {
+        let mut seen_any = false;
+        for dir in WORKSPACE_DIRS {
+            let dir = root.join(dir);
+            if dir.is_dir() {
+                seen_any = true;
+                walk(&dir, &mut files)?;
+            }
+        }
+        // A root without any workspace directory is a typo'd --root, not a
+        // clean workspace.
+        if !seen_any {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "{} has no crates/, examples/ or tests/ directory",
+                    root.display()
+                ),
+            ));
+        }
+    } else {
+        for p in paths {
+            let path = root.join(p);
+            if path.is_dir() {
+                walk(&path, &mut files)?;
+            } else if path.is_file() {
+                files.push(path);
+            } else {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no such file or directory: {p}"),
+                ));
+            }
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut report = LintReport::default();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(ctx) = classify(&rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(file)?;
+        let (diags, suppressed) = lint_source(&ctx, &src);
+        report.checked_files += 1;
+        report.suppressed += suppressed;
+        report.violations.extend(diags);
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+/// Recursive, deterministic (sorted) `.rs` walk; skips `target`, VCS dirs,
+/// and lint fixtures.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if Path::new(&name)
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("rs"))
+        {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::RuleId;
+
+    #[test]
+    fn classification_covers_the_workspace_layout() {
+        let lib = classify("crates/core/src/sim.rs").expect("some");
+        assert_eq!(lib.kind, FileKind::Lib);
+        assert_eq!(lib.crate_name.as_deref(), Some("core"));
+        assert!(!lib.is_crate_root);
+        assert!(lib.sim_critical());
+
+        let root = classify("crates/obs/src/lib.rs").expect("some");
+        assert!(root.is_crate_root);
+        assert!(!root.sim_critical());
+
+        let bin = classify("crates/bench/src/bin/fabricsim-cli.rs").expect("some");
+        assert_eq!(bin.kind, FileKind::Bin);
+
+        assert_eq!(
+            classify("crates/peer/tests/pipeline.rs")
+                .expect("some")
+                .kind,
+            FileKind::Test
+        );
+        assert_eq!(
+            classify("tests/tests/determinism.rs").expect("some").kind,
+            FileKind::Test
+        );
+        assert_eq!(
+            classify("examples/quickstart.rs").expect("some").kind,
+            FileKind::Example
+        );
+
+        // Fixtures and non-Rust files are invisible.
+        assert!(classify("crates/lint/tests/fixtures/no-float-eq/bad.rs").is_none());
+        assert!(classify("README.md").is_none());
+
+        // Scratch files get maximum strictness.
+        let scratch = classify("scratch.rs").expect("some");
+        assert!(scratch.sim_critical());
+        assert_eq!(scratch.kind, FileKind::Lib);
+    }
+
+    #[test]
+    fn lint_source_applies_allows_and_counts_suppressions() {
+        let ctx = classify("crates/core/src/x.rs").expect("some");
+        let src = "\
+fn f(a: f64) -> bool {
+    // lint:allow(no-float-eq) -- sentinel compare, documented
+    a == 1.0
+}
+fn g(a: f64) -> bool {
+    a == 2.0
+}
+";
+        let (diags, suppressed) = lint_source(&ctx, src);
+        assert_eq!(suppressed, 1);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RuleId::NoFloatEq);
+        assert_eq!((diags[0].line, diags[0].col), (6, 7));
+    }
+
+    #[test]
+    fn unjustified_allow_surfaces_both_problems() {
+        let ctx = classify("crates/core/src/x.rs").expect("some");
+        let src = "fn f(a: f64) -> bool {\n    // lint:allow(no-float-eq)\n    a == 1.0\n}\n";
+        let (diags, suppressed) = lint_source(&ctx, src);
+        assert_eq!(suppressed, 0);
+        let rules: Vec<RuleId> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&RuleId::NoFloatEq));
+        assert!(rules.contains(&RuleId::AllowMissingJustification));
+    }
+}

@@ -1,0 +1,119 @@
+#![forbid(unsafe_code)]
+//! `fabricsim-lint` — repo-local determinism & soundness static analysis.
+//!
+//! The paper reproduction's whole measurement story rests on the simulator
+//! being deterministic *by construction*: identical seeds must give
+//! bit-identical reports, or the perf gate (`BENCH_fabricsim.json`) and the
+//! pooled-VSCC golden tests measure noise instead of code. Nothing in the
+//! compiler enforces that, so this crate does: a comment/string/char-aware
+//! tokenizer ([`tokenizer`]) feeds a rule engine ([`rules`], [`engine`])
+//! that walks every workspace source file and reports typed diagnostics
+//! (`file:line:col`, rule id, message, suggestion) in human or `--json`
+//! form.
+//!
+//! The rule catalogue ([`RuleId`]) bans wall-clock reads, hash-order
+//! iteration, float equality, library `unwrap()`, `thread::sleep`, missing
+//! `#![forbid(unsafe_code)]`, and unjustified `Ordering::Relaxed`. The only
+//! escape hatch is an *audited* one — see [`allow`]: every suppression must
+//! name the rule and carry a written justification, and the annotations are
+//! themselves linted.
+//!
+//! Run it as `cargo run -p fabricsim-lint`, or `fabricsim lint` from the
+//! main CLI. Exit codes: 0 clean, 1 violations, 2 usage/IO error.
+
+pub mod allow;
+pub mod diag;
+pub mod engine;
+pub mod rules;
+pub mod tokenizer;
+
+pub use diag::{Diagnostic, LintReport, RuleId};
+pub use engine::{classify, lint_paths, lint_source};
+pub use rules::{FileContext, FileKind, SIM_CRITICAL_CRATES};
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Prints to stdout, ignoring `EPIPE` so `fabricsim lint | head` exits
+/// cleanly instead of panicking like `println!` would.
+fn out(text: &str) {
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+/// Command-line driver shared by the `fabricsim-lint` binary and the
+/// `fabricsim lint` subcommand. Returns the process exit code.
+#[must_use]
+pub fn cli_run(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut json_out: Option<String> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                json = true;
+                // `--json lint-report.json` writes the report to that file;
+                // a bare `--json` prints it to stdout.
+                let is_json = |n: &str| {
+                    std::path::Path::new(n)
+                        .extension()
+                        .is_some_and(|e| e.eq_ignore_ascii_case("json"))
+                };
+                if it.peek().is_some_and(|n| is_json(n)) {
+                    json_out = it.next().cloned();
+                }
+            }
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--list-rules" => {
+                for rule in RuleId::ALL {
+                    out(&format!("{:28} {}\n", rule.as_str(), rule.description()));
+                }
+                return 0;
+            }
+            "--help" | "-h" => return usage(),
+            flag if flag.starts_with('-') => {
+                eprintln!("fabricsim-lint: unknown flag {flag:?}");
+                return usage();
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let report = match lint_paths(&root, &paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fabricsim-lint: {e}");
+            return 2;
+        }
+    };
+    if json {
+        let body = report.to_json();
+        match &json_out {
+            Some(file) => {
+                if let Err(e) = std::fs::write(file, &body) {
+                    eprintln!("fabricsim-lint: cannot write {file}: {e}");
+                    return 2;
+                }
+                // Keep the human summary visible next to the artifact path.
+                eprint!("{}", report.to_human());
+                eprintln!("fabricsim-lint: JSON report written to {file}");
+            }
+            None => out(&body),
+        }
+    } else {
+        out(&report.to_human());
+    }
+    i32::from(!report.is_clean())
+}
+
+fn usage() -> i32 {
+    eprintln!("usage: fabricsim-lint [--json [FILE.json]] [--root DIR] [--list-rules] [PATHS…]");
+    eprintln!();
+    eprintln!("Lints the fabricsim workspace (or just PATHS) for determinism and");
+    eprintln!("soundness violations. Exit codes: 0 clean, 1 violations, 2 error.");
+    2
+}

@@ -1,0 +1,546 @@
+//! The rule catalogue: token-pattern checks over one file.
+//!
+//! Each rule is a pure function from `(tokens, file context)` to
+//! diagnostics. Rules never see comments (the scanner filters them out) and
+//! never see anything inside string/char literals (the tokenizer already
+//! atomized those), so `"Instant::now"` in a log message or `HashMap` in a
+//! doc comment can never fire. Test code — files under `tests/`, `benches/`,
+//! and `#[cfg(test)]` regions — is exempt from every code rule.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::tokenizer::{Token, TokenKind};
+
+/// What kind of source file is being linted (decides rule applicability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `crates/*/src/**` (except `src/bin/`): library code, all rules apply.
+    Lib,
+    /// `crates/*/src/bin/**`: binary code — everything but the unwrap rule.
+    Bin,
+    /// `crates/*/tests/**`, `crates/*/benches/**`, `tests/tests/**`.
+    Test,
+    /// `examples/**`.
+    Example,
+}
+
+/// Everything the rules need to know about the file being linted.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Short crate name (`core`, `obs`, …); `None` for scratch files passed
+    /// explicitly on the command line, which are linted at full strictness.
+    pub crate_name: Option<String>,
+    /// File kind (decides which rules run).
+    pub kind: FileKind,
+    /// True for `crates/*/src/lib.rs` (the forbid-unsafe rule's subject).
+    pub is_crate_root: bool,
+}
+
+/// Crates whose code runs inside the simulated world: any nondeterminism
+/// here changes reported phase measurements.
+pub const SIM_CRITICAL_CRATES: &[&str] = &[
+    "des",
+    "core",
+    "peer",
+    "ordering",
+    "ledger",
+    "raft",
+    "kafka",
+    "chaincode",
+    "policy",
+    "types",
+    "crypto",
+];
+
+impl FileContext {
+    /// True when this file belongs to a sim-critical crate (scratch files
+    /// are treated as sim-critical so ad-hoc linting is maximally strict).
+    #[must_use]
+    pub fn sim_critical(&self) -> bool {
+        match &self.crate_name {
+            Some(name) => SIM_CRITICAL_CRATES.contains(&name.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// The comment-free token view rules scan, with test regions marked.
+pub struct Scanner<'a> {
+    toks: Vec<&'a Token>,
+    in_test: Vec<bool>,
+}
+
+impl<'a> Scanner<'a> {
+    /// Builds the scanner: filters comments, then marks `#[cfg(test)]`
+    /// item bodies (attribute through matching `}` or terminating `;`).
+    #[must_use]
+    pub fn new(tokens: &'a [Token], whole_file_is_test: bool) -> Self {
+        let toks: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+        let mut in_test = vec![whole_file_is_test; toks.len()];
+        let mut i = 0;
+        while i < toks.len() {
+            if let Some(end) = test_region_end(&toks, i) {
+                for flag in in_test.iter_mut().take(end + 1).skip(i) {
+                    *flag = true;
+                }
+                i = end + 1;
+            } else {
+                i += 1;
+            }
+        }
+        Scanner { toks, in_test }
+    }
+
+    fn get(&self, i: usize) -> Option<&Token> {
+        self.toks.get(i).copied()
+    }
+
+    fn ident_at(&self, i: usize, s: &str) -> bool {
+        self.get(i).is_some_and(|t| t.is_ident(s))
+    }
+
+    fn punct_at(&self, i: usize, s: &str) -> bool {
+        self.get(i).is_some_and(|t| t.is_punct(s))
+    }
+
+    fn diag(&self, i: usize, rule: RuleId, ctx: &FileContext, message: String) -> Diagnostic {
+        let t = self.toks[i];
+        Diagnostic {
+            file: ctx.rel_path.clone(),
+            line: t.line,
+            col: t.col,
+            rule,
+            message,
+            suggestion: suggestion_for(rule),
+        }
+    }
+}
+
+/// If `toks[i]` opens a `#[cfg(test)]`-gated item, returns the index of the
+/// token that ends the item (matching `}` or `;`).
+fn test_region_end(toks: &[&Token], i: usize) -> Option<usize> {
+    // `#` `[` `cfg` `(` … `test` … `)` `]`
+    if !(toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+        return None;
+    }
+    if !toks.get(i + 2).is_some_and(|t| t.is_ident("cfg")) {
+        return None;
+    }
+    let mut j = i + 3;
+    if !toks.get(j).is_some_and(|t| t.is_punct("(")) {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut saw_test = false;
+    loop {
+        let t = toks.get(j)?;
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_ident("test") {
+            saw_test = true;
+        }
+        j += 1;
+    }
+    if !saw_test || !toks.get(j + 1).is_some_and(|t| t.is_punct("]")) {
+        return None;
+    }
+    j += 2;
+    // Skip any further attributes on the same item.
+    while toks.get(j).is_some_and(|t| t.is_punct("#"))
+        && toks.get(j + 1).is_some_and(|t| t.is_punct("["))
+    {
+        let mut brackets = 0usize;
+        loop {
+            let t = toks.get(j)?;
+            if t.is_punct("[") {
+                brackets += 1;
+            } else if t.is_punct("]") {
+                brackets -= 1;
+                if brackets == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        j += 1;
+    }
+    // The item body: everything until the matching `}`; or a `;` for
+    // body-less items (`#[cfg(test)] mod tests;`, `use` declarations). A `;`
+    // inside brackets (`fn f() -> [u8; 3]`) does not end the item.
+    let mut braces = 0usize;
+    let mut brackets = 0usize;
+    loop {
+        let t = toks.get(j)?;
+        if t.is_punct("{") {
+            braces += 1;
+        } else if t.is_punct("}") {
+            braces -= 1;
+            if braces == 0 {
+                return Some(j);
+            }
+        } else if t.is_punct("[") {
+            brackets += 1;
+        } else if t.is_punct("]") {
+            brackets = brackets.saturating_sub(1);
+        } else if t.is_punct(";") && braces == 0 && brackets == 0 {
+            return Some(j);
+        }
+        j += 1;
+    }
+}
+
+fn suggestion_for(rule: RuleId) -> Option<String> {
+    let s = match rule {
+        RuleId::NoWallClock => {
+            "use fabricsim_des::SimTime for simulated time, or route real time through the \
+             audited fabricsim_obs::WallClock"
+        }
+        RuleId::NoHashmapIteration => {
+            "switch the container to BTreeMap/BTreeSet, or collect and sort the keys before \
+             iterating; lint:allow only with a proof the order cannot escape"
+        }
+        RuleId::NoFloatEq => {
+            "compare with an epsilon ((a - b).abs() < EPS), re-express in integers, or compare \
+             IEEE-754 bits explicitly via to_bits()"
+        }
+        RuleId::NoUnwrapInLib => {
+            "propagate the error (`?`, Result return), use unwrap_or/_else/_default, or \
+             lint:allow with a proof the invariant holds"
+        }
+        RuleId::ForbidUnsafePresent => "add `#![forbid(unsafe_code)]` at the top of lib.rs",
+        RuleId::NoThreadSleep => {
+            "model delays as simulated time (schedule a DES event); never block the host thread"
+        }
+        RuleId::AtomicsOrderingAnnotated => {
+            "justify the relaxed ordering with `// lint:allow(atomics-ordering-annotated) -- …` \
+             or use Acquire/Release/SeqCst"
+        }
+        RuleId::AllowMissingJustification | RuleId::AllowUnknownRule => return None,
+    };
+    Some(s.to_string())
+}
+
+/// Runs every applicable code rule for this file.
+#[must_use]
+pub fn run_rules(ctx: &FileContext, tokens: &[Token]) -> Vec<Diagnostic> {
+    let scan = Scanner::new(tokens, ctx.kind == FileKind::Test);
+    let mut diags = Vec::new();
+    let non_test_code = matches!(ctx.kind, FileKind::Lib | FileKind::Bin | FileKind::Example);
+    if non_test_code {
+        no_wall_clock(&scan, ctx, &mut diags);
+        no_float_eq(&scan, ctx, &mut diags);
+        atomics_ordering_annotated(&scan, ctx, &mut diags);
+        if ctx.sim_critical() {
+            no_thread_sleep(&scan, ctx, &mut diags);
+            no_hashmap_iteration(&scan, ctx, &mut diags);
+        }
+    }
+    if ctx.kind == FileKind::Lib {
+        no_unwrap_in_lib(&scan, ctx, &mut diags);
+    }
+    if ctx.is_crate_root {
+        forbid_unsafe_present(&scan, ctx, &mut diags);
+    }
+    diags.sort_by_key(|d| (d.line, d.col, d.rule));
+    diags.dedup_by(|a, b| (a.line, a.col, a.rule) == (b.line, b.col, b.rule));
+    diags
+}
+
+/// `Instant::now` / `SystemTime` anywhere outside tests (the single audited
+/// entry point in `obs::WallClock` carries its own lint:allow).
+fn no_wall_clock(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    for i in 0..scan.toks.len() {
+        if scan.in_test[i] {
+            continue;
+        }
+        if scan.ident_at(i, "Instant") && scan.punct_at(i + 1, "::") && scan.ident_at(i + 2, "now")
+        {
+            out.push(scan.diag(
+                i,
+                RuleId::NoWallClock,
+                ctx,
+                "wall-clock read (`Instant::now`) in simulation code".into(),
+            ));
+        }
+        if scan.ident_at(i, "SystemTime") {
+            out.push(scan.diag(
+                i,
+                RuleId::NoWallClock,
+                ctx,
+                "`SystemTime` in simulation code".into(),
+            ));
+        }
+    }
+}
+
+/// `thread::sleep` (or a call to a bare imported `sleep`) in sim-critical
+/// crates.
+fn no_thread_sleep(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    for i in 0..scan.toks.len() {
+        if scan.in_test[i] || !scan.ident_at(i, "sleep") {
+            continue;
+        }
+        let qualified = i >= 2 && scan.ident_at(i - 2, "thread") && scan.punct_at(i - 1, "::");
+        let called = scan.punct_at(i + 1, "(");
+        if qualified || called {
+            out.push(scan.diag(
+                i,
+                RuleId::NoThreadSleep,
+                ctx,
+                "`thread::sleep` blocks the host thread inside the simulated world".into(),
+            ));
+        }
+    }
+}
+
+/// Methods whose results depend on `HashMap`/`HashSet` iteration order.
+const ITERATION_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "retain_mut",
+];
+
+/// Flags iteration over locals/fields/params whose declared type (or
+/// constructor) is `HashMap`/`HashSet`, plus direct `for … in map` loops.
+#[allow(clippy::too_many_lines)] // two passes over two binding shapes; splitting hurts
+fn no_hashmap_iteration(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    // Pass 1: names bound to hash-ordered containers anywhere in the file.
+    let mut hash_names: Vec<&str> = Vec::new();
+    for i in 0..scan.toks.len() {
+        let Some(tok) = scan.get(i) else { break };
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // `name: [&][mut] [std::collections::] HashMap<…>` — covers let
+        // annotations, struct fields, and fn parameters.
+        if scan.punct_at(i + 1, ":") {
+            let mut j = i + 2;
+            let limit = j + 8;
+            while j < limit {
+                match scan.get(j) {
+                    Some(t)
+                        if t.is_punct("&")
+                            || t.is_punct("::")
+                            || t.kind == TokenKind::Lifetime
+                            || t.is_ident("mut")
+                            || t.is_ident("std")
+                            || t.is_ident("collections") =>
+                    {
+                        j += 1;
+                    }
+                    Some(t) if t.is_ident("HashMap") || t.is_ident("HashSet") => {
+                        hash_names.push(&tok.text);
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        // `let [mut] name = HashMap::new()` / `HashSet::with_capacity(…)`.
+        if tok.is_ident("let") {
+            let name_at = if scan.ident_at(i + 1, "mut") {
+                i + 2
+            } else {
+                i + 1
+            };
+            if let Some(name) = scan.get(name_at) {
+                if name.kind == TokenKind::Ident
+                    && scan.punct_at(name_at + 1, "=")
+                    && (scan.ident_at(name_at + 2, "HashMap")
+                        || scan.ident_at(name_at + 2, "HashSet"))
+                    && scan.punct_at(name_at + 3, "::")
+                {
+                    hash_names.push(&name.text);
+                }
+            }
+        }
+    }
+    if hash_names.is_empty() {
+        return;
+    }
+    let is_hash = |t: &Token| t.kind == TokenKind::Ident && hash_names.contains(&t.text.as_str());
+
+    // Pass 2a: `name.iter()`-family calls.
+    for i in 0..scan.toks.len() {
+        if scan.in_test[i] {
+            continue;
+        }
+        let Some(tok) = scan.get(i) else { break };
+        if is_hash(tok) && scan.punct_at(i + 1, ".") {
+            if let Some(m) = scan.get(i + 2) {
+                if m.kind == TokenKind::Ident
+                    && ITERATION_METHODS.contains(&m.text.as_str())
+                    && scan.punct_at(i + 3, "(")
+                {
+                    out.push(scan.diag(
+                        i,
+                        RuleId::NoHashmapIteration,
+                        ctx,
+                        format!(
+                            "`{}.{}()` iterates a hash-ordered container (RandomState makes the \
+                             order differ per process)",
+                            tok.text, m.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Pass 2b: `for … in [&][mut] name {`.
+    for i in 0..scan.toks.len() {
+        if scan.in_test[i] || !scan.ident_at(i, "for") {
+            continue;
+        }
+        // Find `in` within the loop header, then the block opener.
+        let mut j = i + 1;
+        let header_limit = j + 24;
+        while j < header_limit && !scan.punct_at(j, "{") {
+            if scan.ident_at(j, "in") {
+                let mut k = j + 1;
+                while k < header_limit {
+                    match scan.get(k) {
+                        Some(t) if t.is_punct("&") || t.is_ident("mut") => k += 1,
+                        Some(t) if is_hash(t) && scan.punct_at(k + 1, "{") => {
+                            out.push(scan.diag(
+                                k,
+                                RuleId::NoHashmapIteration,
+                                ctx,
+                                format!(
+                                    "`for … in {}` iterates a hash-ordered container \
+                                     (RandomState makes the order differ per process)",
+                                    t.text
+                                ),
+                            ));
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// `==`/`!=` with a float operand (literal, `as f64/f32` cast result, or an
+/// `f64::`/`f32::` associated constant).
+fn no_float_eq(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    for i in 0..scan.toks.len() {
+        if scan.in_test[i] {
+            continue;
+        }
+        let Some(op) = scan.get(i) else { break };
+        if !(op.is_punct("==") || op.is_punct("!=")) {
+            continue;
+        }
+        let prev_floaty = i >= 1
+            && scan.get(i - 1).is_some_and(|t| {
+                t.kind == TokenKind::Float || t.is_ident("f64") || t.is_ident("f32")
+            });
+        let next_floaty = scan.get(i + 1).is_some_and(|t| t.kind == TokenKind::Float)
+            || (scan.punct_at(i + 1, "-")
+                && scan.get(i + 2).is_some_and(|t| t.kind == TokenKind::Float))
+            || ((scan.ident_at(i + 1, "f64") || scan.ident_at(i + 1, "f32"))
+                && scan.punct_at(i + 2, "::"));
+        if prev_floaty || next_floaty {
+            out.push(scan.diag(
+                i,
+                RuleId::NoFloatEq,
+                ctx,
+                format!("`{}` compares floats for exact equality", op.text),
+            ));
+        }
+    }
+}
+
+/// `.unwrap()` / `.expect(` in non-test library code.
+fn no_unwrap_in_lib(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    for i in 1..scan.toks.len() {
+        if scan.in_test[i] || !scan.punct_at(i - 1, ".") {
+            continue;
+        }
+        if scan.ident_at(i, "unwrap") && scan.punct_at(i + 1, "(") && scan.punct_at(i + 2, ")") {
+            out.push(scan.diag(
+                i,
+                RuleId::NoUnwrapInLib,
+                ctx,
+                "`.unwrap()` in library code panics on the error path".into(),
+            ));
+        }
+        // `self.expect(…)` is a domain method (the JSON and policy parsers
+        // both expose a `fn expect` that returns `Result`), not
+        // `Option/Result::expect`; only flag calls on other receivers.
+        if scan.ident_at(i, "expect")
+            && scan.punct_at(i + 1, "(")
+            && !(i >= 2 && scan.ident_at(i - 2, "self"))
+        {
+            out.push(scan.diag(
+                i,
+                RuleId::NoUnwrapInLib,
+                ctx,
+                "`.expect(…)` in library code panics on the error path".into(),
+            ));
+        }
+    }
+}
+
+/// Crate roots must keep `#![forbid(unsafe_code)]`.
+fn forbid_unsafe_present(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    let want = ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
+    let found = (0..scan.toks.len()).any(|i| {
+        want.iter()
+            .enumerate()
+            .all(|(k, w)| scan.get(i + k).is_some_and(|t| t.text == *w))
+    });
+    if !found {
+        out.push(Diagnostic {
+            file: ctx.rel_path.clone(),
+            line: 1,
+            col: 1,
+            rule: RuleId::ForbidUnsafePresent,
+            message: "crate root does not `#![forbid(unsafe_code)]`".into(),
+            suggestion: suggestion_for(RuleId::ForbidUnsafePresent),
+        });
+    }
+}
+
+/// `Ordering::Relaxed` must carry a written justification everywhere except
+/// the lock-free metrics registry, whose relaxed counters are audited as a
+/// whole (monotonic, read only by the renderer).
+fn atomics_ordering_annotated(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    if ctx.rel_path == "crates/obs/src/registry.rs" {
+        return;
+    }
+    for i in 0..scan.toks.len() {
+        if scan.in_test[i] {
+            continue;
+        }
+        if scan.ident_at(i, "Ordering")
+            && scan.punct_at(i + 1, "::")
+            && scan.ident_at(i + 2, "Relaxed")
+        {
+            out.push(scan.diag(
+                i + 2,
+                RuleId::AtomicsOrderingAnnotated,
+                ctx,
+                "`Ordering::Relaxed` without a written justification".into(),
+            ));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Exit-code contract of the CLI driver: 0 clean, 1 violations, 2 usage or
+//! I/O errors — seeded violations must flip the code, and the JSON report
+//! must carry the exact `file:line:col` of each one.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fabricsim_lint::cli_run;
+
+/// Builds a scratch workspace with one crate and the given lib.rs source.
+/// Unique per test so parallel test threads don't collide.
+fn scratch_workspace(tag: &str, lib_src: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fabricsim-lint-cli-{}-{tag}", std::process::id()));
+    let src = dir.join("crates").join("demo").join("src");
+    fs::create_dir_all(&src).expect("mkdir scratch workspace");
+    fs::write(src.join("lib.rs"), lib_src).expect("write lib.rs");
+    dir
+}
+
+fn args(v: &[&str]) -> Vec<String> {
+    v.iter().map(ToString::to_string).collect()
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let root = scratch_workspace(
+        "clean",
+        "#![forbid(unsafe_code)]\npub fn ok(a: u64, b: u64) -> u64 { a + b }\n",
+    );
+    let code = cli_run(&args(&["--root", root.to_str().expect("utf-8 path")]));
+    assert_eq!(code, 0);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn seeded_violation_exits_one_with_exact_location() {
+    let root = scratch_workspace(
+        "seeded",
+        "#![forbid(unsafe_code)]\npub fn boom(v: &[u32]) -> u32 {\n    *v.first().unwrap()\n}\n",
+    );
+    let code = cli_run(&args(&["--root", root.to_str().expect("utf-8 path")]));
+    assert_eq!(code, 1, "a seeded .unwrap() must fail the run");
+
+    // The JSON artifact names the exact location of the seeded violation.
+    let report = root.join("lint-report.json");
+    let code = cli_run(&args(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--json",
+        report.to_str().expect("utf-8 path"),
+    ]));
+    assert_eq!(code, 1);
+    let body = fs::read_to_string(&report).expect("read JSON report");
+    assert!(body.contains("\"schema\": \"fabricsim-lint/v1\""), "{body}");
+    assert!(
+        body.contains("\"file\": \"crates/demo/src/lib.rs\""),
+        "{body}"
+    );
+    assert!(body.contains("\"line\": 3"), "{body}");
+    assert!(body.contains("\"col\": 16"), "{body}");
+    assert!(body.contains("\"rule\": \"no-unwrap-in-lib\""), "{body}");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn justified_allow_restores_exit_zero() {
+    let root = scratch_workspace(
+        "allowed",
+        "#![forbid(unsafe_code)]\npub fn boom(v: &[u32]) -> u32 {\n    \
+         // lint:allow(no-unwrap-in-lib) -- fixture proves suppression works\n    \
+         *v.first().unwrap()\n}\n",
+    );
+    let code = cli_run(&args(&["--root", root.to_str().expect("utf-8 path")]));
+    assert_eq!(code, 0);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    assert_eq!(cli_run(&args(&["--definitely-not-a-flag"])), 2);
+}
+
+#[test]
+fn missing_root_dir_exits_two() {
+    assert_eq!(
+        cli_run(&args(&["--root", "/nonexistent/fabricsim-lint-root"])),
+        2
+    );
+}
+
+#[test]
+fn list_rules_exits_zero() {
+    assert_eq!(cli_run(&args(&["--list-rules"])), 0);
+}

@@ -1,0 +1,9 @@
+pub fn f() -> u32 {
+    // lint:allow(no-unwrap-in-lib)
+    Some(1).unwrap()
+}
+
+pub fn g() -> u32 {
+    // lint:allow(not-a-real-rule) -- the rule name is misspelled
+    2
+}

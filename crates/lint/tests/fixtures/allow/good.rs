@@ -1,0 +1,4 @@
+pub fn f() -> u32 {
+    // lint:allow(no-unwrap-in-lib) -- constant Some is infallible
+    Some(1).unwrap()
+}

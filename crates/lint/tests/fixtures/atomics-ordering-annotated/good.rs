@@ -1,0 +1,11 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::SeqCst);
+}
+
+pub fn peek(c: &AtomicU64) -> u64 {
+    // lint:allow(atomics-ordering-annotated) -- cosmetic stat counter; no
+    // ordering requirement.
+    c.load(Ordering::Relaxed)
+}

@@ -1,0 +1,3 @@
+//! A crate root that forgot `forbid(unsafe_code)`.
+
+pub fn ok() {}

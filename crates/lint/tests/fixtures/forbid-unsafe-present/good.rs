@@ -1,0 +1,5 @@
+//! A crate root carrying the mandatory attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn ok() {}

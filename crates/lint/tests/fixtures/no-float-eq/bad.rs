@@ -1,0 +1,7 @@
+pub fn at_origin(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn not_one(y: f32) -> bool {
+    y != 1.0
+}

@@ -1,0 +1,17 @@
+pub fn at_origin(x: f64) -> bool {
+    x.abs() < 1e-12
+}
+
+pub fn same_bucket(a: u64, b: u64) -> bool {
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_float_compare_is_fine_in_tests() {
+        assert!(super::at_origin(0.0) == true);
+        let x = 0.5f64;
+        assert!(x == 0.5);
+    }
+}

@@ -1,0 +1,13 @@
+use std::collections::HashMap;
+
+pub fn total(m: &HashMap<String, u64>) -> u64 {
+    let mut sum = 0;
+    for (_k, v) in m.iter() {
+        sum += v;
+    }
+    sum
+}
+
+pub fn names(m: &HashMap<String, u64>) -> Vec<String> {
+    m.keys().cloned().collect()
+}

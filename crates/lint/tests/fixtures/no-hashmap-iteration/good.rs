@@ -1,0 +1,9 @@
+use std::collections::{BTreeMap, HashMap};
+
+pub fn total(ordered: &BTreeMap<String, u64>) -> u64 {
+    ordered.values().sum()
+}
+
+pub fn lookup(m: &HashMap<String, u64>, k: &str) -> u64 {
+    m.get(k).copied().unwrap_or(0)
+}

@@ -1,0 +1,3 @@
+pub fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,4 @@
+/// Waiting in simulated time means scheduling a future event, not blocking.
+pub fn sleep_budget_ms() -> u64 {
+    5
+}

@@ -1,0 +1,7 @@
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("a number")
+}

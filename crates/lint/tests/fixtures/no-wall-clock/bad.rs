@@ -1,0 +1,12 @@
+use std::time::Instant;
+
+pub fn elapsed() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+pub fn epoch_secs() -> u64 {
+    let now = std::time::SystemTime::now();
+    let _ = now;
+    0
+}

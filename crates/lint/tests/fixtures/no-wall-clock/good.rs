@@ -1,0 +1,13 @@
+/// Sim code measures time with the DES clock, not the host's.
+pub fn elapsed(now_s: f64, start_s: f64) -> f64 {
+    now_s - start_s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs_f64() >= 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! The workspace must be lint-clean: every violation is either fixed or
+//! carries a justified `lint:allow`. This is the in-tree twin of the CI
+//! `lint` job — if it fails, `cargo run -p fabricsim-lint` shows the list.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root");
+    let report = fabricsim_lint::lint_paths(root, &[]).expect("walk workspace");
+    assert!(
+        report.checked_files > 100,
+        "workspace walk looks truncated: only {} files",
+        report.checked_files
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report.to_human()
+    );
+}
+
+#[test]
+fn every_suppression_in_the_workspace_is_justified() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = fabricsim_lint::lint_paths(root, &[]).expect("walk workspace");
+    // Unjustified or unknown-rule allows surface as meta-violations, so a
+    // clean report means every suppression carries a written justification.
+    assert!(report.is_clean(), "{}", report.to_human());
+    assert!(
+        report.suppressed > 0,
+        "expected at least the audited WallClock suppression"
+    );
+}

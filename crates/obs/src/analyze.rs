@@ -130,7 +130,7 @@ impl Dist {
         if samples.is_empty() {
             return Dist::default();
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        samples.sort_by(f64::total_cmp);
         let count = samples.len();
         let pick = |q: f64| {
             let h = (count - 1) as f64 * q;
@@ -183,12 +183,17 @@ impl TraceAnalysis {
         let mut acc: HashMap<(usize, usize), Acc> = HashMap::new();
         let mut e2e = Vec::with_capacity(committed);
         for s in &committed_spans {
+            // lint:allow(no-unwrap-in-lib) -- spans were filtered to committed ones above
             e2e.push(s.end_to_end_s().expect("committed span"));
             let segs = s.segments();
             let dominant = s.dominant_segment();
             for seg in &segs {
                 let key = (
+                    // lint:allow(no-unwrap-in-lib) -- reconstruct() only emits pipeline-phase
+                    // segments
                     seg.from.pipeline_index().expect("pipeline phase"),
+                    // lint:allow(no-unwrap-in-lib) -- reconstruct() only emits pipeline-phase
+                    // segments
                     seg.to.pipeline_index().expect("pipeline phase"),
                 );
                 let a = acc.entry(key).or_insert_with(|| Acc {
@@ -236,8 +241,8 @@ impl TraceAnalysis {
         let mut slowest: Vec<&TxSpan> = committed_spans.clone();
         slowest.sort_by(|a, b| {
             b.end_to_end_s()
-                .partial_cmp(&a.end_to_end_s())
-                .expect("no NaNs")
+                .unwrap_or(0.0)
+                .total_cmp(&a.end_to_end_s().unwrap_or(0.0))
                 .then_with(|| a.tx.cmp(&b.tx))
         });
         let slowest = slowest
@@ -245,6 +250,7 @@ impl TraceAnalysis {
             .take(top_k)
             .map(|s| SlowTx {
                 tx: s.tx.clone(),
+                // lint:allow(no-unwrap-in-lib) -- spans were filtered to committed ones above
                 end_to_end_s: s.end_to_end_s().expect("committed span"),
                 segments: s.segments(),
             })

@@ -64,7 +64,11 @@ pub fn chrome_trace(events: &[PhaseEvent]) -> String {
             push(
                 format!(
                     "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\"name\":\"{}→{}\",\"cat\":\"{}\",\"args\":{{\"queued_s\":{},\"service_s\":{}}}}}",
+                    // lint:allow(no-unwrap-in-lib) -- reconstruct() only emits pipeline-phase
+                    // segments
                     span.t_s[seg.from.pipeline_index().expect("pipeline phase")]
+                        // lint:allow(no-unwrap-in-lib) -- segment endpoints
+                        // are observed phases by construction
                         .expect("observed phase")
                         * 1e6,
                     seg.dt_s * 1e6,
@@ -105,7 +109,7 @@ pub fn chrome_trace(events: &[PhaseEvent]) -> String {
         station_points[idx].1.push((ev.t_s, ev.queue_depth));
     }
     for (sid, (station, points)) in station_points.iter_mut().enumerate() {
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN timestamps"));
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
         let tid = sid + 1;
         push(
             format!(

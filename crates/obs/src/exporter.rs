@@ -16,8 +16,9 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use crate::clock::WallClock;
 use crate::registry::MetricsRegistry;
 
 /// A background HTTP server exposing one [`MetricsRegistry`].
@@ -45,7 +46,7 @@ impl MetricsServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let thread_shutdown = Arc::clone(&shutdown);
-        let started = Instant::now();
+        let started = WallClock::start();
         let handle = std::thread::Builder::new()
             .name("fabricsim-metrics".into())
             .spawn(move || {
@@ -93,7 +94,7 @@ impl Drop for MetricsServer {
 fn handle_request(
     mut stream: TcpStream,
     registry: &MetricsRegistry,
-    started: Instant,
+    started: WallClock,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
@@ -131,7 +132,7 @@ fn handle_request(
                 "application/json; charset=utf-8",
                 format!(
                     "{{\"status\":\"ok\",\"uptime_s\":{:.3}}}\n",
-                    started.elapsed().as_secs_f64()
+                    started.elapsed_s()
                 ),
             ),
             _ => (

@@ -27,7 +27,11 @@ pub fn collapsed_stacks(spans: &[TxSpan]) -> String {
     for span in spans.iter().filter(|s| s.is_committed()) {
         for seg in span.segments() {
             let key = (
+                // lint:allow(no-unwrap-in-lib) -- reconstruct() only emits pipeline-phase
+                // segments
                 seg.from.pipeline_index().expect("pipeline phase"),
+                // lint:allow(no-unwrap-in-lib) -- reconstruct() only emits pipeline-phase
+                // segments
                 seg.to.pipeline_index().expect("pipeline phase"),
             );
             // Round, don't truncate: dt is an integer count of nanoseconds

@@ -44,6 +44,7 @@
 mod analyze;
 mod bottleneck;
 mod chrome;
+mod clock;
 mod event;
 mod exporter;
 mod flame;
@@ -57,6 +58,7 @@ mod span;
 pub use analyze::{Dist, SegmentStats, SlowTx, TraceAnalysis};
 pub use bottleneck::{BottleneckReport, StationClass, TxStationBreakdown, WindowAttribution};
 pub use chrome::chrome_trace;
+pub use clock::WallClock;
 pub use event::{parse_jsonl, PhaseEvent, TracePhase};
 pub use exporter::{http_get, MetricsServer};
 pub use flame::collapsed_stacks;

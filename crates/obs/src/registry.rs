@@ -293,7 +293,10 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect();
-        let mut families = self.families.lock().expect("registry lock");
+        let mut families = self
+            .families
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let family = match families.iter_mut().find(|f| f.name == name) {
             Some(f) => {
                 assert!(
@@ -311,6 +314,7 @@ impl MetricsRegistry {
                     kind,
                     series: Vec::new(),
                 });
+                // lint:allow(no-unwrap-in-lib) -- last_mut of a vec pushed one statement above
                 families.last_mut().expect("just pushed")
             }
         };
@@ -327,7 +331,10 @@ impl MetricsRegistry {
 
     /// Renders the whole registry in Prometheus text exposition format.
     pub fn render(&self) -> String {
-        let families = self.families.lock().expect("registry lock");
+        let families = self
+            .families
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = String::new();
         for f in families.iter() {
             out.push_str(&format!("# HELP {} {}\n", f.name, escape_help(&f.help)));
@@ -406,10 +413,8 @@ fn valid_label_name(s: &str) -> bool {
 fn fmt_f64(v: f64) -> String {
     if v.is_nan() {
         "NaN".into()
-    } else if v == f64::INFINITY {
-        "+Inf".into()
-    } else if v == f64::NEG_INFINITY {
-        "-Inf".into()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.into()
     } else {
         format!("{v}")
     }
@@ -594,6 +599,7 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
                 ));
             }
         }
+        // lint:allow(no-unwrap-in-lib) -- guarded by the bucket-count check above
         let last = h.buckets.last().expect("non-empty");
         if !last.0.is_infinite() {
             return Err(format!("{what}: missing le=\"+Inf\" bucket"));

@@ -137,6 +137,8 @@ impl JsonlFileSink {
     /// # Errors
     /// The underlying write error.
     pub fn write_event(&mut self, ev: &PhaseEvent) -> std::io::Result<()> {
+        // lint:allow(no-unwrap-in-lib) -- the writer is Some until finish(); writing after it
+        // is a caller bug
         let w = self.writer.as_mut().expect("sink not finished");
         w.write_all(ev.to_json().as_bytes())?;
         w.write_all(b"\n")?;

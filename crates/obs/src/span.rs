@@ -95,6 +95,8 @@ impl TxSpan {
         let observed: Vec<usize> = (0..PIPELINE_LEN)
             .filter(|&i| self.t_s[i].is_some())
             .collect();
+        // lint:allow(no-unwrap-in-lib) -- the closure is only called with indices from the
+        // observed list
         let t = |i: usize| self.t_s[i].expect("observed phase");
         // Longest non-decreasing subsequence over ≤10 points: O(n²) DP.
         let n = observed.len();
@@ -118,6 +120,8 @@ impl TxSpan {
             let prev = (0..cur)
                 .rev()
                 .find(|&j| len[j] == len[cur] - 1 && t(observed[j]) <= t(observed[cur]))
+                // lint:allow(no-unwrap-in-lib) -- a DP entry with len > 1 always has a
+                // predecessor
                 .expect("DP chain is well-formed");
             chain.push(observed[prev]);
             cur = prev;

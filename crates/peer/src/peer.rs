@@ -96,6 +96,8 @@ impl Peer {
             let mut stub = ChaincodeStub::new(self.ledger.state());
             chaincode
                 .init(&mut stub)
+                // lint:allow(no-unwrap-in-lib) -- deployment fail-fast: an init error aborts
+                // setup
                 .expect("chaincode init must succeed at deployment");
             let rw = stub.into_rw_set();
             let writes: Vec<_> = rw.writes.into_iter().collect();

@@ -85,9 +85,11 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> Result<u32, DecodeError> {
+        // lint:allow(no-unwrap-in-lib) -- take(4) returns exactly 4 bytes
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
     fn u64(&mut self) -> Result<u64, DecodeError> {
+        // lint:allow(no-unwrap-in-lib) -- take(8) returns exactly 8 bytes
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
     fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
@@ -101,6 +103,7 @@ impl<'a> Reader<'a> {
         String::from_utf8(self.bytes()?).map_err(|_| DecodeError("invalid UTF-8".into()))
     }
     fn hash(&mut self) -> Result<Hash256, DecodeError> {
+        // lint:allow(no-unwrap-in-lib) -- take(32) returns exactly 32 bytes
         Ok(Hash256::from_bytes(self.take(32)?.try_into().unwrap()))
     }
     fn finish(self) -> Result<(), DecodeError> {

@@ -22,6 +22,24 @@ fn identical_seeds_give_bit_identical_traces() {
 }
 
 #[test]
+fn identical_seeds_give_byte_identical_summary_json_across_pool_sizes() {
+    // The staged validation pipeline fans VSCC work over a worker pool;
+    // byte-comparing the full serialized report proves that no pool size
+    // leaks scheduling nondeterminism into anything the run reports.
+    for pool in [1usize, 4, 8] {
+        let mut cfg = quick_config(OrdererType::Raft, PolicySpec::AndX(3), 80.0);
+        cfg.cost.validator_pool_size = pool;
+        let a = Simulation::new(cfg.clone()).run().to_json();
+        let b = Simulation::new(cfg).run().to_json();
+        assert_eq!(a, b, "pool={pool}: reports differ between identical runs");
+        assert!(
+            a.contains("\"committed_valid\":"),
+            "pool={pool}: serialized report looks empty: {a}"
+        );
+    }
+}
+
+#[test]
 fn different_seeds_sample_different_arrivals() {
     let mut cfg = quick_config(OrdererType::Solo, PolicySpec::OrN(5), 70.0);
     let a = Simulation::new(cfg.clone()).run_detailed();
