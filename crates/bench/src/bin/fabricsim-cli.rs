@@ -6,16 +6,27 @@
 //!     --orderer raft --peers 10 --policy AND5 --rate 250 --duration 60
 //! ```
 //!
-//! Three subcommands ride along:
+//! Four subcommands ride along:
 //!
 //! ```text
-//!   fabricsim analyze --trace FILE [--top K] [--json]
+//!   fabricsim analyze [--trace FILE] [--spans FILE] [--top K] [--json]
 //!            [--chrome-out FILE] [--flame-out FILE]
-//!       offline trace analysis of a --trace-out JSONL file: per-segment
-//!       latency decomposition (queue vs service), critical-path dominance
-//!       histogram, top-K slowest transaction waterfalls; --chrome-out
-//!       writes a Chrome/Perfetto trace (open in ui.perfetto.dev),
-//!       --flame-out writes collapsed stacks for flamegraph.pl / inferno
+//!       offline analysis of run artifacts. --trace (a --trace-out JSONL
+//!       file) gives per-segment latency decomposition (queue vs service),
+//!       critical-path dominance histogram, top-K slowest transaction
+//!       waterfalls; --spans (a --span-out JSONL file) gives the causal
+//!       span-graph analysis: the distributed critical path per committed
+//!       transaction, per-actor/per-segment dominance, slowest-endorser and
+//!       gossip-depth histograms. --chrome-out writes a Chrome/Perfetto
+//!       trace (open in ui.perfetto.dev) — with --spans it carries flow
+//!       events so Perfetto draws cross-actor arrows; --flame-out writes
+//!       collapsed stacks for flamegraph.pl / inferno (needs --trace)
+//!   fabricsim profile [run flags] [--json] [--prom-out FILE]
+//!       run with the DES kernel self-profiler enabled and print where host
+//!       time went: per-event-label handler ns/counts, heap cost, loop
+//!       overhead, hottest family. Accepts the same deployment flags as the
+//!       default run mode; --prom-out writes the profile as Prometheus
+//!       text exposition (fabricsim_kernel_* families)
 //!   fabricsim bench [--out FILE] [--check FILE] [--tolerance PCT]
 //!       run the fixed perf scenario matrix; --out writes the baseline
 //!       (BENCH_fabricsim.json schema), --check compares against one and
@@ -46,6 +57,12 @@
 //!   --json                           emit a JSON summary (with bottleneck
 //!                                    attribution) instead of the report
 //!   --trace-out FILE                 record phase events, write JSONL trace
+//!   --span-out FILE                  record causal span-graph events, write
+//!                                    JSONL spans (analyze with --spans)
+//!   --trace-sample RATE              deterministic head-sampling rate in
+//!                                    [0,1] for per-tx trace/span records
+//!                                    (default 1.0; block-scoped spans are
+//!                                    always recorded)
 //!   --metrics-out FILE               write sampled time-series as CSV
 //!   --serve-metrics PORT             serve live Prometheus metrics on
 //!                                    127.0.0.1:PORT while the run advances
@@ -57,11 +74,14 @@ use std::env;
 use std::process::exit;
 
 use fabricsim::obs::{
-    chrome_trace, collapsed_stacks, parse_jsonl, reconstruct, validate_exposition, JsonlFileSink,
-    MetricsServer, TraceAnalysis,
+    chrome_trace, collapsed_stacks, parse_jsonl, parse_spans_jsonl, reconstruct, span_flow_trace,
+    validate_exposition, JsonlFileSink, MetricsRegistry, MetricsServer, SpanGraphAnalysis,
+    TraceAnalysis,
 };
 use fabricsim::report::{to_csv, Row};
-use fabricsim::{predict, OrdererType, PolicySpec, SimConfig, Simulation, WorkloadKind};
+use fabricsim::{
+    predict, KernelProfile, OrdererType, PolicySpec, SimConfig, Simulation, WorkloadKind,
+};
 use fabricsim_bench::perf;
 
 fn usage() -> ! {
@@ -71,18 +91,22 @@ fn usage() -> ! {
     eprintln!("                 [--validator-pool N]");
     eprintln!("                 [--workload kvput|rmw|transfer|smallbank]");
     eprintln!("                 [--payload BYTES] [--seed N] [--csv] [--json]");
-    eprintln!("                 [--trace-out FILE] [--metrics-out FILE] [--serve-metrics PORT]");
-    eprintln!("       fabricsim analyze --trace FILE [--top K] [--json]");
+    eprintln!("                 [--trace-out FILE] [--span-out FILE] [--trace-sample RATE]");
+    eprintln!("                 [--metrics-out FILE] [--serve-metrics PORT]");
+    eprintln!("       fabricsim analyze [--trace FILE] [--spans FILE] [--top K] [--json]");
     eprintln!("                 [--chrome-out FILE] [--flame-out FILE]");
+    eprintln!("       fabricsim profile [run flags] [--json] [--prom-out FILE]");
     eprintln!("       fabricsim bench [--out FILE] [--check FILE] [--tolerance PCT]");
     eprintln!("       fabricsim metrics-check FILE");
     eprintln!("       fabricsim lint [--json [FILE.json]] [--root DIR] [--list-rules] [PATHS…]");
     exit(2);
 }
 
-/// `fabricsim analyze`: offline latency decomposition of a JSONL trace.
+/// `fabricsim analyze`: offline latency decomposition of a JSONL trace
+/// and/or causal span-graph critical-path analysis of a JSONL span file.
 fn cmd_analyze(args: &[String]) -> ! {
     let mut trace: Option<String> = None;
+    let mut spans_in: Option<String> = None;
     let mut top = 5usize;
     let mut json = false;
     let mut chrome_out: Option<String> = None;
@@ -92,6 +116,7 @@ fn cmd_analyze(args: &[String]) -> ! {
         let mut value = || it.next().cloned().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--trace" => trace = Some(value()),
+            "--spans" => spans_in = Some(value()),
             "--top" => top = value().parse().unwrap_or_else(|_| usage()),
             "--json" => json = true,
             "--chrome-out" => chrome_out = Some(value()),
@@ -103,38 +128,79 @@ fn cmd_analyze(args: &[String]) -> ! {
             }
         }
     }
-    let Some(path) = trace else {
-        eprintln!("analyze requires --trace FILE (produced by a run with --trace-out)");
+    if trace.is_none() && spans_in.is_none() {
+        eprintln!("analyze requires --trace FILE (from --trace-out) and/or --spans FILE (from --span-out)");
         exit(2);
-    };
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        eprintln!("cannot read trace {path}: {e}");
-        exit(1);
+    }
+    let events = trace.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read trace {path}: {e}");
+            exit(1);
+        });
+        parse_jsonl(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse trace {path}: {e}");
+            exit(1);
+        })
     });
-    let events = parse_jsonl(&text).unwrap_or_else(|e| {
-        eprintln!("cannot parse trace {path}: {e}");
-        exit(1);
+    let spans = spans_in.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read spans {path}: {e}");
+            exit(1);
+        });
+        parse_spans_jsonl(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse spans {path}: {e}");
+            exit(1);
+        })
     });
     if let Some(out) = &chrome_out {
-        if let Err(e) = std::fs::write(out, chrome_trace(&events)) {
+        // Spans give the richer export: slices per actor plus flow arrows
+        // along every parent edge. Phase-event traces give the classic
+        // per-station waterfall.
+        let body = match (&spans, &events) {
+            (Some(s), _) => span_flow_trace(s),
+            (None, Some(e)) => chrome_trace(e),
+            (None, None) => unreachable!("checked above"),
+        };
+        if let Err(e) = std::fs::write(out, body) {
             eprintln!("cannot write chrome trace to {out}: {e}");
             exit(1);
         }
         eprintln!("wrote chrome trace {out} (open in ui.perfetto.dev or chrome://tracing)");
     }
     if let Some(out) = &flame_out {
-        let spans = reconstruct(&events);
-        if let Err(e) = std::fs::write(out, collapsed_stacks(&spans)) {
+        let Some(events) = &events else {
+            eprintln!("--flame-out needs --trace FILE (collapsed stacks come from phase events)");
+            exit(2);
+        };
+        let tx_spans = reconstruct(events);
+        if let Err(e) = std::fs::write(out, collapsed_stacks(&tx_spans)) {
             eprintln!("cannot write collapsed stacks to {out}: {e}");
             exit(1);
         }
         eprintln!("wrote collapsed stacks {out} (feed to flamegraph.pl or inferno-flamegraph)");
     }
-    let analysis = TraceAnalysis::from_events(&events, top);
+    let trace_analysis = events.as_ref().map(|e| TraceAnalysis::from_events(e, top));
+    let span_analysis = spans.as_ref().map(|s| SpanGraphAnalysis::from_spans(s));
     if json {
-        println!("{}", analysis.to_json());
+        match (&trace_analysis, &span_analysis) {
+            (Some(t), Some(g)) => {
+                println!(
+                    "{{\"trace\":{},\"span_graph\":{}}}",
+                    t.to_json(),
+                    g.to_json()
+                );
+            }
+            (Some(t), None) => println!("{}", t.to_json()),
+            (None, Some(g)) => println!("{}", g.to_json()),
+            (None, None) => unreachable!("checked above"),
+        }
     } else {
-        print!("{}", analysis.render_table());
+        if let Some(t) = &trace_analysis {
+            print!("{}", t.render_table());
+        }
+        if let Some(g) = &span_analysis {
+            print!("{}", g.render_table());
+        }
     }
     exit(0);
 }
@@ -251,81 +317,58 @@ fn parse_policy(s: &str) -> PolicySpec {
     PolicySpec::Custom(s.to_string())
 }
 
-fn main() {
-    let mut cfg = SimConfig {
-        duration_secs: 30.0,
-        warmup_secs: 6.0,
-        cooldown_secs: 2.0,
-        ..SimConfig::default()
-    };
-    let mut payload = 1usize;
-    let mut workload = "kvput".to_string();
-    let mut csv = false;
-    let mut json = false;
-    let mut trace_out: Option<String> = None;
-    let mut metrics_out: Option<String> = None;
-    let mut serve_metrics: Option<u16> = None;
-
-    let args: Vec<String> = env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("analyze") => cmd_analyze(&args[1..]),
-        Some("bench") => cmd_bench(&args[1..]),
-        Some("metrics-check") => cmd_metrics_check(&args[1..]),
-        Some("lint") => exit(fabricsim_lint::cli_run(&args[1..])),
-        _ => {}
-    }
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
-        match flag.as_str() {
-            "--orderer" => {
-                cfg.orderer_type = match value().to_lowercase().as_str() {
-                    "solo" => OrdererType::Solo,
-                    "kafka" => OrdererType::Kafka,
-                    "raft" => OrdererType::Raft,
-                    other => {
-                        eprintln!("unknown orderer {other:?}");
-                        usage()
-                    }
+/// Applies one *deployment* flag — the subset shared by the default run mode
+/// and `fabricsim profile`. Returns `false` when `flag` is not a deployment
+/// flag so the caller can try its mode-specific flags.
+fn apply_deploy_flag(
+    cfg: &mut SimConfig,
+    workload: &mut String,
+    payload: &mut usize,
+    flag: &str,
+    value: &mut dyn FnMut() -> String,
+) -> bool {
+    match flag {
+        "--orderer" => {
+            cfg.orderer_type = match value().to_lowercase().as_str() {
+                "solo" => OrdererType::Solo,
+                "kafka" => OrdererType::Kafka,
+                "raft" => OrdererType::Raft,
+                other => {
+                    eprintln!("unknown orderer {other:?}");
+                    usage()
                 }
             }
-            "--peers" => cfg.endorsing_peers = value().parse().unwrap_or_else(|_| usage()),
-            "--policy" => cfg.policy = parse_policy(&value()),
-            "--rate" => cfg.arrival_rate_tps = value().parse().unwrap_or_else(|_| usage()),
-            "--duration" => {
-                cfg.duration_secs = value().parse().unwrap_or_else(|_| usage());
-                cfg.warmup_secs = (cfg.duration_secs * 0.2).min(12.0);
-                cfg.cooldown_secs = (cfg.duration_secs * 0.1).min(5.0);
-            }
-            "--batch-size" => {
-                cfg.batch.max_message_count = value().parse().unwrap_or_else(|_| usage())
-            }
-            "--batch-timeout" => {
-                cfg.batch.batch_timeout_ms = value().parse().unwrap_or_else(|_| usage())
-            }
-            "--osns" => cfg.osn_count = value().parse().unwrap_or_else(|_| usage()),
-            "--channels" => cfg.channels = value().parse().unwrap_or_else(|_| usage()),
-            "--validator-pool" => {
-                cfg.cost.validator_pool_size = value().parse().unwrap_or_else(|_| usage())
-            }
-            "--brokers" => cfg.broker_count = value().parse().unwrap_or_else(|_| usage()),
-            "--zk" => cfg.zk_count = value().parse().unwrap_or_else(|_| usage()),
-            "--workload" => workload = value().to_lowercase(),
-            "--payload" => payload = value().parse().unwrap_or_else(|_| usage()),
-            "--seed" => cfg.seed = value().parse().unwrap_or_else(|_| usage()),
-            "--csv" => csv = true,
-            "--json" => json = true,
-            "--trace-out" => trace_out = Some(value()),
-            "--metrics-out" => metrics_out = Some(value()),
-            "--serve-metrics" => serve_metrics = Some(value().parse().unwrap_or_else(|_| usage())),
-            "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown flag {other:?}");
-                usage()
-            }
         }
+        "--peers" => cfg.endorsing_peers = value().parse().unwrap_or_else(|_| usage()),
+        "--policy" => cfg.policy = parse_policy(&value()),
+        "--rate" => cfg.arrival_rate_tps = value().parse().unwrap_or_else(|_| usage()),
+        "--duration" => {
+            cfg.duration_secs = value().parse().unwrap_or_else(|_| usage());
+            cfg.warmup_secs = (cfg.duration_secs * 0.2).min(12.0);
+            cfg.cooldown_secs = (cfg.duration_secs * 0.1).min(5.0);
+        }
+        "--batch-size" => cfg.batch.max_message_count = value().parse().unwrap_or_else(|_| usage()),
+        "--batch-timeout" => {
+            cfg.batch.batch_timeout_ms = value().parse().unwrap_or_else(|_| usage())
+        }
+        "--osns" => cfg.osn_count = value().parse().unwrap_or_else(|_| usage()),
+        "--channels" => cfg.channels = value().parse().unwrap_or_else(|_| usage()),
+        "--validator-pool" => {
+            cfg.cost.validator_pool_size = value().parse().unwrap_or_else(|_| usage())
+        }
+        "--brokers" => cfg.broker_count = value().parse().unwrap_or_else(|_| usage()),
+        "--zk" => cfg.zk_count = value().parse().unwrap_or_else(|_| usage()),
+        "--workload" => *workload = value().to_lowercase(),
+        "--payload" => *payload = value().parse().unwrap_or_else(|_| usage()),
+        "--seed" => cfg.seed = value().parse().unwrap_or_else(|_| usage()),
+        _ => return false,
     }
-    cfg.workload = match workload.as_str() {
+    true
+}
+
+/// Resolves the `--workload`/`--payload` strings into [`WorkloadKind`].
+fn set_workload(cfg: &mut SimConfig, workload: &str, payload: usize) {
+    cfg.workload = match workload {
         "kvput" => WorkloadKind::KvPut {
             payload_bytes: payload,
         },
@@ -340,8 +383,174 @@ fn main() {
             usage()
         }
     };
+}
+
+/// Renders a [`KernelProfile`] as Prometheus text exposition so CI can pass
+/// it through `fabricsim metrics-check` and scrapers can ingest it.
+fn profile_exposition(p: &KernelProfile) -> String {
+    let reg = MetricsRegistry::new();
+    for e in &p.entries {
+        reg.counter(
+            "fabricsim_kernel_event_ns_total",
+            "Host nanoseconds spent in event handlers, by schedule label.",
+            &[("label", &e.label)],
+        )
+        .add(e.ns);
+        reg.counter(
+            "fabricsim_kernel_events_total",
+            "Event handlers dispatched, by schedule label.",
+            &[("label", &e.label)],
+        )
+        .add(e.count);
+    }
+    reg.counter(
+        "fabricsim_kernel_heap_ns_total",
+        "Host nanoseconds spent popping the event heap.",
+        &[],
+    )
+    .add(p.heap_ns);
+    reg.counter(
+        "fabricsim_kernel_heap_ops_total",
+        "Event heap pops (executed + cancelled + the final empty pop).",
+        &[],
+    )
+    .add(p.heap_ops);
+    reg.counter(
+        "fabricsim_kernel_overhead_ns_total",
+        "Event-loop host nanoseconds not attributed to handlers or the heap.",
+        &[],
+    )
+    .add(p.overhead_ns);
+    reg.counter(
+        "fabricsim_kernel_loop_ns_total",
+        "Total event-loop host nanoseconds.",
+        &[],
+    )
+    .add(p.loop_ns);
+    reg.render()
+}
+
+/// `fabricsim profile`: run one deployment with the DES kernel self-profiler
+/// enabled and report where host time in the event loop went.
+fn cmd_profile(args: &[String]) -> ! {
+    let mut cfg = SimConfig {
+        duration_secs: 20.0,
+        warmup_secs: 4.0,
+        cooldown_secs: 2.0,
+        ..SimConfig::default()
+    };
+    let mut payload = 1usize;
+    let mut workload = "kvput".to_string();
+    let mut json = false;
+    let mut prom_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        if apply_deploy_flag(&mut cfg, &mut workload, &mut payload, flag, &mut value) {
+            continue;
+        }
+        match flag.as_str() {
+            "--json" => json = true,
+            "--prom-out" => prom_out = Some(value()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown profile flag {other:?}");
+                usage()
+            }
+        }
+    }
+    set_workload(&mut cfg, &workload, payload);
+    cfg.obs.profile = true;
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        exit(2);
+    }
+    let label = format!(
+        "{}/{} λ={:.0}",
+        cfg.orderer_type,
+        cfg.policy.label(),
+        cfg.arrival_rate_tps
+    );
+    let result = Simulation::new(cfg).run_detailed();
+    let Some(profile) = &result.observability.profile else {
+        eprintln!("internal error: profiled run returned no kernel profile");
+        exit(1);
+    };
+    if let Some(path) = &prom_out {
+        if let Err(e) = std::fs::write(path, profile_exposition(profile)) {
+            eprintln!("cannot write kernel profile exposition to {path}: {e}");
+            exit(1);
+        }
+        eprintln!("wrote kernel profile exposition {path}");
+    }
+    if json {
+        println!("{}", profile.to_json());
+    } else {
+        println!("== {label}: kernel self-profile ==");
+        print!("{}", profile.render_table());
+        println!(
+            "accounting : attributed {:.3} ms vs loop {:.3} ms ({} committed tx at {:.1} tps)",
+            profile.attributed_ns() as f64 / 1e6,
+            profile.loop_ns as f64 / 1e6,
+            result.summary.committed_valid,
+            result.summary.validate.throughput_tps,
+        );
+    }
+    exit(0);
+}
+
+fn main() {
+    let mut cfg = SimConfig {
+        duration_secs: 30.0,
+        warmup_secs: 6.0,
+        cooldown_secs: 2.0,
+        ..SimConfig::default()
+    };
+    let mut payload = 1usize;
+    let mut workload = "kvput".to_string();
+    let mut csv = false;
+    let mut json = false;
+    let mut trace_out: Option<String> = None;
+    let mut span_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut serve_metrics: Option<u16> = None;
+
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("metrics-check") => cmd_metrics_check(&args[1..]),
+        Some("lint") => exit(fabricsim_lint::cli_run(&args[1..])),
+        _ => {}
+    }
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        if apply_deploy_flag(&mut cfg, &mut workload, &mut payload, flag, &mut value) {
+            continue;
+        }
+        match flag.as_str() {
+            "--csv" => csv = true,
+            "--json" => json = true,
+            "--trace-out" => trace_out = Some(value()),
+            "--span-out" => span_out = Some(value()),
+            "--trace-sample" => cfg.obs.trace_sample = value().parse().unwrap_or_else(|_| usage()),
+            "--metrics-out" => metrics_out = Some(value()),
+            "--serve-metrics" => serve_metrics = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    set_workload(&mut cfg, &workload, payload);
     if trace_out.is_some() {
         cfg.obs.trace_events = true;
+    }
+    if span_out.is_some() {
+        cfg.obs.span_events = true;
     }
     if let Err(e) = cfg.validate() {
         eprintln!("invalid configuration: {e}");
@@ -384,6 +593,19 @@ fn main() {
             exit(1);
         }
     }
+    if let Some(path) = &span_out {
+        let write = || -> std::io::Result<u64> {
+            let mut sink = JsonlFileSink::create(path)?;
+            for sp in &result.observability.spans {
+                sink.write_span(sp)?;
+            }
+            sink.finish()
+        };
+        if let Err(e) = write() {
+            eprintln!("cannot write spans to {path}: {e}");
+            exit(1);
+        }
+    }
     if let Some(path) = &metrics_out {
         let text = result
             .observability
@@ -395,6 +617,12 @@ fn main() {
             eprintln!("cannot write metrics to {path}: {e}");
             exit(1);
         }
+    }
+    if result.observability.dropped_events > 0 || result.observability.dropped_spans > 0 {
+        eprintln!(
+            "warning: bounded sinks evicted {} trace event(s) and {} span(s); lower --trace-sample or raise trace_buffer_cap",
+            result.observability.dropped_events, result.observability.dropped_spans
+        );
     }
 
     if json {
@@ -503,6 +731,7 @@ fn json_summary(label: &str, result: &fabricsim::RunResult) -> String {
             "\"created\":{created},\"committed_valid\":{valid},\"committed_invalid\":{invalid},",
             "\"overload_dropped\":{dropped},\"ordering_timeouts\":{timeouts},",
             "\"endorsement_failures\":{endo_fail},",
+            "\"dropped_events\":{dropped_events},\"dropped_spans\":{dropped_spans},",
             "\"ordering_timeouts_per_s\":{timeout_rate:.6},\"overload_dropped_per_s\":{drop_rate:.6},",
             "\"blocks_cut\":{blocks},\"mean_block_time_s\":{blk_t:.6},\"mean_block_size\":{blk_n:.3},",
             "\"hottest_station\":\"{hot}\",\"hottest_utilization\":{hot_load:.6},",
@@ -529,6 +758,8 @@ fn json_summary(label: &str, result: &fabricsim::RunResult) -> String {
         dropped = s.overload_dropped,
         timeouts = s.ordering_timeouts,
         endo_fail = s.endorsement_failures,
+        dropped_events = result.observability.dropped_events,
+        dropped_spans = result.observability.dropped_spans,
         timeout_rate = s.ordering_timeouts_per_s,
         drop_rate = s.overload_dropped_per_s,
         blocks = s.blocks_cut,

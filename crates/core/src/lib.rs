@@ -44,6 +44,7 @@ mod sim;
 mod workload;
 
 pub use analytic::{predict, Phase, Prediction};
+pub use fabricsim_des::{KernelProfile, LabelProfile};
 pub use fabricsim_obs as obs;
 pub use fabricsim_types::{BatchConfig, ChannelId, OrdererType, ValidationCode};
 pub use live::LiveMetrics;

@@ -5,14 +5,17 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use fabricsim_chaincode::samples::{AssetTransfer, KvWrite, Nondeterministic, Smallbank};
-use fabricsim_des::{EventId, Kernel, Link, RngStream, SimDuration, SimTime, Station};
+use fabricsim_des::{
+    EventId, Kernel, KernelProfile, Link, RngStream, SimDuration, SimTime, Station,
+};
 use fabricsim_kafka::{
     Broker, BrokerEffect, BrokerMsg, ClientEvent, KafkaConfig, ZkEffect, ZkEnsemble, ZkMsg,
 };
 use fabricsim_msp::{CertificateAuthority, Msp};
 use fabricsim_obs::{
-    BottleneckReport, EventSink, LogHistogram, MetricsRecorder, PhaseEvent, StationClass,
-    TracePhase, TxStationBreakdown,
+    message_span_id, span_id, tx_sampled, BottleneckReport, EventSink, LogHistogram,
+    MetricsRecorder, PhaseEvent, SpanEvent, SpanKind, SpanSink, StationClass, TracePhase,
+    TxStationBreakdown, DEFAULT_SPAN_KIND_CAP,
 };
 use fabricsim_ordering::{OsnEffect, OsnInput, OsnMsg, OsnNode};
 use fabricsim_peer::{GossipEffect, GossipMsg, GossipNode, Peer, PeerConfig};
@@ -96,6 +99,14 @@ pub struct RunObservability {
     /// Structured phase-transition events, in virtual-time order. Empty
     /// unless [`crate::ObsConfig::trace_events`] was set.
     pub events: Vec<PhaseEvent>,
+    /// Phase events evicted from the bounded in-memory ring (oldest-first
+    /// eviction once `trace_buffer_cap` is exceeded).
+    pub dropped_events: u64,
+    /// Causal span-graph events, in virtual-time order. Empty unless
+    /// [`crate::ObsConfig::span_events`] was set.
+    pub spans: Vec<SpanEvent>,
+    /// Spans lost to the ring bound or the per-family cardinality caps.
+    pub dropped_spans: u64,
     /// Windowed time-series (queue depths, utilization, in-flight txs,
     /// block-cut cadence). `None` when the sampler was disabled.
     pub metrics: Option<MetricsRecorder>,
@@ -104,6 +115,9 @@ pub struct RunObservability {
     /// Log-bucketed end-to-end latency histogram over committed transactions
     /// (whole run, warm-up included).
     pub e2e_hist: LogHistogram,
+    /// The DES kernel's host-time self-profile. `None` unless
+    /// [`crate::ObsConfig::profile`] was set.
+    pub profile: Option<KernelProfile>,
 }
 
 impl RunObservability {
@@ -112,6 +126,16 @@ impl RunObservability {
         let mut out = String::new();
         for ev in &self.events {
             out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The collected spans as a JSONL document (one span per line).
+    pub fn spans_jsonl(&self) -> String {
+        let mut out = String::new();
+        for sp in &self.spans {
+            out.push_str(&sp.to_json());
             out.push('\n');
         }
         out
@@ -205,6 +229,8 @@ struct BrokerActor {
 /// Per-run observability state carried alongside the world.
 struct ObsState {
     sink: EventSink,
+    /// Causal span-graph sink (bounded, deterministically head-sampled).
+    spans: SpanSink,
     /// Per-tx station decomposition, parallel to `World::traces`.
     breakdowns: Vec<TxStationBreakdown>,
     recorder: Option<MetricsRecorder>,
@@ -243,6 +269,11 @@ type K = Kernel<World>;
 /// crosses `phase` — the snapshot point for the cumulative queue/service
 /// totals stamped on phase events. Classes are pipeline-ordered, so
 /// "through class C" means "summed over every class up to and including C".
+/// Span-graph trace id of a block: channel index + block number.
+fn block_trace(ch: usize, number: u64) -> String {
+    format!("b{ch}.{number}")
+}
+
 fn through_class(phase: TracePhase) -> StationClass {
     match phase {
         TracePhase::Created | TracePhase::ProposalSent => StationClass::ClientPrep,
@@ -274,6 +305,9 @@ impl World {
     /// `self.obs.sink.enabled()` before building the station string so that
     /// disabled tracing allocates nothing.
     fn emit(&mut self, now: SimTime, tx: String, phase: TracePhase, station: String, depth: usize) {
+        if !tx_sampled(&tx, self.cfg.seed, self.cfg.obs.trace_sample) {
+            return;
+        }
         self.obs.sink.record(PhaseEvent {
             t_s: now.as_secs_f64(),
             tx,
@@ -298,6 +332,10 @@ impl World {
         station: String,
         depth: usize,
     ) {
+        let tx = tx_id.short();
+        if !tx_sampled(&tx, self.cfg.seed, self.cfg.obs.trace_sample) {
+            return;
+        }
         let (cum_queued_s, cum_service_s) = self
             .tx_index
             .get(&tx_id)
@@ -306,12 +344,73 @@ impl World {
             .unwrap_or((0.0, 0.0));
         self.obs.sink.record(PhaseEvent {
             t_s: t.as_secs_f64(),
-            tx: tx_id.short(),
+            tx,
             phase,
             station,
             queue_depth: depth as u64,
             cum_queued_s,
             cum_service_s,
+        });
+    }
+
+    /// Records one causal span. `trace` is the tx short id for tx-scoped
+    /// kinds (gated on the sink's deterministic sampling decision) or the
+    /// block identity `b{ch}.{number}` for block-scoped kinds (always
+    /// recorded). Write-only with respect to simulation state; `t1` may lie
+    /// in the future (the analyzer re-sorts).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_span(
+        &mut self,
+        trace: &str,
+        kind: SpanKind,
+        actor: &str,
+        t0: SimTime,
+        t1: SimTime,
+        hop: u32,
+        parent_id: u64,
+    ) {
+        if !self.obs.spans.enabled() {
+            return;
+        }
+        if kind.tx_scoped() && !self.obs.spans.wants_tx(trace) {
+            return;
+        }
+        self.obs.spans.record(SpanEvent {
+            span_id: span_id(trace, kind, actor, hop),
+            parent_id,
+            trace: trace.to_string(),
+            kind,
+            actor: actor.to_string(),
+            t0_s: t0.as_secs_f64(),
+            t1_s: t1.as_secs_f64(),
+            hop,
+        });
+    }
+
+    /// Records one infrastructure message-leg span (Raft/Kafka rounds).
+    /// The same (trace, kind, actor) triple recurs every round, so the
+    /// span's identity folds in its times ([`message_span_id`]).
+    fn emit_msg_span(
+        &mut self,
+        trace: &str,
+        kind: SpanKind,
+        actor: &str,
+        t0: SimTime,
+        t1: SimTime,
+    ) {
+        if !self.obs.spans.enabled() {
+            return;
+        }
+        let (t0_s, t1_s) = (t0.as_secs_f64(), t1.as_secs_f64());
+        self.obs.spans.record(SpanEvent {
+            span_id: message_span_id(trace, kind, actor, t0_s, t1_s),
+            parent_id: 0,
+            trace: trace.to_string(),
+            kind,
+            actor: actor.to_string(),
+            t0_s,
+            t1_s,
+            hop: 0,
         });
     }
 
@@ -420,6 +519,9 @@ impl Simulation {
         let mut kernel: K = Kernel::new();
         let end = SimTime::from_secs_f64(cfg.duration_secs);
         kernel.set_horizon(end);
+        if cfg.obs.profile {
+            kernel.enable_profiler();
+        }
 
         if let Some(live) = &world.obs.live {
             live.runs_started.inc();
@@ -427,6 +529,7 @@ impl Simulation {
         bootstrap(&mut world, &mut kernel);
         schedule_faults(&faults, &mut kernel);
         kernel.run(&mut world);
+        let profile = kernel.take_profile();
         flush_partial_tick(&mut world, end);
         if let Some(live) = &world.obs.live {
             live.runs_completed.inc();
@@ -506,13 +609,26 @@ impl Simulation {
         // Handlers may stamp events at staggered per-tx times (e.g. commit
         // times within a block), so restore global time order; the sort is
         // stable, preserving causal order at equal timestamps.
+        let dropped_events = world.obs.sink.dropped_events();
         let mut events = world.obs.sink.into_events();
         events.sort_by(|a, b| a.t_s.total_cmp(&b.t_s));
+        let dropped_spans = world.obs.spans.dropped_spans();
+        let mut spans = world.obs.spans.into_spans();
+        spans.sort_by(|a, b| {
+            a.t0_s
+                .total_cmp(&b.t0_s)
+                .then(a.t1_s.total_cmp(&b.t1_s))
+                .then(a.span_id.cmp(&b.span_id))
+        });
         let observability = RunObservability {
             events,
+            dropped_events,
+            spans,
+            dropped_spans,
             metrics: world.obs.recorder,
             bottleneck: BottleneckReport::from_breakdowns(&committed, window_s),
             e2e_hist: world.obs.e2e_hist,
+            profile,
         };
         RunResult {
             summary,
@@ -773,9 +889,19 @@ fn build_world(cfg: &SimConfig, live: Option<Arc<LiveMetrics>>) -> World {
         next_cut_number: vec![0; n_channels],
         obs: ObsState {
             sink: if cfg.obs.trace_events {
-                EventSink::in_memory()
+                EventSink::in_memory_bounded(cfg.obs.trace_buffer_cap)
             } else {
                 EventSink::disabled()
+            },
+            spans: if cfg.obs.span_events {
+                SpanSink::bounded(
+                    cfg.seed,
+                    cfg.obs.trace_sample,
+                    cfg.obs.trace_buffer_cap,
+                    DEFAULT_SPAN_KIND_CAP,
+                )
+            } else {
+                SpanSink::disabled()
             },
             breakdowns: Vec::new(),
             recorder: (cfg.obs.sample_period_s > 0.0)
@@ -801,35 +927,39 @@ fn bootstrap(world: &mut World, k: &mut K) {
     // is disabled, so an exporter always has fresh gauges to serve.
     if world.obs.recorder.is_some() || world.obs.live.is_some() {
         let period = SimDuration::from_secs_f64(sample_period_s(world));
-        k.schedule_in(period, obs_sample);
+        k.schedule_in_labeled(period, "obs.sample", obs_sample);
     }
     // OSN ticks (Raft elections/heartbeats; Kafka consume polling).
     if world.cfg.orderer_type != OrdererType::Solo {
         let period = world.ms(world.cfg.cost.osn_tick_ms);
         for o in 0..world.osns.len() {
-            k.schedule_in(period, move |w, k| osn_tick(w, k, o));
+            k.schedule_in_labeled(period, "osn.tick", move |w, k| osn_tick(w, k, o));
         }
     }
     // Gossip anti-entropy pulls.
     if let Some(g) = world.cfg.gossip {
         let period = world.ms(g.anti_entropy_ms as f64);
         for peer_idx in 0..world.peers.len() {
-            k.schedule_in(period, move |w, k| gossip_tick(w, k, peer_idx));
+            k.schedule_in_labeled(period, "gossip.tick", move |w, k| {
+                gossip_tick(w, k, peer_idx)
+            });
         }
     }
     // Kafka broker ticks + ZK heartbeats + ZK tick.
     if world.cfg.orderer_type == OrdererType::Kafka {
         let bt = world.ms(world.cfg.cost.broker_tick_ms);
         for b in 0..world.brokers.len() {
-            k.schedule_in(bt, move |w, k| broker_tick(w, k, b));
+            k.schedule_in_labeled(bt, "broker.tick", move |w, k| broker_tick(w, k, b));
         }
         let hb = world.ms(world.cfg.cost.zk_heartbeat_ms);
         for b in 0..world.brokers.len() {
             // First heartbeat immediately: bootstraps leader election.
-            k.schedule_in(SimDuration::ZERO, move |w, k| broker_heartbeat(w, k, b));
+            k.schedule_in_labeled(SimDuration::ZERO, "broker.heartbeat", move |w, k| {
+                broker_heartbeat(w, k, b);
+            });
             let _ = hb;
         }
-        k.schedule_in(world.ms(500.0), zk_tick);
+        k.schedule_in_labeled(world.ms(500.0), "zk.tick", zk_tick);
     }
 }
 
@@ -940,7 +1070,7 @@ fn obs_sample(world: &mut World, k: &mut K) {
         rec.end_tick();
     }
     let period = SimDuration::from_secs_f64(sample_period_s(world));
-    k.schedule_in(period, obs_sample);
+    k.schedule_in_labeled(period, "obs.sample", obs_sample);
 }
 
 /// Flushes the recorder's final partial window at the horizon. The sampler
@@ -972,57 +1102,69 @@ fn flush_partial_tick(world: &mut World, horizon: SimTime) {
 
 fn schedule_faults(faults: &FaultPlan, k: &mut K) {
     for &(peer, at) in &faults.nondeterministic_peers {
-        k.schedule(SimTime::from_secs_f64(at), move |w: &mut World, _| {
-            if let Some(node) = w.peers.get_mut(peer as usize) {
-                for p in &mut node.channels {
-                    p.install_chaincode(Box::new(Nondeterministic {
-                        inner: KvWrite,
-                        taint: peer,
-                    }));
+        k.schedule_labeled(
+            SimTime::from_secs_f64(at),
+            "fault",
+            move |w: &mut World, _| {
+                if let Some(node) = w.peers.get_mut(peer as usize) {
+                    for p in &mut node.channels {
+                        p.install_chaincode(Box::new(Nondeterministic {
+                            inner: KvWrite,
+                            taint: peer,
+                        }));
+                    }
                 }
-            }
-        });
+            },
+        );
     }
     for &(b, at) in &faults.crash_brokers {
-        k.schedule(SimTime::from_secs_f64(at), move |w: &mut World, _| {
-            if let Some(actor) = w.brokers.get_mut(b as usize) {
-                actor.alive = false;
-            }
-        });
+        k.schedule_labeled(
+            SimTime::from_secs_f64(at),
+            "fault",
+            move |w: &mut World, _| {
+                if let Some(actor) = w.brokers.get_mut(b as usize) {
+                    actor.alive = false;
+                }
+            },
+        );
     }
     for &(o, at) in &faults.crash_osns {
-        k.schedule(SimTime::from_secs_f64(at), move |w: &mut World, k| {
-            let o = o as usize;
-            let Some(actor) = w.osns.get_mut(o) else {
-                return;
-            };
-            actor.alive = false;
-            let orphans = std::mem::take(&mut actor.subscribers);
-            // Peers reconnect to another OSN and seek from their height.
-            let Some(target) = w.osns.iter().position(|a| a.alive) else {
-                return; // no ordering service left (Solo crash)
-            };
-            for peer_idx in orphans {
-                w.osns[target].subscribers.push(peer_idx);
-                let missing: Vec<Block> = w.osns[target]
-                    .delivered
-                    .iter()
-                    .filter(|blk| {
-                        let ch = w.channel_index(&blk.channel);
-                        blk.header.number >= w.peers[peer_idx].next_expected_block[ch]
-                    })
-                    .cloned()
-                    .collect();
-                let now = k.now();
-                for b in missing {
-                    let bytes = b.wire_size();
-                    let arrival = w.osns[target].egress.transfer(now, bytes);
-                    k.schedule(arrival, move |w, k| {
-                        peer_receive_block(w, k, peer_idx, b.clone());
-                    });
+        k.schedule_labeled(
+            SimTime::from_secs_f64(at),
+            "fault",
+            move |w: &mut World, k| {
+                let o = o as usize;
+                let Some(actor) = w.osns.get_mut(o) else {
+                    return;
+                };
+                actor.alive = false;
+                let orphans = std::mem::take(&mut actor.subscribers);
+                // Peers reconnect to another OSN and seek from their height.
+                let Some(target) = w.osns.iter().position(|a| a.alive) else {
+                    return; // no ordering service left (Solo crash)
+                };
+                for peer_idx in orphans {
+                    w.osns[target].subscribers.push(peer_idx);
+                    let missing: Vec<Block> = w.osns[target]
+                        .delivered
+                        .iter()
+                        .filter(|blk| {
+                            let ch = w.channel_index(&blk.channel);
+                            blk.header.number >= w.peers[peer_idx].next_expected_block[ch]
+                        })
+                        .cloned()
+                        .collect();
+                    let now = k.now();
+                    for b in missing {
+                        let bytes = b.wire_size();
+                        let arrival = w.osns[target].egress.transfer(now, bytes);
+                        k.schedule_labeled(arrival, "peer.block", move |w, k| {
+                            peer_receive_block(w, k, peer_idx, b.clone());
+                        });
+                    }
                 }
-            }
-        });
+            },
+        );
     }
 }
 
@@ -1031,10 +1173,14 @@ fn schedule_faults(faults: &FaultPlan, k: &mut K) {
 fn schedule_next_arrival(world: &mut World, k: &mut K, p: usize) {
     let per_pool_rate = world.cfg.arrival_rate_tps / world.pools.len() as f64;
     let gap = world.pools[p].arrivals.exp(1.0 / per_pool_rate);
-    k.schedule_in(SimDuration::from_secs_f64(gap), move |w, k| {
-        pool_arrival(w, k, p);
-        schedule_next_arrival(w, k, p);
-    });
+    k.schedule_in_labeled(
+        SimDuration::from_secs_f64(gap),
+        "pool.arrival",
+        move |w, k| {
+            pool_arrival(w, k, p);
+            schedule_next_arrival(w, k, p);
+        },
+    );
 }
 
 fn workload_args(world: &mut World, p: usize, seq: usize) -> (String, Vec<Vec<u8>>) {
@@ -1199,7 +1345,12 @@ fn pool_arrival(world: &mut World, k: &mut K, p: usize) {
         let depth = world.pools[p].prep.jobs_in_system(now);
         world.emit_tx(now, tx_id, TracePhase::Created, station, depth);
     }
-    k.schedule(done + sdk_pre, move |w, k| {
+    if world.obs.spans.enabled() {
+        let tx = tx_id.short();
+        let actor = format!("pool{p}");
+        world.emit_span(&tx, SpanKind::ClientPrep, &actor, now, done + sdk_pre, 0, 0);
+    }
+    k.schedule_labeled(done + sdk_pre, "pool.send", move |w, k| {
         w.pools[p].in_prep -= 1;
         send_proposals(w, k, p, tx_id, targets.clone());
     });
@@ -1229,7 +1380,7 @@ fn send_proposals(world: &mut World, k: &mut K, p: usize, tx_id: TxId, targets: 
         let peer_idx = world.peer_of(&principal);
         let arrival = world.pools[p].egress.transfer(now, bytes);
         let prop = proposal.clone();
-        k.schedule(arrival, move |w, k| {
+        k.schedule_labeled(arrival, "peer.endorse", move |w, k| {
             peer_receive_proposal(w, k, peer_idx, p, prop.clone());
         });
     }
@@ -1249,7 +1400,13 @@ fn peer_receive_proposal(
     let done = world.peers[peer_idx].endorse.submit(now, service);
     // Endorsement fans out: only the slowest endorser is on the critical path.
     world.attribute_max(proposal.tx_id, StationClass::PeerEndorse, queued, service);
-    k.schedule(done, move |w, k| {
+    if world.obs.spans.enabled() {
+        let tx = proposal.tx_id.short();
+        let actor = format!("peer{peer_idx}");
+        let parent = span_id(&tx, SpanKind::ClientPrep, &format!("pool{p}"), 0);
+        world.emit_span(&tx, SpanKind::Endorse, &actor, now, done, 0, parent);
+    }
+    k.schedule_labeled(done, "peer.endorse", move |w, k| {
         let ch = w.channel_index(&proposal.channel);
         let response = w.peers[peer_idx].channels[ch].endorse(&proposal);
         send_response(w, k, peer_idx, p, response);
@@ -1269,7 +1426,7 @@ fn send_response(
         .jitter
         .exp(world.cfg.cost.endorse_path_jitter_ms);
     let arrival = world.peers[peer_idx].egress.transfer(now, bytes) + world.ms(jitter_ms);
-    k.schedule(arrival, move |w, k| {
+    k.schedule_labeled(arrival, "pool.recv", move |w, k| {
         pool_receive_response(w, k, p, response.clone());
     });
 }
@@ -1280,6 +1437,12 @@ fn pool_receive_response(world: &mut World, k: &mut K, p: usize, response: Propo
     let Some(pending) = world.pools[p].pending.get_mut(&tx_id) else {
         return; // already assembled or failed
     };
+    // The response that satisfies the policy is the slowest endorsement the
+    // client waited for — the span graph's causal parent of assembly.
+    let endorser_peer = response
+        .endorsement
+        .as_ref()
+        .map(|e| (e.endorser.org.0.saturating_sub(1)) as usize);
     match pending.collector.add(response) {
         CollectState::Pending => {}
         CollectState::Failed => {
@@ -1304,7 +1467,25 @@ fn pool_receive_response(world: &mut World, k: &mut K, p: usize, response: Propo
             let queued = world.pools[p].recv.would_start_at(now) - now;
             let done = world.pools[p].recv.submit(now, cost);
             world.attribute(tx_id, StationClass::ClientRecv, queued, cost);
-            k.schedule(done + sdk_post, move |w, k| client_assemble(w, k, p, tx_id));
+            if world.obs.spans.enabled() {
+                let tx = tx_id.short();
+                let actor = format!("pool{p}");
+                let parent = endorser_peer.map_or(0, |e| {
+                    span_id(&tx, SpanKind::Endorse, &format!("peer{e}"), 0)
+                });
+                world.emit_span(
+                    &tx,
+                    SpanKind::Assemble,
+                    &actor,
+                    now,
+                    done + sdk_post,
+                    0,
+                    parent,
+                );
+            }
+            k.schedule_labeled(done + sdk_post, "client.assemble", move |w, k| {
+                client_assemble(w, k, p, tx_id);
+            });
         }
     }
 }
@@ -1371,31 +1552,35 @@ fn submit_to_orderer(world: &mut World, k: &mut K, p: usize, tx: Transaction) {
 
     // Arm the 3 s ordering timeout.
     let timeout = world.ms(world.cfg.ordering_timeout_ms as f64);
-    let ev = k.schedule(now + timeout, move |w: &mut World, k| {
-        let mut timed_out = false;
-        if let Some(t) = w.trace_mut(tx_id) {
-            if t.order_acked.is_none() && matches!(t.outcome, TxOutcome::InFlight) {
-                t.outcome = TxOutcome::OrderingTimeout;
-                timed_out = true;
+    let ev = k.schedule_labeled(
+        now + timeout,
+        "ordering.timeout",
+        move |w: &mut World, k| {
+            let mut timed_out = false;
+            if let Some(t) = w.trace_mut(tx_id) {
+                if t.order_acked.is_none() && matches!(t.outcome, TxOutcome::InFlight) {
+                    t.outcome = TxOutcome::OrderingTimeout;
+                    timed_out = true;
+                }
             }
-        }
-        w.pools[p].pending.remove(&tx_id);
-        if timed_out {
-            if let Some(live) = &w.obs.live {
-                live.txs_failed_timeout.inc();
+            w.pools[p].pending.remove(&tx_id);
+            if timed_out {
+                if let Some(live) = &w.obs.live {
+                    live.txs_failed_timeout.inc();
+                }
             }
-        }
-        if timed_out && w.obs.sink.enabled() {
-            let now = k.now();
-            w.emit_tx(
-                now,
-                tx_id,
-                TracePhase::OrderingTimeout,
-                "ordering.timeout".into(),
-                0,
-            );
-        }
-    });
+            if timed_out && w.obs.sink.enabled() {
+                let now = k.now();
+                w.emit_tx(
+                    now,
+                    tx_id,
+                    TracePhase::OrderingTimeout,
+                    "ordering.timeout".into(),
+                    0,
+                );
+            }
+        },
+    );
     if let Some(pending) = world.pools[p].pending.get_mut(&tx_id) {
         pending.timeout_event = Some(ev);
         pending.envelope = Some(tx.clone());
@@ -1404,7 +1589,7 @@ fn submit_to_orderer(world: &mut World, k: &mut K, p: usize, tx: Transaction) {
     let bytes = tx.wire_size();
     let arrival = world.pools[p].egress.transfer(now, bytes);
     let ch = world.channel_index(&tx.channel);
-    k.schedule(arrival, move |w, k| {
+    k.schedule_labeled(arrival, "osn.receive", move |w, k| {
         osn_receive(w, k, o, ch, OsnInput::Broadcast(tx.clone()), true);
     });
 }
@@ -1447,8 +1632,16 @@ fn osn_receive(
     let done = world.osns[o].station.submit(now, service);
     if let Some(tx_id) = attributed_tx {
         world.attribute(tx_id, StationClass::OsnCpu, queued, service);
+        if world.obs.spans.enabled() {
+            let tx = tx_id.short();
+            let actor = format!("osn{o}");
+            let parent = world.tx_pool.get(&tx_id).map_or(0, |&p| {
+                span_id(&tx, SpanKind::Assemble, &format!("pool{p}"), 0)
+            });
+            world.emit_span(&tx, SpanKind::OsnBroadcast, &actor, now, done, 0, parent);
+        }
     }
-    k.schedule(done, move |w, k| {
+    k.schedule_labeled(done, "osn.receive", move |w, k| {
         if !w.osns[o].alive {
             return;
         }
@@ -1465,7 +1658,7 @@ fn osn_tick(world: &mut World, k: &mut K, o: usize) {
         }
     }
     let period = world.ms(world.cfg.cost.osn_tick_ms);
-    k.schedule_in(period, move |w, k| osn_tick(w, k, o));
+    k.schedule_in_labeled(period, "osn.tick", move |w, k| osn_tick(w, k, o));
 }
 
 fn apply_osn_effects(world: &mut World, k: &mut K, o: usize, ch: usize, effects: Vec<OsnEffect>) {
@@ -1477,7 +1670,7 @@ fn apply_osn_effects(world: &mut World, k: &mut K, o: usize, ch: usize, effects:
                     continue;
                 };
                 let arrival = world.osns[o].egress.transfer(now, 200);
-                k.schedule(arrival, move |w: &mut World, k2| {
+                k.schedule_labeled(arrival, "osn.ack", move |w: &mut World, k2| {
                     let now = k2.now();
                     if let Some(pending) = w.pools[p].pending.remove(&tx_id) {
                         if let Some(ev) = pending.timeout_event {
@@ -1502,7 +1695,12 @@ fn apply_osn_effects(world: &mut World, k: &mut K, o: usize, ch: usize, effects:
                 let bytes = osn_msg_bytes(&message);
                 let arrival = world.osns[o].egress.transfer(now, bytes);
                 let from = o as u32;
-                k.schedule(arrival, move |w, k| {
+                if world.obs.spans.enabled() {
+                    let trace = format!("ch{ch}");
+                    let actor = format!("osn{o}>osn{to}");
+                    world.emit_msg_span(&trace, SpanKind::RaftMsg, &actor, now, arrival);
+                }
+                k.schedule_labeled(arrival, "osn.relay", move |w, k| {
                     osn_receive(
                         w,
                         k,
@@ -1519,13 +1717,18 @@ fn apply_osn_effects(world: &mut World, k: &mut K, o: usize, ch: usize, effects:
             OsnEffect::SendBroker { to, message } => {
                 let bytes = broker_msg_bytes(&message);
                 let arrival = world.osns[o].egress.transfer(now, bytes);
-                k.schedule(arrival, move |w, k| {
+                if world.obs.spans.enabled() {
+                    let trace = format!("ch{ch}");
+                    let actor = format!("osn{o}>broker{to}");
+                    world.emit_msg_span(&trace, SpanKind::KafkaProduce, &actor, now, arrival);
+                }
+                k.schedule_labeled(arrival, "broker.produce", move |w, k| {
                     broker_receive(w, k, to as usize, ch, message.clone());
                 });
             }
             OsnEffect::ArmBatchTimer { after_ms, seq } => {
                 let delay = world.ms(after_ms as f64);
-                k.schedule_in(delay, move |w, k| {
+                k.schedule_in_labeled(delay, "osn.timer", move |w, k| {
                     osn_receive(w, k, o, ch, OsnInput::BatchTimer { seq }, false);
                 });
             }
@@ -1590,13 +1793,29 @@ fn deliver_block(world: &mut World, k: &mut K, o: usize, block: Block) {
                 world.emit_tx(now, tx_id, TracePhase::Ordered, station.clone(), depth);
             }
         }
+        if world.obs.spans.enabled() {
+            // Zero-width anchor: the instant the block exists as an artifact.
+            let trace = block_trace(ch, block.header.number);
+            let actor = format!("osn{o}");
+            world.emit_span(&trace, SpanKind::BlockCut, &actor, now, now, 0, 0);
+        }
     }
     let bytes = block.wire_size();
     let subscribers = world.osns[o].subscribers.clone();
+    let btrace = world
+        .obs
+        .spans
+        .enabled()
+        .then(|| block_trace(ch, block.header.number));
     for peer_idx in subscribers {
         let arrival = world.osns[o].egress.transfer(now, bytes);
+        if let Some(trace) = &btrace {
+            let parent = span_id(trace, SpanKind::BlockCut, &format!("osn{o}"), 0);
+            let actor = format!("peer{peer_idx}");
+            world.emit_span(trace, SpanKind::Deliver, &actor, now, arrival, 0, parent);
+        }
         let b = block.clone();
-        k.schedule(arrival, move |w, k| {
+        k.schedule_labeled(arrival, "osn.deliver", move |w, k| {
             peer_receive_block(w, k, peer_idx, b.clone());
         });
     }
@@ -1618,7 +1837,7 @@ fn peer_receive_block(world: &mut World, k: &mut K, peer_idx: usize, block: Bloc
 
 fn gossip_msg_bytes(message: &GossipMsg) -> u64 {
     match message {
-        GossipMsg::Push { block } => block.wire_size(),
+        GossipMsg::Push { block, .. } => block.wire_size(),
         GossipMsg::PullRequest { .. } => 60,
         GossipMsg::PullResponse { blocks } => {
             100 + blocks.iter().map(|b| b.wire_size()).sum::<u64>()
@@ -1634,7 +1853,32 @@ fn apply_gossip_effects(world: &mut World, k: &mut K, peer_idx: usize, effects: 
                 let bytes = gossip_msg_bytes(&message);
                 let arrival = world.peers[peer_idx].egress.transfer(now, bytes);
                 let from = peer_idx as u32;
-                k.schedule(arrival, move |w, k| {
+                if world.obs.spans.enabled() {
+                    if let GossipMsg::Push { block, hop } = &message {
+                        // One span per mesh hop: actor is the *receiving*
+                        // peer, parent the hop (or orderer delivery) that
+                        // brought the block to the sender.
+                        let ch = world.channel_index(&block.channel);
+                        let trace = block_trace(ch, block.header.number);
+                        let actor = format!("peer{to}");
+                        let sender = format!("peer{peer_idx}");
+                        let parent = if *hop > 1 {
+                            span_id(&trace, SpanKind::GossipHop, &sender, hop - 1)
+                        } else {
+                            span_id(&trace, SpanKind::Deliver, &sender, 0)
+                        };
+                        world.emit_span(
+                            &trace,
+                            SpanKind::GossipHop,
+                            &actor,
+                            now,
+                            arrival,
+                            *hop,
+                            parent,
+                        );
+                    }
+                }
+                k.schedule_labeled(arrival, "gossip.send", move |w, k| {
                     peer_receive_gossip(w, k, to as usize, from, message.clone());
                 });
             }
@@ -1666,7 +1910,9 @@ fn gossip_tick(world: &mut World, k: &mut K, peer_idx: usize) {
         // lint:allow(no-unwrap-in-lib) -- peers carry a gossip layer only when cfg.gossip is
         // Some
         let period = world.ms(world.cfg.gossip.expect("gossip enabled").anti_entropy_ms as f64);
-        k.schedule_in(period, move |w, k| gossip_tick(w, k, peer_idx));
+        k.schedule_in_labeled(period, "gossip.tick", move |w, k| {
+            gossip_tick(w, k, peer_idx)
+        });
     }
 }
 
@@ -1682,6 +1928,15 @@ fn enqueue_block_validation(world: &mut World, k: &mut K, peer_idx: usize, block
         "delivery gap at peer {peer_idx}"
     );
     world.peers[peer_idx].next_expected_block[ch] = block.header.number + 1;
+    if world.obs.spans.enabled() {
+        // Zero-width delivery anchor for gossip-fed peers (no orderer
+        // Deliver span). Orderer subscribers already have a real one with
+        // the same deterministic id — the analyzer dedups, keeping the
+        // earlier real span.
+        let trace = block_trace(ch, block.header.number);
+        let actor = format!("peer{peer_idx}");
+        world.emit_span(&trace, SpanKind::Deliver, &actor, now, now, 0, 0);
+    }
     let is_observer = peer_idx == world.observer;
     if is_observer {
         let station = world
@@ -1803,12 +2058,13 @@ fn enqueue_block_validation(world: &mut World, k: &mut K, peer_idx: usize, block
         }
     }
 
-    k.schedule(done, move |w, k| {
+    k.schedule_labeled(done, "validate.commit", move |w, k| {
         commit_block(
             w,
             k,
             peer_idx,
             block.clone(),
+            start,
             vscc_times.clone(),
             commit_times.clone(),
         );
@@ -1820,13 +2076,47 @@ fn commit_block(
     k: &mut K,
     peer_idx: usize,
     block: Block,
+    start: SimTime,
     vscc_times: Vec<SimTime>,
     commit_times: Vec<SimTime>,
 ) {
     let _ = k;
     let ch = world.channel_index(&block.channel);
+    let number = block.header.number;
     let tx_ids: Vec<TxId> = block.transactions.iter().map(|t| t.tx_id).collect();
     let is_observer = peer_idx == world.observer;
+    if is_observer && world.obs.spans.enabled() {
+        // Per-tx validation spans bridge the tx-scoped graph back onto the
+        // block-scoped delivery chain via the Vscc parent edge. Emitted here
+        // — at commit time, not when validation was enqueued — so the span
+        // graph only ever contains finished work and every Commit span has a
+        // matching TxTrace commit stamp.
+        let trace_b = block_trace(ch, number);
+        let actor = format!("peer{peer_idx}");
+        let deliver_parent = span_id(&trace_b, SpanKind::Deliver, &actor, 0);
+        for (i, tx_id) in tx_ids.iter().enumerate() {
+            let tx_s = tx_id.short();
+            world.emit_span(
+                &tx_s,
+                SpanKind::Vscc,
+                &actor,
+                start,
+                vscc_times[i],
+                0,
+                deliver_parent,
+            );
+            let vscc_parent = span_id(&tx_s, SpanKind::Vscc, &actor, 0);
+            world.emit_span(
+                &tx_s,
+                SpanKind::Commit,
+                &actor,
+                vscc_times[i],
+                commit_times[i],
+                0,
+                vscc_parent,
+            );
+        }
+    }
     let stats = world.peers[peer_idx].channels[ch]
         .validate_and_commit(block)
         // lint:allow(no-unwrap-in-lib) -- ordering delivers blocks in order; a chain break is
@@ -1914,7 +2204,7 @@ fn broker_receive(world: &mut World, k: &mut K, b: usize, ch: usize, message: Br
     let now = k.now();
     let service = world.ms(world.cfg.cost.kafka_broker_op_ms);
     let done = world.brokers[b].station.submit(now, service);
-    k.schedule(done, move |w, k| {
+    k.schedule_labeled(done, "broker.step", move |w, k| {
         if !w.brokers[b].alive {
             return;
         }
@@ -1931,7 +2221,7 @@ fn broker_tick(world: &mut World, k: &mut K, b: usize) {
         }
     }
     let period = world.ms(world.cfg.cost.broker_tick_ms);
-    k.schedule_in(period, move |w, k| broker_tick(w, k, b));
+    k.schedule_in_labeled(period, "broker.tick", move |w, k| broker_tick(w, k, b));
 }
 
 fn broker_heartbeat(world: &mut World, k: &mut K, b: usize) {
@@ -1942,7 +2232,9 @@ fn broker_heartbeat(world: &mut World, k: &mut K, b: usize) {
         }
     }
     let period = world.ms(world.cfg.cost.zk_heartbeat_ms);
-    k.schedule_in(period, move |w, k| broker_heartbeat(w, k, b));
+    k.schedule_in_labeled(period, "broker.heartbeat", move |w, k| {
+        broker_heartbeat(w, k, b);
+    });
 }
 
 fn apply_broker_effects(
@@ -1958,7 +2250,7 @@ fn apply_broker_effects(
             BrokerEffect::Send { to, message } => {
                 let bytes = broker_msg_bytes(&message);
                 let arrival = world.brokers[b].egress.transfer(now, bytes);
-                k.schedule(arrival, move |w, k| {
+                k.schedule_labeled(arrival, "broker.send", move |w, k| {
                     broker_receive(w, k, to as usize, ch, message.clone());
                 });
             }
@@ -1966,7 +2258,14 @@ fn apply_broker_effects(
                 let bytes = client_event_bytes(&event);
                 let arrival = world.brokers[b].egress.transfer(now, bytes);
                 let o = to as usize;
-                k.schedule(arrival, move |w, k| {
+                if world.obs.spans.enabled() {
+                    if let ClientEvent::ConsumeBatch { .. } = &event {
+                        let trace = format!("ch{ch}");
+                        let actor = format!("broker{b}>osn{o}");
+                        world.emit_msg_span(&trace, SpanKind::KafkaConsume, &actor, now, arrival);
+                    }
+                }
+                k.schedule_labeled(arrival, "osn.consume", move |w, k| {
                     osn_receive(w, k, o, ch, OsnInput::Kafka(event.clone()), false);
                 });
             }
@@ -2000,7 +2299,7 @@ fn zk_tick(world: &mut World, k: &mut K) {
         let effects = world.zks[ch].tick();
         apply_zk_effects(world, k, ch, effects);
     }
-    k.schedule_in(world.ms(500.0), zk_tick);
+    k.schedule_in_labeled(world.ms(500.0), "zk.tick", zk_tick);
 }
 
 fn apply_zk_effects(world: &mut World, k: &mut K, ch: usize, effects: Vec<ZkEffect>) {
@@ -2011,7 +2310,7 @@ fn apply_zk_effects(world: &mut World, k: &mut K, ch: usize, effects: Vec<ZkEffe
             let leader = *broker;
             for o in 0..world.osns.len() {
                 let delay = world.ms(world.cfg.cost.link_propagation_ms + 1.0);
-                k.schedule_in(delay, move |w, k| {
+                k.schedule_in_labeled(delay, "osn.metadata", move |w, k| {
                     osn_receive(w, k, o, ch, OsnInput::KafkaMetadata { leader }, false);
                 });
             }
@@ -2030,7 +2329,7 @@ fn apply_zk_effects(world: &mut World, k: &mut K, ch: usize, effects: Vec<ZkEffe
         };
         // Coordination messages travel the same LAN.
         let delay = world.ms(world.cfg.cost.link_propagation_ms + 0.5);
-        k.schedule_in(delay, move |w, k| {
+        k.schedule_in_labeled(delay, "broker.appoint", move |w, k| {
             broker_receive(w, k, target as usize, ch, message.clone());
         });
     }

@@ -119,6 +119,23 @@ pub struct ObsConfig {
     /// Record structured per-transaction phase events (exportable as JSONL).
     /// Off by default: large runs emit one event per phase transition.
     pub trace_events: bool,
+    /// Record causal span-graph events (per-peer endorsement, consensus
+    /// message legs, per-hop gossip delivery, per-peer validation/commit).
+    /// Off by default for the same reason as `trace_events`.
+    pub span_events: bool,
+    /// Deterministic head-sampling rate in `[0, 1]` applied to *tx-scoped*
+    /// trace and span records (seeded on the tx id, so rates nest: every tx
+    /// kept at 1 % is also kept at 50 %). Block-scoped spans are always
+    /// recorded. `1.0` keeps everything.
+    pub trace_sample: f64,
+    /// Capacity of the bounded in-memory event/span rings; oldest records
+    /// are evicted beyond this and reported as `dropped_events` /
+    /// `dropped_spans`. Must be positive.
+    pub trace_buffer_cap: usize,
+    /// Enable the DES kernel self-profiler: host-ns attribution of the
+    /// event loop per event-family label, plus heap and loop overhead.
+    /// Write-only with respect to the simulation.
+    pub profile: bool,
     /// Time-series sampling period in virtual seconds (queue depths,
     /// utilization, in-flight transactions, block-cut cadence). Set to `0.0`
     /// to disable the sampler entirely.
@@ -129,6 +146,10 @@ impl Default for ObsConfig {
     fn default() -> Self {
         ObsConfig {
             trace_events: false,
+            span_events: false,
+            trace_sample: 1.0,
+            trace_buffer_cap: 1 << 20,
+            profile: false,
             sample_period_s: 1.0,
         }
     }
@@ -247,6 +268,15 @@ impl SimConfig {
         if !self.obs.sample_period_s.is_finite() || self.obs.sample_period_s < 0.0 {
             return Err("metrics sample period must be a finite non-negative number".into());
         }
+        if !self.obs.trace_sample.is_finite()
+            || self.obs.trace_sample < 0.0
+            || self.obs.trace_sample > 1.0
+        {
+            return Err("trace sample rate must be a finite number in [0, 1]".into());
+        }
+        if self.obs.trace_buffer_cap == 0 {
+            return Err("trace buffer capacity must be positive".into());
+        }
         self.batch.validate()
     }
 
@@ -264,6 +294,10 @@ impl SimConfig {
         let canonical = SimConfig {
             obs: ObsConfig {
                 trace_events: false,
+                span_events: false,
+                trace_sample: 0.0,
+                trace_buffer_cap: 0,
+                profile: false,
                 sample_period_s: 0.0,
             },
             ..self.clone()
@@ -361,6 +395,10 @@ mod tests {
         // Deterministic, and insensitive to observability toggles…
         let mut traced = base.clone();
         traced.obs.trace_events = true;
+        traced.obs.span_events = true;
+        traced.obs.trace_sample = 0.01;
+        traced.obs.trace_buffer_cap = 64;
+        traced.obs.profile = true;
         traced.obs.sample_period_s = 0.25;
         assert_eq!(traced.digest(), d);
         // …but sensitive to anything that shapes results.

@@ -2,7 +2,9 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+use std::time::Instant;
 
+use crate::profiler::{elapsed_ns, KernelProfile, ProfilerState};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a scheduled event, usable for cancellation.
@@ -15,6 +17,7 @@ struct Scheduled<W> {
     time: SimTime,
     seq: u64,
     id: EventId,
+    label: &'static str,
     run: EventFn<W>,
 }
 
@@ -72,6 +75,7 @@ pub struct Kernel<W> {
     cancelled: HashSet<EventId>,
     stats: KernelStats,
     horizon: SimTime,
+    profiler: Option<Box<ProfilerState>>,
 }
 
 impl<W> Default for Kernel<W> {
@@ -101,7 +105,27 @@ impl<W> Kernel<W> {
             cancelled: HashSet::new(),
             stats: KernelStats::default(),
             horizon: SimTime::MAX,
+            profiler: None,
         }
+    }
+
+    /// Turns on the host-time self-profiler for subsequent [`Kernel::run`]
+    /// calls. Write-only with respect to the simulation: nothing the
+    /// profiler measures feeds back into virtual time, so results are
+    /// byte-identical with it on or off.
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Some(Box::default());
+    }
+
+    /// Whether the self-profiler is collecting.
+    pub fn profiling(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// Takes the finished self-profile, if profiling was enabled. Resets the
+    /// kernel to the unprofiled state.
+    pub fn take_profile(&mut self) -> Option<KernelProfile> {
+        self.profiler.take().map(|p| p.finish())
     }
 
     /// The current virtual time.
@@ -132,6 +156,27 @@ impl<W> Kernel<W> {
     where
         F: FnOnce(&mut W, &mut Kernel<W>) + 'static,
     {
+        self.schedule_labeled(at, "unlabeled", f)
+    }
+
+    /// Schedules `f` to run after `delay` from the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Kernel<W>) + 'static,
+    {
+        self.schedule(self.now + delay, f)
+    }
+
+    /// Schedules `f` at absolute time `at` under a static profiling label
+    /// (the event-family name the self-profiler attributes host time to).
+    /// Identical to [`Kernel::schedule`] in every simulated respect.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (`at < self.now()`).
+    pub fn schedule_labeled<F>(&mut self, at: SimTime, label: &'static str, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Kernel<W>) + 'static,
+    {
         assert!(
             at >= self.now,
             "cannot schedule into the past: {at} < {}",
@@ -145,17 +190,23 @@ impl<W> Kernel<W> {
             time: at,
             seq: self.seq,
             id,
+            label,
             run: Box::new(f),
         });
         id
     }
 
-    /// Schedules `f` to run after `delay` from the current time.
-    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F) -> EventId
+    /// Labeled form of [`Kernel::schedule_in`].
+    pub fn schedule_in_labeled<F>(
+        &mut self,
+        delay: SimDuration,
+        label: &'static str,
+        f: F,
+    ) -> EventId
     where
         F: FnOnce(&mut W, &mut Kernel<W>) + 'static,
     {
-        self.schedule(self.now + delay, f)
+        self.schedule_labeled(self.now + delay, label, f)
     }
 
     /// Cancels a previously scheduled event. Cancelling an already-fired or
@@ -169,6 +220,9 @@ impl<W> Kernel<W> {
     /// Runs the event loop until the queue drains or the horizon is reached.
     /// Returns the final virtual time.
     pub fn run(&mut self, world: &mut W) -> SimTime {
+        if self.profiler.is_some() {
+            return self.run_profiled(world);
+        }
         while let Some(ev) = self.heap.pop() {
             if ev.time > self.horizon {
                 // Past the horizon: put nothing back; the run is over.
@@ -183,6 +237,52 @@ impl<W> Kernel<W> {
             }
             self.stats.executed += 1;
             (ev.run)(world, self);
+        }
+        self.now
+    }
+
+    /// The profiled twin of [`Kernel::run`]: identical virtual-time
+    /// semantics, with host-clock reads around the heap pop and the handler
+    /// dispatch. Kept as a separate loop so unprofiled runs pay zero clock
+    /// reads.
+    fn run_profiled(&mut self, world: &mut W) -> SimTime {
+        // lint:allow(no-wall-clock) -- kernel self-profiler: measures host time spent
+        // *in* the event loop; no simulation state ever reads these timings (see
+        // crates/des/src/profiler.rs), so determinism is preserved by construction.
+        let loop_start = Instant::now();
+        loop {
+            // lint:allow(no-wall-clock) -- kernel self-profiler heap timing (write-only,
+            // see above).
+            let pop_start = Instant::now();
+            let popped = self.heap.pop();
+            let pop_ns = elapsed_ns(pop_start);
+            if let Some(p) = self.profiler.as_mut() {
+                p.record_heap(pop_ns);
+            }
+            let Some(ev) = popped else { break };
+            if ev.time > self.horizon {
+                self.now = self.horizon;
+                self.heap.clear();
+                break;
+            }
+            debug_assert!(ev.time >= self.now, "event heap produced time regression");
+            self.now = ev.time;
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            self.stats.executed += 1;
+            // lint:allow(no-wall-clock) -- kernel self-profiler dispatch timing
+            // (write-only, see above).
+            let run_start = Instant::now();
+            (ev.run)(world, self);
+            let run_ns = elapsed_ns(run_start);
+            if let Some(p) = self.profiler.as_mut() {
+                p.record_handler(ev.label, run_ns);
+            }
+        }
+        let total_ns = elapsed_ns(loop_start);
+        if let Some(p) = self.profiler.as_mut() {
+            p.record_loop(total_ns);
         }
         self.now
     }
@@ -292,6 +392,72 @@ mod tests {
         assert_eq!(k.step(&mut out, 3), 3);
         assert_eq!(out, vec![0, 1, 2]);
         assert_eq!(k.step(&mut out, 100), 7);
+    }
+
+    #[test]
+    fn profiler_attributes_every_executed_handler() {
+        let mut k: Kernel<Vec<u64>> = Kernel::new();
+        let mut out = Vec::new();
+        k.enable_profiler();
+        assert!(k.profiling());
+        for i in 0..50u64 {
+            k.schedule_labeled(
+                SimTime::from_nanos(i),
+                "tick",
+                move |w: &mut Vec<u64>, _| w.push(i),
+            );
+        }
+        let cancel_me = k.schedule_labeled(SimTime::from_nanos(100), "doomed", |_, _| {});
+        k.cancel(cancel_me);
+        k.schedule(SimTime::from_nanos(200), |w: &mut Vec<u64>, _| w.push(200));
+        k.run(&mut out);
+        assert_eq!(out.len(), 51, "profiling must not change execution");
+        let profile = k.take_profile().expect("profile collected");
+        assert!(!k.profiling(), "take_profile resets the kernel");
+        let by_label: Vec<(&str, u64)> = profile
+            .entries
+            .iter()
+            .map(|e| (e.label.as_str(), e.count))
+            .collect();
+        assert!(by_label.contains(&("tick", 50)), "{by_label:?}");
+        assert!(by_label.contains(&("unlabeled", 1)), "{by_label:?}");
+        assert!(
+            !by_label.iter().any(|(l, _)| *l == "doomed"),
+            "cancelled events never dispatch: {by_label:?}"
+        );
+        // Heap ops: 52 event pops + the final empty pop.
+        assert_eq!(profile.heap_ops, 53);
+        // The accounting identity the acceptance criterion rests on.
+        assert_eq!(profile.attributed_ns(), profile.loop_ns);
+    }
+
+    #[test]
+    fn profiled_and_unprofiled_runs_agree_on_virtual_time() {
+        let run = |profile: bool| -> (Vec<u64>, SimTime, KernelStats) {
+            let mut k: Kernel<Vec<u64>> = Kernel::new();
+            if profile {
+                k.enable_profiler();
+            }
+            k.set_horizon(SimTime::from_nanos(40));
+            let mut out = Vec::new();
+            fn tick(w: &mut Vec<u64>, k: &mut Kernel<Vec<u64>>) {
+                w.push(k.now().as_nanos());
+                k.schedule_in_labeled(SimDuration::from_nanos(7), "tick", tick);
+            }
+            k.schedule_labeled(SimTime::ZERO, "tick", tick);
+            let end = k.run(&mut out);
+            (out, end, k.stats())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn take_profile_is_none_without_enable() {
+        let mut k: Kernel<Vec<u64>> = Kernel::new();
+        let mut out = Vec::new();
+        k.schedule(SimTime::ZERO, |w: &mut Vec<u64>, _| w.push(1));
+        k.run(&mut out);
+        assert!(k.take_profile().is_none());
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //!   stations, network links) are modelled with closed-form completion-time
 //!   bookkeeping ([`Station`], [`Link`]) instead of per-customer token events,
 //!   which keeps large sweeps fast while remaining exact for FIFO disciplines.
+//! * **Self-profiling.** [`Kernel::enable_profiler`] attributes *host*
+//!   nanoseconds of the event loop to per-event-family labels
+//!   ([`Kernel::schedule_labeled`]), heap operations and loop overhead
+//!   ([`KernelProfile`]) — write-only with respect to the simulation, so a
+//!   profiled run is byte-identical to an unprofiled one.
 //!
 //! ## Example
 //!
@@ -35,12 +40,14 @@
 
 mod kernel;
 mod link;
+mod profiler;
 mod rng;
 mod station;
 mod time;
 
 pub use kernel::{EventId, Kernel, KernelStats};
 pub use link::Link;
+pub use profiler::{KernelProfile, LabelProfile};
 pub use rng::RngStream;
 pub use station::Station;
 pub use time::{SimDuration, SimTime};

@@ -21,6 +21,8 @@ pub enum RuleId {
     NoThreadSleep,
     /// `Ordering::Relaxed` without a written justification.
     AtomicsOrderingAnnotated,
+    /// A growable-buffer constructor (`Vec::new` & friends) in a sink module.
+    NoUnboundedSink,
     /// A `lint:allow` with no `-- <justification>` suffix.
     AllowMissingJustification,
     /// A `lint:allow` naming a rule id the engine does not know.
@@ -29,7 +31,7 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in catalogue order.
-    pub const ALL: [RuleId; 9] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::NoWallClock,
         RuleId::NoHashmapIteration,
         RuleId::NoFloatEq,
@@ -37,6 +39,7 @@ impl RuleId {
         RuleId::ForbidUnsafePresent,
         RuleId::NoThreadSleep,
         RuleId::AtomicsOrderingAnnotated,
+        RuleId::NoUnboundedSink,
         RuleId::AllowMissingJustification,
         RuleId::AllowUnknownRule,
     ];
@@ -52,6 +55,7 @@ impl RuleId {
             RuleId::ForbidUnsafePresent => "forbid-unsafe-present",
             RuleId::NoThreadSleep => "no-thread-sleep",
             RuleId::AtomicsOrderingAnnotated => "atomics-ordering-annotated",
+            RuleId::NoUnboundedSink => "no-unbounded-sink",
             RuleId::AllowMissingJustification => "allow-missing-justification",
             RuleId::AllowUnknownRule => "allow-unknown-rule",
         }
@@ -88,6 +92,10 @@ impl RuleId {
             }
             RuleId::AtomicsOrderingAnnotated => {
                 "Ordering::Relaxed sites outside obs/registry need a written justification"
+            }
+            RuleId::NoUnboundedSink => {
+                "growable buffers (Vec/VecDeque::new/with_capacity) in sink modules grow without \
+                 bound under load; sinks must be bounded rings with an eviction counter"
             }
             RuleId::AllowMissingJustification => "every lint:allow must carry `-- <justification>`",
             RuleId::AllowUnknownRule => "lint:allow names a rule id the engine does not know",

@@ -221,6 +221,10 @@ fn suggestion_for(rule: RuleId) -> Option<String> {
             "justify the relaxed ordering with `// lint:allow(atomics-ordering-annotated) -- …` \
              or use Acquire/Release/SeqCst"
         }
+        RuleId::NoUnboundedSink => {
+            "make the buffer a bounded ring (evict the oldest entry at capacity and count the \
+             eviction), or lint:allow with a note explaining why this allocation cannot grow"
+        }
         RuleId::AllowMissingJustification | RuleId::AllowUnknownRule => return None,
     };
     Some(s.to_string())
@@ -236,6 +240,7 @@ pub fn run_rules(ctx: &FileContext, tokens: &[Token]) -> Vec<Diagnostic> {
         no_wall_clock(&scan, ctx, &mut diags);
         no_float_eq(&scan, ctx, &mut diags);
         atomics_ordering_annotated(&scan, ctx, &mut diags);
+        no_unbounded_sink(&scan, ctx, &mut diags);
         if ctx.sim_critical() {
             no_thread_sleep(&scan, ctx, &mut diags);
             no_hashmap_iteration(&scan, ctx, &mut diags);
@@ -497,6 +502,48 @@ fn no_unwrap_in_lib(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Diagnos
                 "`.expect(…)` in library code panics on the error path".into(),
             ));
         }
+    }
+}
+
+/// Growable-buffer constructors in *sink modules* (any file whose name
+/// contains `sink`). An event sink that buffers with a plain `Vec`/`VecDeque`
+/// grows without bound under load — every sink buffer must be a bounded ring
+/// that evicts and counts, or carry an audited `lint:allow` note. `Vec::from`
+/// is deliberately not matched: converting a ring to a `Vec` on drain is a
+/// one-shot allocation sized by the already-bounded ring.
+fn no_unbounded_sink(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    let file_name = ctx.rel_path.rsplit('/').next().unwrap_or(&ctx.rel_path);
+    if !file_name.contains("sink") {
+        return;
+    }
+    for i in 0..scan.toks.len() {
+        if scan.in_test[i] {
+            continue;
+        }
+        let container = if scan.ident_at(i, "Vec") {
+            "Vec"
+        } else if scan.ident_at(i, "VecDeque") {
+            "VecDeque"
+        } else {
+            continue;
+        };
+        if !scan.punct_at(i + 1, "::") {
+            continue;
+        }
+        let ctor = match scan.get(i + 2) {
+            Some(t) if t.is_ident("new") => "new",
+            Some(t) if t.is_ident("with_capacity") => "with_capacity",
+            _ => continue,
+        };
+        out.push(scan.diag(
+            i,
+            RuleId::NoUnboundedSink,
+            ctx,
+            format!(
+                "`{container}::{ctor}` allocates a growable buffer in a sink module; sink \
+                 buffers must be bounded rings with an eviction counter"
+            ),
+        ));
     }
 }
 

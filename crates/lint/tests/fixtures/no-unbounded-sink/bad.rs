@@ -1,0 +1,14 @@
+// A sink buffering into growable containers: both constructors must fire.
+pub struct BadSink {
+    events: Vec<u64>,
+}
+
+impl BadSink {
+    pub fn new() -> BadSink {
+        BadSink { events: Vec::new() }
+    }
+
+    pub fn reserve() -> Vec<u64> {
+        Vec::with_capacity(1024)
+    }
+}

@@ -174,6 +174,35 @@ fn atomics_ordering_negative_with_justified_allow() {
 }
 
 #[test]
+fn no_unbounded_sink_positive() {
+    // The rule keys on the *file name* containing "sink".
+    let ctx = classify("crates/obs/src/span_sink.rs").expect("classifiable");
+    let (diags, _) = lint_source(&ctx, &fixture("no-unbounded-sink", "bad.rs"));
+    assert_eq!(
+        locs(&diags),
+        vec![
+            (8, 27, RuleId::NoUnboundedSink),
+            (12, 9, RuleId::NoUnboundedSink),
+        ]
+    );
+}
+
+#[test]
+fn no_unbounded_sink_negative_allows_rings_and_vec_from() {
+    let ctx = classify("crates/obs/src/span_sink.rs").expect("classifiable");
+    let (diags, suppressed) = lint_source(&ctx, &fixture("no-unbounded-sink", "good.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(suppressed, 1, "the audited ring allocation must suppress");
+}
+
+#[test]
+fn no_unbounded_sink_only_fires_in_sink_modules() {
+    // Identical source under a non-sink file name is not this rule's business.
+    let (diags, _) = lint_as_core_lib("no-unbounded-sink", "bad.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn allow_meta_rules_fire_and_do_not_suppress() {
     let (diags, suppressed) = lint_as_core_lib("allow", "bad.rs");
     assert_eq!(suppressed, 0);

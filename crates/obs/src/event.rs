@@ -276,15 +276,18 @@ pub(crate) fn escape(s: &str) -> String {
 
 /// A scalar in a flat JSON object.
 #[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
+pub(crate) enum JsonValue {
+    /// A JSON string.
     String(String),
+    /// A JSON number (f64 is enough for every flat schema this crate emits).
     Number(f64),
 }
 
 /// Minimal parser for one-level JSON objects of string/number fields — all
 /// this crate emits, and all it needs to read back. Not a general JSON
-/// parser by design (no nesting, bools or nulls).
-fn parse_flat_object(s: &str) -> Result<Vec<(String, JsonValue)>, String> {
+/// parser by design (no nesting, bools or nulls). Shared with the span-event
+/// codec in `spangraph.rs`.
+pub(crate) fn parse_flat_object(s: &str) -> Result<Vec<(String, JsonValue)>, String> {
     let mut chars = s.trim().chars().peekable();
     let mut fields = Vec::new();
     if chars.next() != Some('{') {

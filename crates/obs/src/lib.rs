@@ -37,6 +37,15 @@
 //!   Chrome Trace Event Format JSON for Perfetto and folded stacks for
 //!   flamegraph renderers, both derived from the same reconstructed spans
 //!   the analyzer uses.
+//! * [`SpanEvent`] / [`SpanSink`] / [`SpanGraphAnalysis`] — the *causal span
+//!   graph*: every unit of distributed work (per-peer endorsement, OSN
+//!   broadcast handling, Raft/Kafka message legs, block cut, per-hop gossip
+//!   delivery, per-peer VSCC/commit) as a span with deterministic
+//!   `span_id`/`parent_id`, recorded through a bounded, deterministically
+//!   head-sampled sink, analyzed into the true *distributed* critical path
+//!   (per-actor/per-hop dominance, slowest-endorser and gossip-depth
+//!   histograms), and exported with Chrome-trace flow events
+//!   ([`span_flow_trace`]) so Perfetto renders cross-actor arrows.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +54,7 @@ mod analyze;
 mod bottleneck;
 mod chrome;
 mod clock;
+mod critpath;
 mod event;
 mod exporter;
 mod flame;
@@ -54,11 +64,13 @@ mod registry;
 mod series;
 mod sink;
 mod span;
+mod spangraph;
 
 pub use analyze::{Dist, SegmentStats, SlowTx, TraceAnalysis};
 pub use bottleneck::{BottleneckReport, StationClass, TxStationBreakdown, WindowAttribution};
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, span_flow_trace};
 pub use clock::WallClock;
+pub use critpath::{CriticalSegment, SpanGraphAnalysis, TxCriticalPath};
 pub use event::{parse_jsonl, PhaseEvent, TracePhase};
 pub use exporter::{http_get, MetricsServer};
 pub use flame::collapsed_stacks;
@@ -66,5 +78,9 @@ pub use hist::LogHistogram;
 pub use json::Json;
 pub use registry::{validate_exposition, Counter, Gauge, LiveHistogram, MetricsRegistry};
 pub use series::{MetricsRecorder, TimeSeries};
-pub use sink::{EventSink, JsonlFileSink, Tracer};
+pub use sink::{
+    EventSink, JsonlFileSink, SpanSink, Tracer, DEFAULT_EVENT_CAPACITY, DEFAULT_SPAN_CAPACITY,
+    DEFAULT_SPAN_KIND_CAP,
+};
 pub use span::{reconstruct, Segment, TxSpan, PIPELINE_LEN};
+pub use spangraph::{message_span_id, parse_spans_jsonl, span_id, tx_sampled, SpanEvent, SpanKind};

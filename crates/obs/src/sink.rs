@@ -1,15 +1,35 @@
-//! Event sinks: where phase events go, if anywhere.
+//! Event sinks: where phase events and spans go, if anywhere.
 //!
 //! The hot path is the *disabled* case — every instrumentation point in the
-//! simulator guards on [`EventSink::enabled`], which compiles to a single
-//! discriminant check, so runs without tracing pay one predictable branch per
-//! phase transition and allocate nothing.
+//! simulator guards on [`EventSink::enabled`] / [`SpanSink::enabled`], which
+//! compiles to a single flag check, so runs without tracing pay one
+//! predictable branch per phase transition and allocate nothing.
+//!
+//! Both in-memory sinks are **bounded rings**: when the configured capacity
+//! is reached the oldest record is evicted and counted, so a long run
+//! degrades to "the most recent N events plus an explicit `dropped` count"
+//! instead of unbounded growth. Dropping is a property of the *observer*
+//! only — the simulation never reads a sink, so capacity can never perturb
+//! a run (`fabricsim-lint`'s `no-unbounded-sink` rule audits every buffer
+//! construction in this file).
 
+use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use crate::event::PhaseEvent;
+use crate::spangraph::{tx_sampled, SpanEvent, SpanKind};
+
+/// Default phase-event ring capacity (~1M events ≈ a few hundred MB worst
+/// case; far above anything the stock experiment matrix emits).
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 20;
+
+/// Default span ring capacity.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 20;
+
+/// Default per-family (per [`SpanKind`]) cardinality cap.
+pub const DEFAULT_SPAN_KIND_CAP: u64 = 1 << 19;
 
 /// Anything that can consume phase events.
 pub trait Tracer {
@@ -20,14 +40,21 @@ pub trait Tracer {
     fn record(&mut self, ev: PhaseEvent);
 }
 
-/// The standard sink: disabled (free) or collecting into memory.
+/// The standard sink: disabled (free) or collecting into a bounded ring.
 #[derive(Debug, Clone, Default)]
 pub enum EventSink {
     /// Drop everything; `enabled()` is false.
     #[default]
     Disabled,
-    /// Append every event to a vector, in emission (= virtual time) order.
-    Memory(Vec<PhaseEvent>),
+    /// Ring of the most recent events, in emission (= virtual time) order.
+    Memory {
+        /// The ring buffer (oldest at the front).
+        buf: VecDeque<PhaseEvent>,
+        /// Maximum events retained before eviction.
+        capacity: usize,
+        /// Events evicted because the ring was full.
+        dropped: u64,
+    },
 }
 
 impl EventSink {
@@ -36,38 +63,77 @@ impl EventSink {
         EventSink::Disabled
     }
 
-    /// A sink that collects events in memory.
+    /// A sink collecting events in memory, bounded at
+    /// [`DEFAULT_EVENT_CAPACITY`].
     pub fn in_memory() -> Self {
-        EventSink::Memory(Vec::new())
+        EventSink::in_memory_bounded(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A sink collecting at most `capacity` events: once full, the oldest
+    /// event is evicted per record and counted in
+    /// [`EventSink::dropped_events`].
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn in_memory_bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "event sink capacity must be positive");
+        EventSink::Memory {
+            // lint:allow(no-unbounded-sink) -- bounded ring: record() evicts the oldest
+            // entry at `capacity` and counts it in `dropped`.
+            buf: VecDeque::with_capacity(capacity.min(DEFAULT_EVENT_CAPACITY)),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Whether call sites should construct and record events.
     #[inline]
     pub fn enabled(&self) -> bool {
-        matches!(self, EventSink::Memory(_))
+        matches!(self, EventSink::Memory { .. })
     }
 
-    /// Records one event (no-op when disabled).
+    /// Records one event (no-op when disabled). At capacity the oldest event
+    /// is evicted — the tail of a trace matters more than its head when a
+    /// run overflows the ring.
     #[inline]
     pub fn record(&mut self, ev: PhaseEvent) {
-        if let EventSink::Memory(buf) = self {
-            buf.push(ev);
+        if let EventSink::Memory {
+            buf,
+            capacity,
+            dropped,
+        } = self
+        {
+            if buf.len() >= *capacity {
+                buf.pop_front();
+                *dropped += 1;
+            }
+            buf.push_back(ev);
         }
     }
 
-    /// The events collected so far (empty when disabled).
-    pub fn events(&self) -> &[PhaseEvent] {
+    /// Events evicted so far because the ring was full (0 when disabled).
+    pub fn dropped_events(&self) -> u64 {
         match self {
-            EventSink::Disabled => &[],
-            EventSink::Memory(buf) => buf,
+            EventSink::Disabled => 0,
+            EventSink::Memory { dropped, .. } => *dropped,
         }
     }
 
-    /// Consumes the sink, yielding its events.
+    /// The events collected so far, oldest first (empty when disabled).
+    pub fn events(&self) -> impl Iterator<Item = &PhaseEvent> {
+        let buf = match self {
+            EventSink::Disabled => None,
+            EventSink::Memory { buf, .. } => Some(buf),
+        };
+        buf.into_iter().flatten()
+    }
+
+    /// Consumes the sink, yielding its events oldest-first.
     pub fn into_events(self) -> Vec<PhaseEvent> {
         match self {
+            // lint:allow(no-unbounded-sink) -- transient return value, not a sink buffer.
             EventSink::Disabled => Vec::new(),
-            EventSink::Memory(buf) => buf,
+            EventSink::Memory { buf, .. } => Vec::from(buf),
         }
     }
 
@@ -88,6 +154,151 @@ impl Tracer for EventSink {
     }
     fn record(&mut self, ev: PhaseEvent) {
         EventSink::record(self, ev)
+    }
+}
+
+/// Bounded, deterministically-sampled sink for [`SpanEvent`]s.
+///
+/// Three defense layers keep memory bounded at ROADMAP-scale runs, each with
+/// an explicit counter instead of silent loss:
+///
+/// 1. **Head sampling** — [`SpanSink::wants_tx`] applies the seeded
+///    [`tx_sampled`] decision; call sites skip constructing tx-scoped spans
+///    for unsampled transactions. Block-scoped spans are always recorded so
+///    a sampled transaction keeps its full causal chain.
+/// 2. **Per-family cardinality caps** — at most `kind_cap` spans per
+///    [`SpanKind`]; excess is counted per family in
+///    [`SpanSink::kind_dropped`].
+/// 3. **A bounded ring** — at `capacity` total spans the oldest is evicted
+///    and counted in [`SpanSink::evicted`].
+#[derive(Debug, Clone)]
+pub struct SpanSink {
+    enabled: bool,
+    buf: VecDeque<SpanEvent>,
+    capacity: usize,
+    evicted: u64,
+    seed: u64,
+    rate: f64,
+    kind_cap: u64,
+    kind_recorded: [u64; SpanKind::ALL.len()],
+    kind_dropped: [u64; SpanKind::ALL.len()],
+}
+
+impl Default for SpanSink {
+    fn default() -> Self {
+        SpanSink::disabled()
+    }
+}
+
+impl SpanSink {
+    /// A sink that records nothing.
+    pub fn disabled() -> Self {
+        SpanSink {
+            enabled: false,
+            // lint:allow(no-unbounded-sink) -- never pushed to: the sink is disabled.
+            buf: VecDeque::new(),
+            capacity: 0,
+            evicted: 0,
+            seed: 0,
+            rate: 0.0,
+            kind_cap: 0,
+            kind_recorded: [0; SpanKind::ALL.len()],
+            kind_dropped: [0; SpanKind::ALL.len()],
+        }
+    }
+
+    /// A recording sink with the given sampling seed/rate and bounds.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `rate` is not within `[0, 1]`.
+    pub fn bounded(seed: u64, rate: f64, capacity: usize, kind_cap: u64) -> Self {
+        assert!(capacity > 0, "span sink capacity must be positive");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "span sample rate must be in [0, 1], got {rate}"
+        );
+        SpanSink {
+            enabled: true,
+            // lint:allow(no-unbounded-sink) -- bounded ring: record() evicts the oldest
+            // entry at `capacity` and counts it in `evicted`.
+            buf: VecDeque::with_capacity(capacity.min(DEFAULT_SPAN_CAPACITY)),
+            capacity,
+            evicted: 0,
+            seed,
+            rate,
+            kind_cap,
+            kind_recorded: [0; SpanKind::ALL.len()],
+            kind_dropped: [0; SpanKind::ALL.len()],
+        }
+    }
+
+    /// Whether call sites should construct and record spans at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The head-sampling decision for transaction `tx`: true when the sink
+    /// is enabled and the seeded hash keeps this transaction. Call sites
+    /// must guard tx-scoped span construction on this (block-scoped spans
+    /// guard on [`SpanSink::enabled`] only).
+    #[inline]
+    pub fn wants_tx(&self, tx: &str) -> bool {
+        self.enabled && tx_sampled(tx, self.seed, self.rate)
+    }
+
+    /// Records one span (no-op when disabled), applying the per-family cap
+    /// and the ring bound.
+    pub fn record(&mut self, span: SpanEvent) {
+        if !self.enabled {
+            return;
+        }
+        let k = span.kind.index();
+        if self.kind_recorded[k] >= self.kind_cap {
+            self.kind_dropped[k] += 1;
+            return;
+        }
+        self.kind_recorded[k] += 1;
+        if self.buf.len() >= self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(span);
+    }
+
+    /// Spans evicted from the ring because it was full.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Spans rejected by the per-family cap, indexed by [`SpanKind::index`].
+    pub fn kind_dropped(&self) -> &[u64; SpanKind::ALL.len()] {
+        &self.kind_dropped
+    }
+
+    /// Total spans lost to any bound (ring eviction + family caps).
+    pub fn dropped_spans(&self) -> u64 {
+        self.evicted + self.kind_dropped.iter().sum::<u64>()
+    }
+
+    /// Spans currently retained, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.buf.iter()
+    }
+
+    /// Consumes the sink, yielding retained spans oldest-first.
+    pub fn into_spans(self) -> Vec<SpanEvent> {
+        Vec::from(self.buf)
+    }
+
+    /// Renders every retained span as a JSONL document.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in self.spans() {
+            out.push_str(&s.to_json());
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -137,10 +348,23 @@ impl JsonlFileSink {
     /// # Errors
     /// The underlying write error.
     pub fn write_event(&mut self, ev: &PhaseEvent) -> std::io::Result<()> {
+        self.write_line(&ev.to_json())
+    }
+
+    /// Writes one span as a JSONL line (span files use the same streaming
+    /// writer as phase-event traces).
+    ///
+    /// # Errors
+    /// The underlying write error.
+    pub fn write_span(&mut self, span: &SpanEvent) -> std::io::Result<()> {
+        self.write_line(&span.to_json())
+    }
+
+    fn write_line(&mut self, json: &str) -> std::io::Result<()> {
         // lint:allow(no-unwrap-in-lib) -- the writer is Some until finish(); writing after it
         // is a caller bug
         let w = self.writer.as_mut().expect("sink not finished");
-        w.write_all(ev.to_json().as_bytes())?;
+        w.write_all(json.as_bytes())?;
         w.write_all(b"\n")?;
         self.written += 1;
         Ok(())
@@ -184,6 +408,7 @@ impl Tracer for JsonlFileSink {
 mod tests {
     use super::*;
     use crate::event::TracePhase;
+    use crate::spangraph::span_id;
 
     fn ev(t_s: f64) -> PhaseEvent {
         PhaseEvent {
@@ -197,12 +422,26 @@ mod tests {
         }
     }
 
+    fn span(trace: &str, kind: SpanKind, t0: f64) -> SpanEvent {
+        SpanEvent {
+            span_id: span_id(trace, kind, "peer0", 0),
+            parent_id: 0,
+            trace: trace.into(),
+            kind,
+            actor: "peer0".into(),
+            t0_s: t0,
+            t1_s: t0 + 0.5,
+            hop: 0,
+        }
+    }
+
     #[test]
     fn disabled_sink_records_nothing() {
         let mut sink = EventSink::disabled();
         assert!(!sink.enabled());
         sink.record(ev(1.0));
-        assert!(sink.events().is_empty());
+        assert_eq!(sink.events().count(), 0);
+        assert_eq!(sink.dropped_events(), 0);
         assert_eq!(sink.to_jsonl(), "");
     }
 
@@ -249,10 +488,102 @@ mod tests {
         assert!(sink.enabled());
         sink.record(ev(1.0));
         sink.record(ev(2.0));
-        assert_eq!(sink.events().len(), 2);
-        assert!(sink.events()[0].t_s < sink.events()[1].t_s);
+        assert_eq!(sink.events().count(), 2);
+        let ts: Vec<f64> = sink.events().map(|e| e.t_s).collect();
+        assert!(ts[0] < ts[1]);
         let jsonl = sink.to_jsonl();
         assert_eq!(jsonl.lines().count(), 2);
+        assert_eq!(sink.dropped_events(), 0);
         assert_eq!(sink.into_events().len(), 2);
+    }
+
+    #[test]
+    fn bounded_event_sink_evicts_oldest_and_counts_drops() {
+        let mut sink = EventSink::in_memory_bounded(3);
+        for i in 0..10 {
+            sink.record(ev(i as f64));
+        }
+        assert_eq!(sink.dropped_events(), 7);
+        let kept: Vec<f64> = sink.events().map(|e| e.t_s).collect();
+        assert_eq!(kept, vec![7.0, 8.0, 9.0], "tail survives, head evicted");
+        assert_eq!(sink.into_events().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_event_sink_is_rejected() {
+        let _ = EventSink::in_memory_bounded(0);
+    }
+
+    #[test]
+    fn disabled_span_sink_records_nothing() {
+        let mut sink = SpanSink::disabled();
+        assert!(!sink.enabled());
+        assert!(!sink.wants_tx("ab12"));
+        sink.record(span("ab12", SpanKind::Endorse, 1.0));
+        assert_eq!(sink.spans().count(), 0);
+        assert_eq!(sink.dropped_spans(), 0);
+    }
+
+    #[test]
+    fn span_sink_ring_evicts_oldest() {
+        let mut sink = SpanSink::bounded(42, 1.0, 4, u64::MAX);
+        for i in 0..10 {
+            sink.record(span(&format!("{i:04x}"), SpanKind::Endorse, i as f64));
+        }
+        assert_eq!(sink.evicted(), 6);
+        assert_eq!(sink.dropped_spans(), 6);
+        let kept: Vec<f64> = sink.spans().map(|s| s.t0_s).collect();
+        assert_eq!(kept, vec![6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(sink.into_spans().len(), 4);
+    }
+
+    #[test]
+    fn span_sink_applies_per_family_caps() {
+        let mut sink = SpanSink::bounded(42, 1.0, 1024, 2);
+        for i in 0..5 {
+            sink.record(span(&format!("{i:04x}"), SpanKind::Endorse, i as f64));
+            sink.record(span(&format!("{i:04x}"), SpanKind::Vscc, i as f64));
+        }
+        assert_eq!(sink.spans().count(), 4, "2 per family survive");
+        assert_eq!(sink.kind_dropped()[SpanKind::Endorse.index()], 3);
+        assert_eq!(sink.kind_dropped()[SpanKind::Vscc.index()], 3);
+        assert_eq!(sink.evicted(), 0);
+        assert_eq!(sink.dropped_spans(), 6);
+    }
+
+    #[test]
+    fn span_sink_sampling_gates_tx_decisions() {
+        let sink = SpanSink::bounded(42, 0.5, 1024, u64::MAX);
+        let txs: Vec<String> = (0..500).map(|i| format!("{i:08x}")).collect();
+        let kept = txs.iter().filter(|t| sink.wants_tx(t)).count();
+        assert!(kept > 150 && kept < 350, "50% sampling kept {kept} of 500");
+        // Same decision the pure function makes — the sink adds no state.
+        for t in &txs {
+            assert_eq!(sink.wants_tx(t), tx_sampled(t, 42, 0.5));
+        }
+        let full = SpanSink::bounded(42, 1.0, 1024, u64::MAX);
+        assert!(txs.iter().all(|t| full.wants_tx(t)));
+        let none = SpanSink::bounded(42, 0.0, 1024, u64::MAX);
+        assert!(txs.iter().all(|t| !none.wants_tx(t)));
+    }
+
+    #[test]
+    fn span_jsonl_round_trips_through_file_sink() {
+        let path =
+            std::env::temp_dir().join(format!("fabricsim-span-sink-{}.jsonl", std::process::id()));
+        let mut sink = JsonlFileSink::create(&path).expect("create");
+        let spans = vec![
+            span("ab12", SpanKind::Endorse, 1.0),
+            span("b0.3", SpanKind::Deliver, 2.0),
+        ];
+        for s in &spans {
+            sink.write_span(s).expect("write");
+        }
+        assert_eq!(sink.finish().expect("finish"), 2);
+        let text = std::fs::read_to_string(&path).expect("read");
+        let back = crate::spangraph::parse_spans_jsonl(&text).expect("parses");
+        assert_eq!(back, spans);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -21,6 +21,10 @@ pub enum GossipMsg {
     Push {
         /// The block.
         block: Block,
+        /// Gossip depth of this push: 1 for the first hop off an
+        /// orderer-connected leader, incremented on every re-forward.
+        /// Observability-only — delivery logic never branches on it.
+        hop: u32,
     },
     /// Anti-entropy: ask a neighbour for anything above our height.
     PullRequest {
@@ -118,13 +122,13 @@ impl GossipNode {
 
     /// A block arrived from the ordering service (leader peers only).
     pub fn on_block_from_orderer(&mut self, block: Block) -> Vec<GossipEffect> {
-        self.ingest(block)
+        self.ingest(block, 0)
     }
 
     /// Processes a gossip message from `from`.
     pub fn step(&mut self, from: u32, message: GossipMsg) -> Vec<GossipEffect> {
         match message {
-            GossipMsg::Push { block } => self.ingest(block),
+            GossipMsg::Push { block, hop } => self.ingest(block, hop),
             GossipMsg::PullRequest { have } => {
                 let blocks: Vec<Block> = self
                     .cache
@@ -144,7 +148,8 @@ impl GossipNode {
             GossipMsg::PullResponse { blocks } => {
                 let mut effects = Vec::new();
                 for b in blocks {
-                    effects.extend(self.ingest(b));
+                    // Anti-entropy repair restarts the push depth count.
+                    effects.extend(self.ingest(b, 0));
                 }
                 effects
             }
@@ -166,7 +171,7 @@ impl GossipNode {
         }]
     }
 
-    fn ingest(&mut self, block: Block) -> Vec<GossipEffect> {
+    fn ingest(&mut self, block: Block, hop: u32) -> Vec<GossipEffect> {
         let number = block.header.number;
         // Duplicate or already-buffered: nothing to do, nothing to forward.
         if number < self.delivered_height || self.buffered.contains_key(&number) {
@@ -179,6 +184,7 @@ impl GossipNode {
                 to,
                 message: GossipMsg::Push {
                     block: block.clone(),
+                    hop: hop + 1,
                 },
             });
         }
@@ -243,11 +249,29 @@ mod tests {
     #[test]
     fn out_of_order_blocks_buffer_until_gap_fills() {
         let mut g = GossipNode::new(0, vec![1], 1, 7);
-        let e2 = g.step(1, GossipMsg::Push { block: block(2) });
+        let e2 = g.step(
+            1,
+            GossipMsg::Push {
+                block: block(2),
+                hop: 1,
+            },
+        );
         assert!(deliveries(&e2).is_empty(), "gap: block 0/1 missing");
-        let e0 = g.step(1, GossipMsg::Push { block: block(0) });
+        let e0 = g.step(
+            1,
+            GossipMsg::Push {
+                block: block(0),
+                hop: 1,
+            },
+        );
         assert_eq!(deliveries(&e0), vec![0]);
-        let e1 = g.step(1, GossipMsg::Push { block: block(1) });
+        let e1 = g.step(
+            1,
+            GossipMsg::Push {
+                block: block(1),
+                hop: 1,
+            },
+        );
         assert_eq!(
             deliveries(&e1),
             vec![1, 2],
@@ -260,7 +284,13 @@ mod tests {
     fn duplicates_are_absorbed_without_reforwarding() {
         let mut g = GossipNode::new(0, vec![1, 2], 2, 7);
         g.on_block_from_orderer(block(0));
-        let again = g.step(2, GossipMsg::Push { block: block(0) });
+        let again = g.step(
+            2,
+            GossipMsg::Push {
+                block: block(0),
+                hop: 1,
+            },
+        );
         assert!(again.is_empty(), "duplicate push must not echo");
     }
 

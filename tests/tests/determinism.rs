@@ -40,6 +40,35 @@ fn identical_seeds_give_byte_identical_summary_json_across_pool_sizes() {
 }
 
 #[test]
+fn observability_config_never_changes_the_report() {
+    // The entire observability plane is write-only: phase tracing, span-graph
+    // recording at any head-sampling rate, and the kernel self-profiler must
+    // all leave the serialized SummaryReport byte-identical. This is the
+    // contract that lets CI flip tracing on without invalidating baselines.
+    let cfg = quick_config(OrdererType::Raft, PolicySpec::AndX(3), 90.0);
+    let baseline = Simulation::new(cfg.clone()).run().to_json();
+    assert!(
+        baseline.contains("\"committed_valid\":"),
+        "baseline report looks empty: {baseline}"
+    );
+    for sample in [0.0, 0.01, 0.5, 1.0] {
+        let mut c = cfg.clone();
+        c.obs.trace_events = true;
+        c.obs.span_events = true;
+        c.obs.trace_sample = sample;
+        let json = Simulation::new(c).run().to_json();
+        assert_eq!(
+            baseline, json,
+            "tracing at sample rate {sample} changed the report"
+        );
+    }
+    let mut profiled = cfg.clone();
+    profiled.obs.profile = true;
+    let json = Simulation::new(profiled).run().to_json();
+    assert_eq!(baseline, json, "the kernel profiler changed the report");
+}
+
+#[test]
 fn different_seeds_sample_different_arrivals() {
     let mut cfg = quick_config(OrdererType::Solo, PolicySpec::OrN(5), 70.0);
     let a = Simulation::new(cfg.clone()).run_detailed();
