@@ -21,7 +21,8 @@ use fabricsim::obs::{Json, WallClock};
 use fabricsim::{OrdererType, PolicySpec, SimConfig, Simulation};
 
 /// Schema version of the baseline JSON. Bump on incompatible change.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// v2: scenarios carry `channels` and `sim_workers` (sharded-engine matrix).
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Baseline wall-clock floor (milliseconds): scenarios whose *baseline* wall
 /// cost is below this are excluded from wall-clock comparison.
@@ -39,6 +40,11 @@ pub struct BenchScenario {
     pub offered_tps: f64,
     /// VSCC validator-pool width per committing peer.
     pub validator_pool: usize,
+    /// Channel count of the deployment.
+    pub channels: u32,
+    /// Simulation engine: 0 = serial monolithic kernel, N ≥ 1 = sharded
+    /// kernel on N worker threads.
+    pub sim_workers: u32,
 }
 
 /// Measured result of one scenario run.
@@ -50,6 +56,10 @@ pub struct ScenarioResult {
     pub offered_tps: f64,
     /// Validator-pool width.
     pub validator_pool: usize,
+    /// Channel count.
+    pub channels: u32,
+    /// Worker threads (0 = serial engine).
+    pub sim_workers: u32,
     /// RNG seed the run used.
     pub seed: u64,
     /// [`SimConfig::digest`] of the run — detects silent scenario drift.
@@ -69,6 +79,11 @@ pub struct BenchReport {
     pub schema_version: u64,
     /// Wall cost of the fixed calibration workload on this machine, ms.
     pub calibration_ms: f64,
+    /// Available parallelism on the machine that produced the report.
+    /// Sharded scenarios whose worker count oversubscribes either machine
+    /// are excluded from wall-clock comparison: an N-worker run on fewer
+    /// than N cores measures scheduler luck, not engine cost.
+    pub host_cores: usize,
     /// Per-scenario results, in matrix order.
     pub scenarios: Vec<ScenarioResult>,
 }
@@ -82,11 +97,16 @@ pub struct Comparison {
     pub notes: Vec<String>,
 }
 
-/// The fixed scenario matrix: offered-load sweep × validator-pool {1, 4}.
+/// The fixed scenario matrix: offered-load sweep × validator-pool {1, 4},
+/// plus a 4-channel point run on both engines.
 ///
 /// Solo ordering with an AND5 endorsement policy keeps the VSCC stage
 /// signature-heavy (the paper's validate bottleneck), so widening the pool
-/// from 1 to 4 is visible in both throughput and wall clock.
+/// from 1 to 4 is visible in both throughput and wall clock. The
+/// `ch4_r500_p4_w{1,4}` pair runs the same multi-channel deployment on the
+/// sharded engine at 1 and 4 workers: identical simulated metrics (the
+/// engines are byte-equivalent), and the wall-clock delta tracks the
+/// parallel speedup on the recording machine.
 pub fn scenario_matrix() -> Vec<BenchScenario> {
     let mut out = Vec::new();
     for &pool in &[1usize, 4] {
@@ -95,8 +115,19 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
                 name: format!("solo_and5_r{rate:.0}_p{pool}"),
                 offered_tps: rate,
                 validator_pool: pool,
+                channels: 1,
+                sim_workers: 0,
             });
         }
+    }
+    for &workers in &[1u32, 4] {
+        out.push(BenchScenario {
+            name: format!("ch4_r500_p4_w{workers}"),
+            offered_tps: 500.0,
+            validator_pool: 4,
+            channels: 4,
+            sim_workers: workers,
+        });
     }
     out
 }
@@ -113,6 +144,8 @@ pub fn scenario_config(s: &BenchScenario) -> SimConfig {
         warmup_secs: 4.0,
         cooldown_secs: 2.0,
         seed: 42,
+        channels: s.channels,
+        sim_workers: s.sim_workers,
         ..SimConfig::default()
     };
     cfg.cost.validator_pool_size = s.validator_pool;
@@ -146,6 +179,8 @@ pub fn run_scenario(s: &BenchScenario) -> ScenarioResult {
         name: s.name.clone(),
         offered_tps: s.offered_tps,
         validator_pool: s.validator_pool,
+        channels: s.channels,
+        sim_workers: s.sim_workers,
         seed: sum.seed,
         config_digest: sum.config_digest.clone(),
         committed_tps: sum.validate.throughput_tps,
@@ -161,6 +196,7 @@ pub fn run_all() -> BenchReport {
     BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
         calibration_ms,
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         scenarios,
     }
 }
@@ -171,19 +207,22 @@ impl BenchReport {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!(
-            "  \"schema_version\": {},\n  \"generator\": \"fabricsim bench\",\n  \"calibration_ms\": {},\n  \"scenarios\": [\n",
-            self.schema_version, self.calibration_ms
+            "  \"schema_version\": {},\n  \"generator\": \"fabricsim bench\",\n  \"calibration_ms\": {},\n  \"host_cores\": {},\n  \"scenarios\": [\n",
+            self.schema_version, self.calibration_ms, self.host_cores
         ));
         for (i, s) in self.scenarios.iter().enumerate() {
             out.push_str(&format!(
                 concat!(
                     "    {{\"name\": \"{}\", \"offered_tps\": {}, \"validator_pool\": {}, ",
+                    "\"channels\": {}, \"sim_workers\": {}, ",
                     "\"seed\": {}, \"config_digest\": \"{}\", \"committed_tps\": {}, ",
                     "\"overall_latency_mean_s\": {}, \"wall_clock_ms\": {}}}{}\n"
                 ),
                 s.name,
                 s.offered_tps,
                 s.validator_pool,
+                s.channels,
+                s.sim_workers,
                 s.seed,
                 s.config_digest,
                 s.committed_tps,
@@ -216,6 +255,7 @@ impl BenchReport {
             ));
         }
         let calibration_ms = num(&v, "calibration_ms")?;
+        let host_cores = num(&v, "host_cores")? as usize;
         let arr = v
             .get("scenarios")
             .and_then(Json::as_array)
@@ -232,6 +272,8 @@ impl BenchReport {
                 name: st("name")?,
                 offered_tps: num(s, "offered_tps")?,
                 validator_pool: num(s, "validator_pool")? as usize,
+                channels: num(s, "channels")? as u32,
+                sim_workers: num(s, "sim_workers")? as u32,
                 seed: num(s, "seed")? as u64,
                 config_digest: st("config_digest")?,
                 committed_tps: num(s, "committed_tps")?,
@@ -242,6 +284,7 @@ impl BenchReport {
         Ok(BenchReport {
             schema_version,
             calibration_ms,
+            host_cores,
             scenarios,
         })
     }
@@ -254,7 +297,9 @@ impl BenchReport {
 /// * **Wall clock** is first normalized by the calibration ratio
 ///   (`baseline.calibration_ms / current.calibration_ms`), then compared;
 ///   scenarios with a baseline wall cost under [`WALL_FLOOR_MS`] are
-///   skipped (noted, not failed).
+///   skipped (noted, not failed), as are sharded scenarios whose worker
+///   count exceeds either host's core count — an oversubscribed
+///   spin-barrier run measures scheduler luck, not engine cost.
 /// * **Config-digest drift** means the scenario definition itself changed;
 ///   it is noted so a "pass" can't silently compare different experiments.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance: f64) -> Comparison {
@@ -297,6 +342,16 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance: f64) ->
             ));
             continue;
         }
+        let workers = c.sim_workers.max(b.sim_workers) as usize;
+        let cores = baseline.host_cores.min(current.host_cores);
+        if workers > 1 && workers > cores {
+            cmp.notes.push(format!(
+                "{}: {workers} workers oversubscribe a {cores}-core host (spin-barrier \
+                 scheduling noise); wall clock skipped",
+                b.name
+            ));
+            continue;
+        }
         let normalized_ms = c.wall_clock_ms * speed_ratio;
         if normalized_ms > b.wall_clock_ms * (1.0 + tolerance) {
             cmp.failures.push(format!(
@@ -326,6 +381,8 @@ mod tests {
             name: name.into(),
             offered_tps: 100.0,
             validator_pool: 1,
+            channels: 1,
+            sim_workers: 0,
             seed: 42,
             config_digest: "0123456789abcdef".into(),
             committed_tps: tps,
@@ -338,23 +395,34 @@ mod tests {
         BenchReport {
             schema_version: BENCH_SCHEMA_VERSION,
             calibration_ms: calibration,
+            host_cores: 8,
             scenarios,
         }
     }
 
     #[test]
-    fn matrix_is_load_sweep_times_pool() {
+    fn matrix_is_load_sweep_times_pool_plus_sharded_pair() {
         let m = scenario_matrix();
-        assert_eq!(m.len(), 6);
+        assert_eq!(m.len(), 8);
         let mut names: Vec<&str> = m.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 6, "scenario names must be unique");
+        assert_eq!(names.len(), 8, "scenario names must be unique");
         assert!(m.iter().any(|s| s.validator_pool == 1));
         assert!(m.iter().any(|s| s.validator_pool == 4));
         for s in &m {
             assert!(scenario_config(s).validate().is_ok(), "{} invalid", s.name);
         }
+        // The sharded pair differs only in worker count, so the virtual runs
+        // are the same experiment: the config digest must agree.
+        let sharded: Vec<&BenchScenario> = m.iter().filter(|s| s.sim_workers > 0).collect();
+        assert_eq!(sharded.len(), 2);
+        assert!(sharded.iter().all(|s| s.channels == 4));
+        assert_eq!(
+            scenario_config(sharded[0]).digest(),
+            scenario_config(sharded[1]).digest(),
+            "worker count must not change the experiment identity"
+        );
     }
 
     #[test]
@@ -421,6 +489,37 @@ mod tests {
         let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
         assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
         assert!(cmp.notes.iter().any(|n| n.contains("floor")));
+    }
+
+    #[test]
+    fn oversubscribed_sharded_wall_clock_is_skipped() {
+        // A 4-worker scenario checked on a 1-core host: spin-barrier
+        // scheduling noise makes wall clock meaningless, but the
+        // deterministic committed_tps comparison still applies.
+        let mut base_s = result("ch4_w4", 100.0, 4000.0);
+        base_s.sim_workers = 4;
+        let mut cur_s = base_s.clone();
+        cur_s.wall_clock_ms = 10000.0;
+        let base = report(500.0, vec![base_s]);
+        let mut cur = report(500.0, vec![cur_s]);
+        cur.host_cores = 1;
+        let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
+        assert!(
+            cmp.notes.iter().any(|n| n.contains("oversubscribe")),
+            "{:?}",
+            cmp.notes
+        );
+
+        // Throughput regressions are never excused by oversubscription.
+        cur.scenarios[0].committed_tps = 50.0;
+        let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert_eq!(cmp.failures.len(), 1);
+        assert!(
+            cmp.failures[0].contains("committed_tps"),
+            "{:?}",
+            cmp.failures
+        );
     }
 
     #[test]

@@ -194,6 +194,13 @@ pub struct SimConfig {
     /// channel on shared hardware; each channel gets its own consensus
     /// instance (its own Raft group / Kafka partition), exactly as in Fabric.
     pub channels: u32,
+    /// Event-loop workers for the sharded DES kernel. `0` (the default) runs
+    /// the classic single-threaded kernel; `N ≥ 1` shards the world per
+    /// channel and runs the shards on up to `N` OS threads under a
+    /// conservative lookahead barrier. Any positive worker count produces
+    /// byte-identical reports (the determinism suite locks workers
+    /// {1, 2, 4, 8} against each other), so this knob trades wall clock only.
+    pub sim_workers: u32,
     /// Block dissemination: `None` = every peer subscribes to an OSN directly;
     /// `Some` = leader peers + gossip mesh.
     pub gossip: Option<GossipConfig>,
@@ -222,6 +229,7 @@ impl Default for SimConfig {
             ordering_timeout_ms: 3_000,
             workload: WorkloadKind::default(),
             channels: 1,
+            sim_workers: 0,
             gossip: None,
             cost: CostModel::default(),
             obs: ObsConfig::default(),
@@ -265,6 +273,21 @@ impl SimConfig {
         if self.channels == 0 || self.channels > 32 {
             return Err("channels must be in 1..=32".into());
         }
+        if self.sim_workers > 64 {
+            return Err("sim_workers must be in 0..=64 (0 = classic serial kernel)".into());
+        }
+        if self.sim_workers > 0 {
+            if self.gossip.is_some() {
+                return Err("the sharded kernel does not support gossip delivery yet".into());
+            }
+            if self.cost.link_propagation_ms <= 0.0 || !self.cost.link_propagation_ms.is_finite() {
+                return Err(
+                    "the sharded kernel derives its lookahead from link_propagation_ms, \
+                     which must be positive and finite"
+                        .into(),
+                );
+            }
+        }
         if !self.obs.sample_period_s.is_finite() || self.obs.sample_period_s < 0.0 {
             return Err("metrics sample period must be a finite non-negative number".into());
         }
@@ -300,6 +323,10 @@ impl SimConfig {
                 profile: false,
                 sample_period_s: 0.0,
             },
+            // Every positive worker count yields byte-identical results
+            // (locked by the determinism suite), so the digest only
+            // distinguishes the serial engine (0) from the sharded one (≥1).
+            sim_workers: self.sim_workers.min(1),
             ..self.clone()
         };
         let hash = fabricsim_crypto::sha256(format!("{canonical:?}").as_bytes());

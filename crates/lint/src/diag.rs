@@ -19,6 +19,8 @@ pub enum RuleId {
     ForbidUnsafePresent,
     /// `thread::sleep` in a simulation-critical crate.
     NoThreadSleep,
+    /// `thread::current()` / `ThreadId` in a simulation-critical crate.
+    NoThreadIdentity,
     /// `Ordering::Relaxed` without a written justification.
     AtomicsOrderingAnnotated,
     /// A growable-buffer constructor (`Vec::new` & friends) in a sink module.
@@ -31,13 +33,14 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in catalogue order.
-    pub const ALL: [RuleId; 10] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::NoWallClock,
         RuleId::NoHashmapIteration,
         RuleId::NoFloatEq,
         RuleId::NoUnwrapInLib,
         RuleId::ForbidUnsafePresent,
         RuleId::NoThreadSleep,
+        RuleId::NoThreadIdentity,
         RuleId::AtomicsOrderingAnnotated,
         RuleId::NoUnboundedSink,
         RuleId::AllowMissingJustification,
@@ -54,6 +57,7 @@ impl RuleId {
             RuleId::NoUnwrapInLib => "no-unwrap-in-lib",
             RuleId::ForbidUnsafePresent => "forbid-unsafe-present",
             RuleId::NoThreadSleep => "no-thread-sleep",
+            RuleId::NoThreadIdentity => "no-thread-identity",
             RuleId::AtomicsOrderingAnnotated => "atomics-ordering-annotated",
             RuleId::NoUnboundedSink => "no-unbounded-sink",
             RuleId::AllowMissingJustification => "allow-missing-justification",
@@ -89,6 +93,10 @@ impl RuleId {
             RuleId::ForbidUnsafePresent => "every crate root must keep #![forbid(unsafe_code)]",
             RuleId::NoThreadSleep => {
                 "thread::sleep in sim-critical crates couples results to the host scheduler"
+            }
+            RuleId::NoThreadIdentity => {
+                "thread::current()/ThreadId in sim-critical crates lets results depend on which \
+                 OS thread ran a shard; sharded runs must be worker-count-invariant"
             }
             RuleId::AtomicsOrderingAnnotated => {
                 "Ordering::Relaxed sites outside obs/registry need a written justification"

@@ -217,6 +217,11 @@ fn suggestion_for(rule: RuleId) -> Option<String> {
         RuleId::NoThreadSleep => {
             "model delays as simulated time (schedule a DES event); never block the host thread"
         }
+        RuleId::NoThreadIdentity => {
+            "key per-shard state by shard index (passed in at spawn), never by the OS thread \
+             that happens to run it; lint:allow only with a proof the identity cannot reach \
+             simulation state"
+        }
         RuleId::AtomicsOrderingAnnotated => {
             "justify the relaxed ordering with `// lint:allow(atomics-ordering-annotated) -- …` \
              or use Acquire/Release/SeqCst"
@@ -243,6 +248,7 @@ pub fn run_rules(ctx: &FileContext, tokens: &[Token]) -> Vec<Diagnostic> {
         no_unbounded_sink(&scan, ctx, &mut diags);
         if ctx.sim_critical() {
             no_thread_sleep(&scan, ctx, &mut diags);
+            no_thread_identity(&scan, ctx, &mut diags);
             no_hashmap_iteration(&scan, ctx, &mut diags);
         }
     }
@@ -299,6 +305,39 @@ fn no_thread_sleep(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Diagnost
                 RuleId::NoThreadSleep,
                 ctx,
                 "`thread::sleep` blocks the host thread inside the simulated world".into(),
+            ));
+        }
+    }
+}
+
+/// `thread::current()` or the `ThreadId` type in sim-critical crates. The
+/// sharded kernel multiplexes shards onto an arbitrary number of OS threads;
+/// anything keyed on thread identity would make results depend on the worker
+/// count, breaking the byte-identical-at-any-worker-count contract.
+fn no_thread_identity(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    for i in 0..scan.toks.len() {
+        if scan.in_test[i] {
+            continue;
+        }
+        if scan.ident_at(i, "current")
+            && i >= 2
+            && scan.ident_at(i - 2, "thread")
+            && scan.punct_at(i - 1, "::")
+            && scan.punct_at(i + 1, "(")
+        {
+            out.push(scan.diag(
+                i,
+                RuleId::NoThreadIdentity,
+                ctx,
+                "`thread::current()` exposes OS-thread identity to simulation code".into(),
+            ));
+        }
+        if scan.ident_at(i, "ThreadId") {
+            out.push(scan.diag(
+                i,
+                RuleId::NoThreadIdentity,
+                ctx,
+                "`ThreadId` in simulation code keys state on the host scheduler".into(),
             ));
         }
     }

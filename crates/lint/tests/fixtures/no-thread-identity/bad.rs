@@ -1,0 +1,3 @@
+pub fn who_am_i() -> std::thread::ThreadId {
+    std::thread::current().id()
+}

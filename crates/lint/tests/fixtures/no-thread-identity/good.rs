@@ -1,0 +1,19 @@
+/// Per-shard state is keyed by the shard index assigned at spawn time, so
+/// results cannot depend on which OS thread runs the shard.
+pub fn shard_key(shard_index: usize) -> usize {
+    shard_index
+}
+
+pub fn run_scoped(f: impl FnOnce() + Send) {
+    std::thread::scope(|s| {
+        s.spawn(f);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn thread_identity_is_fine_in_tests() {
+        let _ = std::thread::current().id();
+    }
+}

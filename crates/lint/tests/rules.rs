@@ -155,6 +155,31 @@ fn no_thread_sleep_negative() {
 }
 
 #[test]
+fn no_thread_identity_positive() {
+    let (diags, _) = lint_as_core_lib("no-thread-identity", "bad.rs");
+    assert_eq!(
+        locs(&diags),
+        vec![
+            (1, 35, RuleId::NoThreadIdentity),
+            (2, 18, RuleId::NoThreadIdentity),
+        ]
+    );
+}
+
+#[test]
+fn no_thread_identity_negative_and_test_exempt() {
+    let (diags, _) = lint_as_core_lib("no-thread-identity", "good.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn no_thread_identity_not_enforced_outside_sim_critical_crates() {
+    let ctx = classify("crates/obs/src/fixture_under_test.rs").expect("classifiable");
+    let (diags, _) = lint_source(&ctx, &fixture("no-thread-identity", "bad.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn atomics_ordering_positive() {
     let (diags, _) = lint_as_core_lib("atomics-ordering-annotated", "bad.rs");
     assert_eq!(
