@@ -6,7 +6,7 @@
 //!     --orderer raft --peers 10 --policy AND5 --rate 250 --duration 60
 //! ```
 //!
-//! Four subcommands ride along:
+//! Several subcommands ride along:
 //!
 //! ```text
 //!   fabricsim analyze [--trace FILE] [--spans FILE] [--top K] [--json]
@@ -28,9 +28,24 @@
 //!       default run mode; --prom-out writes the profile as Prometheus
 //!       text exposition (fabricsim_kernel_* families)
 //!   fabricsim bench [--out FILE] [--check FILE] [--tolerance PCT]
-//!       run the fixed perf scenario matrix; --out writes the baseline
-//!       (BENCH_fabricsim.json schema), --check compares against one and
-//!       exits non-zero on >tolerance regressions (default 20%)
+//!            [--seeds N] [--json]
+//!       run the fixed perf scenario matrix; --seeds replicates every
+//!       scenario under N consecutive seeds and records mean/stddev
+//!       (schema v3); --out writes the baseline (BENCH_fabricsim.json
+//!       schema), --check compares against one with a noise-aware band
+//!       (max of the flat tolerance and 3σ) and exits non-zero on
+//!       regressions; --json prints the comparison (failures, notes,
+//!       skipped checks with reasons) as JSON
+//!   fabricsim diff A B [--spans SA SB] [--profiles PA PB] [--json] [--force]
+//!       differential run analysis: pairwise-compare two run artifacts of
+//!       the same kind (run summaries from --json, analyze --json outputs,
+//!       profile --json outputs, or bench baselines — the kind is sniffed).
+//!       Reports per-metric deltas ranked by |delta|, bottleneck/dominance
+//!       shifts, and telescoping checks (Σ segment deltas vs the e2e
+//!       delta). --spans/--profiles attach extra artifact pairs to the same
+//!       report. Mismatched config digests abort with exit 3 unless
+//!       --force: a diff across different configs is attribution, not a
+//!       regression check
 //!   fabricsim metrics-check FILE
 //!       validate a scraped /metrics body against the Prometheus text
 //!       exposition subset the exporter emits; exit 0 when valid
@@ -77,11 +92,11 @@ use std::env;
 use std::process::exit;
 
 use fabricsim::obs::{
-    chrome_trace, collapsed_stacks, parse_jsonl, parse_spans_jsonl, reconstruct, span_flow_trace,
-    validate_exposition, JsonlFileSink, MetricsRegistry, MetricsServer, SpanGraphAnalysis,
-    TraceAnalysis,
+    chrome_trace, collapsed_stacks, parse_jsonl_with_provenance, parse_spans_jsonl_with_provenance,
+    reconstruct, span_flow_trace, validate_exposition, ArtifactDiff, JsonlFileSink,
+    MetricsRegistry, MetricsServer, RunProvenance, SpanGraphAnalysis, TraceAnalysis,
 };
-use fabricsim::report::{to_csv, Row};
+use fabricsim::report::{run_summary_json, to_csv, Row};
 use fabricsim::{
     predict, KernelProfile, OrdererType, PolicySpec, SimConfig, Simulation, WorkloadKind,
 };
@@ -102,6 +117,8 @@ fn usage() -> ! {
     eprintln!("                 [--chrome-out FILE] [--flame-out FILE]");
     eprintln!("       fabricsim profile [run flags] [--json] [--prom-out FILE]");
     eprintln!("       fabricsim bench [--out FILE] [--check FILE] [--tolerance PCT]");
+    eprintln!("                 [--seeds N] [--json]");
+    eprintln!("       fabricsim diff A B [--spans SA SB] [--profiles PA PB] [--json] [--force]");
     eprintln!("       fabricsim metrics-check FILE");
     eprintln!("       fabricsim lint [--json [FILE.json]] [--root DIR] [--list-rules] [PATHS…]");
     exit(2);
@@ -137,26 +154,42 @@ fn cmd_analyze(args: &[String]) -> ! {
         eprintln!("analyze requires --trace FILE (from --trace-out) and/or --spans FILE (from --span-out)");
         exit(2);
     }
+    let mut trace_prov: Option<RunProvenance> = None;
     let events = trace.as_ref().map(|path| {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read trace {path}: {e}");
             exit(1);
         });
-        parse_jsonl(&text).unwrap_or_else(|e| {
+        let (prov, events) = parse_jsonl_with_provenance(&text).unwrap_or_else(|e| {
             eprintln!("cannot parse trace {path}: {e}");
             exit(1);
-        })
+        });
+        trace_prov = prov;
+        events
     });
+    let mut span_prov: Option<RunProvenance> = None;
     let spans = spans_in.as_ref().map(|path| {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read spans {path}: {e}");
             exit(1);
         });
-        parse_spans_jsonl(&text).unwrap_or_else(|e| {
+        let (prov, spans) = parse_spans_jsonl_with_provenance(&text).unwrap_or_else(|e| {
             eprintln!("cannot parse spans {path}: {e}");
             exit(1);
-        })
+        });
+        span_prov = prov;
+        spans
     });
+    if let (Some(t), Some(s)) = (&trace_prov, &span_prov) {
+        if t != s {
+            eprintln!(
+                "warning: trace and span files come from different runs \
+                 (seed {}/digest {} vs seed {}/digest {})",
+                t.seed, t.config_digest, s.seed, s.config_digest
+            );
+        }
+    }
+    let provenance = trace_prov.or(span_prov);
     if let Some(out) = &chrome_out {
         // Spans give the richer export: slices per actor plus flow arrows
         // along every parent edge. Phase-event traces give the classic
@@ -187,25 +220,152 @@ fn cmd_analyze(args: &[String]) -> ! {
     let trace_analysis = events.as_ref().map(|e| TraceAnalysis::from_events(e, top));
     let span_analysis = spans.as_ref().map(|s| SpanGraphAnalysis::from_spans(s));
     if json {
-        match (&trace_analysis, &span_analysis) {
-            (Some(t), Some(g)) => {
-                println!(
-                    "{{\"trace\":{},\"span_graph\":{}}}",
-                    t.to_json(),
-                    g.to_json()
-                );
-            }
-            (Some(t), None) => println!("{}", t.to_json()),
-            (None, Some(g)) => println!("{}", g.to_json()),
-            (None, None) => unreachable!("checked above"),
+        // Always the wrapped form, so `fabricsim diff` (and any other
+        // consumer) sees the run provenance next to the analyses.
+        let prov = provenance
+            .as_ref()
+            .map_or_else(|| "null".to_string(), RunProvenance::to_json);
+        let mut out = format!("{{\"provenance\":{prov}");
+        if let Some(t) = &trace_analysis {
+            out.push_str(&format!(",\"trace\":{}", t.to_json()));
         }
+        if let Some(g) = &span_analysis {
+            out.push_str(&format!(",\"span_graph\":{}", g.to_json()));
+        }
+        out.push('}');
+        println!("{out}");
     } else {
+        if let Some(p) = &provenance {
+            println!(
+                "provenance : seed {}, config digest {}",
+                p.seed, p.config_digest
+            );
+        }
         if let Some(t) = &trace_analysis {
             print!("{}", t.render_table());
         }
         if let Some(g) = &span_analysis {
             print!("{}", g.render_table());
         }
+    }
+    exit(0);
+}
+
+/// `fabricsim diff`: pairwise differential analysis of two run artifacts
+/// (plus optional span-analysis and profile pairs from the same runs).
+fn cmd_diff(args: &[String]) -> ! {
+    let mut json = false;
+    let mut force = false;
+    let mut positional: Vec<String> = Vec::new();
+    let mut spans_pair: Option<(String, String)> = None;
+    let mut profiles_pair: Option<(String, String)> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut pair = || {
+            let a = it.next().cloned();
+            let b = it.next().cloned();
+            match (a, b) {
+                (Some(a), Some(b)) => (a, b),
+                _ => usage(),
+            }
+        };
+        match flag.as_str() {
+            "--json" => json = true,
+            "--force" => force = true,
+            "--spans" => spans_pair = Some(pair()),
+            "--profiles" => profiles_pair = Some(pair()),
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown diff flag {other:?}");
+                usage()
+            }
+            path => positional.push(path.to_string()),
+        }
+    }
+    let [a, b] = positional.as_slice() else {
+        eprintln!("diff requires exactly two artifact files (A and B)");
+        exit(2);
+    };
+    let mut pairs: Vec<(String, String)> = vec![(a.clone(), b.clone())];
+    pairs.extend(spans_pair);
+    pairs.extend(profiles_pair);
+    let diffs: Vec<ArtifactDiff> = pairs
+        .iter()
+        .map(|(pa, pb)| {
+            let read = |path: &String| {
+                std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    exit(1);
+                })
+            };
+            ArtifactDiff::from_json_strs(&read(pa), &read(pb)).unwrap_or_else(|e| {
+                eprintln!("cannot diff {pa} vs {pb}: {e}");
+                exit(1);
+            })
+        })
+        .collect();
+    let mismatched: Vec<&ArtifactDiff> = diffs
+        .iter()
+        .filter(|d| d.digest_match == Some(false))
+        .collect();
+    if !mismatched.is_empty() && !force {
+        for d in &mismatched {
+            eprintln!(
+                "{}: config digests differ ({} vs {}) — these are different experiments",
+                d.kind.label(),
+                d.provenance[0].config_digest.as_deref().unwrap_or("?"),
+                d.provenance[1].config_digest.as_deref().unwrap_or("?"),
+            );
+        }
+        eprintln!("refusing to diff across configs; rerun with --force for attribution mode");
+        exit(3);
+    }
+    if json {
+        let max_abs_delta = diffs
+            .iter()
+            .map(ArtifactDiff::max_abs_delta)
+            .fold(0.0, f64::max);
+        let mut out = String::from("{\"artifacts\":[");
+        for (i, d) in diffs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_json());
+        }
+        out.push_str(&format!("],\"max_abs_delta\":{max_abs_delta}"));
+        out.push_str(",\"bottleneck_shifts\":[");
+        let mut first = true;
+        for d in &diffs {
+            for s in d.shifts() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{{\"artifact\":\"{}\",\"dimension\":\"{}\",\"a\":\"{}\",\"b\":\"{}\"}}",
+                    d.kind.label(),
+                    s.dimension,
+                    s.a,
+                    s.b
+                ));
+            }
+        }
+        out.push_str(&format!("],\"forced\":{force}}}"));
+        println!("{out}");
+    } else {
+        for d in &diffs {
+            print!("{}", d.render_table());
+            println!();
+        }
+        let shifts = diffs.iter().flat_map(|d| d.shifts()).count();
+        let residual = diffs
+            .iter()
+            .map(ArtifactDiff::max_telescope_residual_s)
+            .fold(0.0, f64::max);
+        println!(
+            "summary    : {} artifact(s) diffed, {shifts} dominance shift(s), max telescoping residual {residual:.3e}s",
+            diffs.len()
+        );
     }
     exit(0);
 }
@@ -241,6 +401,8 @@ fn cmd_bench(args: &[String]) -> ! {
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut tolerance = perf::DEFAULT_TOLERANCE;
+    let mut seeds = 1u64;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || it.next().cloned().unwrap_or_else(|| usage());
@@ -251,6 +413,14 @@ fn cmd_bench(args: &[String]) -> ! {
                 let pct: f64 = value().parse().unwrap_or_else(|_| usage());
                 tolerance = pct / 100.0;
             }
+            "--seeds" => {
+                seeds = value().parse().unwrap_or_else(|_| usage());
+                if seeds == 0 {
+                    eprintln!("--seeds must be at least 1");
+                    exit(2);
+                }
+            }
+            "--json" => json = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown bench flag {other:?}");
@@ -259,14 +429,19 @@ fn cmd_bench(args: &[String]) -> ! {
         }
     }
     eprintln!(
-        "running calibration + {} scenarios...",
+        "running calibration + {} scenarios × {seeds} seed(s)...",
         perf::scenario_matrix().len()
     );
-    let report = perf::run_all();
+    let report = perf::run_all(seeds);
     for s in &report.scenarios {
         eprintln!(
-            "  {}: {:.1} committed tps, {:.3}s mean latency, {:.0} ms wall",
-            s.name, s.committed_tps, s.overall_latency_mean_s, s.wall_clock_ms
+            "  {}: {:.1}±{:.1} committed tps, {:.3}s mean latency, {:.0}±{:.0} ms wall",
+            s.name,
+            s.committed_tps.mean,
+            s.committed_tps.stddev,
+            s.overall_latency_mean_s.mean,
+            s.wall_clock_ms.mean,
+            s.wall_clock_ms.stddev
         );
     }
     if let Some(path) = &out {
@@ -289,12 +464,21 @@ fn cmd_bench(args: &[String]) -> ! {
         for note in &cmp.notes {
             eprintln!("note: {note}");
         }
+        for s in &cmp.skipped {
+            eprintln!("skipped: {} {}: {}", s.scenario, s.metric, s.reason);
+        }
+        if json {
+            println!("{}", cmp.to_json());
+        }
         if cmp.failures.is_empty() {
-            println!(
-                "perf check PASSED against {path} ({} scenarios, tolerance ±{:.0}%)",
-                baseline.scenarios.len(),
-                tolerance * 100.0
-            );
+            if !json {
+                println!(
+                    "perf check PASSED against {path} ({} scenarios, tolerance ±{:.0}%, {} check(s) skipped)",
+                    baseline.scenarios.len(),
+                    tolerance * 100.0,
+                    cmp.skipped.len()
+                );
+            }
         } else {
             for f in &cmp.failures {
                 eprintln!("FAIL: {f}");
@@ -306,7 +490,7 @@ fn cmd_bench(args: &[String]) -> ! {
             exit(1);
         }
     }
-    if out.is_none() && check.is_none() {
+    if check.is_none() && (json || out.is_none()) {
         print!("{}", report.to_json());
     }
     exit(0);
@@ -490,19 +674,24 @@ fn cmd_profile(args: &[String]) -> ! {
         eprintln!("wrote kernel profile exposition {path}");
     }
     let shards = &result.observability.shard_profiles;
+    let s = &result.summary;
     if json {
-        if shards.is_empty() {
-            println!("{}", profile.to_json());
-        } else {
-            let per_shard: Vec<String> = shards.iter().map(KernelProfile::to_json).collect();
-            println!(
-                "{{\"merged\":{},\"shards\":[{}]}}",
-                profile.to_json(),
-                per_shard.join(",")
-            );
-        }
+        // Provenance rides along so `fabricsim diff` can refuse to compare
+        // profiles from different configurations.
+        let per_shard: Vec<String> = shards.iter().map(KernelProfile::to_json).collect();
+        println!(
+            "{{\"seed\":{},\"config_digest\":\"{}\",\"merged\":{},\"shards\":[{}]}}",
+            s.seed,
+            s.config_digest,
+            profile.to_json(),
+            per_shard.join(",")
+        );
     } else {
         println!("== {label}: kernel self-profile ==");
+        println!(
+            "provenance : seed {}, config digest {}",
+            s.seed, s.config_digest
+        );
         print!("{}", profile.render_table());
         for (s, p) in shards.iter().enumerate() {
             println!("-- shard {s} --");
@@ -540,6 +729,7 @@ fn main() {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("metrics-check") => cmd_metrics_check(&args[1..]),
         Some("lint") => exit(fabricsim_lint::cli_run(&args[1..])),
         _ => {}
@@ -600,9 +790,16 @@ fn main() {
     let result = Simulation::new(cfg).run_detailed();
     let s = &result.summary;
 
+    // Both artifact files open with a provenance header line, so offline
+    // tooling (`analyze`, `diff`) knows which run produced them.
+    let provenance = RunProvenance {
+        seed: s.seed,
+        config_digest: s.config_digest.clone(),
+    };
     if let Some(path) = &trace_out {
         let write = || -> std::io::Result<u64> {
             let mut sink = JsonlFileSink::create(path)?;
+            sink.write_provenance(&provenance)?;
             for ev in &result.observability.events {
                 sink.write_event(ev)?;
             }
@@ -616,6 +813,7 @@ fn main() {
     if let Some(path) = &span_out {
         let write = || -> std::io::Result<u64> {
             let mut sink = JsonlFileSink::create(path)?;
+            sink.write_provenance(&provenance)?;
             for sp in &result.observability.spans {
                 sink.write_span(sp)?;
             }
@@ -646,7 +844,7 @@ fn main() {
     }
 
     if json {
-        println!("{}", json_summary(&label, &result));
+        println!("{}", run_summary_json(&label, &result));
         return;
     }
     if csv {
@@ -703,91 +901,4 @@ fn main() {
     );
     println!();
     print!("{}", result.observability.bottleneck.render_table());
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Hand-rolled JSON summary of one run: per-phase throughput/latency, outcome
-/// counts, failure rates, the end-to-end latency histogram and the bottleneck
-/// attribution report. One object, printed on a single line.
-fn json_summary(label: &str, result: &fabricsim::RunResult) -> String {
-    let s = &result.summary;
-    let h = &result.observability.e2e_hist;
-    let (hot_name, hot_load) = result.utilization.hottest();
-    let hist = if h.is_empty() {
-        "null".to_string()
-    } else {
-        format!(
-            "{{\"count\":{},\"mean_s\":{:.6},\"p50_s\":{:.6},\"p95_s\":{:.6},\"p99_s\":{:.6},\"max_s\":{:.6}}}",
-            h.count(),
-            h.mean(),
-            h.quantile(0.50),
-            h.quantile(0.95),
-            h.quantile(0.99),
-            h.quantile(1.0),
-        )
-    };
-    format!(
-        concat!(
-            "{{\"label\":\"{label}\",",
-            "\"seed\":{seed},\"config_digest\":\"{digest}\",",
-            "\"offered_tps\":{offered:.3},",
-            "\"execute_tps\":{exec_tps:.3},\"order_tps\":{order_tps:.3},\"validate_tps\":{valid_tps:.3},",
-            "\"execute_latency_mean_s\":{exec_lat:.6},",
-            "\"order_validate_latency_mean_s\":{ov_lat:.6},",
-            "\"overall_latency\":{{\"mean_s\":{o_mean:.6},\"p50_s\":{o_p50:.6},\"p95_s\":{o_p95:.6},\"p99_s\":{o_p99:.6},\"max_s\":{o_max:.6}}},",
-            "\"created\":{created},\"committed_valid\":{valid},\"committed_invalid\":{invalid},",
-            "\"overload_dropped\":{dropped},\"ordering_timeouts\":{timeouts},",
-            "\"endorsement_failures\":{endo_fail},",
-            "\"dropped_events\":{dropped_events},\"dropped_spans\":{dropped_spans},",
-            "\"ordering_timeouts_per_s\":{timeout_rate:.6},\"overload_dropped_per_s\":{drop_rate:.6},",
-            "\"blocks_cut\":{blocks},\"mean_block_time_s\":{blk_t:.6},\"mean_block_size\":{blk_n:.3},",
-            "\"hottest_station\":\"{hot}\",\"hottest_utilization\":{hot_load:.6},",
-            "\"e2e_histogram\":{hist},",
-            "\"bottleneck\":{bottleneck}}}"
-        ),
-        label = json_escape(label),
-        seed = s.seed,
-        digest = json_escape(&s.config_digest),
-        offered = s.offered_tps,
-        exec_tps = s.execute.throughput_tps,
-        order_tps = s.order.throughput_tps,
-        valid_tps = s.validate.throughput_tps,
-        exec_lat = s.execute.latency.mean_s,
-        ov_lat = s.validate.latency.mean_s,
-        o_mean = s.overall_latency.mean_s,
-        o_p50 = s.overall_latency.p50_s,
-        o_p95 = s.overall_latency.p95_s,
-        o_p99 = s.overall_latency.p99_s,
-        o_max = s.overall_latency.max_s,
-        created = s.created,
-        valid = s.committed_valid,
-        invalid = s.committed_invalid,
-        dropped = s.overload_dropped,
-        timeouts = s.ordering_timeouts,
-        endo_fail = s.endorsement_failures,
-        dropped_events = result.observability.dropped_events,
-        dropped_spans = result.observability.dropped_spans,
-        timeout_rate = s.ordering_timeouts_per_s,
-        drop_rate = s.overload_dropped_per_s,
-        blocks = s.blocks_cut,
-        blk_t = s.mean_block_time_s,
-        blk_n = s.mean_block_size,
-        hot = json_escape(hot_name),
-        hot_load = hot_load,
-        hist = hist,
-        bottleneck = result.observability.bottleneck.to_json(),
-    )
 }

@@ -5,7 +5,17 @@
 //! latency — fully deterministic given the seed) and *wall-clock* cost of
 //! each run, and writes them as a stable-schema JSON baseline
 //! (`BENCH_fabricsim.json` at the repo root). CI re-runs the matrix and
-//! fails on >20% regressions.
+//! fails on regressions beyond the tolerance band.
+//!
+//! **Replication** (`--seeds N`, schema v3): each scenario is run under `N`
+//! consecutive seeds and the report records per-metric mean/stddev plus the
+//! per-seed runs. Simulated metrics are seed-*varying* but deterministic
+//! *per seed* — re-running the same seeds reproduces them byte-for-byte —
+//! so their stddev measures genuine cross-seed spread, while the wall-clock
+//! stddev measures host noise. [`compare`] uses both: the tolerance band on
+//! every metric is `max(tolerance × baseline mean, K_SIGMA × stddev)`, so a
+//! metric that legitimately varies across seeds is not flagged for sitting
+//! inside its own noise.
 //!
 //! Wall clock is noisy across machines, so every report also carries a
 //! [`calibration`](BenchReport::calibration_ms) measurement: the wall cost
@@ -13,8 +23,12 @@
 //! report. Comparisons normalize wall-clock by the calibration ratio, so a
 //! baseline recorded on a fast CI runner doesn't flag a slower laptop (and
 //! vice versa). Runs cheaper than [`WALL_FLOOR_MS`] are never compared on
-//! wall clock at all — they are dominated by noise.
+//! wall clock at all — they are dominated by noise. Every check that is
+//! skipped (sub-floor, oversubscribed workers) is listed in
+//! [`Comparison::skipped`] with its reason, so a passing perf job shows
+//! what was *not* checked.
 
+use std::fmt;
 use std::hint::black_box;
 
 use fabricsim::obs::{Json, WallClock};
@@ -22,7 +36,10 @@ use fabricsim::{OrdererType, PolicySpec, SimConfig, Simulation};
 
 /// Schema version of the baseline JSON. Bump on incompatible change.
 /// v2: scenarios carry `channels` and `sim_workers` (sharded-engine matrix).
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// v3: multi-seed replication — per-scenario `{mean, stddev}` stats plus the
+/// per-seed `runs` list; the report carries `seeds`. v2 baselines still
+/// parse (one run, stddev 0).
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Baseline wall-clock floor (milliseconds): scenarios whose *baseline* wall
 /// cost is below this are excluded from wall-clock comparison.
@@ -30,6 +47,13 @@ pub const WALL_FLOOR_MS: f64 = 100.0;
 
 /// Default regression tolerance (fractional): fail beyond ±20%.
 pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// Sigma multiplier for the noise-aware tolerance band: a metric only fails
+/// when it leaves `max(tolerance × mean, K_SIGMA × stddev)`.
+pub const K_SIGMA: f64 = 3.0;
+
+/// First seed of the replication range: seeds `BASE_SEED..BASE_SEED+N`.
+pub const BASE_SEED: u64 = 42;
 
 /// One point of the fixed scenario matrix.
 #[derive(Debug, Clone)]
@@ -47,7 +71,57 @@ pub struct BenchScenario {
     pub sim_workers: u32,
 }
 
-/// Measured result of one scenario run.
+/// Mean and standard deviation of one metric over the seed replicas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stat {
+    /// Arithmetic mean over the replicas.
+    pub mean: f64,
+    /// Population standard deviation over the replicas (0 for one replica).
+    pub stddev: f64,
+}
+
+impl Stat {
+    /// Computes mean/stddev of `samples` (population stddev; a baseline's
+    /// replicas are the whole population of interest, not a sample of one).
+    pub fn from_samples(samples: &[f64]) -> Stat {
+        if samples.is_empty() {
+            return Stat {
+                mean: 0.0,
+                stddev: 0.0,
+            };
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        Stat {
+            mean,
+            stddev: var.sqrt(),
+        }
+    }
+
+    /// A single exactly-known value (v2 baselines, single-seed runs).
+    pub fn exact(v: f64) -> Stat {
+        Stat {
+            mean: v,
+            stddev: 0.0,
+        }
+    }
+}
+
+/// The measured metrics of one scenario under one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedRun {
+    /// RNG seed this replica ran with.
+    pub seed: u64,
+    /// Committed (validate-phase) throughput, tps. Deterministic per seed.
+    pub committed_tps: f64,
+    /// Mean end-to-end latency, seconds. Deterministic per seed.
+    pub overall_latency_mean_s: f64,
+    /// Wall-clock cost of the replica, milliseconds. Machine-dependent.
+    pub wall_clock_ms: f64,
+}
+
+/// Measured result of one scenario (aggregated over its seed replicas).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioResult {
     /// Scenario name (matches [`BenchScenario::name`]).
@@ -60,16 +134,18 @@ pub struct ScenarioResult {
     pub channels: u32,
     /// Worker threads (0 = serial engine).
     pub sim_workers: u32,
-    /// RNG seed the run used.
-    pub seed: u64,
-    /// [`SimConfig::digest`] of the run — detects silent scenario drift.
+    /// [`SimConfig::digest`] of the scenario at [`BASE_SEED`] — detects
+    /// silent scenario drift (the digest covers the seed, so replicas are
+    /// identified by the base-seed digest).
     pub config_digest: String,
-    /// Committed (validate-phase) throughput, tps. Deterministic.
-    pub committed_tps: f64,
-    /// Mean end-to-end latency, seconds. Deterministic.
-    pub overall_latency_mean_s: f64,
-    /// Wall-clock cost of the run, milliseconds. Machine-dependent.
-    pub wall_clock_ms: f64,
+    /// Committed throughput over the replicas, tps.
+    pub committed_tps: Stat,
+    /// Mean end-to-end latency over the replicas, seconds.
+    pub overall_latency_mean_s: Stat,
+    /// Wall-clock cost over the replicas, milliseconds.
+    pub wall_clock_ms: Stat,
+    /// The per-seed replicas, in seed order.
+    pub runs: Vec<SeedRun>,
 }
 
 /// A full bench report: calibration + every scenario result.
@@ -84,17 +160,118 @@ pub struct BenchReport {
     /// are excluded from wall-clock comparison: an N-worker run on fewer
     /// than N cores measures scheduler luck, not engine cost.
     pub host_cores: usize,
+    /// Seed replicas per scenario ([`BASE_SEED`]`..BASE_SEED+seeds`).
+    pub seeds: u64,
     /// Per-scenario results, in matrix order.
     pub scenarios: Vec<ScenarioResult>,
+}
+
+/// Why a baseline failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenchParseError {
+    /// The document is not valid JSON.
+    Syntax(String),
+    /// A required field is absent or has the wrong type.
+    Field {
+        /// Dotted path of the offending field.
+        path: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The document's `schema_version` is not one this build understands.
+    UnsupportedSchema {
+        /// The version the document declared.
+        found: u64,
+    },
+}
+
+impl fmt::Display for BenchParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchParseError::Syntax(e) => write!(f, "invalid JSON: {e}"),
+            BenchParseError::Field { path, detail } => write!(f, "field {path:?}: {detail}"),
+            BenchParseError::UnsupportedSchema { found } => write!(
+                f,
+                "unsupported schema_version {found} (this build reads v2 and \
+                 v{BENCH_SCHEMA_VERSION}); regenerate with `fabricsim bench --out`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BenchParseError {}
+
+/// One comparison that was skipped rather than checked, with its reason —
+/// surfaced in both the human perf log and the `--json` output so a green
+/// gate shows what it did not cover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedCheck {
+    /// Scenario the skipped check belongs to.
+    pub scenario: String,
+    /// Which metric was not compared (e.g. `wall_clock_ms`).
+    pub metric: String,
+    /// Why it was skipped.
+    pub reason: String,
 }
 
 /// Outcome of comparing a current report against a baseline.
 #[derive(Debug, Clone, Default)]
 pub struct Comparison {
-    /// Hard failures (regressions beyond tolerance). Non-empty ⇒ CI fails.
+    /// Hard failures (regressions beyond the band). Non-empty ⇒ CI fails.
     pub failures: Vec<String>,
-    /// Informational notes (digest drift, skipped comparisons, speedups).
+    /// Informational notes (digest drift, calibration ratio, speedups).
     pub notes: Vec<String>,
+    /// Checks that were skipped, with reasons (sub-floor wall clock,
+    /// oversubscribed sharded scenarios).
+    pub skipped: Vec<SkippedCheck>,
+}
+
+impl Comparison {
+    /// Compact JSON rendering of the comparison (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"failures\":[");
+        let push_strings = |out: &mut String, items: &[String]| {
+            for (i, s) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&json_escape(s));
+                out.push('"');
+            }
+        };
+        push_strings(&mut out, &self.failures);
+        out.push_str("],\"notes\":[");
+        push_strings(&mut out, &self.notes);
+        out.push_str("],\"skipped\":[");
+        for (i, s) in self.skipped.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"scenario\":\"{}\",\"metric\":\"{}\",\"reason\":\"{}\"}}",
+                json_escape(&s.scenario),
+                json_escape(&s.metric),
+                json_escape(&s.reason)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// The fixed scenario matrix: offered-load sweep × validator-pool {1, 4},
@@ -132,9 +309,10 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
     out
 }
 
-/// The exact [`SimConfig`] a scenario runs with. Fixed seed, fixed duration:
-/// the simulated metrics in the baseline are bit-reproducible.
-pub fn scenario_config(s: &BenchScenario) -> SimConfig {
+/// The exact [`SimConfig`] a scenario runs with under `seed`. Fixed
+/// duration: the simulated metrics in the baseline are bit-reproducible per
+/// seed.
+pub fn scenario_config_seeded(s: &BenchScenario, seed: u64) -> SimConfig {
     let mut cfg = SimConfig {
         orderer_type: OrdererType::Solo,
         policy: PolicySpec::AndX(5),
@@ -143,13 +321,19 @@ pub fn scenario_config(s: &BenchScenario) -> SimConfig {
         duration_secs: 20.0,
         warmup_secs: 4.0,
         cooldown_secs: 2.0,
-        seed: 42,
+        seed,
         channels: s.channels,
         sim_workers: s.sim_workers,
         ..SimConfig::default()
     };
     cfg.cost.validator_pool_size = s.validator_pool;
     cfg
+}
+
+/// The scenario's configuration at [`BASE_SEED`] (the identity the
+/// `config_digest` is computed from).
+pub fn scenario_config(s: &BenchScenario) -> SimConfig {
+    scenario_config_seeded(s, BASE_SEED)
 }
 
 /// Runs the fixed calibration workload and returns its wall cost in ms.
@@ -168,138 +352,291 @@ pub fn calibrate() -> f64 {
     start.elapsed_s() * 1e3
 }
 
-/// Runs one scenario and measures it.
-pub fn run_scenario(s: &BenchScenario) -> ScenarioResult {
-    let cfg = scenario_config(s);
+/// Runs one scenario under one seed and measures it.
+pub fn run_scenario_seeded(s: &BenchScenario, seed: u64) -> SeedRun {
+    let cfg = scenario_config_seeded(s, seed);
     let start = WallClock::start();
     let result = Simulation::new(cfg).run_detailed();
     let wall_clock_ms = start.elapsed_s() * 1e3;
     let sum = &result.summary;
-    ScenarioResult {
-        name: s.name.clone(),
-        offered_tps: s.offered_tps,
-        validator_pool: s.validator_pool,
-        channels: s.channels,
-        sim_workers: s.sim_workers,
-        seed: sum.seed,
-        config_digest: sum.config_digest.clone(),
+    SeedRun {
+        seed,
         committed_tps: sum.validate.throughput_tps,
         overall_latency_mean_s: sum.overall_latency.mean_s,
         wall_clock_ms,
     }
 }
 
-/// Runs calibration plus the whole matrix.
-pub fn run_all() -> BenchReport {
+/// Runs one scenario under `seeds` consecutive seeds starting at
+/// [`BASE_SEED`] and aggregates the replicas.
+///
+/// # Panics
+/// Panics if `seeds == 0`.
+pub fn run_scenario(s: &BenchScenario, seeds: u64) -> ScenarioResult {
+    assert!(seeds > 0, "at least one seed replica is required");
+    let runs: Vec<SeedRun> = (BASE_SEED..BASE_SEED + seeds)
+        .map(|seed| run_scenario_seeded(s, seed))
+        .collect();
+    aggregate_scenario(s, runs)
+}
+
+/// Builds a [`ScenarioResult`] from measured replicas.
+fn aggregate_scenario(s: &BenchScenario, runs: Vec<SeedRun>) -> ScenarioResult {
+    let stat =
+        |f: fn(&SeedRun) -> f64| Stat::from_samples(&runs.iter().map(f).collect::<Vec<f64>>());
+    ScenarioResult {
+        name: s.name.clone(),
+        offered_tps: s.offered_tps,
+        validator_pool: s.validator_pool,
+        channels: s.channels,
+        sim_workers: s.sim_workers,
+        config_digest: scenario_config(s).digest(),
+        committed_tps: stat(|r| r.committed_tps),
+        overall_latency_mean_s: stat(|r| r.overall_latency_mean_s),
+        wall_clock_ms: stat(|r| r.wall_clock_ms),
+        runs,
+    }
+}
+
+/// Runs calibration plus the whole matrix with `seeds` replicas per
+/// scenario.
+///
+/// # Panics
+/// Panics if `seeds == 0`.
+pub fn run_all(seeds: u64) -> BenchReport {
     let calibration_ms = calibrate();
-    let scenarios = scenario_matrix().iter().map(run_scenario).collect();
+    let scenarios = scenario_matrix()
+        .iter()
+        .map(|s| run_scenario(s, seeds))
+        .collect();
     BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
         calibration_ms,
         host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        seeds,
         scenarios,
     }
 }
 
 impl BenchReport {
-    /// Serializes the report as pretty-printed JSON (the baseline format).
+    /// Serializes the report as pretty-printed JSON (the baseline format,
+    /// schema v3).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!(
-            "  \"schema_version\": {},\n  \"generator\": \"fabricsim bench\",\n  \"calibration_ms\": {},\n  \"host_cores\": {},\n  \"scenarios\": [\n",
-            self.schema_version, self.calibration_ms, self.host_cores
+            "  \"schema_version\": {},\n  \"generator\": \"fabricsim bench\",\n  \"calibration_ms\": {},\n  \"host_cores\": {},\n  \"seeds\": {},\n  \"scenarios\": [\n",
+            self.schema_version, self.calibration_ms, self.host_cores, self.seeds
         ));
         for (i, s) in self.scenarios.iter().enumerate() {
+            let stat = |st: &Stat| format!("{{\"mean\": {}, \"stddev\": {}}}", st.mean, st.stddev);
             out.push_str(&format!(
                 concat!(
                     "    {{\"name\": \"{}\", \"offered_tps\": {}, \"validator_pool\": {}, ",
-                    "\"channels\": {}, \"sim_workers\": {}, ",
-                    "\"seed\": {}, \"config_digest\": \"{}\", \"committed_tps\": {}, ",
-                    "\"overall_latency_mean_s\": {}, \"wall_clock_ms\": {}}}{}\n"
+                    "\"channels\": {}, \"sim_workers\": {}, \"config_digest\": \"{}\",\n",
+                    "     \"committed_tps\": {}, \"overall_latency_mean_s\": {}, ",
+                    "\"wall_clock_ms\": {},\n     \"runs\": ["
                 ),
                 s.name,
                 s.offered_tps,
                 s.validator_pool,
                 s.channels,
                 s.sim_workers,
-                s.seed,
                 s.config_digest,
-                s.committed_tps,
-                s.overall_latency_mean_s,
-                s.wall_clock_ms,
+                stat(&s.committed_tps),
+                stat(&s.overall_latency_mean_s),
+                stat(&s.wall_clock_ms),
+            ));
+            for (j, r) in s.runs.iter().enumerate() {
+                out.push_str(&format!(
+                    "{{\"seed\": {}, \"committed_tps\": {}, \"overall_latency_mean_s\": {}, \"wall_clock_ms\": {}}}{}",
+                    r.seed,
+                    r.committed_tps,
+                    r.overall_latency_mean_s,
+                    r.wall_clock_ms,
+                    if j + 1 < s.runs.len() { ", " } else { "" },
+                ));
+            }
+            out.push_str(&format!(
+                "]}}{}\n",
                 if i + 1 < self.scenarios.len() {
                     ","
                 } else {
                     ""
-                },
+                }
             ));
         }
         out.push_str("  ]\n}\n");
         out
     }
 
-    /// Parses a baseline produced by [`BenchReport::to_json`].
-    pub fn parse(text: &str) -> Result<BenchReport, String> {
-        let v = Json::parse(text)?;
-        let num = |v: &Json, k: &str| -> Result<f64, String> {
+    /// The deterministic portion of the report: every scenario's per-seed
+    /// simulated metrics, rendered in a stable text form. Two invocations of
+    /// the same build over the same seeds must produce byte-identical
+    /// fingerprints (wall clock and calibration are excluded — they are the
+    /// machine's, not the simulation's).
+    pub fn sim_fingerprint(&self) -> String {
+        let mut out = String::new();
+        for s in &self.scenarios {
+            for r in &s.runs {
+                out.push_str(&format!(
+                    "{} seed={} committed_tps={} overall_latency_mean_s={} digest={}\n",
+                    s.name, r.seed, r.committed_tps, r.overall_latency_mean_s, s.config_digest
+                ));
+            }
+        }
+        out
+    }
+
+    /// Parses a baseline produced by [`BenchReport::to_json`] (schema v3) or
+    /// by earlier v2 builds (flat per-scenario numbers become single-replica
+    /// stats with stddev 0).
+    ///
+    /// # Errors
+    /// A typed [`BenchParseError`]: syntax, missing/mistyped field, or
+    /// unsupported schema version.
+    pub fn parse(text: &str) -> Result<BenchReport, BenchParseError> {
+        let v = Json::parse(text).map_err(BenchParseError::Syntax)?;
+        let num = |v: &Json, path: &str, k: &str| -> Result<f64, BenchParseError> {
             v.get(k)
                 .and_then(Json::as_f64)
-                .ok_or_else(|| format!("missing numeric field {k:?}"))
+                .ok_or_else(|| BenchParseError::Field {
+                    path: if path.is_empty() {
+                        k.to_string()
+                    } else {
+                        format!("{path}.{k}")
+                    },
+                    detail: "missing or not a number".into(),
+                })
         };
-        let schema_version = num(&v, "schema_version")? as u64;
-        if schema_version != BENCH_SCHEMA_VERSION {
-            return Err(format!(
-                "baseline schema_version {schema_version} != supported {BENCH_SCHEMA_VERSION}; \
-                 regenerate with `fabricsim bench --out`"
-            ));
-        }
-        let calibration_ms = num(&v, "calibration_ms")?;
-        let host_cores = num(&v, "host_cores")? as usize;
-        let arr = v
-            .get("scenarios")
-            .and_then(Json::as_array)
-            .ok_or("missing \"scenarios\" array")?;
-        let mut scenarios = Vec::with_capacity(arr.len());
-        for s in arr {
-            let st = |k: &str| -> Result<String, String> {
-                s.get(k)
-                    .and_then(Json::as_str)
-                    .map(str::to_string)
-                    .ok_or_else(|| format!("missing string field {k:?}"))
-            };
-            scenarios.push(ScenarioResult {
-                name: st("name")?,
-                offered_tps: num(s, "offered_tps")?,
-                validator_pool: num(s, "validator_pool")? as usize,
-                channels: num(s, "channels")? as u32,
-                sim_workers: num(s, "sim_workers")? as u32,
-                seed: num(s, "seed")? as u64,
-                config_digest: st("config_digest")?,
-                committed_tps: num(s, "committed_tps")?,
-                overall_latency_mean_s: num(s, "overall_latency_mean_s")?,
-                wall_clock_ms: num(s, "wall_clock_ms")?,
+        let st = |v: &Json, path: &str, k: &str| -> Result<String, BenchParseError> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| BenchParseError::Field {
+                    path: format!("{path}.{k}"),
+                    detail: "missing or not a string".into(),
+                })
+        };
+        let schema_version = num(&v, "", "schema_version")? as u64;
+        if schema_version != 2 && schema_version != BENCH_SCHEMA_VERSION {
+            return Err(BenchParseError::UnsupportedSchema {
+                found: schema_version,
             });
         }
+        let calibration_ms = num(&v, "", "calibration_ms")?;
+        let host_cores = num(&v, "", "host_cores")? as usize;
+        let arr =
+            v.get("scenarios")
+                .and_then(Json::as_array)
+                .ok_or_else(|| BenchParseError::Field {
+                    path: "scenarios".into(),
+                    detail: "missing or not an array".into(),
+                })?;
+        let mut scenarios = Vec::with_capacity(arr.len());
+        for (i, s) in arr.iter().enumerate() {
+            let path = format!("scenarios[{i}]");
+            let name = st(s, &path, "name")?;
+            let base = ScenarioResult {
+                name: name.clone(),
+                offered_tps: num(s, &path, "offered_tps")?,
+                validator_pool: num(s, &path, "validator_pool")? as usize,
+                channels: num(s, &path, "channels")? as u32,
+                sim_workers: num(s, &path, "sim_workers")? as u32,
+                config_digest: st(s, &path, "config_digest")?,
+                committed_tps: Stat::exact(0.0),
+                overall_latency_mean_s: Stat::exact(0.0),
+                wall_clock_ms: Stat::exact(0.0),
+                runs: Vec::new(),
+            };
+            scenarios.push(if schema_version == 2 {
+                // v2: flat numbers, one implicit replica under the recorded
+                // seed.
+                let committed = num(s, &path, "committed_tps")?;
+                let latency = num(s, &path, "overall_latency_mean_s")?;
+                let wall = num(s, &path, "wall_clock_ms")?;
+                ScenarioResult {
+                    committed_tps: Stat::exact(committed),
+                    overall_latency_mean_s: Stat::exact(latency),
+                    wall_clock_ms: Stat::exact(wall),
+                    runs: vec![SeedRun {
+                        seed: num(s, &path, "seed")? as u64,
+                        committed_tps: committed,
+                        overall_latency_mean_s: latency,
+                        wall_clock_ms: wall,
+                    }],
+                    ..base
+                }
+            } else {
+                let stat = |k: &str| -> Result<Stat, BenchParseError> {
+                    let obj = s.get(k).ok_or_else(|| BenchParseError::Field {
+                        path: format!("{path}.{k}"),
+                        detail: "missing stat object".into(),
+                    })?;
+                    Ok(Stat {
+                        mean: num(obj, &format!("{path}.{k}"), "mean")?,
+                        stddev: num(obj, &format!("{path}.{k}"), "stddev")?,
+                    })
+                };
+                let runs_arr = s.get("runs").and_then(Json::as_array).ok_or_else(|| {
+                    BenchParseError::Field {
+                        path: format!("{path}.runs"),
+                        detail: "missing or not an array".into(),
+                    }
+                })?;
+                let mut runs = Vec::with_capacity(runs_arr.len());
+                for (j, r) in runs_arr.iter().enumerate() {
+                    let rpath = format!("{path}.runs[{j}]");
+                    runs.push(SeedRun {
+                        seed: num(r, &rpath, "seed")? as u64,
+                        committed_tps: num(r, &rpath, "committed_tps")?,
+                        overall_latency_mean_s: num(r, &rpath, "overall_latency_mean_s")?,
+                        wall_clock_ms: num(r, &rpath, "wall_clock_ms")?,
+                    });
+                }
+                ScenarioResult {
+                    committed_tps: stat("committed_tps")?,
+                    overall_latency_mean_s: stat("overall_latency_mean_s")?,
+                    wall_clock_ms: stat("wall_clock_ms")?,
+                    runs,
+                    ..base
+                }
+            });
+        }
+        let seeds = if schema_version == 2 {
+            1
+        } else {
+            num(&v, "", "seeds")? as u64
+        };
         Ok(BenchReport {
             schema_version,
             calibration_ms,
             host_cores,
+            seeds,
             scenarios,
         })
     }
 }
 
+/// The noise-aware tolerance band around a baseline stat: the larger of the
+/// flat fractional tolerance and [`K_SIGMA`] standard deviations (using the
+/// wider of the two reports' spreads, so either side's noise widens it).
+fn band(tolerance: f64, base: &Stat, cur_stddev: f64) -> f64 {
+    (tolerance * base.mean.abs()).max(K_SIGMA * base.stddev.max(cur_stddev))
+}
+
 /// Compares `current` against `baseline` with a fractional `tolerance`.
 ///
-/// * **Simulated throughput** (`committed_tps`) is deterministic: a drop
-///   beyond tolerance is a hard failure on any machine.
+/// * **Simulated throughput** (`committed_tps`) is deterministic per seed: a
+///   drop beyond `max(tolerance × mean, K_SIGMA × stddev)` is a hard failure
+///   on any machine.
 /// * **Wall clock** is first normalized by the calibration ratio
-///   (`baseline.calibration_ms / current.calibration_ms`), then compared;
-///   scenarios with a baseline wall cost under [`WALL_FLOOR_MS`] are
-///   skipped (noted, not failed), as are sharded scenarios whose worker
-///   count exceeds either host's core count — an oversubscribed
-///   spin-barrier run measures scheduler luck, not engine cost.
+///   (`baseline.calibration_ms / current.calibration_ms`), then compared
+///   with the same noise-aware band; scenarios with a baseline wall cost
+///   under [`WALL_FLOOR_MS`] are skipped, as are sharded scenarios whose
+///   worker count exceeds either host's core count — an oversubscribed
+///   spin-barrier run measures scheduler luck, not engine cost. Every skip
+///   is recorded in [`Comparison::skipped`] with its reason.
 /// * **Config-digest drift** means the scenario definition itself changed;
 ///   it is noted so a "pass" can't silently compare different experiments.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance: f64) -> Comparison {
@@ -313,6 +650,12 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance: f64) ->
         "calibration: baseline {:.0} ms, current {:.0} ms (normalizing wall clock by ×{:.3})",
         baseline.calibration_ms, current.calibration_ms, speed_ratio
     ));
+    if baseline.seeds != current.seeds {
+        cmp.notes.push(format!(
+            "seed replicas differ (baseline {}, current {}); stddev bands still apply",
+            baseline.seeds, current.seeds
+        ));
+    }
     for b in &baseline.scenarios {
         let Some(c) = current.scenarios.iter().find(|c| c.name == b.name) else {
             cmp.failures
@@ -325,47 +668,60 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance: f64) ->
                 b.name, b.config_digest, c.config_digest
             ));
         }
-        if c.committed_tps < b.committed_tps * (1.0 - tolerance) {
+        let tps_band = band(tolerance, &b.committed_tps, c.committed_tps.stddev);
+        if c.committed_tps.mean < b.committed_tps.mean - tps_band {
             cmp.failures.push(format!(
-                "{}: committed_tps regressed {:.1} -> {:.1} tps ({:+.1}%, tolerance ±{:.0}%)",
+                "{}: committed_tps regressed {:.1} -> {:.1} tps ({:+.1}%, band ±{:.1} tps)",
                 b.name,
-                b.committed_tps,
-                c.committed_tps,
-                (c.committed_tps / b.committed_tps - 1.0) * 100.0,
-                tolerance * 100.0
+                b.committed_tps.mean,
+                c.committed_tps.mean,
+                (c.committed_tps.mean / b.committed_tps.mean - 1.0) * 100.0,
+                tps_band
             ));
         }
-        if b.wall_clock_ms < WALL_FLOOR_MS {
-            cmp.notes.push(format!(
-                "{}: baseline wall clock {:.0} ms under {WALL_FLOOR_MS:.0} ms floor; skipped",
-                b.name, b.wall_clock_ms
-            ));
+        if b.wall_clock_ms.mean < WALL_FLOOR_MS {
+            cmp.skipped.push(SkippedCheck {
+                scenario: b.name.clone(),
+                metric: "wall_clock_ms".into(),
+                reason: format!(
+                    "baseline wall clock {:.0} ms under the {WALL_FLOOR_MS:.0} ms noise floor",
+                    b.wall_clock_ms.mean
+                ),
+            });
             continue;
         }
         let workers = c.sim_workers.max(b.sim_workers) as usize;
         let cores = baseline.host_cores.min(current.host_cores);
         if workers > 1 && workers > cores {
-            cmp.notes.push(format!(
-                "{}: {workers} workers oversubscribe a {cores}-core host (spin-barrier \
-                 scheduling noise); wall clock skipped",
-                b.name
-            ));
+            cmp.skipped.push(SkippedCheck {
+                scenario: b.name.clone(),
+                metric: "wall_clock_ms".into(),
+                reason: format!(
+                    "{workers} workers oversubscribe a {cores}-core host \
+                     (spin-barrier scheduling noise)"
+                ),
+            });
             continue;
         }
-        let normalized_ms = c.wall_clock_ms * speed_ratio;
-        if normalized_ms > b.wall_clock_ms * (1.0 + tolerance) {
+        let normalized_ms = c.wall_clock_ms.mean * speed_ratio;
+        let wall_band = band(
+            tolerance,
+            &b.wall_clock_ms,
+            c.wall_clock_ms.stddev * speed_ratio,
+        );
+        if normalized_ms > b.wall_clock_ms.mean + wall_band {
             cmp.failures.push(format!(
-                "{}: wall clock regressed {:.0} -> {:.0} ms normalized ({:+.1}%, tolerance ±{:.0}%)",
+                "{}: wall clock regressed {:.0} -> {:.0} ms normalized ({:+.1}%, band ±{:.0} ms)",
                 b.name,
-                b.wall_clock_ms,
+                b.wall_clock_ms.mean,
                 normalized_ms,
-                (normalized_ms / b.wall_clock_ms - 1.0) * 100.0,
-                tolerance * 100.0
+                (normalized_ms / b.wall_clock_ms.mean - 1.0) * 100.0,
+                wall_band
             ));
-        } else if normalized_ms < b.wall_clock_ms * (1.0 - tolerance) {
+        } else if normalized_ms < b.wall_clock_ms.mean - wall_band {
             cmp.notes.push(format!(
                 "{}: wall clock improved {:.0} -> {:.0} ms normalized",
-                b.name, b.wall_clock_ms, normalized_ms
+                b.name, b.wall_clock_ms.mean, normalized_ms
             ));
         }
     }
@@ -383,11 +739,16 @@ mod tests {
             validator_pool: 1,
             channels: 1,
             sim_workers: 0,
-            seed: 42,
             config_digest: "0123456789abcdef".into(),
-            committed_tps: tps,
-            overall_latency_mean_s: 0.5,
-            wall_clock_ms: wall,
+            committed_tps: Stat::exact(tps),
+            overall_latency_mean_s: Stat::exact(0.5),
+            wall_clock_ms: Stat::exact(wall),
+            runs: vec![SeedRun {
+                seed: BASE_SEED,
+                committed_tps: tps,
+                overall_latency_mean_s: 0.5,
+                wall_clock_ms: wall,
+            }],
         }
     }
 
@@ -396,8 +757,21 @@ mod tests {
             schema_version: BENCH_SCHEMA_VERSION,
             calibration_ms: calibration,
             host_cores: 8,
+            seeds: 1,
             scenarios,
         }
+    }
+
+    /// A v2-format baseline document for the given scenario values.
+    fn v2_doc(tps: f64, wall: f64) -> String {
+        format!(
+            "{{\n  \"schema_version\": 2,\n  \"generator\": \"fabricsim bench\",\n  \
+             \"calibration_ms\": 500,\n  \"host_cores\": 8,\n  \"scenarios\": [\n    \
+             {{\"name\": \"a\", \"offered_tps\": 100, \"validator_pool\": 1, \
+             \"channels\": 1, \"sim_workers\": 0, \"seed\": 42, \
+             \"config_digest\": \"0123456789abcdef\", \"committed_tps\": {tps}, \
+             \"overall_latency_mean_s\": 0.5, \"wall_clock_ms\": {wall}}}\n  ]\n}}\n"
+        )
     }
 
     #[test]
@@ -426,21 +800,99 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trips() {
-        let r = report(
-            500.0,
-            vec![result("a", 99.5, 250.0), result("b", 480.0, 2000.0)],
-        );
+    fn v3_json_round_trips() {
+        let mut multi = result("b", 480.0, 2000.0);
+        multi.committed_tps = Stat::from_samples(&[479.0, 481.0]);
+        multi.runs = vec![
+            SeedRun {
+                seed: 42,
+                committed_tps: 479.0,
+                overall_latency_mean_s: 0.5,
+                wall_clock_ms: 1900.0,
+            },
+            SeedRun {
+                seed: 43,
+                committed_tps: 481.0,
+                overall_latency_mean_s: 0.5,
+                wall_clock_ms: 2100.0,
+            },
+        ];
+        let mut r = report(500.0, vec![result("a", 99.5, 250.0), multi]);
+        r.seeds = 2;
         let parsed = BenchReport::parse(&r.to_json()).unwrap();
         assert_eq!(parsed, r);
     }
 
     #[test]
-    fn unknown_schema_version_is_rejected() {
-        let mut r = report(500.0, vec![]);
-        r.schema_version = BENCH_SCHEMA_VERSION + 1;
-        let err = BenchReport::parse(&r.to_json()).unwrap_err();
-        assert!(err.contains("schema_version"), "{err}");
+    fn v2_baselines_still_parse_as_single_replica() {
+        let parsed = BenchReport::parse(&v2_doc(99.5, 250.0)).unwrap();
+        assert_eq!(parsed.schema_version, 2);
+        assert_eq!(parsed.seeds, 1);
+        let s = &parsed.scenarios[0];
+        assert_eq!(s.committed_tps, Stat::exact(99.5));
+        assert_eq!(s.wall_clock_ms.stddev, 0.0);
+        assert_eq!(s.runs.len(), 1);
+        assert_eq!(s.runs[0].seed, 42);
+        // And a v2 baseline compares cleanly against a v3 current report.
+        let cur = report(500.0, vec![result("a", 99.5, 250.0)]);
+        let cmp = compare(&parsed, &cur, DEFAULT_TOLERANCE);
+        assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected_with_typed_error() {
+        let doc = v2_doc(99.5, 250.0).replace("\"schema_version\": 2", "\"schema_version\": 9");
+        match BenchReport::parse(&doc) {
+            Err(BenchParseError::UnsupportedSchema { found: 9 }) => {}
+            other => panic!("expected UnsupportedSchema, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_and_truncated_json_are_typed_errors() {
+        // Truncations of a valid document must never panic — every prefix
+        // is either a syntax error or a missing-field error.
+        let full = report(500.0, vec![result("a", 99.5, 250.0)]).to_json();
+        // Cutting anywhere inside the content proper (trailing whitespace
+        // excluded — a stripped final newline is still a valid document).
+        for cut in 0..full.trim_end().len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            let r = BenchReport::parse(&full[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes should not parse");
+        }
+        assert!(matches!(
+            BenchReport::parse("not json at all"),
+            Err(BenchParseError::Syntax(_))
+        ));
+        assert!(matches!(
+            BenchReport::parse("{}"),
+            Err(BenchParseError::Field { .. })
+        ));
+        // A scenario missing its stats is a Field error naming the path.
+        let doc = r#"{"schema_version": 3, "calibration_ms": 1, "host_cores": 1,
+                      "seeds": 1, "scenarios": [{"name": "a", "offered_tps": 1,
+                      "validator_pool": 1, "channels": 1, "sim_workers": 0,
+                      "config_digest": "x"}]}"#;
+        match BenchReport::parse(doc) {
+            Err(BenchParseError::Field { path, .. }) => {
+                assert!(path.contains("scenarios[0]"), "{path}");
+            }
+            other => panic!("expected Field error, got {other:?}"),
+        }
+        // Errors render human-readable descriptions.
+        let e = BenchReport::parse("{}").unwrap_err();
+        assert!(e.to_string().contains("schema_version"), "{e}");
+    }
+
+    #[test]
+    fn stat_mean_and_stddev_are_population_moments() {
+        let s = Stat::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+        assert_eq!(Stat::from_samples(&[]), Stat::exact(0.0));
+        assert_eq!(Stat::from_samples(&[3.5]).stddev, 0.0);
     }
 
     #[test]
@@ -448,6 +900,7 @@ mod tests {
         let r = report(500.0, vec![result("a", 99.5, 250.0)]);
         let cmp = compare(&r, &r, DEFAULT_TOLERANCE);
         assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
+        assert!(cmp.skipped.is_empty(), "{:?}", cmp.skipped);
     }
 
     #[test]
@@ -461,6 +914,34 @@ mod tests {
             "{:?}",
             cmp.failures
         );
+    }
+
+    #[test]
+    fn noisy_metric_widens_the_band() {
+        // A 25% drop fails at the flat ±20% tolerance, but a baseline whose
+        // own cross-seed stddev is 10 tps gets a 3σ = 30 tps band, which the
+        // same drop sits inside.
+        let mut base_s = result("a", 100.0, 250.0);
+        let cur = report(500.0, vec![result("a", 75.0, 250.0)]);
+        let base_flat = report(500.0, vec![base_s.clone()]);
+        assert_eq!(
+            compare(&base_flat, &cur, DEFAULT_TOLERANCE).failures.len(),
+            1
+        );
+        base_s.committed_tps.stddev = 10.0;
+        let base_noisy = report(500.0, vec![base_s]);
+        let cmp = compare(&base_noisy, &cur, DEFAULT_TOLERANCE);
+        assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
+    }
+
+    #[test]
+    fn current_side_noise_also_widens_the_band() {
+        let base = report(500.0, vec![result("a", 100.0, 250.0)]);
+        let mut cur_s = result("a", 75.0, 250.0);
+        cur_s.committed_tps.stddev = 10.0;
+        let cur = report(500.0, vec![cur_s]);
+        let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
     }
 
     #[test]
@@ -483,36 +964,44 @@ mod tests {
     }
 
     #[test]
-    fn sub_floor_wall_clock_is_skipped() {
+    fn sub_floor_wall_clock_is_listed_as_skipped() {
         let base = report(500.0, vec![result("a", 100.0, 50.0)]);
         let cur = report(500.0, vec![result("a", 100.0, 5000.0)]);
         let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
         assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
-        assert!(cmp.notes.iter().any(|n| n.contains("floor")));
+        assert_eq!(cmp.skipped.len(), 1);
+        assert_eq!(cmp.skipped[0].scenario, "a");
+        assert_eq!(cmp.skipped[0].metric, "wall_clock_ms");
+        assert!(cmp.skipped[0].reason.contains("noise floor"));
+        // The JSON rendering carries the skip list.
+        let json = cmp.to_json();
+        assert!(json.contains("\"skipped\":[{\"scenario\":\"a\""), "{json}");
     }
 
     #[test]
-    fn oversubscribed_sharded_wall_clock_is_skipped() {
+    fn oversubscribed_sharded_wall_clock_is_listed_as_skipped() {
         // A 4-worker scenario checked on a 1-core host: spin-barrier
         // scheduling noise makes wall clock meaningless, but the
         // deterministic committed_tps comparison still applies.
         let mut base_s = result("ch4_w4", 100.0, 4000.0);
         base_s.sim_workers = 4;
         let mut cur_s = base_s.clone();
-        cur_s.wall_clock_ms = 10000.0;
+        cur_s.wall_clock_ms = Stat::exact(10000.0);
         let base = report(500.0, vec![base_s]);
         let mut cur = report(500.0, vec![cur_s]);
         cur.host_cores = 1;
         let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
         assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
         assert!(
-            cmp.notes.iter().any(|n| n.contains("oversubscribe")),
+            cmp.skipped
+                .iter()
+                .any(|s| s.reason.contains("oversubscribe")),
             "{:?}",
-            cmp.notes
+            cmp.skipped
         );
 
         // Throughput regressions are never excused by oversubscription.
-        cur.scenarios[0].committed_tps = 50.0;
+        cur.scenarios[0].committed_tps = Stat::exact(50.0);
         let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
         assert_eq!(cmp.failures.len(), 1);
         assert!(
@@ -539,5 +1028,77 @@ mod tests {
         let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
         assert!(cmp.failures.is_empty(), "{:?}", cmp.failures);
         assert!(cmp.notes.iter().any(|n| n.contains("digest drifted")));
+    }
+
+    #[test]
+    fn seed_replication_is_deterministic_per_seed() {
+        // Two invocations over the same seed range reproduce the simulated
+        // metrics byte-for-byte, while distinct seeds genuinely vary.
+        let s = BenchScenario {
+            name: "det_check".into(),
+            offered_tps: 100.0,
+            validator_pool: 1,
+            channels: 1,
+            sim_workers: 0,
+        };
+        let a = aggregate_scenario(
+            &s,
+            vec![run_scenario_seeded(&s, 42), run_scenario_seeded(&s, 43)],
+        );
+        let b = run_scenario(&s, 2);
+        let strip_wall = |r: &ScenarioResult| {
+            r.runs
+                .iter()
+                .map(|run| {
+                    format!(
+                        "{} {} {}",
+                        run.seed, run.committed_tps, run.overall_latency_mean_s
+                    )
+                })
+                .collect::<Vec<String>>()
+        };
+        assert_eq!(strip_wall(&a), strip_wall(&b));
+        assert_ne!(
+            (a.runs[0].committed_tps, a.runs[0].overall_latency_mean_s),
+            (a.runs[1].committed_tps, a.runs[1].overall_latency_mean_s),
+            "different seeds should produce different simulated metrics"
+        );
+        assert!(b.committed_tps.stddev > 0.0);
+        // The full-report fingerprint excludes wall clock/calibration and
+        // is identical across the two invocations.
+        let mk = |sc: ScenarioResult| BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            calibration_ms: 1.0,
+            host_cores: 1,
+            seeds: 2,
+            scenarios: vec![sc],
+        };
+        assert_eq!(mk(a).sim_fingerprint(), mk(b).sim_fingerprint());
+    }
+
+    #[test]
+    fn comparison_json_escapes_and_parses() {
+        let cmp = Comparison {
+            failures: vec!["a: \"quoted\" failure".into()],
+            notes: vec!["note\nwith newline".into()],
+            skipped: vec![SkippedCheck {
+                scenario: "s".into(),
+                metric: "wall_clock_ms".into(),
+                reason: "r".into(),
+            }],
+        };
+        let v = Json::parse(&cmp.to_json()).expect("comparison JSON parses");
+        assert_eq!(
+            v.get("failures")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("skipped")
+                .and_then(Json::as_array)
+                .and_then(|a| a[0].get("metric")?.as_str().map(str::to_string)),
+            Some("wall_clock_ms".to_string())
+        );
     }
 }

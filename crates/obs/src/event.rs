@@ -239,19 +239,112 @@ impl PhaseEvent {
     }
 }
 
-/// Parses a whole JSONL document (one event per non-empty line).
+/// Run provenance embedded as the first line of a JSONL artifact: which run
+/// (seed + configuration digest) produced the trace, so downstream tooling
+/// (`fabricsim diff`) can verify it is comparing like with like.
+///
+/// The line shares the flat object wire format of the events around it, with
+/// a `"provenance":1` discriminator field so event parsers can skip it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunProvenance {
+    /// RNG seed of the run that produced the artifact.
+    pub seed: u64,
+    /// `SimConfig::digest()` of the run's configuration.
+    pub config_digest: String,
+}
+
+impl RunProvenance {
+    /// Serializes the provenance as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"provenance\":1,\"seed\":{},\"config_digest\":\"{}\"}}",
+            self.seed,
+            escape(&self.config_digest)
+        )
+    }
+
+    /// Parses one provenance line produced by [`RunProvenance::to_json`].
+    ///
+    /// # Errors
+    /// A description of the first syntax or schema problem found.
+    pub fn from_json(line: &str) -> Result<RunProvenance, String> {
+        let fields = parse_flat_object(line)?;
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {k:?}"))
+        };
+        match get("provenance")? {
+            // Version discriminator: the writer emits the literal `1`.
+            JsonValue::Number(n) if (*n - 1.0).abs() < f64::EPSILON => {}
+            _ => return Err("provenance version must be the number 1".into()),
+        }
+        let seed = match get("seed")? {
+            JsonValue::Number(n) if *n >= 0.0 => *n as u64,
+            _ => return Err("seed must be a non-negative number".into()),
+        };
+        let config_digest = match get("config_digest")? {
+            JsonValue::String(s) => s.clone(),
+            _ => return Err("config_digest must be a string".into()),
+        };
+        Ok(RunProvenance {
+            seed,
+            config_digest,
+        })
+    }
+}
+
+/// Cheap test for a provenance line: the substring check filters the hot
+/// path (event lines never contain the key), the flat parse confirms.
+pub(crate) fn is_provenance_line(line: &str) -> bool {
+    line.contains("\"provenance\"")
+        && parse_flat_object(line)
+            .map(|fields| fields.iter().any(|(k, _)| k == "provenance"))
+            .unwrap_or(false)
+}
+
+/// Parses a whole JSONL document (one event per non-empty line). Provenance
+/// lines (see [`RunProvenance`]) are skipped; use
+/// [`parse_jsonl_with_provenance`] to recover them.
 ///
 /// # Errors
 /// The line number and description of the first bad line.
 pub fn parse_jsonl(text: &str) -> Result<Vec<PhaseEvent>, String> {
+    parse_jsonl_with_provenance(text).map(|(_, events)| events)
+}
+
+/// Parses a whole JSONL document, returning the embedded [`RunProvenance`]
+/// (if any) alongside the events. The provenance line is written first by
+/// the CLI, but any position is accepted; a second provenance line is an
+/// error (two runs' artifacts concatenated by mistake).
+///
+/// # Errors
+/// The line number and description of the first bad line.
+pub fn parse_jsonl_with_provenance(
+    text: &str,
+) -> Result<(Option<RunProvenance>, Vec<PhaseEvent>), String> {
+    let mut prov = None;
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
+        if is_provenance_line(line) {
+            let p = RunProvenance::from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            if prov.is_some() {
+                return Err(format!(
+                    "line {}: duplicate provenance line (two runs' traces concatenated?)",
+                    i + 1
+                ));
+            }
+            prov = Some(p);
+            continue;
+        }
         out.push(PhaseEvent::from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?);
     }
-    Ok(out)
+    Ok((prov, out))
 }
 
 /// JSON string escaping for the characters that can occur in station/tx names
@@ -459,6 +552,56 @@ mod tests {
         )
         .expect("v1 schema parses");
         assert_eq!((ev.cum_queued_s, ev.cum_service_s), (0.0, 0.0));
+    }
+
+    #[test]
+    fn provenance_round_trips_and_is_skipped_by_event_parsers() {
+        let prov = RunProvenance {
+            seed: 42,
+            config_digest: "ab12cd34ef56ab78".into(),
+        };
+        let back = RunProvenance::from_json(&prov.to_json()).expect("parses");
+        assert_eq!(back, prov);
+        let doc = format!(
+            "{}\n{}\n{}\n",
+            prov.to_json(),
+            event(TracePhase::Created).to_json(),
+            event(TracePhase::Committed).to_json()
+        );
+        // Legacy entry point: provenance skipped, events intact.
+        assert_eq!(parse_jsonl(&doc).expect("parses").len(), 2);
+        let (p, events) = parse_jsonl_with_provenance(&doc).expect("parses");
+        assert_eq!(p, Some(prov.clone()));
+        assert_eq!(events.len(), 2);
+        // Headerless documents still parse, with no provenance.
+        let (p, events) =
+            parse_jsonl_with_provenance(&event(TracePhase::Created).to_json()).expect("parses");
+        assert_eq!(p, None);
+        assert_eq!(events.len(), 1);
+        // A second provenance line is two runs concatenated: an error.
+        let twice = format!("{}\n{}\n", prov.to_json(), prov.to_json());
+        assert!(parse_jsonl_with_provenance(&twice)
+            .expect_err("duplicate rejected")
+            .contains("duplicate provenance"));
+    }
+
+    #[test]
+    fn provenance_parser_rejects_bad_lines() {
+        for bad in [
+            "{\"provenance\":2,\"seed\":1,\"config_digest\":\"x\"}",
+            "{\"provenance\":1,\"config_digest\":\"x\"}",
+            "{\"provenance\":1,\"seed\":-3,\"config_digest\":\"x\"}",
+            "{\"provenance\":1,\"seed\":1,\"config_digest\":7}",
+            "{\"seed\":1,\"config_digest\":\"x\"}",
+        ] {
+            assert!(RunProvenance::from_json(bad).is_err(), "{bad} should fail");
+        }
+        // A tx named "provenance" inside an event line must not trip the
+        // discriminator (the flat parse requires the *key*).
+        let mut ev = event(TracePhase::Created);
+        ev.tx = "\"provenance\"".into();
+        assert!(!is_provenance_line(&ev.to_json()));
+        assert!(PhaseEvent::from_json(&ev.to_json()).is_ok());
     }
 
     /// Locks the analyzer's load-bearing phase order. `PIPELINE` is the

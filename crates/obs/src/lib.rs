@@ -27,6 +27,13 @@
 //!   latency-decomposition discussion.
 //! * [`Json`] — a minimal recursive JSON reader so artifacts such as the
 //!   bench baseline can be parsed back without external dependencies.
+//! * [`ArtifactDiff`] — differential analysis: pairwise comparison of any
+//!   two artifacts the stack emits (run summaries, trace/span-graph
+//!   analyses, kernel profiles, bench reports) with metrics ranked by
+//!   `|delta|`, dominance [`Shift`] detection ("the bottleneck moved out of
+//!   VSCC"), per-segment deltas that telescope to the end-to-end latency
+//!   delta, and [`RunProvenance`] (`seed` + `config_digest`) verification so
+//!   unlike runs are never silently compared.
 //! * [`MetricsRegistry`] / [`MetricsServer`] — the *live* plane: atomic
 //!   counters, gauges and log-bucketed histograms the simulator bumps on the
 //!   wall-clock side, served as Prometheus text exposition format over
@@ -55,6 +62,7 @@ mod bottleneck;
 mod chrome;
 mod clock;
 mod critpath;
+mod diff;
 mod event;
 mod exporter;
 mod flame;
@@ -71,7 +79,11 @@ pub use bottleneck::{BottleneckReport, StationClass, TxStationBreakdown, WindowA
 pub use chrome::{chrome_trace, span_flow_trace};
 pub use clock::WallClock;
 pub use critpath::{CriticalSegment, SpanGraphAnalysis, TxCriticalPath};
-pub use event::{parse_jsonl, PhaseEvent, TracePhase};
+pub use diff::{
+    ArtifactDiff, ArtifactKind, DiffEntry, DiffError, DiffProvenance, DiffSection, Shift,
+    TelescopeCheck,
+};
+pub use event::{parse_jsonl, parse_jsonl_with_provenance, PhaseEvent, RunProvenance, TracePhase};
 pub use exporter::{http_get, MetricsServer};
 pub use flame::collapsed_stacks;
 pub use hist::LogHistogram;
@@ -83,4 +95,7 @@ pub use sink::{
     DEFAULT_SPAN_KIND_CAP,
 };
 pub use span::{reconstruct, Segment, TxSpan, PIPELINE_LEN};
-pub use spangraph::{message_span_id, parse_spans_jsonl, span_id, tx_sampled, SpanEvent, SpanKind};
+pub use spangraph::{
+    message_span_id, parse_spans_jsonl, parse_spans_jsonl_with_provenance, span_id, tx_sampled,
+    SpanEvent, SpanKind,
+};

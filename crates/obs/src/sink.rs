@@ -343,6 +343,17 @@ impl JsonlFileSink {
         self.written
     }
 
+    /// Writes a run-provenance header line (see
+    /// [`crate::RunProvenance`]) — call once, before the first event/span,
+    /// so downstream tooling can verify which run produced the file. Counts
+    /// toward [`JsonlFileSink::written`] like any other line.
+    ///
+    /// # Errors
+    /// The underlying write error.
+    pub fn write_provenance(&mut self, prov: &crate::RunProvenance) -> std::io::Result<()> {
+        self.write_line(&prov.to_json())
+    }
+
     /// Writes one event as a JSONL line.
     ///
     /// # Errors
@@ -566,6 +577,25 @@ mod tests {
         assert!(txs.iter().all(|t| full.wants_tx(t)));
         let none = SpanSink::bounded(42, 0.0, 1024, u64::MAX);
         assert!(txs.iter().all(|t| !none.wants_tx(t)));
+    }
+
+    #[test]
+    fn file_sink_provenance_header_round_trips() {
+        let path =
+            std::env::temp_dir().join(format!("fabricsim-sink-prov-{}.jsonl", std::process::id()));
+        let prov = crate::RunProvenance {
+            seed: 7,
+            config_digest: "feedface00112233".into(),
+        };
+        let mut sink = JsonlFileSink::create(&path).expect("create");
+        sink.write_provenance(&prov).expect("write provenance");
+        sink.write_event(&ev(1.0)).expect("write");
+        assert_eq!(sink.finish().expect("finish"), 2);
+        let text = std::fs::read_to_string(&path).expect("read");
+        let (p, events) = crate::event::parse_jsonl_with_provenance(&text).expect("parses");
+        assert_eq!(p, Some(prov));
+        assert_eq!(events.len(), 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -297,18 +297,46 @@ impl SpanEvent {
 }
 
 /// Parses a whole span JSONL document (one span per non-empty line).
+/// Provenance lines (see [`crate::RunProvenance`]) are skipped; use
+/// [`parse_spans_jsonl_with_provenance`] to recover them.
 ///
 /// # Errors
 /// The line number and description of the first bad line.
 pub fn parse_spans_jsonl(text: &str) -> Result<Vec<SpanEvent>, String> {
+    parse_spans_jsonl_with_provenance(text).map(|(_, spans)| spans)
+}
+
+/// Parses a whole span JSONL document, returning the embedded
+/// [`crate::RunProvenance`] (if any) alongside the spans — the span twin of
+/// [`crate::parse_jsonl_with_provenance`], with the same duplicate-line
+/// rejection.
+///
+/// # Errors
+/// The line number and description of the first bad line.
+pub fn parse_spans_jsonl_with_provenance(
+    text: &str,
+) -> Result<(Option<crate::RunProvenance>, Vec<SpanEvent>), String> {
+    let mut prov = None;
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
+        if crate::event::is_provenance_line(line) {
+            let p = crate::RunProvenance::from_json(line)
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            if prov.is_some() {
+                return Err(format!(
+                    "line {}: duplicate provenance line (two runs' spans concatenated?)",
+                    i + 1
+                ));
+            }
+            prov = Some(p);
+            continue;
+        }
         out.push(SpanEvent::from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?);
     }
-    Ok(out)
+    Ok((prov, out))
 }
 
 #[cfg(test)]
