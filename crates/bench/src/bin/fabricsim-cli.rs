@@ -9,18 +9,22 @@
 //! Several subcommands ride along:
 //!
 //! ```text
-//!   fabricsim analyze [--trace FILE] [--spans FILE] [--top K] [--json]
-//!            [--chrome-out FILE] [--flame-out FILE]
+//!   fabricsim analyze [--trace FILE] [--spans FILE] [--health FILE]
+//!            [--top K] [--json] [--chrome-out FILE] [--flame-out FILE]
 //!       offline analysis of run artifacts. --trace (a --trace-out JSONL
 //!       file) gives per-segment latency decomposition (queue vs service),
 //!       critical-path dominance histogram, top-K slowest transaction
 //!       waterfalls; --spans (a --span-out JSONL file) gives the causal
 //!       span-graph analysis: the distributed critical path per committed
 //!       transaction, per-actor/per-segment dominance, slowest-endorser and
-//!       gossip-depth histograms. --chrome-out writes a Chrome/Perfetto
-//!       trace (open in ui.perfetto.dev) — with --spans it carries flow
-//!       events so Perfetto draws cross-actor arrows; --flame-out writes
-//!       collapsed stacks for flamegraph.pl / inferno (needs --trace)
+//!       gossip-depth histograms; --health (a --health-out JSONL file)
+//!       prints the regime timeline — every health event, per-station
+//!       dwell/onset accounting, and the telescoping verdict (dwells must
+//!       tile the horizon within 1e-6 s). --chrome-out writes a
+//!       Chrome/Perfetto trace (open in ui.perfetto.dev) — with --spans it
+//!       carries flow events so Perfetto draws cross-actor arrows;
+//!       --flame-out writes collapsed stacks for flamegraph.pl / inferno
+//!       (needs --trace)
 //!   fabricsim profile [run flags] [--json] [--prom-out FILE]
 //!       run with the DES kernel self-profiler enabled and print where host
 //!       time went: per-event-label handler ns/counts, heap cost, loop
@@ -39,7 +43,8 @@
 //!   fabricsim diff A B [--spans SA SB] [--profiles PA PB] [--json] [--force]
 //!       differential run analysis: pairwise-compare two run artifacts of
 //!       the same kind (run summaries from --json, analyze --json outputs,
-//!       profile --json outputs, or bench baselines — the kind is sniffed).
+//!       profile --json outputs, bench baselines, or --health-out health
+//!       timelines — the kind is sniffed).
 //!       Reports per-metric deltas ranked by |delta|, bottleneck/dominance
 //!       shifts, and telescoping checks (Σ segment deltas vs the e2e
 //!       delta). --spans/--profiles attach extra artifact pairs to the same
@@ -82,10 +87,22 @@
 //!                                    (default 1.0; block-scoped spans are
 //!                                    always recorded)
 //!   --metrics-out FILE               write sampled time-series as CSV
+//!   --metrics-window SECS            sampler window width in virtual seconds
+//!                                    (default 1.0; must be positive) — also
+//!                                    the health plane's detection window
+//!   --health-out FILE                enable the online health plane and
+//!                                    write its JSONL timeline (regime
+//!                                    transitions, bottleneck-shift onsets,
+//!                                    SLO burn events + dwell accounting)
+//!   --slo-p99-ms MS                  latency objective the SLO burn tracker
+//!                                    measures against (default 2000; must
+//!                                    be positive)
 //!   --serve-metrics PORT             serve live Prometheus metrics on
 //!                                    127.0.0.1:PORT while the run advances
 //!                                    (0 picks an ephemeral port; the bound
-//!                                    address is printed to stderr)
+//!                                    address is printed to stderr); the
+//!                                    exporter also answers /statusz with a
+//!                                    health-plane regime summary
 //! ```
 
 use std::env;
@@ -93,7 +110,7 @@ use std::process::exit;
 
 use fabricsim::obs::{
     chrome_trace, collapsed_stacks, parse_jsonl_with_provenance, parse_spans_jsonl_with_provenance,
-    reconstruct, span_flow_trace, validate_exposition, ArtifactDiff, JsonlFileSink,
+    reconstruct, span_flow_trace, validate_exposition, ArtifactDiff, HealthReport, JsonlFileSink,
     MetricsRegistry, MetricsServer, RunProvenance, SpanGraphAnalysis, TraceAnalysis,
 };
 use fabricsim::report::{run_summary_json, to_csv, Row};
@@ -112,9 +129,10 @@ fn usage() -> ! {
     eprintln!("                 [--workload kvput|rmw|transfer|smallbank]");
     eprintln!("                 [--payload BYTES] [--seed N] [--csv] [--json]");
     eprintln!("                 [--trace-out FILE] [--span-out FILE] [--trace-sample RATE]");
-    eprintln!("                 [--metrics-out FILE] [--serve-metrics PORT]");
-    eprintln!("       fabricsim analyze [--trace FILE] [--spans FILE] [--top K] [--json]");
-    eprintln!("                 [--chrome-out FILE] [--flame-out FILE]");
+    eprintln!("                 [--metrics-out FILE] [--metrics-window SECS]");
+    eprintln!("                 [--health-out FILE] [--slo-p99-ms MS] [--serve-metrics PORT]");
+    eprintln!("       fabricsim analyze [--trace FILE] [--spans FILE] [--health FILE]");
+    eprintln!("                 [--top K] [--json] [--chrome-out FILE] [--flame-out FILE]");
     eprintln!("       fabricsim profile [run flags] [--json] [--prom-out FILE]");
     eprintln!("       fabricsim bench [--out FILE] [--check FILE] [--tolerance PCT]");
     eprintln!("                 [--seeds N] [--json]");
@@ -129,6 +147,7 @@ fn usage() -> ! {
 fn cmd_analyze(args: &[String]) -> ! {
     let mut trace: Option<String> = None;
     let mut spans_in: Option<String> = None;
+    let mut health_in: Option<String> = None;
     let mut top = 5usize;
     let mut json = false;
     let mut chrome_out: Option<String> = None;
@@ -139,6 +158,7 @@ fn cmd_analyze(args: &[String]) -> ! {
         match flag.as_str() {
             "--trace" => trace = Some(value()),
             "--spans" => spans_in = Some(value()),
+            "--health" => health_in = Some(value()),
             "--top" => top = value().parse().unwrap_or_else(|_| usage()),
             "--json" => json = true,
             "--chrome-out" => chrome_out = Some(value()),
@@ -150,8 +170,11 @@ fn cmd_analyze(args: &[String]) -> ! {
             }
         }
     }
-    if trace.is_none() && spans_in.is_none() {
-        eprintln!("analyze requires --trace FILE (from --trace-out) and/or --spans FILE (from --span-out)");
+    if trace.is_none() && spans_in.is_none() && health_in.is_none() {
+        eprintln!(
+            "analyze requires --trace FILE (from --trace-out), --spans FILE (from \
+             --span-out) and/or --health FILE (from --health-out)"
+        );
         exit(2);
     }
     let mut trace_prov: Option<RunProvenance> = None;
@@ -180,16 +203,38 @@ fn cmd_analyze(args: &[String]) -> ! {
         span_prov = prov;
         spans
     });
-    if let (Some(t), Some(s)) = (&trace_prov, &span_prov) {
-        if t != s {
+    let mut health_prov: Option<RunProvenance> = None;
+    let health = health_in.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read health timeline {path}: {e}");
+            exit(1);
+        });
+        let (prov, report) = HealthReport::from_jsonl(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse health timeline {path}: {e}");
+            exit(1);
+        });
+        health_prov = prov;
+        report
+    });
+    let present: Vec<(&str, &RunProvenance)> = [
+        ("trace", &trace_prov),
+        ("span", &span_prov),
+        ("health", &health_prov),
+    ]
+    .iter()
+    .filter_map(|(name, p)| p.as_ref().map(|p| (*name, p)))
+    .collect();
+    for pair in present.windows(2) {
+        let ((na, pa), (nb, pb)) = (pair[0], pair[1]);
+        if pa != pb {
             eprintln!(
-                "warning: trace and span files come from different runs \
+                "warning: {na} and {nb} files come from different runs \
                  (seed {}/digest {} vs seed {}/digest {})",
-                t.seed, t.config_digest, s.seed, s.config_digest
+                pa.seed, pa.config_digest, pb.seed, pb.config_digest
             );
         }
     }
-    let provenance = trace_prov.or(span_prov);
+    let provenance = trace_prov.or(span_prov).or(health_prov);
     if let Some(out) = &chrome_out {
         // Spans give the richer export: slices per actor plus flow arrows
         // along every parent edge. Phase-event traces give the classic
@@ -197,7 +242,10 @@ fn cmd_analyze(args: &[String]) -> ! {
         let body = match (&spans, &events) {
             (Some(s), _) => span_flow_trace(s),
             (None, Some(e)) => chrome_trace(e),
-            (None, None) => unreachable!("checked above"),
+            (None, None) => {
+                eprintln!("--chrome-out needs --trace and/or --spans");
+                exit(2);
+            }
         };
         if let Err(e) = std::fs::write(out, body) {
             eprintln!("cannot write chrome trace to {out}: {e}");
@@ -232,6 +280,9 @@ fn cmd_analyze(args: &[String]) -> ! {
         if let Some(g) = &span_analysis {
             out.push_str(&format!(",\"span_graph\":{}", g.to_json()));
         }
+        if let Some(h) = &health {
+            out.push_str(&format!(",\"health\":{}", h.to_json()));
+        }
         out.push('}');
         println!("{out}");
     } else {
@@ -246,6 +297,9 @@ fn cmd_analyze(args: &[String]) -> ! {
         }
         if let Some(g) = &span_analysis {
             print!("{}", g.render_table());
+        }
+        if let Some(h) = &health {
+            print!("{}", h.render_timeline());
         }
     }
     exit(0);
@@ -722,6 +776,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut span_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut health_out: Option<String> = None;
     let mut serve_metrics: Option<u16> = None;
 
     let args: Vec<String> = env::args().skip(1).collect();
@@ -745,8 +800,34 @@ fn main() {
             "--json" => json = true,
             "--trace-out" => trace_out = Some(value()),
             "--span-out" => span_out = Some(value()),
-            "--trace-sample" => cfg.obs.trace_sample = value().parse().unwrap_or_else(|_| usage()),
+            "--trace-sample" => {
+                let rate: f64 = value().parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&rate) {
+                    eprintln!("--trace-sample must be a rate within [0, 1] (got {rate})");
+                    exit(2);
+                }
+                cfg.obs.trace_sample = rate;
+            }
             "--metrics-out" => metrics_out = Some(value()),
+            "--metrics-window" => {
+                let width: f64 = value().parse().unwrap_or_else(|_| usage());
+                if !width.is_finite() || width <= 0.0 {
+                    eprintln!(
+                        "--metrics-window must be a positive number of seconds (got {width})"
+                    );
+                    exit(2);
+                }
+                cfg.obs.sample_period_s = width;
+            }
+            "--health-out" => health_out = Some(value()),
+            "--slo-p99-ms" => {
+                let ms: f64 = value().parse().unwrap_or_else(|_| usage());
+                if !ms.is_finite() || ms <= 0.0 {
+                    eprintln!("--slo-p99-ms must be a positive number of milliseconds (got {ms})");
+                    exit(2);
+                }
+                cfg.obs.slo_p99_s = ms / 1000.0;
+            }
             "--serve-metrics" => serve_metrics = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
@@ -762,6 +843,9 @@ fn main() {
     if span_out.is_some() {
         cfg.obs.span_events = true;
     }
+    if health_out.is_some() {
+        cfg.obs.health_events = true;
+    }
     if let Err(e) = cfg.validate() {
         eprintln!("invalid configuration: {e}");
         exit(2);
@@ -776,7 +860,10 @@ fn main() {
             eprintln!("cannot bind metrics server on 127.0.0.1:{port}: {e}");
             exit(1);
         });
-        eprintln!("serving /metrics and /healthz on http://{}", server.addr());
+        eprintln!(
+            "serving /metrics, /statusz and /healthz on http://{}",
+            server.addr()
+        );
         server
     });
 
@@ -834,6 +921,22 @@ fn main() {
         if let Err(e) = std::fs::write(path, text) {
             eprintln!("cannot write metrics to {path}: {e}");
             exit(1);
+        }
+    }
+    if let Some(path) = &health_out {
+        let Some(health) = &result.observability.health else {
+            eprintln!("internal error: health-enabled run returned no health report");
+            exit(1);
+        };
+        if let Err(e) = std::fs::write(path, health.to_jsonl(Some(&provenance))) {
+            eprintln!("cannot write health timeline to {path}: {e}");
+            exit(1);
+        }
+        if health.dropped_events > 0 {
+            eprintln!(
+                "warning: bounded health buffer evicted {} event(s)",
+                health.dropped_events
+            );
         }
     }
     if result.observability.dropped_events > 0 || result.observability.dropped_spans > 0 {

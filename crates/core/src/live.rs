@@ -16,7 +16,10 @@
 
 use std::sync::{Arc, OnceLock};
 
-use fabricsim_obs::{Counter, Gauge, LiveHistogram, MetricsRegistry};
+use fabricsim_obs::{
+    Counter, Gauge, HealthEventKind, LiveHistogram, MetricsRegistry, HEALTH_STATIONS,
+    HEALTH_STATION_COUNT,
+};
 
 /// The simulator's live metric handles, all registered in one registry.
 ///
@@ -68,6 +71,17 @@ pub struct LiveMetrics {
     pub util_peer_vscc: Gauge,
     /// Max per-peer commit-station utilization so far.
     pub util_peer_commit: Gauge,
+    /// Current regime severity per health-plane station class (0 stable,
+    /// 1 saturating, 2 overloaded), indexed like
+    /// [`fabricsim_obs::HEALTH_STATIONS`]. Driven by the online health plane
+    /// when [`crate::ObsConfig::health_events`] is set.
+    pub health_regime: [Gauge; HEALTH_STATION_COUNT],
+    /// Most recent window's SLO burn rate (violating fraction over a 1%
+    /// error budget; 1.0 burns the budget exactly at its rate).
+    pub health_slo_burn: Gauge,
+    /// Health events emitted, by kind, indexed like
+    /// [`fabricsim_obs::HealthEventKind::ALL`].
+    pub health_events: [Counter; 4],
 }
 
 impl LiveMetrics {
@@ -189,6 +203,26 @@ impl LiveMetrics {
                 util,
                 &[("station", "peer_commit")],
             ),
+            health_regime: HEALTH_STATIONS.map(|station| {
+                registry.gauge(
+                    "fabricsim_health_regime",
+                    "Current health-plane regime severity of the station class \
+                     (0 stable, 1 saturating, 2 overloaded).",
+                    &[("station", station)],
+                )
+            }),
+            health_slo_burn: registry.gauge(
+                "fabricsim_health_slo_burn",
+                "Most recent window's SLO burn rate (violating fraction / 1% budget).",
+                &[],
+            ),
+            health_events: HealthEventKind::ALL.map(|kind| {
+                registry.counter(
+                    "fabricsim_health_events_total",
+                    "Health-plane events emitted, by kind.",
+                    &[("kind", kind.label())],
+                )
+            }),
             registry,
         };
         fabricsim_peer::install_metrics(fabricsim_peer::PipelineMetrics::register(&m.registry));
@@ -237,6 +271,19 @@ mod tests {
         assert!(text.contains("fabricsim_txs_committed_total{validity=\"valid\"} 9"));
         assert!(text.contains("fabricsim_e2e_latency_seconds_count 1"));
         assert!(text.contains("fabricsim_queue_depth{station=\"peer_vscc\"} 4"));
+    }
+
+    #[test]
+    fn health_families_are_registered() {
+        let m = LiveMetrics::new();
+        m.health_regime[3].set(2.0);
+        m.health_slo_burn.set(42.0);
+        m.health_events[0].add(3);
+        let text = m.registry().render();
+        validate_exposition(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+        assert!(text.contains("fabricsim_health_regime{station=\"peer.vscc\"} 2"));
+        assert!(text.contains("fabricsim_health_events_total{kind=\"regime\"} 3"));
+        assert!(text.contains("fabricsim_health_slo_burn 42"));
     }
 
     #[test]

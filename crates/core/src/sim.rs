@@ -15,9 +15,10 @@ use fabricsim_kafka::{
 };
 use fabricsim_msp::{CertificateAuthority, Msp};
 use fabricsim_obs::{
-    message_span_id, span_id, tx_sampled, BottleneckReport, EventSink, LogHistogram,
-    MetricsRecorder, PhaseEvent, SpanEvent, SpanKind, SpanSink, StationClass, TracePhase,
-    TxStationBreakdown, DEFAULT_SPAN_KIND_CAP,
+    message_span_id, span_id, tx_sampled, BottleneckReport, EventSink, HealthConfig, HealthReport,
+    HealthWindow, LogHistogram, MetricsRecorder, OnlineHealth, PhaseEvent, SpanEvent, SpanKind,
+    SpanSink, StationClass, TracePhase, TxStationBreakdown, DEFAULT_SPAN_KIND_CAP,
+    HEALTH_STATION_COUNT,
 };
 use fabricsim_ordering::{OsnEffect, OsnInput, OsnMsg, OsnNode};
 use fabricsim_peer::{GossipEffect, GossipMsg, GossipNode, Peer, PeerConfig};
@@ -125,6 +126,12 @@ pub struct RunObservability {
     /// Per-shard kernel self-profiles of a sharded run, in shard (= channel)
     /// order. Empty on the classic serial engine or when profiling is off.
     pub shard_profiles: Vec<KernelProfile>,
+    /// Online health-plane report (regime timeline, bottleneck-shift onsets,
+    /// SLO burn accounting). `None` unless
+    /// [`crate::ObsConfig::health_events`] was set. On a sharded run the
+    /// per-shard engines are merged canonically in shard order, so the
+    /// report is byte-identical at every worker count.
+    pub health: Option<HealthReport>,
 }
 
 impl RunObservability {
@@ -241,6 +248,9 @@ struct ObsState {
     /// Per-tx station decomposition, parallel to `World::traces`.
     breakdowns: Vec<TxStationBreakdown>,
     recorder: Option<MetricsRecorder>,
+    /// Online health plane (streaming regime/SLO detectors); `None` unless
+    /// requested. Write-only, like every other surface in this struct.
+    health: Option<OnlineHealth>,
     e2e_hist: LogHistogram,
     /// Block-cut count at the previous sampler tick (for the cadence series).
     last_block_cuts: usize,
@@ -770,6 +780,11 @@ impl Simulation {
                 .then(a.t1_s.total_cmp(&b.t1_s))
                 .then(a.span_id.cmp(&b.span_id))
         });
+        let health = world.obs.health.map(|h| {
+            let mut r = h.into_report();
+            r.sort_events();
+            r
+        });
         let observability = RunObservability {
             events,
             dropped_events,
@@ -780,6 +795,7 @@ impl Simulation {
             e2e_hist: world.obs.e2e_hist,
             profile,
             shard_profiles: Vec::new(),
+            health,
         };
         RunResult {
             summary,
@@ -912,6 +928,7 @@ impl Simulation {
         let mut dropped_spans = 0u64;
         let mut spans = Vec::new();
         let mut recorder: Option<MetricsRecorder> = None;
+        let mut health: Option<HealthReport> = None;
         let mut e2e_hist = LogHistogram::latency();
 
         for (s, w) in worlds.into_iter().enumerate() {
@@ -939,6 +956,15 @@ impl Simulation {
                 match recorder.as_mut() {
                     None => recorder = Some(r),
                     Some(acc) => acc.absorb(&r),
+                }
+            }
+            // Shard-order concatenation; one canonical sort after the loop
+            // keeps the merged health timeline worker-count-invariant.
+            if let Some(h) = w.obs.health {
+                let r = h.into_report();
+                match health.as_mut() {
+                    None => health = Some(r),
+                    Some(acc) => acc.merge(r),
                 }
             }
             e2e_hist.merge(&w.obs.e2e_hist);
@@ -989,6 +1015,9 @@ impl Simulation {
             }
             total
         });
+        if let Some(h) = health.as_mut() {
+            h.sort_events();
+        }
         let observability = RunObservability {
             events,
             dropped_events,
@@ -999,6 +1028,7 @@ impl Simulation {
             e2e_hist,
             profile,
             shard_profiles,
+            health,
         };
         RunResult {
             summary,
@@ -1044,6 +1074,7 @@ fn build_world(cfg: &SimConfig, live: Option<Arc<LiveMetrics>>, shard: Option<Sh
     let jitter_salt = shard
         .as_ref()
         .map_or(0, |s| 100_000 * (s.shard_id as u64 + 1));
+    let shard_channel = shard.as_ref().map_or(0, |s| s.shard_id as u32);
     let m = &cfg.cost;
 
     // Peers: endorsers 0..n-1 (Org i+1), then committers (observer first).
@@ -1317,6 +1348,22 @@ fn build_world(cfg: &SimConfig, live: Option<Arc<LiveMetrics>>, shard: Option<Sh
             breakdowns: Vec::new(),
             recorder: (cfg.obs.sample_period_s > 0.0)
                 .then(|| MetricsRecorder::new(cfg.obs.sample_period_s)),
+            health: cfg.obs.health_events.then(|| {
+                // One engine per event-loop world: the whole run on the
+                // serial engine (channel 0 aggregate), one per channel shard
+                // on the sharded engine. The window matches the sampler
+                // cadence (1 s fallback mirrors `sample_period_s()`).
+                let window = if cfg.obs.sample_period_s > 0.0 {
+                    cfg.obs.sample_period_s
+                } else {
+                    1.0
+                };
+                OnlineHealth::new(
+                    shard_channel,
+                    window,
+                    HealthConfig::with_slo(cfg.obs.slo_p99_s),
+                )
+            }),
             e2e_hist: LogHistogram::latency(),
             last_block_cuts: 0,
             live,
@@ -1338,7 +1385,7 @@ fn bootstrap(world: &mut World, k: &mut K) {
     // the simulated system, so traced and untraced runs stay bit-identical).
     // A live-metrics bundle keeps the sweep running even when the recorder
     // is disabled, so an exporter always has fresh gauges to serve.
-    if world.obs.recorder.is_some() || world.obs.live.is_some() {
+    if world.obs.recorder.is_some() || world.obs.live.is_some() || world.obs.health.is_some() {
         let period = SimDuration::from_secs_f64(sample_period_s(world));
         k.schedule_in_labeled(period, "obs.sample", obs_sample);
     }
@@ -1389,13 +1436,44 @@ struct GaugeSweep {
     inflight: usize,
     /// Blocks cut since the previous sweep.
     new_cuts: usize,
+    /// Cumulative busy seconds per health-plane station class
+    /// ([`fabricsim_obs::HEALTH_STATIONS`] order). Busy time accrues at
+    /// submit, so differencing consecutive sweeps yields the *offered* work
+    /// per window — the health plane's saturation signal.
+    busy_s: [f64; HEALTH_STATION_COUNT],
+    /// Provisioned servers per health-plane station class.
+    servers: [f64; HEALTH_STATION_COUNT],
 }
 
 fn sweep_gauges(world: &mut World, now: SimTime) -> GaugeSweep {
     let cuts = world.block_cuts.len();
     let new_cuts = cuts - world.obs.last_block_cuts;
     world.obs.last_block_cuts = cuts;
+    // Cumulative (busy seconds, servers) per health-plane station class,
+    // summed over the class's stations, in HEALTH_STATIONS order.
+    let mut busy_s = [0.0; HEALTH_STATION_COUNT];
+    let mut servers = [0.0; HEALTH_STATION_COUNT];
+    {
+        let mut lane = |i: usize, s: &Station| {
+            busy_s[i] += s.busy_time().as_secs_f64();
+            servers[i] += s.servers() as f64;
+        };
+        for p in &world.pools {
+            lane(0, &p.prep);
+            lane(1, &p.recv);
+        }
+        for p in &world.peers {
+            lane(2, &p.endorse);
+            lane(3, &p.vscc);
+            lane(4, &p.commit);
+        }
+        for o in &world.osns {
+            lane(5, &o.station);
+        }
+    }
     GaugeSweep {
+        busy_s,
+        servers,
         pool_prep: world.pools.iter().map(|p| p.prep.jobs_in_system(now)).sum(),
         pool_recv: world.pools.iter().map(|p| p.recv.jobs_in_system(now)).sum(),
         peer_endorse: world
@@ -1498,8 +1576,44 @@ fn record_sweep(rec: &mut MetricsRecorder, s: &GaugeSweep, cut_scale: f64, prefi
     );
 }
 
-/// Periodic read-only gauge sweep feeding the [`MetricsRecorder`] and the
-/// live plane.
+/// Closes one health-plane window from a sweep and mirrors the detectors'
+/// state into the live plane's gauges (shard 0 only, same rule as
+/// [`publish_live`]). No-op when the health plane is off.
+fn health_close(world: &mut World, s: &GaugeSweep, t_end_s: f64, width_s: f64) {
+    let shard0 = world.shard.as_ref().is_none_or(|sh| sh.shard_id == 0);
+    let ObsState { health, live, .. } = &mut world.obs;
+    let Some(h) = health.as_mut() else { return };
+    h.close_window(&HealthWindow {
+        t_end_s,
+        width_s,
+        busy_s: s.busy_s,
+        queue: [
+            s.pool_prep as f64,
+            s.pool_recv as f64,
+            s.peer_endorse as f64,
+            s.peer_vscc as f64,
+            s.peer_commit as f64,
+            s.osn_cpu as f64,
+        ],
+        servers: s.servers,
+        inflight: s.inflight as f64,
+    });
+    if !shard0 {
+        return;
+    }
+    if let Some(live) = live {
+        for (gauge, sev) in live.health_regime.iter().zip(h.severities()) {
+            gauge.set(sev as f64);
+        }
+        live.health_slo_burn.set(h.current_burn());
+        for (counter, delta) in live.health_events.iter().zip(h.take_kind_deltas()) {
+            counter.add(delta);
+        }
+    }
+}
+
+/// Periodic read-only gauge sweep feeding the [`MetricsRecorder`], the
+/// online health plane and the live plane.
 fn obs_sample(world: &mut World, k: &mut K) {
     let now = k.now();
     let s = sweep_gauges(world, now);
@@ -1509,33 +1623,50 @@ fn obs_sample(world: &mut World, k: &mut K) {
         record_sweep(rec, &s, 1.0, &prefix);
         rec.end_tick();
     }
-    let period = SimDuration::from_secs_f64(sample_period_s(world));
+    let period = sample_period_s(world);
+    health_close(world, &s, now.as_secs_f64(), period);
+    let period = SimDuration::from_secs_f64(period);
     k.schedule_in_labeled(period, "obs.sample", obs_sample);
 }
 
-/// Flushes the recorder's final partial window at the horizon. The sampler
-/// only fires on whole periods, so a run whose duration is not an exact
-/// multiple of the period used to silently drop the tail; this closes the
-/// gap with a width-weighted window. The cadence series is scaled by
-/// `period / width` so its weighted mean stays in blocks-per-period units.
+/// Flushes the final partial window at the horizon. The sampler only fires
+/// on whole periods, so a run whose duration is not an exact multiple of the
+/// period used to silently drop the tail; this closes the gap with a
+/// width-weighted window for both the recorder and the health plane (whose
+/// regime dwells must tile the horizon exactly). The cadence series is
+/// scaled by `period / width` so its weighted mean stays in
+/// blocks-per-period units. A horizon landing exactly on a tick boundary
+/// (modulo fp noise) flushes no tail.
 fn flush_partial_tick(world: &mut World, horizon: SimTime) {
+    let duration = world.cfg.duration_secs;
+    // One sweep serves every surface (the sweep mutates block-cut
+    // bookkeeping, so it must run at most once per virtual instant). It also
+    // leaves the live gauges at their horizon values.
+    let s = sweep_gauges(world, horizon);
+    publish_live(world, horizon, &s);
+    if world.obs.health.is_some() {
+        let period = sample_period_s(world);
+        // lint:allow(no-unwrap-in-lib) -- presence was checked one line up
+        let windows = world.obs.health.as_ref().expect("checked above").windows();
+        let width = duration - windows as f64 * period;
+        if width > 1e-9 {
+            health_close(world, &s, duration, width.min(period));
+        }
+        if let Some(h) = world.obs.health.as_mut() {
+            h.finish(duration);
+        }
+    }
     let Some(rec) = world.obs.recorder.as_ref() else {
-        // Still leave the live gauges at their horizon values.
-        let s = sweep_gauges(world, horizon);
-        publish_live(world, horizon, &s);
         return;
     };
     let period = world.cfg.obs.sample_period_s;
-    let width = world.cfg.duration_secs - rec.ticks() as f64 * period;
+    let width = duration - rec.ticks() as f64 * period;
     if width <= 1e-9 {
-        // The horizon landed on a tick boundary (modulo fp noise): no tail.
         return;
     }
     let width = width.min(period);
-    let s = sweep_gauges(world, horizon);
-    publish_live(world, horizon, &s);
     let prefix = sweep_prefix(world);
-    // lint:allow(no-unwrap-in-lib) -- recorder presence was checked at function entry
+    // lint:allow(no-unwrap-in-lib) -- recorder presence was checked above
     let rec = world.obs.recorder.as_mut().expect("checked above");
     record_sweep(rec, &s, period / width, &prefix);
     rec.end_partial_tick(width);
@@ -2744,6 +2875,9 @@ fn commit_block(
             }
             if let Some(e2e_s) = e2e {
                 world.obs.e2e_hist.record(e2e_s);
+                if let Some(h) = world.obs.health.as_mut() {
+                    h.observe_completion(e2e_s);
+                }
                 if let Some(live) = &world.obs.live {
                     live.e2e_latency.observe(e2e_s);
                     if flags[i] == ValidationCode::Valid {
@@ -3089,6 +3223,42 @@ mod tests {
             (50.0..70.0).contains(&tput),
             "sharded solo committed {tput} tps at 60 offered"
         );
+    }
+
+    #[test]
+    fn window_aligned_run_records_no_zero_width_tail() {
+        // 12.0 s duration with a 1.0 s sampler window: the run ends exactly
+        // on a window boundary, so there must be no partial tail tick — not
+        // a zero-width one — and the CSV/JSON must not carry a tail marker.
+        let cfg = quick_cfg(OrdererType::Solo);
+        assert_eq!(cfg.obs.sample_period_s, 1.0);
+        let r = Simulation::new(cfg).run_detailed();
+        let m = r
+            .observability
+            .metrics
+            .expect("sampler attached by default");
+        assert_eq!(m.ticks(), 12, "one tick per whole window");
+        assert_eq!(m.tail_width_s(), None, "no tail on an aligned horizon");
+        let json = m.to_json();
+        assert!(
+            !json.contains("tail_width_s"),
+            "aligned run leaked a tail marker: {json}"
+        );
+        let csv = m.to_csv();
+        assert_eq!(csv.lines().count(), 13, "header + 12 rows:\n{csv}");
+        let last = csv.lines().last().expect("rows");
+        assert!(
+            last.starts_with("11.000,"),
+            "last row at the final whole window's start: {last}"
+        );
+        // A misaligned horizon DOES record its shorter tail window.
+        let mut cfg = quick_cfg(OrdererType::Solo);
+        cfg.duration_secs = 12.25;
+        let r = Simulation::new(cfg).run_detailed();
+        let m = r.observability.metrics.expect("sampler attached");
+        assert_eq!(m.ticks(), 13);
+        assert_eq!(m.tail_width_s(), Some(0.25));
+        assert!(m.to_json().contains("\"tail_width_s\":0.25"));
     }
 
     #[test]

@@ -140,6 +140,13 @@ pub struct ObsConfig {
     /// utilization, in-flight transactions, block-cut cadence). Set to `0.0`
     /// to disable the sampler entirely.
     pub sample_period_s: f64,
+    /// Enable the online health plane: streaming per-station regime
+    /// detection, bottleneck-shift onsets and SLO burn tracking over the
+    /// sampler's windows. Write-only with respect to the simulation.
+    pub health_events: bool,
+    /// End-to-end p99 latency objective the health plane's SLO burn tracker
+    /// measures against, in seconds. Must be positive and finite.
+    pub slo_p99_s: f64,
 }
 
 impl Default for ObsConfig {
@@ -151,6 +158,8 @@ impl Default for ObsConfig {
             trace_buffer_cap: 1 << 20,
             profile: false,
             sample_period_s: 1.0,
+            health_events: false,
+            slo_p99_s: 2.0,
         }
     }
 }
@@ -300,6 +309,9 @@ impl SimConfig {
         if self.obs.trace_buffer_cap == 0 {
             return Err("trace buffer capacity must be positive".into());
         }
+        if !self.obs.slo_p99_s.is_finite() || self.obs.slo_p99_s <= 0.0 {
+            return Err("SLO p99 latency objective must be a finite positive number".into());
+        }
         self.batch.validate()
     }
 
@@ -322,6 +334,8 @@ impl SimConfig {
                 trace_buffer_cap: 0,
                 profile: false,
                 sample_period_s: 0.0,
+                health_events: false,
+                slo_p99_s: 0.0,
             },
             // Every positive worker count yields byte-identical results
             // (locked by the determinism suite), so the digest only
@@ -427,6 +441,8 @@ mod tests {
         traced.obs.trace_buffer_cap = 64;
         traced.obs.profile = true;
         traced.obs.sample_period_s = 0.25;
+        traced.obs.health_events = true;
+        traced.obs.slo_p99_s = 0.75;
         assert_eq!(traced.digest(), d);
         // …but sensitive to anything that shapes results.
         for cfg in [

@@ -1,5 +1,7 @@
-//! Bounded sink: the ring carries an audited allow, and `Vec::from` on drain
-//! is fine because the ring already bounded the allocation.
+//! Bounded sinks: the ring carries an audited allow, and `Vec::from` on drain
+//! is fine because the ring already bounded the allocation. Two eviction
+//! policies are sound — drop-oldest (the span sink's ring) and drop-newest
+//! (the health plane's event buffer); both count what they shed.
 use std::collections::VecDeque;
 
 pub struct GoodSink {
@@ -27,5 +29,31 @@ impl GoodSink {
 
     pub fn into_values(self) -> Vec<u64> {
         Vec::from(self.buf)
+    }
+}
+
+pub struct DropNewestSink {
+    capacity: usize,
+    buf: Vec<u64>,
+    dropped: u64,
+}
+
+impl DropNewestSink {
+    pub fn bounded(capacity: usize) -> DropNewestSink {
+        DropNewestSink {
+            capacity,
+            // lint:allow(no-unbounded-sink) -- bounded buffer: push() refuses
+            // new entries at `capacity` and counts them in `dropped`.
+            buf: Vec::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    pub fn push(&mut self, v: u64) {
+        if self.buf.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.buf.push(v);
     }
 }

@@ -217,7 +217,7 @@ fn no_unbounded_sink_negative_allows_rings_and_vec_from() {
     let ctx = classify("crates/obs/src/span_sink.rs").expect("classifiable");
     let (diags, suppressed) = lint_source(&ctx, &fixture("no-unbounded-sink", "good.rs"));
     assert!(diags.is_empty(), "{diags:?}");
-    assert_eq!(suppressed, 1, "the audited ring allocation must suppress");
+    assert_eq!(suppressed, 2, "both audited sink allocations must suppress");
 }
 
 #[test]

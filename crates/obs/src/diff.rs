@@ -3,8 +3,9 @@
 //! The paper's contribution is a *diagnosis* — which phase is the bottleneck
 //! and how it moves as load, endorsement policy and block size change. A
 //! single run's artifacts (`--json` run summaries, trace analyses, span-graph
-//! critical paths, kernel self-profiles, bench baselines) can each diagnose
-//! one run; this module explains the *difference* between two:
+//! critical paths, kernel self-profiles, bench baselines, `--health-out`
+//! regime timelines) can each diagnose one run; this module explains the
+//! *difference* between two:
 //!
 //! * every numeric metric the two artifacts share becomes a [`DiffEntry`]
 //!   (`delta = B − A`), ranked by `|delta|` so the biggest mover tops the
@@ -25,13 +26,18 @@
 //! The engine consumes parsed [`Json`] values, so it accepts any artifact the
 //! stack emits without a per-type Rust decoder: the flat run summary, the
 //! (possibly combined) `analyze --json` document, `profile --json` (merged +
-//! per-shard), and schema-v2+ bench reports.
+//! per-shard), and schema-v2+ bench reports. Health timelines are the one
+//! exception: they are JSONL (one object per line, so `Json::parse` on the
+//! whole file fails) and are recognized by [`HealthReport::sniff`] before the
+//! JSON parser runs, then decoded with [`HealthReport::from_jsonl`].
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
 
+use crate::event::RunProvenance;
 use crate::json::Json;
+use crate::online::{HealthReport, Regime, StationHealth};
 
 /// Which artifact family a document was recognized as.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +51,9 @@ pub enum ArtifactKind {
     Profile,
     /// A `bench` report (`BENCH_fabricsim.json`, schema v2+).
     Bench,
+    /// A `--health-out` streaming health timeline (JSONL: events + station
+    /// accounting + summary trailer).
+    Health,
 }
 
 impl ArtifactKind {
@@ -55,6 +64,7 @@ impl ArtifactKind {
             ArtifactKind::Analysis => "analysis",
             ArtifactKind::Profile => "profile",
             ArtifactKind::Bench => "bench",
+            ArtifactKind::Health => "health",
         }
     }
 }
@@ -244,6 +254,24 @@ impl ArtifactDiff {
     /// [`DiffError`] when either side fails to parse, matches no known
     /// artifact schema, or the two sides are different artifact families.
     pub fn from_json_strs(a: &str, b: &str) -> Result<ArtifactDiff, DiffError> {
+        // Health timelines are JSONL, not a single JSON document — sniff and
+        // route them before the whole-document parse (which would fail on the
+        // second line).
+        let (ha, hb) = (HealthReport::sniff(a), HealthReport::sniff(b));
+        if ha && hb {
+            return health_diff(a, b);
+        }
+        if ha != hb {
+            let (side, text) = if ha { ('B', b) } else { ('A', a) };
+            let j = Json::parse(text).map_err(|detail| DiffError::Json { side, detail })?;
+            let k = sniff(&j).ok_or(DiffError::Unknown { side })?;
+            let (a, b) = if ha {
+                (ArtifactKind::Health, k)
+            } else {
+                (k, ArtifactKind::Health)
+            };
+            return Err(DiffError::KindMismatch { a, b });
+        }
         let ja = Json::parse(a).map_err(|detail| DiffError::Json { side: 'A', detail })?;
         let jb = Json::parse(b).map_err(|detail| DiffError::Json { side: 'B', detail })?;
         ArtifactDiff::from_json(&ja, &jb)
@@ -270,6 +298,9 @@ impl ArtifactDiff {
             ArtifactKind::Analysis => analysis_sections(a, b),
             ArtifactKind::Profile => profile_sections(a, b),
             ArtifactKind::Bench => bench_sections(a, b, &mut digest_match),
+            // Unreachable from sniff(): health timelines are JSONL and are
+            // routed through `health_diff` before whole-document parsing.
+            ArtifactKind::Health => Vec::new(),
         };
         Ok(ArtifactDiff {
             kind: ka,
@@ -1000,6 +1031,148 @@ fn bench_sections(a: &Json, b: &Json, digest_match: &mut Option<bool>) -> Vec<Di
     vec![sec]
 }
 
+/// Diffs two health timelines (JSONL text on both sides).
+fn health_diff(a: &str, b: &str) -> Result<ArtifactDiff, DiffError> {
+    let (pa, ra) =
+        HealthReport::from_jsonl(a).map_err(|detail| DiffError::Json { side: 'A', detail })?;
+    let (pb, rb) =
+        HealthReport::from_jsonl(b).map_err(|detail| DiffError::Json { side: 'B', detail })?;
+    let prov_of = |p: &Option<RunProvenance>| DiffProvenance {
+        seed: p.as_ref().map(|p| p.seed),
+        config_digest: p.as_ref().map(|p| p.config_digest.clone()),
+    };
+    let prov = [prov_of(&pa), prov_of(&pb)];
+    let digest_match = match (&prov[0].config_digest, &prov[1].config_digest) {
+        (Some(da), Some(db)) => Some(da == db),
+        _ => None,
+    };
+    Ok(ArtifactDiff {
+        kind: ArtifactKind::Health,
+        provenance: prov,
+        digest_match,
+        sections: health_sections(&ra, &rb),
+    })
+}
+
+/// The station whose regime history was worst: ranked by overloaded dwell,
+/// then saturating dwell, then label for a deterministic tie-break.
+fn health_dominant<'a>(
+    stations: impl Iterator<Item = (&'a StationHealth, String)>,
+) -> Option<String> {
+    stations
+        .max_by(|(x, xl), (y, yl)| {
+            x.dwell_s[2]
+                .total_cmp(&y.dwell_s[2])
+                .then(x.dwell_s[1].total_cmp(&y.dwell_s[1]))
+                .then(yl.cmp(xl))
+        })
+        .map(|(_, label)| label)
+}
+
+fn health_sections(ra: &HealthReport, rb: &HealthReport) -> Vec<DiffSection> {
+    let mut summary = DiffSection::new("health summary");
+    for (name, va, vb) in [
+        ("window_s", ra.window_s, rb.window_s),
+        ("horizon_s", ra.horizon_s, rb.horizon_s),
+        ("slo_p99_s", ra.slo_p99_s, rb.slo_p99_s),
+        ("channels", f64::from(ra.channels), f64::from(rb.channels)),
+        ("windows", ra.windows as f64, rb.windows as f64),
+        ("completions", ra.completions as f64, rb.completions as f64),
+        (
+            "slo_violations",
+            ra.slo_violations as f64,
+            rb.slo_violations as f64,
+        ),
+        (
+            "burn_windows",
+            ra.burn_windows as f64,
+            rb.burn_windows as f64,
+        ),
+        ("max_burn", ra.max_burn, rb.max_burn),
+        ("events", ra.events.len() as f64, rb.events.len() as f64),
+        (
+            "dropped_events",
+            ra.dropped_events as f64,
+            rb.dropped_events as f64,
+        ),
+    ] {
+        summary.push(name, va, vb);
+    }
+    summary.sort_entries();
+
+    let mut sec = DiffSection::new("regime dwell & onset");
+    // Channel-qualify the station labels only when either side actually
+    // merged multiple channels, so single-channel diffs stay terse.
+    let multi = ra.channels > 1 || rb.channels > 1;
+    let label = |s: &StationHealth| {
+        if multi {
+            format!("ch{}.{}", s.channel, s.station)
+        } else {
+            s.station.clone()
+        }
+    };
+    fn index(r: &HealthReport) -> BTreeMap<(u32, String), &StationHealth> {
+        r.stations
+            .iter()
+            .map(|s| ((s.channel, s.station.clone()), s))
+            .collect()
+    }
+    let (ma, mb) = (index(ra), index(rb));
+    let keys: std::collections::BTreeSet<&(u32, String)> = ma.keys().chain(mb.keys()).collect();
+    for key in keys {
+        let (sa, sb) = match (ma.get(key), mb.get(key)) {
+            (Some(sa), Some(sb)) => (*sa, *sb),
+            (one, _) => {
+                let side = if one.is_some() { 'A' } else { 'B' };
+                sec.notes
+                    .push(format!("station ch{}.{} only in {side}", key.0, key.1));
+                continue;
+            }
+        };
+        let name = label(sa);
+        let mut dwell_delta_sum = 0.0;
+        for regime in Regime::ALL {
+            let sev = regime.severity();
+            let (da, db) = (sa.dwell_s[sev], sb.dwell_s[sev]);
+            dwell_delta_sum += db - da;
+            sec.push(format!("{name}.dwell.{}_s", regime.label()), da, db);
+            match (sa.onset_s[sev], sb.onset_s[sev]) {
+                (Some(oa), Some(ob)) => {
+                    sec.push(format!("{name}.onset.{}_s", regime.label()), oa, ob);
+                }
+                (Some(_), None) => sec.notes.push(format!(
+                    "{name}: {} entered only in A (never in B)",
+                    regime.label()
+                )),
+                (None, Some(_)) => sec.notes.push(format!(
+                    "{name}: {} entered only in B (never in A)",
+                    regime.label()
+                )),
+                (None, None) => {}
+            }
+        }
+        // Each station's dwells tile its run horizon, so per-station dwell
+        // deltas must telescope to the horizon delta.
+        sec.telescopes.push(TelescopeCheck {
+            metric: format!("health.{name}.dwell_total_s"),
+            e2e_delta_s: rb.horizon_s - ra.horizon_s,
+            segment_delta_sum_s: dwell_delta_sum,
+        });
+        sec.shift_if_changed(
+            &format!("health.{name}.final_regime"),
+            Some(sa.regime.label()),
+            Some(sb.regime.label()),
+        );
+    }
+    sec.shift_if_changed(
+        "health.dominant_station",
+        health_dominant(ra.stations.iter().map(|s| (s, label(s)))).as_deref(),
+        health_dominant(rb.stations.iter().map(|s| (s, label(s)))).as_deref(),
+    );
+    sec.sort_entries();
+    vec![summary, sec]
+}
+
 /// JSON string escaping (same character set as the event codec).
 fn escape(s: &str) -> String {
     crate::event::escape(s)
@@ -1197,6 +1370,159 @@ mod tests {
         // The JSON we emit must parse with our own reader.
         let parsed = Json::parse(&json).expect("self-parse");
         assert!(parsed.get("sections").is_some());
+    }
+
+    fn health_doc(overload_onset_s: f64, final_regime: Regime, digest: &str) -> String {
+        use crate::online::{HealthEvent, HealthEventKind};
+        let report = HealthReport {
+            window_s: 1.0,
+            horizon_s: 10.0,
+            slo_p99_s: 2.0,
+            channels: 1,
+            windows: 10,
+            completions: 100,
+            slo_violations: 7,
+            burn_windows: 2,
+            max_burn: 3.5,
+            dropped_events: 0,
+            events: vec![HealthEvent {
+                t_s: overload_onset_s,
+                kind: HealthEventKind::Regime,
+                channel: 0,
+                station: "peer.vscc".into(),
+                from: "saturating".into(),
+                to: "overloaded".into(),
+                value: 1.2,
+            }],
+            stations: vec![
+                StationHealth {
+                    channel: 0,
+                    station: "peer.vscc".into(),
+                    regime: final_regime,
+                    dwell_s: [1.0, overload_onset_s - 1.0, 10.0 - overload_onset_s],
+                    onset_s: [Some(0.0), Some(1.0), Some(overload_onset_s)],
+                },
+                StationHealth {
+                    channel: 0,
+                    station: "peer.commit".into(),
+                    regime: Regime::Stable,
+                    dwell_s: [10.0, 0.0, 0.0],
+                    onset_s: [Some(0.0), None, None],
+                },
+            ],
+        };
+        report.to_jsonl(Some(&RunProvenance {
+            seed: 42,
+            config_digest: digest.to_string(),
+        }))
+    }
+
+    #[test]
+    fn health_self_diff_is_zero() {
+        let doc = health_doc(3.0, Regime::Overloaded, "hhhh");
+        let d = ArtifactDiff::from_json_strs(&doc, &doc).expect("diffs");
+        assert_eq!(d.kind, ArtifactKind::Health);
+        assert_eq!(d.digest_match, Some(true));
+        assert_eq!(d.provenance[0].seed, Some(42));
+        assert_eq!(d.max_abs_delta(), 0.0);
+        assert_eq!(d.shifts().count(), 0);
+        assert!(d.max_telescope_residual_s() < 1e-12);
+    }
+
+    #[test]
+    fn health_diff_attributes_onset_shift() {
+        let a = health_doc(3.0, Regime::Overloaded, "hhhh");
+        let b = health_doc(5.0, Regime::Saturating, "iiii");
+        let d = ArtifactDiff::from_json_strs(&a, &b).expect("diffs");
+        assert_eq!(d.kind, ArtifactKind::Health);
+        assert_eq!(d.digest_match, Some(false));
+        let dwell = &d.sections[1];
+        assert_eq!(dwell.title, "regime dwell & onset");
+        let onset = dwell
+            .entries
+            .iter()
+            .find(|e| e.name == "peer.vscc.onset.overloaded_s")
+            .expect("onset entry");
+        assert!((onset.delta() - 2.0).abs() < 1e-12, "onset {onset:?}");
+        // Equal horizons, tiled dwells: the per-station deltas telescope.
+        assert!(d.max_telescope_residual_s() < 1e-12);
+        let shifts: Vec<&Shift> = d.shifts().collect();
+        assert_eq!(shifts.len(), 1);
+        assert_eq!(shifts[0].dimension, "health.peer.vscc.final_regime");
+        assert_eq!(
+            (shifts[0].a.as_str(), shifts[0].b.as_str()),
+            ("overloaded", "saturating")
+        );
+        let table = d.render_table();
+        assert!(table.contains("health"), "{table}");
+        assert!(table.contains("peer.vscc.onset.overloaded_s"), "{table}");
+    }
+
+    #[test]
+    fn health_against_other_artifact_is_a_kind_mismatch() {
+        let health = health_doc(3.0, Regime::Overloaded, "hhhh");
+        let summary = r#"{"hottest_station":"peer vscc","x":1.0}"#;
+        match ArtifactDiff::from_json_strs(&health, summary) {
+            Err(DiffError::KindMismatch { a, b }) => {
+                assert_eq!(a, ArtifactKind::Health);
+                assert_eq!(b, ArtifactKind::RunSummary);
+            }
+            other => panic!("expected KindMismatch, got {other:?}"),
+        }
+        match ArtifactDiff::from_json_strs(summary, &health) {
+            Err(DiffError::KindMismatch { a, b }) => {
+                assert_eq!(a, ArtifactKind::RunSummary);
+                assert_eq!(b, ArtifactKind::Health);
+            }
+            other => panic!("expected KindMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_empty_documents_error_not_panic() {
+        let good = health_doc(3.0, Regime::Overloaded, "hhhh");
+        // One malformed fixture per sniffer branch: a run summary, analyze
+        // output, a kernel profile and a bench report each cut mid-object,
+        // plus JSONL health timelines cut before / inside their trailer.
+        let truncated_summary = r#"{"hottest_station":"peer vscc","x":"#;
+        let truncated_analysis = r#"{"trace":{"e2e":{"mean_s":1.0},"segments":["#;
+        let truncated_profile = r#"{"loop_ns":10,"entries":[{"label":"a""#;
+        let truncated_bench = r#"{"schema_version":2,"scenarios":[{"name":"s1""#;
+        let health_no_trailer = good
+            .lines()
+            .filter(|l| !l.contains("health_summary"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let health_cut_trailer = &good[..good.rfind("health_summary").expect("trailer") + 20];
+        for (name, fixture) in [
+            ("empty", ""),
+            ("blank object", "{}"),
+            ("truncated summary", truncated_summary),
+            ("truncated analysis", truncated_analysis),
+            ("truncated profile", truncated_profile),
+            ("truncated bench", truncated_bench),
+            ("health without trailer", health_no_trailer.as_str()),
+            ("health cut inside trailer", health_cut_trailer),
+        ] {
+            let err = ArtifactDiff::from_json_strs(fixture, &good)
+                .expect_err(&format!("{name} on side A must error"));
+            assert!(
+                matches!(
+                    err,
+                    DiffError::Json { side: 'A', .. } | DiffError::Unknown { side: 'A' }
+                ),
+                "{name}: unexpected error {err:?}"
+            );
+            let err = ArtifactDiff::from_json_strs(&good, fixture)
+                .expect_err(&format!("{name} on side B must error"));
+            assert!(
+                matches!(
+                    err,
+                    DiffError::Json { side: 'B', .. } | DiffError::Unknown { side: 'B' }
+                ),
+                "{name}: unexpected error {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! A dependency-free `/metrics` + `/healthz` HTTP exporter.
+//! A dependency-free `/metrics` + `/healthz` + `/statusz` HTTP exporter.
 //!
 //! [`MetricsServer::serve`] binds a [`std::net::TcpListener`] on localhost
 //! and answers scrapes from a background thread while the simulation runs on
@@ -26,6 +26,10 @@ use crate::registry::MetricsRegistry;
 /// Routes:
 /// * `GET /metrics` — Prometheus text exposition format 0.0.4;
 /// * `GET /healthz` — `{"status":"ok","uptime_s":<wall seconds>}`;
+/// * `GET /statusz` — human-readable regime summary of the online health
+///   plane (per-station `stable`/`saturating`/`overloaded`, SLO burn rate,
+///   event counts), derived from the registry's `fabricsim_health_*`
+///   families so the exporter stays decoupled from the simulation;
 /// * anything else — 404.
 #[derive(Debug)]
 pub struct MetricsServer {
@@ -135,10 +139,15 @@ fn handle_request(
                     started.elapsed_s()
                 ),
             ),
+            "/statusz" => (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                render_statusz(registry, started),
+            ),
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
-                "not found; try /metrics or /healthz\n".to_string(),
+                "not found; try /metrics, /statusz or /healthz\n".to_string(),
             ),
         }
     };
@@ -148,6 +157,49 @@ fn handle_request(
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+/// Renders the `/statusz` regime summary by filtering the registry's own
+/// exposition down to the `fabricsim_health_*` families. Reading the
+/// rendered text (rather than simulation state) keeps the exporter
+/// write-only-safe and works for any registry, health plane attached or not.
+fn render_statusz(registry: &MetricsRegistry, started: WallClock) -> String {
+    let exposition = registry.render();
+    let mut out = format!(
+        "fabricsim health status\nuptime_s: {:.3}\n\n",
+        started.elapsed_s()
+    );
+    let mut stations = 0usize;
+    let mut extras = String::new();
+    for line in exposition.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("fabricsim_health_regime{station=\"") {
+            if let Some((station, value)) = rest.split_once("\"}") {
+                let regime = match value.trim().parse::<f64>().unwrap_or(0.0) {
+                    v if v >= 2.0 => "overloaded",
+                    v if v >= 1.0 => "saturating",
+                    _ => "stable",
+                };
+                out.push_str(&format!("{station:<14} {regime}\n"));
+                stations += 1;
+            }
+        } else if let Some(value) = line.strip_prefix("fabricsim_health_slo_burn ") {
+            extras.push_str(&format!("slo_burn_rate: {}\n", value.trim()));
+        } else if line.starts_with("fabricsim_health_events_total") {
+            extras.push_str(line);
+            extras.push('\n');
+        }
+    }
+    if stations == 0 {
+        out.push_str("no health plane attached (enable health events on the run)\n");
+    }
+    if !extras.is_empty() {
+        out.push('\n');
+        out.push_str(&extras);
+    }
+    out
 }
 
 /// Issues a plain `GET` against a local exporter and returns
@@ -207,6 +259,45 @@ mod tests {
         // The port is released: a fresh bind on the same address succeeds.
         let rebind = TcpListener::bind(addr);
         assert!(rebind.is_ok(), "port not released after drop");
+    }
+
+    #[test]
+    fn statusz_summarizes_health_families() {
+        let reg = MetricsRegistry::new();
+        let regime = reg.gauge(
+            "fabricsim_health_regime",
+            "Regime severity.",
+            &[("station", "peer.vscc")],
+        );
+        regime.set(2.0);
+        let burn = reg.gauge("fabricsim_health_slo_burn", "Burn rate.", &[]);
+        burn.set(3.5);
+        let events = reg.counter(
+            "fabricsim_health_events_total",
+            "Events by kind.",
+            &[("kind", "regime")],
+        );
+        events.add(4);
+        let server = MetricsServer::serve(reg, 0).expect("bind");
+
+        let (status, body) = http_get(server.addr(), "/statusz").expect("statusz");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("peer.vscc"), "{body}");
+        assert!(body.contains("overloaded"), "{body}");
+        assert!(body.contains("slo_burn_rate: 3.5"), "{body}");
+        assert!(
+            body.contains("fabricsim_health_events_total{kind=\"regime\"} 4"),
+            "{body}"
+        );
+        assert!(body.contains("uptime_s:"), "{body}");
+    }
+
+    #[test]
+    fn statusz_degrades_gracefully_without_health_plane() {
+        let server = MetricsServer::serve(MetricsRegistry::new(), 0).expect("bind");
+        let (status, body) = http_get(server.addr(), "/statusz").expect("statusz");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("no health plane attached"), "{body}");
     }
 
     #[test]

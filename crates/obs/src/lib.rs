@@ -53,6 +53,14 @@
 //!   (per-actor/per-hop dominance, slowest-endorser and gossip-depth
 //!   histograms), and exported with Chrome-trace flow events
 //!   ([`span_flow_trace`]) so Perfetto renders cross-actor arrows.
+//! * [`OnlineHealth`] / [`HealthReport`] — the *online health plane*:
+//!   streaming EWMA/CUSUM regime detection (`stable` / `saturating` /
+//!   `overloaded`) per station and channel over the sampler's gauge sweeps,
+//!   time-resolved bottleneck-shift onsets, SLO burn-rate tracking against a
+//!   configurable latency objective, and a Little's-law residual as a
+//!   self-consistency check — emitted as typed [`HealthEvent`]s into a
+//!   bounded buffer and rendered as a provenance-stamped JSONL artifact
+//!   whose per-regime dwells tile the run horizon exactly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,6 +76,7 @@ mod exporter;
 mod flame;
 mod hist;
 mod json;
+mod online;
 mod registry;
 mod series;
 mod sink;
@@ -88,6 +97,10 @@ pub use exporter::{http_get, MetricsServer};
 pub use flame::collapsed_stacks;
 pub use hist::LogHistogram;
 pub use json::Json;
+pub use online::{
+    HealthConfig, HealthEvent, HealthEventKind, HealthReport, HealthWindow, OnlineHealth, Regime,
+    StationHealth, DEFAULT_HEALTH_CAPACITY, HEALTH_STATIONS, HEALTH_STATION_COUNT,
+};
 pub use registry::{validate_exposition, Counter, Gauge, LiveHistogram, MetricsRegistry};
 pub use series::{MetricsRecorder, TimeSeries};
 pub use sink::{

@@ -67,6 +67,107 @@ fn observability_config_never_changes_the_report() {
     profiled.obs.profile = true;
     let json = Simulation::new(profiled).run().to_json();
     assert_eq!(baseline, json, "the kernel profiler changed the report");
+    // The online health plane rides the same sampler and must honor the same
+    // write-only contract, whatever objective it burns against.
+    for slo in [0.1, 2.0] {
+        let mut c = cfg.clone();
+        c.obs.health_events = true;
+        c.obs.slo_p99_s = slo;
+        let json = Simulation::new(c).run().to_json();
+        assert_eq!(
+            baseline, json,
+            "the health plane (SLO {slo}s) changed the report"
+        );
+    }
+}
+
+#[test]
+fn health_timeline_is_byte_identical_across_worker_counts() {
+    // The health plane's determinism bar: the serialized JSONL timeline —
+    // events, dwell accounting and summary — is byte-identical at workers
+    // {1, 4} and across reruns, single- and multi-channel. Per-shard engines
+    // merge in shard order and one canonical sort restores a worker-count-
+    // invariant event stream.
+    for channels in [1u32, 4] {
+        let mut cfg = quick_config(OrdererType::Solo, PolicySpec::OrN(5), 120.0);
+        cfg.channels = channels;
+        cfg.obs.health_events = true;
+        cfg.sim_workers = 1;
+        let base = Simulation::new(cfg.clone()).run_detailed();
+        let base_health = base
+            .observability
+            .health
+            .as_ref()
+            .expect("health plane attached")
+            .to_jsonl(None);
+        let rerun = Simulation::new(cfg.clone()).run_detailed();
+        assert_eq!(
+            base_health,
+            rerun
+                .observability
+                .health
+                .as_ref()
+                .expect("health")
+                .to_jsonl(None),
+            "ch{channels}: rerun changed the health timeline"
+        );
+        cfg.sim_workers = 4;
+        let wide = Simulation::new(cfg).run_detailed();
+        assert_eq!(
+            base_health,
+            wide.observability
+                .health
+                .as_ref()
+                .expect("health")
+                .to_jsonl(None),
+            "ch{channels}: worker count changed the health timeline"
+        );
+    }
+}
+
+#[test]
+fn overload_scenario_emits_deterministic_vscc_onset() {
+    // The acceptance scenario: seed 42, one channel, AND5 over 5 peers,
+    // validator pool 1, 500 offered tps. The VSCC stage saturates
+    // immediately, so the health plane must walk peer.vscc through
+    // stable→saturating→overloaded with a deterministic overload onset,
+    // and every station's dwells must tile the horizon within 1e-6 s.
+    let mut cfg = quick_config(OrdererType::Solo, PolicySpec::AndX(5), 500.0);
+    cfg.endorsing_peers = 5;
+    cfg.cost.validator_pool_size = 1;
+    cfg.seed = 42;
+    cfg.obs.health_events = true;
+    let r = Simulation::new(cfg).run_detailed();
+    let health = r.observability.health.as_ref().expect("health attached");
+    let vscc: Vec<(&str, &str)> = health
+        .events
+        .iter()
+        .filter(|e| e.station == "peer.vscc")
+        .filter(|e| e.kind == fabricsim::obs::HealthEventKind::Regime)
+        .map(|e| (e.from.as_str(), e.to.as_str()))
+        .collect();
+    assert_eq!(
+        vscc,
+        [("stable", "saturating"), ("saturating", "overloaded")],
+        "step-limited regime walk on peer.vscc: {:?}",
+        health.events
+    );
+    let onset = health
+        .onset_of("peer.vscc", fabricsim::obs::Regime::Overloaded)
+        .expect("overload onset recorded");
+    assert!(
+        onset > 0.0,
+        "overload is one step after saturating: {onset}"
+    );
+    assert!(
+        health.telescoping_error() <= 1e-6,
+        "dwells must tile the horizon: error {}",
+        health.telescoping_error()
+    );
+    assert!(
+        health.slo_violations > 0 && health.burn_windows > 0,
+        "an overloaded run must burn its SLO budget: {health:?}"
+    );
 }
 
 #[test]
