@@ -36,22 +36,19 @@ pub mod progress {
     /// Turns on progress lines for this process.
     pub fn enable() {
         START.get_or_init(WallClock::start);
-        // lint:allow(atomics-ordering-annotated) -- cosmetic stderr flag;
-        // no other memory depends on observing it in order.
+        // relaxed: cosmetic stderr flag; nothing orders against it
         ENABLED.store(true, Ordering::Relaxed);
     }
 
     /// True when [`enable`] was called.
     pub fn enabled() -> bool {
-        // lint:allow(atomics-ordering-annotated) -- see `enable`: the flag
-        // gates stderr output only, stale reads just delay a progress line.
+        // relaxed: gates stderr output only; a stale read delays one line
         ENABLED.load(Ordering::Relaxed)
     }
 
     /// Registers `n` upcoming scenarios (called at the top of each sweep).
     pub(super) fn batch(n: usize) {
-        // lint:allow(atomics-ordering-annotated) -- monotonic counter read
-        // back only for the cosmetic `[i/N]` denominator.
+        // relaxed: monotonic counter feeding the cosmetic `[i/N]` denominator
         TOTAL.fetch_add(n as u64, Ordering::Relaxed);
     }
 
@@ -60,11 +57,9 @@ pub mod progress {
         if !enabled() {
             return;
         }
-        // lint:allow(atomics-ordering-annotated) -- monotonic counters that
-        // feed one stderr line; an interleaving can at worst reorder lines.
+        // relaxed: counters feed one stderr line; races only reorder lines
         let i = DONE.fetch_add(1, Ordering::Relaxed) + 1;
-        // lint:allow(atomics-ordering-annotated) -- same cosmetic counter
-        // family as above.
+        // relaxed: same cosmetic counter family as above
         let n = TOTAL.load(Ordering::Relaxed);
         let elapsed = START.get_or_init(WallClock::start).elapsed_s();
         eprintln!("  [{i}/{n}] {elapsed:6.1}s  {label}: {tps:.1} committed tps");

@@ -90,9 +90,18 @@ impl UtilizationReport {
             ("osn cpu", max(&self.osn_cpu)),
         ]
         .into_iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        // lint:allow(no-unwrap-in-lib) -- max_by over a non-empty array literal
-        .expect("non-empty")
+        // `>=` keeps the last of equal maxima, matching `max_by` tie-breaking
+        // (utilizations are never negative, so the seed never survives).
+        .fold(
+            ("idle", 0.0),
+            |best, cand| {
+                if cand.1 >= best.1 {
+                    cand
+                } else {
+                    best
+                }
+            },
+        )
     }
 }
 
@@ -1644,10 +1653,9 @@ fn flush_partial_tick(world: &mut World, horizon: SimTime) {
     // leaves the live gauges at their horizon values.
     let s = sweep_gauges(world, horizon);
     publish_live(world, horizon, &s);
-    if world.obs.health.is_some() {
+    if let Some(health) = world.obs.health.as_ref() {
         let period = sample_period_s(world);
-        // lint:allow(no-unwrap-in-lib) -- presence was checked one line up
-        let windows = world.obs.health.as_ref().expect("checked above").windows();
+        let windows = health.windows();
         let width = duration - windows as f64 * period;
         if width > 1e-9 {
             health_close(world, &s, duration, width.min(period));
@@ -1666,10 +1674,10 @@ fn flush_partial_tick(world: &mut World, horizon: SimTime) {
     }
     let width = width.min(period);
     let prefix = sweep_prefix(world);
-    // lint:allow(no-unwrap-in-lib) -- recorder presence was checked above
-    let rec = world.obs.recorder.as_mut().expect("checked above");
-    record_sweep(rec, &s, period / width, &prefix);
-    rec.end_partial_tick(width);
+    if let Some(rec) = world.obs.recorder.as_mut() {
+        record_sweep(rec, &s, period / width, &prefix);
+        rec.end_partial_tick(width);
+    }
 }
 
 fn schedule_faults(faults: &FaultPlan, k: &mut K) {
@@ -2617,12 +2625,15 @@ fn peer_receive_gossip(
 }
 
 fn gossip_tick(world: &mut World, k: &mut K, peer_idx: usize) {
+    // Peers carry a gossip layer only when cfg.gossip is Some; requiring
+    // both here removes the unwrap without changing when the tick re-arms.
+    let Some(gossip_cfg) = world.cfg.gossip else {
+        return;
+    };
     if let Some(gossip) = world.peers[peer_idx].gossip.as_mut() {
         let effects = gossip.tick();
         apply_gossip_effects(world, k, peer_idx, effects);
-        // lint:allow(no-unwrap-in-lib) -- peers carry a gossip layer only when cfg.gossip is
-        // Some
-        let period = world.ms(world.cfg.gossip.expect("gossip enabled").anti_entropy_ms as f64);
+        let period = world.ms(gossip_cfg.anti_entropy_ms as f64);
         k.schedule_in_labeled(period, "gossip.tick", move |w, k| {
             gossip_tick(w, k, peer_idx)
         });
@@ -2946,9 +2957,11 @@ fn broker_tick(world: &mut World, k: &mut K, b: usize) {
 
 fn broker_heartbeat(world: &mut World, k: &mut K, b: usize) {
     if world.brokers[b].alive {
-        let id = world.brokers[b].partitions[0].id();
-        for ch in 0..world.channel_ids.len() {
-            zk_receive(world, k, ch, ZkMsg::Heartbeat { from: id });
+        if let Some(first) = world.brokers[b].partitions.first() {
+            let id = first.id();
+            for ch in 0..world.channel_ids.len() {
+                zk_receive(world, k, ch, ZkMsg::Heartbeat { from: id });
+            }
         }
     }
     let period = world.ms(world.cfg.cost.zk_heartbeat_ms);

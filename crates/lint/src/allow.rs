@@ -106,10 +106,13 @@ fn parse_allow_comment(comment: &str) -> Option<AllowSpec> {
         .filter(|s| !s.is_empty())
         .collect();
     let after = &rest[close + 1..];
+    // A justification must be non-empty and must not be `--fix` scaffolding:
+    // a `FIXME`-prefixed note marks the allow as still awaiting a real
+    // justification, so it cannot launder the audit.
     let justified = after
         .trim_start()
         .strip_prefix("--")
-        .is_some_and(|j| !j.trim().is_empty());
+        .is_some_and(|j| !j.trim().is_empty() && !j.trim().starts_with("FIXME"));
     Some(AllowSpec { names, justified })
 }
 
@@ -128,18 +131,75 @@ pub fn allow_diagnostics(file: &str, allows: &[Allow]) -> Vec<Diagnostic> {
                 suggestion: Some(
                     "write `// lint:allow(<rule>) -- <why this site is sound>`".into(),
                 ),
+                notes: Vec::new(),
             });
         }
         for name in &a.unknown {
+            let valid: Vec<&str> = RuleId::ALL.iter().map(|r| r.as_str()).collect();
             out.push(Diagnostic {
                 file: file.to_string(),
                 line: a.line,
                 col: a.col,
                 rule: RuleId::AllowUnknownRule,
-                message: format!("lint:allow names unknown rule {name:?}"),
+                message: format!(
+                    "lint:allow names unknown rule {name:?}; valid rules are: {}",
+                    valid.join(", ")
+                ),
                 suggestion: Some("run `fabricsim-lint --list-rules` for the catalogue".into()),
+                notes: Vec::new(),
             });
         }
+    }
+    out
+}
+
+/// One `// relaxed: <why>` note — the first-class annotation for
+/// `Ordering::Relaxed` sites (not a suppression; not counted as one).
+#[derive(Debug, Clone)]
+pub struct RelaxedNote {
+    /// Line of the comment itself.
+    pub line: u32,
+    /// The code line the note applies to (same binding rules as allows).
+    pub target_line: Option<u32>,
+    /// The justification text after the colon.
+    pub text: String,
+}
+
+/// Extracts every `// relaxed:` note from a token stream. The note must
+/// carry non-empty text after the colon to count.
+#[must_use]
+pub fn collect_relaxed_notes(tokens: &[Token]) -> Vec<RelaxedNote> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !tok.is_comment() || is_doc_comment(&tok.text) {
+            continue;
+        }
+        let body = tok
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_start();
+        let Some(rest) = body.strip_prefix("relaxed:") else {
+            continue;
+        };
+        let text = rest.trim_end_matches("*/").trim().to_string();
+        if text.is_empty() {
+            continue;
+        }
+        let trailing = i > 0 && tokens[i - 1].line == tok.line && !tokens[i - 1].is_comment();
+        let target_line = if trailing {
+            Some(tok.line)
+        } else {
+            tokens[i + 1..]
+                .iter()
+                .find(|t| !t.is_comment())
+                .map(|t| t.line)
+        };
+        out.push(RelaxedNote {
+            line: tok.line,
+            target_line,
+            text,
+        });
     }
     out
 }
@@ -220,6 +280,7 @@ mod tests {
             rule: RuleId::NoFloatEq,
             message: String::new(),
             suggestion: None,
+            notes: Vec::new(),
         };
         assert!(is_suppressed(&d, &a));
         d.line = 3;

@@ -25,6 +25,15 @@ pub enum RuleId {
     AtomicsOrderingAnnotated,
     /// A growable-buffer constructor (`Vec::new` & friends) in a sink module.
     NoUnboundedSink,
+    /// A nondeterminism source reachable from a sim-critical crate's public
+    /// API through the call graph (interprocedural).
+    DeterminismTaint,
+    /// A panic site reachable from a DES event handler (interprocedural).
+    PanicPath,
+    /// Two mutexes acquired in inconsistent order across the workspace.
+    LockOrder,
+    /// A `// relaxed:` note that does not sit on the atomic operation's line.
+    RelaxedNoteOnOperation,
     /// A `lint:allow` with no `-- <justification>` suffix.
     AllowMissingJustification,
     /// A `lint:allow` naming a rule id the engine does not know.
@@ -33,7 +42,7 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in catalogue order.
-    pub const ALL: [RuleId; 11] = [
+    pub const ALL: [RuleId; 15] = [
         RuleId::NoWallClock,
         RuleId::NoHashmapIteration,
         RuleId::NoFloatEq,
@@ -43,6 +52,10 @@ impl RuleId {
         RuleId::NoThreadIdentity,
         RuleId::AtomicsOrderingAnnotated,
         RuleId::NoUnboundedSink,
+        RuleId::DeterminismTaint,
+        RuleId::PanicPath,
+        RuleId::LockOrder,
+        RuleId::RelaxedNoteOnOperation,
         RuleId::AllowMissingJustification,
         RuleId::AllowUnknownRule,
     ];
@@ -60,6 +73,10 @@ impl RuleId {
             RuleId::NoThreadIdentity => "no-thread-identity",
             RuleId::AtomicsOrderingAnnotated => "atomics-ordering-annotated",
             RuleId::NoUnboundedSink => "no-unbounded-sink",
+            RuleId::DeterminismTaint => "determinism-taint",
+            RuleId::PanicPath => "panic-path",
+            RuleId::LockOrder => "lock-order",
+            RuleId::RelaxedNoteOnOperation => "relaxed-note-on-operation",
             RuleId::AllowMissingJustification => "allow-missing-justification",
             RuleId::AllowUnknownRule => "allow-unknown-rule",
         }
@@ -99,11 +116,30 @@ impl RuleId {
                  OS thread ran a shard; sharded runs must be worker-count-invariant"
             }
             RuleId::AtomicsOrderingAnnotated => {
-                "Ordering::Relaxed sites outside obs/registry need a written justification"
+                "every Ordering::Relaxed needs a written justification: a `// relaxed: <why>` \
+                 note on the operation, or a justified lint:allow"
             }
             RuleId::NoUnboundedSink => {
                 "growable buffers (Vec/VecDeque::new/with_capacity) in sink modules grow without \
                  bound under load; sinks must be bounded rings with an eviction counter"
+            }
+            RuleId::DeterminismTaint => {
+                "a nondeterminism source (hash-ordered iteration, thread identity, \
+                 pointer-to-int cast) in a helper crate is reachable from a sim-critical \
+                 crate's public API; the diagnostic carries the full call chain"
+            }
+            RuleId::PanicPath => {
+                "a panic site (panic!/unreachable!/todo!/unimplemented! or indexing) is \
+                 reachable from a DES event handler or ShardWorld::deliver; a poisoned \
+                 message must surface as an error, not abort a shard mid-window"
+            }
+            RuleId::LockOrder => {
+                "two mutexes are acquired in opposite orders somewhere in the workspace, \
+                 which can deadlock the sharded kernel's worker pool"
+            }
+            RuleId::RelaxedNoteOnOperation => {
+                "a Relaxed atomic is annotated, but its `// relaxed:` note does not sit on \
+                 the line of the atomic operation itself"
             }
             RuleId::AllowMissingJustification => "every lint:allow must carry `-- <justification>`",
             RuleId::AllowUnknownRule => "lint:allow names a rule id the engine does not know",
@@ -126,6 +162,18 @@ impl fmt::Display for RuleId {
     }
 }
 
+/// One step of supporting evidence attached to a diagnostic — for the
+/// interprocedural rules, the call chain from the sink down to the site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Note {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What this step shows.
+    pub message: String,
+}
+
 /// One violation at one source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -141,6 +189,8 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it, when the rule has a canonical remedy.
     pub suggestion: Option<String>,
+    /// Supporting evidence (call chains for interprocedural rules).
+    pub notes: Vec<Note>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -150,6 +200,9 @@ impl fmt::Display for Diagnostic {
             "{}:{}:{}: [{}] {}",
             self.file, self.line, self.col, self.rule, self.message
         )?;
+        for n in &self.notes {
+            write!(f, "\n    note: {}:{}: {}", n.file, n.line, n.message)?;
+        }
         if let Some(s) = &self.suggestion {
             write!(f, "\n    help: {s}")?;
         }
@@ -164,6 +217,8 @@ pub struct LintReport {
     pub violations: Vec<Diagnostic>,
     /// Count of diagnostics suppressed by a justified `lint:allow`.
     pub suppressed: usize,
+    /// Suppressions broken down per rule (for the ratchet file).
+    pub suppressed_by_rule: std::collections::BTreeMap<RuleId, usize>,
     /// Number of files checked.
     pub checked_files: usize,
 }
@@ -181,6 +236,17 @@ impl LintReport {
         let mut out = String::from("{\n  \"schema\": \"fabricsim-lint/v1\",\n");
         push_kv(&mut out, "checked_files", &self.checked_files.to_string());
         push_kv(&mut out, "suppressed", &self.suppressed.to_string());
+        if !self.suppressed_by_rule.is_empty() {
+            let mut obj = String::from("{");
+            for (i, (rule, n)) in self.suppressed_by_rule.iter().enumerate() {
+                if i > 0 {
+                    obj.push_str(", ");
+                }
+                let _ = write!(obj, "{}: {n}", json_string(rule.as_str()));
+            }
+            obj.push('}');
+            push_kv(&mut out, "suppressed_by_rule", &obj);
+        }
         push_kv(
             &mut out,
             "violation_count",
@@ -203,6 +269,22 @@ impl LintReport {
             );
             if let Some(s) = &d.suggestion {
                 let _ = write!(out, ", \"suggestion\": {}", json_string(s));
+            }
+            if !d.notes.is_empty() {
+                out.push_str(", \"notes\": [");
+                for (k, n) in d.notes.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"file\": {}, \"line\": {}, \"message\": {}}}",
+                        json_string(&n.file),
+                        n.line,
+                        json_string(&n.message),
+                    );
+                }
+                out.push(']');
             }
             out.push('}');
         }
@@ -278,6 +360,7 @@ mod tests {
             rule: RuleId::NoWallClock,
             message: "wall-clock read".into(),
             suggestion: Some("use the DES clock".into()),
+            notes: Vec::new(),
         };
         let s = d.to_string();
         assert!(s.starts_with("crates/core/src/sim.rs:7:13: [no-wall-clock]"));
@@ -294,8 +377,10 @@ mod tests {
                 rule: RuleId::NoFloatEq,
                 message: "float \"eq\"".into(),
                 suggestion: None,
+                notes: Vec::new(),
             }],
             suppressed: 3,
+            suppressed_by_rule: std::collections::BTreeMap::new(),
             checked_files: 9,
         };
         let json = report.to_json();

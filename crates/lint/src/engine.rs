@@ -4,9 +4,10 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::allow::{allow_diagnostics, collect_allows, is_suppressed};
-use crate::diag::{Diagnostic, LintReport};
+use crate::allow::{allow_diagnostics, collect_allows, is_suppressed, Allow};
+use crate::diag::{Diagnostic, LintReport, RuleId};
 use crate::rules::{run_rules, FileContext, FileKind};
+use crate::symgraph::{ParsedFile, SymbolGraph};
 use crate::tokenizer::tokenize;
 
 /// Classifies one workspace-relative path. `None` means the file is not
@@ -43,25 +44,37 @@ pub fn classify(rel_path: &str) -> Option<FileContext> {
 /// Lints one file's source text: code rules, then the allow layer.
 ///
 /// Returns the surviving diagnostics and how many were suppressed by a
-/// justified `lint:allow`.
+/// justified `lint:allow`. Whole-workspace runs ([`lint_paths`]) add the
+/// structural passes (taint, panic paths, lock order) on top of this.
 #[must_use]
 pub fn lint_source(ctx: &FileContext, src: &str) -> (Vec<Diagnostic>, usize) {
     let tokens = tokenize(src);
     let allows = collect_allows(&tokens);
-    let raw = run_rules(ctx, &tokens);
+    let (kept, by_rule) = token_pass(ctx, &tokens, &allows);
+    (kept, by_rule.values().sum())
+}
+
+/// The token-rule layer for one file: raw rules, suppression by justified
+/// allows (counted per rule), and the allow-annotation audit.
+fn token_pass(
+    ctx: &FileContext,
+    tokens: &[crate::tokenizer::Token],
+    allows: &[Allow],
+) -> (Vec<Diagnostic>, std::collections::BTreeMap<RuleId, usize>) {
+    let raw = run_rules(ctx, tokens);
     let mut kept: Vec<Diagnostic> = Vec::new();
-    let mut suppressed = 0usize;
+    let mut by_rule = std::collections::BTreeMap::new();
     for d in raw {
-        if is_suppressed(&d, &allows) {
-            suppressed += 1;
+        if is_suppressed(&d, allows) {
+            *by_rule.entry(d.rule).or_insert(0) += 1;
         } else {
             kept.push(d);
         }
     }
     // The annotations themselves are audited everywhere, tests included.
-    kept.extend(allow_diagnostics(&ctx.rel_path, &allows));
+    kept.extend(allow_diagnostics(&ctx.rel_path, allows));
     kept.sort_by_key(|d| (d.line, d.col, d.rule));
-    (kept, suppressed)
+    (kept, by_rule)
 }
 
 /// The directories a whole-workspace run walks.
@@ -74,6 +87,66 @@ const WORKSPACE_DIRS: &[&str] = &["crates", "examples", "tests"];
 /// I/O errors from the walk or file reads; `NotFound` when a given path
 /// does not exist or `root` has no workspace directory at all.
 pub fn lint_paths(root: &Path, paths: &[String]) -> io::Result<LintReport> {
+    let files = collect_files(root, paths)?;
+
+    // Pass 1: tokenize + parse every file once; token rules run per file.
+    let mut report = LintReport::default();
+    let mut parsed: Vec<ParsedFile> = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(ctx) = classify(&rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(file)?;
+        let tokens = tokenize(&src);
+        let allows = collect_allows(&tokens);
+        let (diags, by_rule) = token_pass(&ctx, &tokens, &allows);
+        report.checked_files += 1;
+        for (rule, n) in by_rule {
+            report.suppressed += n;
+            *report.suppressed_by_rule.entry(rule).or_insert(0) += n;
+        }
+        report.violations.extend(diags);
+        let ast = crate::parse::parse(&tokens);
+        parsed.push(ParsedFile {
+            ctx,
+            tokens,
+            ast,
+            allows,
+        });
+    }
+
+    // Pass 2: the workspace-wide structural analyses over the symbol graph.
+    // Their diagnostics flow through the same per-file allow layer as the
+    // token rules, so `lint:allow(determinism-taint) -- …` works and is
+    // counted in the suppression ledger.
+    let graph = SymbolGraph::build(&parsed);
+    for d in crate::taint::structural_passes(&parsed, &graph) {
+        let allows: &[Allow] = parsed
+            .iter()
+            .find(|pf| pf.ctx.rel_path == d.file)
+            .map_or(&[], |pf| &pf.allows);
+        if is_suppressed(&d, allows) {
+            report.suppressed += 1;
+            *report.suppressed_by_rule.entry(d.rule).or_insert(0) += 1;
+        } else {
+            report.violations.push(d);
+        }
+    }
+
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+/// Resolves the linted file set: the whole workspace under `root`, or just
+/// `paths` (files or directories) when non-empty. Sorted and deduplicated.
+fn collect_files(root: &Path, paths: &[String]) -> io::Result<Vec<PathBuf>> {
     let mut files: Vec<PathBuf> = Vec::new();
     if paths.is_empty() {
         let mut seen_any = false;
@@ -112,27 +185,36 @@ pub fn lint_paths(root: &Path, paths: &[String]) -> io::Result<LintReport> {
     }
     files.sort();
     files.dedup();
+    Ok(files)
+}
 
-    let mut report = LintReport::default();
+/// Applies the mechanical fixes ([`crate::fix`]) across the workspace (or
+/// `paths`). With `write` false the files are left untouched — `--fix
+/// --check` mode — and the caller fails the run if any fix is pending.
+///
+/// # Errors
+/// I/O errors from the walk, reads, or (in write mode) writes.
+pub fn fix_paths(root: &Path, paths: &[String], write: bool) -> io::Result<Vec<crate::fix::Fix>> {
+    let files = collect_files(root, paths)?;
+    let mut all: Vec<crate::fix::Fix> = Vec::new();
     for file in &files {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        let Some(ctx) = classify(&rel) else {
+        if classify(&rel).is_none() {
             continue;
-        };
+        }
         let src = fs::read_to_string(file)?;
-        let (diags, suppressed) = lint_source(&ctx, &src);
-        report.checked_files += 1;
-        report.suppressed += suppressed;
-        report.violations.extend(diags);
+        if let Some((fixed, fixes)) = crate::fix::fix_source(&rel, &src) {
+            if write {
+                fs::write(file, fixed)?;
+            }
+            all.extend(fixes);
+        }
     }
-    report
-        .violations
-        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
-    Ok(report)
+    Ok(all)
 }
 
 /// Recursive, deterministic (sorted) `.rs` walk; skips `target`, VCS dirs,

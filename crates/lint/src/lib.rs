@@ -24,15 +24,99 @@
 pub mod allow;
 pub mod diag;
 pub mod engine;
+pub mod fix;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
+pub mod symgraph;
+pub mod taint;
 pub mod tokenizer;
 
 pub use diag::{Diagnostic, LintReport, RuleId};
-pub use engine::{classify, lint_paths, lint_source};
+pub use engine::{classify, fix_paths, lint_paths, lint_source};
 pub use rules::{FileContext, FileKind, SIM_CRITICAL_CRATES};
 
+use std::fmt::Write as FmtWrite;
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+/// The suppression-ratchet file at the workspace root: the count of
+/// justified `lint:allow` suppressions may only go *down*. CI fails when
+/// the live count exceeds the recorded one; lowering the file is the only
+/// way to "spend" a burn-down.
+pub const RATCHET_FILE: &str = "lint-ratchet.txt";
+
+/// Parses `lint-ratchet.txt`: `#` comments, then `total N` and per-rule
+/// `<rule-id> N` lines. Returns the total and the per-rule map.
+#[must_use]
+pub fn parse_ratchet(text: &str) -> Option<(usize, std::collections::BTreeMap<String, usize>)> {
+    let mut total: Option<usize> = None;
+    let mut by_rule = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line.split_once(char::is_whitespace)?;
+        let n: usize = value.trim().parse().ok()?;
+        if key == "total" {
+            total = Some(n);
+        } else {
+            by_rule.insert(key.to_string(), n);
+        }
+    }
+    Some((total?, by_rule))
+}
+
+/// Renders the ratchet file for the current report, in the format
+/// [`parse_ratchet`] reads.
+#[must_use]
+pub fn render_ratchet(report: &LintReport) -> String {
+    let mut out = String::from(
+        "# fabricsim-lint suppression ratchet.\n\
+         # Counts justified `lint:allow` suppressions; may only decrease.\n\
+         # Regenerate with: cargo run -p fabricsim-lint -- --write-ratchet\n",
+    );
+    let _ = writeln!(out, "total {}", report.suppressed);
+    for (rule, n) in &report.suppressed_by_rule {
+        let _ = writeln!(out, "{rule} {n}");
+    }
+    out
+}
+
+/// Enforces the ratchet: live suppressions must not exceed the recorded
+/// count. Returns an error message when they do, `Ok(None)` when no ratchet
+/// file exists, and `Ok(Some(recorded_total))` when within budget.
+///
+/// # Errors
+/// A human-readable message naming the overrun (total or per-rule).
+pub fn check_ratchet(root: &Path, report: &LintReport) -> Result<Option<usize>, String> {
+    let Ok(text) = std::fs::read_to_string(root.join(RATCHET_FILE)) else {
+        return Ok(None);
+    };
+    let Some((total, by_rule)) = parse_ratchet(&text) else {
+        return Err(format!(
+            "{RATCHET_FILE} is malformed; regenerate with --write-ratchet"
+        ));
+    };
+    if report.suppressed > total {
+        return Err(format!(
+            "suppression count {} exceeds the ratchet ({total}); \
+             remove suppressions instead of adding them",
+            report.suppressed
+        ));
+    }
+    for (rule, n) in &report.suppressed_by_rule {
+        let budget = by_rule.get(rule.as_str()).copied().unwrap_or(0);
+        if *n > budget {
+            return Err(format!(
+                "rule {rule}: {n} suppressions exceed the ratchet ({budget}); \
+                 remove suppressions instead of adding them"
+            ));
+        }
+    }
+    Ok(Some(total))
+}
 
 /// Prints to stdout, ignoring `EPIPE` so `fabricsim lint | head` exits
 /// cleanly instead of panicking like `println!` would.
@@ -43,14 +127,26 @@ fn out(text: &str) {
 /// Command-line driver shared by the `fabricsim-lint` binary and the
 /// `fabricsim lint` subcommand. Returns the process exit code.
 #[must_use]
+#[allow(clippy::too_many_lines)] // flat flag dispatch; splitting it obscures the flow
 pub fn cli_run(args: &[String]) -> i32 {
     let mut json = false;
     let mut json_out: Option<String> = None;
+    let mut sarif_out: Option<String> = None;
+    let mut fix = false;
+    let mut check = false;
+    let mut write_ratchet = false;
     let mut root: Option<PathBuf> = None;
     let mut paths: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--fix" => fix = true,
+            "--check" => check = true,
+            "--write-ratchet" => write_ratchet = true,
+            "--sarif" => match it.next() {
+                Some(file) => sarif_out = Some(file.clone()),
+                None => return usage(),
+            },
             "--json" => {
                 json = true;
                 // `--json lint-report.json` writes the report to that file;
@@ -83,6 +179,44 @@ pub fn cli_run(args: &[String]) -> i32 {
         }
     }
     let root = root.unwrap_or_else(|| PathBuf::from("."));
+    if check && !fix {
+        eprintln!("fabricsim-lint: --check requires --fix");
+        return usage();
+    }
+    if fix {
+        // `--fix` rewrites in place; `--fix --check` only reports what WOULD
+        // change and fails if anything is pending (CI keeps the tree
+        // fix-clean that way).
+        match engine::fix_paths(&root, &paths, !check) {
+            Ok(fixes) => {
+                for f in &fixes {
+                    out(&format!(
+                        "{}: {}:{}: {}\n",
+                        if check { "would fix" } else { "fixed" },
+                        f.file,
+                        f.line,
+                        f.what
+                    ));
+                }
+                if check && !fixes.is_empty() {
+                    eprintln!(
+                        "fabricsim-lint: {} fix(es) pending; run `fabricsim lint --fix`",
+                        fixes.len()
+                    );
+                    return 1;
+                }
+                if check {
+                    out("fabricsim-lint: fix-clean\n");
+                    return 0;
+                }
+                // fall through: lint the (now fixed) tree below.
+            }
+            Err(e) => {
+                eprintln!("fabricsim-lint: {e}");
+                return 2;
+            }
+        }
+    }
     let report = match lint_paths(&root, &paths) {
         Ok(r) => r,
         Err(e) => {
@@ -90,6 +224,38 @@ pub fn cli_run(args: &[String]) -> i32 {
             return 2;
         }
     };
+    if write_ratchet {
+        let path = root.join(RATCHET_FILE);
+        if let Err(e) = std::fs::write(&path, render_ratchet(&report)) {
+            eprintln!("fabricsim-lint: cannot write {}: {e}", path.display());
+            return 2;
+        }
+        eprintln!("fabricsim-lint: ratchet written to {}", path.display());
+    }
+    if let Some(file) = &sarif_out {
+        let body = sarif::to_sarif(&report);
+        // The writer is validated against its own reader on every run, so a
+        // regression in either fails loudly instead of shipping bad SARIF.
+        if let Err(e) =
+            sarif::validate_sarif(&body).and_then(|()| sarif::round_trip(&report, &body))
+        {
+            eprintln!("fabricsim-lint: internal error: generated SARIF is invalid: {e}");
+            return 2;
+        }
+        if let Err(e) = std::fs::write(file, &body) {
+            eprintln!("fabricsim-lint: cannot write {file}: {e}");
+            return 2;
+        }
+        eprintln!("fabricsim-lint: SARIF report written to {file}");
+    }
+    // The ratchet only applies to whole-workspace runs — a path-scoped run
+    // sees a subset of the suppressions and would always pass trivially.
+    if paths.is_empty() && !write_ratchet {
+        if let Err(e) = check_ratchet(&root, &report) {
+            eprintln!("fabricsim-lint: {e}");
+            return 1;
+        }
+    }
     if json {
         let body = report.to_json();
         match &json_out {
@@ -111,9 +277,16 @@ pub fn cli_run(args: &[String]) -> i32 {
 }
 
 fn usage() -> i32 {
-    eprintln!("usage: fabricsim-lint [--json [FILE.json]] [--root DIR] [--list-rules] [PATHS…]");
+    eprintln!("usage: fabricsim-lint [--json [FILE.json]] [--sarif FILE] [--fix [--check]]");
+    eprintln!("                      [--write-ratchet] [--root DIR] [--list-rules] [PATHS…]");
     eprintln!();
     eprintln!("Lints the fabricsim workspace (or just PATHS) for determinism and");
     eprintln!("soundness violations. Exit codes: 0 clean, 1 violations, 2 error.");
+    eprintln!();
+    eprintln!("  --fix           apply mechanical rewrites (partial_cmp→total_cmp,");
+    eprintln!("                  FIXME scaffolding for unjustified lint:allow)");
+    eprintln!("  --fix --check   fail if any fix would apply; writes nothing");
+    eprintln!("  --sarif FILE    also write a validated SARIF 2.1.0 report");
+    eprintln!("  --write-ratchet regenerate lint-ratchet.txt from the live counts");
     2
 }

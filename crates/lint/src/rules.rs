@@ -67,8 +67,8 @@ impl FileContext {
 
 /// The comment-free token view rules scan, with test regions marked.
 pub struct Scanner<'a> {
-    toks: Vec<&'a Token>,
-    in_test: Vec<bool>,
+    pub(crate) toks: Vec<&'a Token>,
+    pub(crate) in_test: Vec<bool>,
 }
 
 impl<'a> Scanner<'a> {
@@ -92,15 +92,15 @@ impl<'a> Scanner<'a> {
         Scanner { toks, in_test }
     }
 
-    fn get(&self, i: usize) -> Option<&Token> {
+    pub(crate) fn get(&self, i: usize) -> Option<&Token> {
         self.toks.get(i).copied()
     }
 
-    fn ident_at(&self, i: usize, s: &str) -> bool {
+    pub(crate) fn ident_at(&self, i: usize, s: &str) -> bool {
         self.get(i).is_some_and(|t| t.is_ident(s))
     }
 
-    fn punct_at(&self, i: usize, s: &str) -> bool {
+    pub(crate) fn punct_at(&self, i: usize, s: &str) -> bool {
         self.get(i).is_some_and(|t| t.is_punct(s))
     }
 
@@ -113,6 +113,7 @@ impl<'a> Scanner<'a> {
             rule,
             message,
             suggestion: suggestion_for(rule),
+            notes: Vec::new(),
         }
     }
 }
@@ -195,7 +196,7 @@ fn test_region_end(toks: &[&Token], i: usize) -> Option<usize> {
     }
 }
 
-fn suggestion_for(rule: RuleId) -> Option<String> {
+pub(crate) fn suggestion_for(rule: RuleId) -> Option<String> {
     let s = match rule {
         RuleId::NoWallClock => {
             "use fabricsim_des::SimTime for simulated time, or route real time through the \
@@ -223,12 +224,27 @@ fn suggestion_for(rule: RuleId) -> Option<String> {
              simulation state"
         }
         RuleId::AtomicsOrderingAnnotated => {
-            "justify the relaxed ordering with `// lint:allow(atomics-ordering-annotated) -- …` \
-             or use Acquire/Release/SeqCst"
+            "justify the relaxed ordering with a `// relaxed: <why>` note on the operation \
+             (preferred), a lint:allow, or use Acquire/Release/SeqCst"
         }
         RuleId::NoUnboundedSink => {
             "make the buffer a bounded ring (evict the oldest entry at capacity and count the \
              eviction), or lint:allow with a note explaining why this allocation cannot grow"
+        }
+        RuleId::DeterminismTaint => {
+            "make the helper deterministic (BTreeMap/sorted iteration, no thread identity, \
+             no pointer-to-int), or sever the call path from sim-critical code"
+        }
+        RuleId::PanicPath => {
+            "return a typed error from the handler path instead of panicking; for truly \
+             unreachable arms, lint:allow(panic-path) with the dominating invariant"
+        }
+        RuleId::LockOrder => {
+            "pick one global acquisition order for these mutexes and restructure the \
+             out-of-order site to follow it"
+        }
+        RuleId::RelaxedNoteOnOperation => {
+            "move the `// relaxed:` note onto the line of the atomic operation it justifies"
         }
         RuleId::AllowMissingJustification | RuleId::AllowUnknownRule => return None,
     };
@@ -242,9 +258,10 @@ pub fn run_rules(ctx: &FileContext, tokens: &[Token]) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let non_test_code = matches!(ctx.kind, FileKind::Lib | FileKind::Bin | FileKind::Example);
     if non_test_code {
+        let relaxed_notes = crate::allow::collect_relaxed_notes(tokens);
         no_wall_clock(&scan, ctx, &mut diags);
         no_float_eq(&scan, ctx, &mut diags);
-        atomics_ordering_annotated(&scan, ctx, &mut diags);
+        atomics_ordering_annotated(&scan, ctx, &relaxed_notes, &mut diags);
         no_unbounded_sink(&scan, ctx, &mut diags);
         if ctx.sim_critical() {
             no_thread_sleep(&scan, ctx, &mut diags);
@@ -360,8 +377,18 @@ const ITERATION_METHODS: &[&str] = &[
 
 /// Flags iteration over locals/fields/params whose declared type (or
 /// constructor) is `HashMap`/`HashSet`, plus direct `for … in map` loops.
-#[allow(clippy::too_many_lines)] // two passes over two binding shapes; splitting hurts
 fn no_hashmap_iteration(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
+    for (i, message) in hashmap_iteration_sites(scan) {
+        out.push(scan.diag(i, RuleId::NoHashmapIteration, ctx, message));
+    }
+}
+
+/// The shared detection behind [`no_hashmap_iteration`], also used by the
+/// determinism-taint pass to seed sources in non-sim-critical crates.
+/// Returns `(scanner token index, message)` for each non-test site.
+#[allow(clippy::too_many_lines)] // two passes over two binding shapes; splitting hurts
+pub(crate) fn hashmap_iteration_sites(scan: &Scanner<'_>) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
     // Pass 1: names bound to hash-ordered containers anywhere in the file.
     let mut hash_names: Vec<&str> = Vec::new();
     for i in 0..scan.toks.len() {
@@ -414,7 +441,7 @@ fn no_hashmap_iteration(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Dia
         }
     }
     if hash_names.is_empty() {
-        return;
+        return out;
     }
     let is_hash = |t: &Token| t.kind == TokenKind::Ident && hash_names.contains(&t.text.as_str());
 
@@ -430,10 +457,8 @@ fn no_hashmap_iteration(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Dia
                     && ITERATION_METHODS.contains(&m.text.as_str())
                     && scan.punct_at(i + 3, "(")
                 {
-                    out.push(scan.diag(
+                    out.push((
                         i,
-                        RuleId::NoHashmapIteration,
-                        ctx,
                         format!(
                             "`{}.{}()` iterates a hash-ordered container (RandomState makes the \
                              order differ per process)",
@@ -460,10 +485,8 @@ fn no_hashmap_iteration(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Dia
                     match scan.get(k) {
                         Some(t) if t.is_punct("&") || t.is_ident("mut") => k += 1,
                         Some(t) if is_hash(t) && scan.punct_at(k + 1, "{") => {
-                            out.push(scan.diag(
+                            out.push((
                                 k,
-                                RuleId::NoHashmapIteration,
-                                ctx,
                                 format!(
                                     "`for … in {}` iterates a hash-ordered container \
                                      (RandomState makes the order differ per process)",
@@ -480,6 +503,7 @@ fn no_hashmap_iteration(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Dia
             j += 1;
         }
     }
+    out
 }
 
 /// `==`/`!=` with a float operand (literal, `as f64/f32` cast result, or an
@@ -602,17 +626,21 @@ fn forbid_unsafe_present(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Di
             rule: RuleId::ForbidUnsafePresent,
             message: "crate root does not `#![forbid(unsafe_code)]`".into(),
             suggestion: suggestion_for(RuleId::ForbidUnsafePresent),
+            notes: Vec::new(),
         });
     }
 }
 
-/// `Ordering::Relaxed` must carry a written justification everywhere except
-/// the lock-free metrics registry, whose relaxed counters are audited as a
-/// whole (monotonic, read only by the renderer).
-fn atomics_ordering_annotated(scan: &Scanner<'_>, ctx: &FileContext, out: &mut Vec<Diagnostic>) {
-    if ctx.rel_path == "crates/obs/src/registry.rs" {
-        return;
-    }
+/// `Ordering::Relaxed` must carry a written justification: either a
+/// `// relaxed: <why>` note binding within two lines above the use (the
+/// preferred, first-class form — [`crate::taint`] additionally verifies it
+/// sits on the operation itself) or a justified `lint:allow`.
+fn atomics_ordering_annotated(
+    scan: &Scanner<'_>,
+    ctx: &FileContext,
+    notes: &[crate::allow::RelaxedNote],
+    out: &mut Vec<Diagnostic>,
+) {
     for i in 0..scan.toks.len() {
         if scan.in_test[i] {
             continue;
@@ -621,12 +649,18 @@ fn atomics_ordering_annotated(scan: &Scanner<'_>, ctx: &FileContext, out: &mut V
             && scan.punct_at(i + 1, "::")
             && scan.ident_at(i + 2, "Relaxed")
         {
-            out.push(scan.diag(
-                i + 2,
-                RuleId::AtomicsOrderingAnnotated,
-                ctx,
-                "`Ordering::Relaxed` without a written justification".into(),
-            ));
+            let line = scan.toks[i + 2].line;
+            let justified = notes
+                .iter()
+                .any(|n| n.target_line.is_some_and(|t| t <= line && t + 2 >= line));
+            if !justified {
+                out.push(scan.diag(
+                    i + 2,
+                    RuleId::AtomicsOrderingAnnotated,
+                    ctx,
+                    "`Ordering::Relaxed` without a written justification".into(),
+                ));
+            }
         }
     }
 }

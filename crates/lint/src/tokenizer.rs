@@ -13,6 +13,8 @@
 //! * nested block comments `/* /* */ */`, per the Rust reference;
 //! * char literals vs lifetimes: `'a'` is a char, `'a` is a lifetime,
 //!   `'"'` and `'\''` are chars;
+//! * raw identifiers: `r#type` is one `Ident` token (text `r#type`), not an
+//!   `r` identifier followed by punctuation;
 //! * float literals vs ranges vs integer method calls: `1.0` is a float,
 //!   `1..2` is an int and a range, `1.max(2)` is an int, a dot and an ident.
 
@@ -70,6 +72,18 @@ impl Token {
     #[must_use]
     pub fn is_comment(&self) -> bool {
         matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// The identifier's name with any `r#` raw prefix stripped (so `r#type`
+    /// names the symbol `type`); the raw text for every other token kind.
+    #[must_use]
+    pub fn ident_name(&self) -> &str {
+        if self.kind == TokenKind::Ident {
+            if let Some(rest) = self.text.strip_prefix("r#") {
+                return rest;
+            }
+        }
+        &self.text
     }
 }
 
@@ -347,6 +361,16 @@ impl<'a> Lexer<'a> {
             if self.raw_string_body() {
                 return self.token(kind, start, line, col);
             }
+        }
+        // Raw identifier `r#type`: exactly one hash, then an identifier.
+        if first == 'r'
+            && hashes == 1
+            && self.peek(0) == Some('#')
+            && self.peek(1).is_some_and(is_ident_start)
+        {
+            self.bump(); // the `#`
+            self.bump(); // first identifier char
+            return self.ident_rest(start, line, col);
         }
         self.ident_rest(start, line, col)
     }

@@ -92,3 +92,142 @@ fn missing_root_dir_exits_two() {
 fn list_rules_exits_zero() {
     assert_eq!(cli_run(&args(&["--list-rules"])), 0);
 }
+
+const PARTIAL_CMP_SRC: &str = "#![forbid(unsafe_code)]\n\
+     pub fn cmp(a: f64, b: f64) -> std::cmp::Ordering {\n    \
+     a.partial_cmp(&b).unwrap()\n}\n";
+
+#[test]
+fn fix_rewrites_partial_cmp_and_leaves_the_tree_clean() {
+    let root = scratch_workspace("fix", PARTIAL_CMP_SRC);
+    let code = cli_run(&args(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--fix",
+    ]));
+    assert_eq!(code, 0, "after the rewrite the tree must lint clean");
+    let body = fs::read_to_string(root.join("crates/demo/src/lib.rs")).expect("read fixed lib.rs");
+    assert!(body.contains("a.total_cmp(&b)"), "{body}");
+    assert!(!body.contains("partial_cmp"), "{body}");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn fix_check_reports_pending_fixes_without_writing() {
+    let root = scratch_workspace("fix-check", PARTIAL_CMP_SRC);
+    let code = cli_run(&args(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--fix",
+        "--check",
+    ]));
+    assert_eq!(code, 1, "a pending fix must fail --fix --check");
+    let body = fs::read_to_string(root.join("crates/demo/src/lib.rs")).expect("read lib.rs");
+    assert!(
+        body.contains("partial_cmp"),
+        "--check must not write: {body}"
+    );
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn fix_check_is_clean_when_nothing_would_change() {
+    let root = scratch_workspace(
+        "fix-clean",
+        "#![forbid(unsafe_code)]\npub fn ok(a: u64, b: u64) -> u64 { a + b }\n",
+    );
+    let code = cli_run(&args(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--fix",
+        "--check",
+    ]));
+    assert_eq!(code, 0);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn check_without_fix_is_a_usage_error() {
+    let root = scratch_workspace(
+        "check-alone",
+        "#![forbid(unsafe_code)]\npub fn ok() -> u64 { 1 }\n",
+    );
+    assert_eq!(
+        cli_run(&args(&[
+            "--root",
+            root.to_str().expect("utf-8 path"),
+            "--check"
+        ])),
+        2
+    );
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn sarif_artifact_is_written_and_validates() {
+    let root = scratch_workspace(
+        "sarif",
+        "#![forbid(unsafe_code)]\npub fn boom(v: &[u32]) -> u32 {\n    *v.first().unwrap()\n}\n",
+    );
+    let sarif = root.join("lint-report.sarif");
+    let code = cli_run(&args(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--sarif",
+        sarif.to_str().expect("utf-8 path"),
+    ]));
+    assert_eq!(code, 1, "the seeded violation still fails the run");
+    let body = fs::read_to_string(&sarif).expect("read SARIF artifact");
+    fabricsim_lint::sarif::validate_sarif(&body).expect("artifact must be valid SARIF");
+    assert!(body.contains("\"no-unwrap-in-lib\""), "{body}");
+    assert!(body.contains("crates/demo/src/lib.rs"), "{body}");
+    fs::remove_dir_all(&root).ok();
+}
+
+const ALLOWED_SRC: &str = "#![forbid(unsafe_code)]\npub fn boom(v: &[u32]) -> u32 {\n    \
+     // lint:allow(no-unwrap-in-lib) -- ratchet fixture\n    \
+     *v.first().unwrap()\n}\n";
+
+#[test]
+fn ratchet_overrun_fails_a_whole_workspace_run() {
+    let root = scratch_workspace("ratchet-over", ALLOWED_SRC);
+    fs::write(root.join(fabricsim_lint::RATCHET_FILE), "total 0\n").expect("write ratchet");
+    let code = cli_run(&args(&["--root", root.to_str().expect("utf-8 path")]));
+    assert_eq!(code, 1, "1 live suppression exceeds the recorded 0");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn ratchet_at_budget_passes_and_write_ratchet_records_the_counts() {
+    let root = scratch_workspace("ratchet-ok", ALLOWED_SRC);
+    let code = cli_run(&args(&[
+        "--root",
+        root.to_str().expect("utf-8 path"),
+        "--write-ratchet",
+    ]));
+    assert_eq!(code, 0);
+    let body =
+        fs::read_to_string(root.join(fabricsim_lint::RATCHET_FILE)).expect("ratchet written");
+    assert!(body.contains("total 1"), "{body}");
+    assert!(body.contains("no-unwrap-in-lib 1"), "{body}");
+    // The freshly recorded budget passes the enforcing run.
+    assert_eq!(
+        cli_run(&args(&["--root", root.to_str().expect("utf-8 path")])),
+        0
+    );
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn per_rule_ratchet_overrun_fails_even_when_total_fits() {
+    let root = scratch_workspace("ratchet-rule", ALLOWED_SRC);
+    // Total budget is generous but the rule's own budget is zero.
+    fs::write(
+        root.join(fabricsim_lint::RATCHET_FILE),
+        "total 5\nno-wall-clock 5\n",
+    )
+    .expect("write ratchet");
+    let code = cli_run(&args(&["--root", root.to_str().expect("utf-8 path")]));
+    assert_eq!(code, 1, "no-unwrap-in-lib has no recorded budget");
+    fs::remove_dir_all(&root).ok();
+}

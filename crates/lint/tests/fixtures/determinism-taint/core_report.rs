@@ -1,0 +1,12 @@
+// Fed to the structural tests as `crates/core/src/report.rs` — the
+// sim-critical side. `tick_report` is a public API whose call chain reaches
+// the hash-order iteration in fabricsim_obs::summary::summarize.
+use fabricsim_obs::summary;
+
+pub fn tick_report(m: &std::collections::HashMap<String, u64>) -> u64 {
+    fold_in(m)
+}
+
+fn fold_in(m: &std::collections::HashMap<String, u64>) -> u64 {
+    summary::summarize(m)
+}

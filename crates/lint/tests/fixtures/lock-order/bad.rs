@@ -1,0 +1,14 @@
+// Fed to the structural tests as `crates/obs/src/server.rs`: `scrape` takes
+// registry before series, `record` takes them the other way round — a
+// classic AB/BA deadlock candidate.
+pub fn scrape(registry: &std::sync::Mutex<u64>, series: &std::sync::Mutex<u64>) -> u64 {
+    let a = registry.lock().unwrap_or_else(|e| e.into_inner());
+    let b = series.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+
+pub fn record(registry: &std::sync::Mutex<u64>, series: &std::sync::Mutex<u64>) -> u64 {
+    let b = series.lock().unwrap_or_else(|e| e.into_inner());
+    let a = registry.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}

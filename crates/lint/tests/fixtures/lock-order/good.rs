@@ -1,0 +1,13 @@
+// Clean twin of bad.rs: both functions acquire registry before series, so
+// the pair graph has one direction only.
+pub fn scrape(registry: &std::sync::Mutex<u64>, series: &std::sync::Mutex<u64>) -> u64 {
+    let a = registry.lock().unwrap_or_else(|e| e.into_inner());
+    let b = series.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+
+pub fn record(registry: &std::sync::Mutex<u64>, series: &std::sync::Mutex<u64>) -> u64 {
+    let a = registry.lock().unwrap_or_else(|e| e.into_inner());
+    let b = series.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}

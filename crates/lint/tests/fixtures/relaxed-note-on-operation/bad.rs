@@ -1,0 +1,11 @@
+// Fed to the structural tests as `crates/obs/src/counter.rs`: the
+// `// relaxed:` note sits close enough to the `Relaxed` token to satisfy
+// the token rule, but the atomic *operation* is on an earlier line — the
+// structural pass must insist the note binds to the operation.
+pub fn bump(c: &std::sync::atomic::AtomicU64) {
+    c.fetch_add(
+        1,
+        // relaxed: cosmetic counter
+        std::sync::atomic::Ordering::Relaxed,
+    );
+}

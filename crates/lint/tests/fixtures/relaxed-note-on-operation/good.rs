@@ -1,0 +1,6 @@
+// Clean twin of bad.rs: the note is on the line above the operation, so it
+// binds to the `fetch_add` it justifies.
+pub fn bump(c: &std::sync::atomic::AtomicU64) {
+    // relaxed: cosmetic counter; nothing orders against it
+    c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}

@@ -243,6 +243,31 @@ fn allow_meta_rules_fire_and_do_not_suppress() {
 }
 
 #[test]
+fn unknown_rule_diagnostic_lists_the_full_rule_catalogue() {
+    let (diags, _) = lint_as_core_lib("allow", "bad.rs");
+    let d = diags
+        .iter()
+        .find(|d| d.rule == RuleId::AllowUnknownRule)
+        .expect("allow/bad.rs names an unknown rule");
+    assert!(
+        d.message
+            .contains("lint:allow names unknown rule \"not-a-real-rule\""),
+        "{}",
+        d.message
+    );
+    // The message enumerates every valid rule id so the author can pick the
+    // one they meant without leaving the terminal.
+    for rule in RuleId::ALL {
+        assert!(
+            d.message.contains(rule.as_str()),
+            "message must list {:?}: {}",
+            rule.as_str(),
+            d.message
+        );
+    }
+}
+
+#[test]
 fn justified_allow_suppresses() {
     let (diags, suppressed) = lint_as_core_lib("allow", "good.rs");
     assert!(diags.is_empty(), "{diags:?}");

@@ -38,3 +38,48 @@ fn every_suppression_in_the_workspace_is_justified() {
         "expected at least the audited WallClock suppression"
     );
 }
+
+/// The ratchet file must exist and match the live counts *exactly* — not
+/// just stay under budget. Equality means every burned suppression is
+/// immediately locked in: forgetting `--write-ratchet` after a cleanup
+/// fails here, not six PRs later when someone spends the slack.
+#[test]
+fn suppression_ratchet_matches_the_live_counts_exactly() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = fabricsim_lint::lint_paths(root, &[]).expect("walk workspace");
+    let text = std::fs::read_to_string(root.join(fabricsim_lint::RATCHET_FILE))
+        .expect("lint-ratchet.txt must exist at the workspace root");
+    let (total, by_rule) =
+        fabricsim_lint::parse_ratchet(&text).expect("lint-ratchet.txt must parse");
+    assert_eq!(
+        total, report.suppressed,
+        "ratchet total is stale; regenerate with `cargo run -p fabricsim-lint -- --write-ratchet`"
+    );
+    let live: std::collections::BTreeMap<String, usize> = report
+        .suppressed_by_rule
+        .iter()
+        .map(|(r, n)| (r.as_str().to_string(), *n))
+        .collect();
+    assert_eq!(by_rule, live, "per-rule ratchet counts are stale");
+}
+
+/// No nondeterminism source may reach a sim-critical public API: the taint
+/// pass over the real workspace graph must come back empty (suppressions
+/// aside, which the clean check above already audits).
+#[test]
+fn workspace_is_determinism_taint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = fabricsim_lint::lint_paths(root, &[]).expect("walk workspace");
+    let taints: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|d| d.rule == fabricsim_lint::RuleId::DeterminismTaint)
+        .collect();
+    assert!(taints.is_empty(), "{taints:?}");
+}

@@ -1,0 +1,134 @@
+//! Edge-case tests for the lint tokenizer: raw strings with hash fences,
+//! nested block comments, lifetimes vs char literals, and raw identifiers.
+//! Each test asserts exact `line:col` positions (both 1-based) so a lexing
+//! regression shows up as a precise coordinate diff, not just a kind flip.
+
+use fabricsim_lint::tokenizer::{tokenize, TokenKind};
+
+/// `(kind, text, line, col)` for every token, comments included.
+fn spans(src: &str) -> Vec<(TokenKind, String, u32, u32)> {
+    tokenize(src)
+        .into_iter()
+        .map(|t| (t.kind, t.text, t.line, t.col))
+        .collect()
+}
+
+#[test]
+fn raw_string_with_hashes_swallows_quotes_and_fake_terminators() {
+    // The `"#` inside the body must not close the r##"…"## fence; the token
+    // after the string starts exactly one column past the real terminator.
+    let src = "let s = r##\"has \"# inside\"##; x";
+    let toks = spans(src);
+    assert_eq!(
+        toks,
+        vec![
+            (TokenKind::Ident, "let".into(), 1, 1),
+            (TokenKind::Ident, "s".into(), 1, 5),
+            (TokenKind::Punct, "=".into(), 1, 7),
+            (TokenKind::Str, "r##\"has \"# inside\"##".into(), 1, 9),
+            (TokenKind::Punct, ";".into(), 1, 29),
+            (TokenKind::Ident, "x".into(), 1, 31),
+        ]
+    );
+}
+
+#[test]
+fn multiline_raw_string_advances_the_line_counter() {
+    let src = "r#\"line one\nline two\"# end";
+    let toks = spans(src);
+    assert_eq!(toks[0].0, TokenKind::Str);
+    assert_eq!((toks[0].2, toks[0].3), (1, 1));
+    // `end` sits on line 2, after `line two"# ` (11 chars → col 12).
+    assert_eq!(toks[1], (TokenKind::Ident, "end".into(), 2, 12), "{toks:?}");
+}
+
+#[test]
+fn nested_block_comments_close_at_the_matching_depth() {
+    let src = "a /* outer /* inner */ still-comment */ b";
+    let toks = spans(src);
+    assert_eq!(
+        toks,
+        vec![
+            (TokenKind::Ident, "a".into(), 1, 1),
+            (
+                TokenKind::BlockComment,
+                "/* outer /* inner */ still-comment */".into(),
+                1,
+                3,
+            ),
+            (TokenKind::Ident, "b".into(), 1, 41),
+        ]
+    );
+}
+
+#[test]
+fn block_comment_spanning_lines_keeps_columns_honest_after_it() {
+    let src = "/* one\ntwo */ three";
+    let toks = spans(src);
+    assert_eq!(toks[0].0, TokenKind::BlockComment);
+    assert_eq!((toks[0].2, toks[0].3), (1, 1));
+    assert_eq!(toks[1], (TokenKind::Ident, "three".into(), 2, 8));
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str) { let c = 'x'; let s = 'static; }";
+    let toks = spans(src);
+    let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Lifetime).collect();
+    let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Char).collect();
+    assert_eq!(
+        lifetimes,
+        vec![
+            &(TokenKind::Lifetime, "'a".into(), 1, 6),
+            &(TokenKind::Lifetime, "'a".into(), 1, 14),
+            &(TokenKind::Lifetime, "'static".into(), 1, 45),
+        ],
+        "{toks:?}"
+    );
+    assert_eq!(chars, vec![&(TokenKind::Char, "'x'".into(), 1, 32)]);
+}
+
+#[test]
+fn escaped_char_literal_is_one_char_token_not_a_lifetime() {
+    let src = r"let nl = '\n'; let q = '\''; 'x";
+    let toks = spans(src);
+    let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Char).collect();
+    assert_eq!(
+        chars,
+        vec![
+            &(TokenKind::Char, r"'\n'".into(), 1, 10),
+            &(TokenKind::Char, r"'\''".into(), 1, 24),
+        ],
+        "{toks:?}"
+    );
+    // A bare `'x` at end of input is a lifetime, not an unterminated char.
+    assert_eq!(
+        toks.last(),
+        Some(&(TokenKind::Lifetime, "'x".into(), 1, 30))
+    );
+}
+
+#[test]
+fn raw_identifier_is_a_single_ident_token() {
+    let src = "let r#type = r#match; r#\"raw\"#";
+    let toks = spans(src);
+    assert_eq!(
+        toks,
+        vec![
+            (TokenKind::Ident, "let".into(), 1, 1),
+            (TokenKind::Ident, "r#type".into(), 1, 5),
+            (TokenKind::Punct, "=".into(), 1, 12),
+            (TokenKind::Ident, "r#match".into(), 1, 14),
+            (TokenKind::Punct, ";".into(), 1, 21),
+            // …and `r#"` right after is still a raw *string*, not `r#ident`.
+            (TokenKind::Str, "r#\"raw\"#".into(), 1, 23),
+        ]
+    );
+}
+
+#[test]
+fn raw_identifier_name_strips_the_prefix_for_rule_matching() {
+    let toks = tokenize("r#type plain");
+    assert_eq!(toks[0].ident_name(), "type");
+    assert_eq!(toks[1].ident_name(), "plain");
+}

@@ -159,12 +159,14 @@ impl TraceAnalysis {
 
     /// Analyzes already-reconstructed spans.
     pub fn from_spans(spans: &[TxSpan], top_k: usize) -> TraceAnalysis {
-        let mut committed_spans: Vec<&TxSpan> = Vec::new();
+        // Pair each committed span with its end-to-end latency up front, so
+        // no later stage has to re-prove that the latency exists.
+        let mut committed_spans: Vec<(f64, &TxSpan)> = Vec::new();
         let mut failed = 0usize;
         let mut incomplete = 0usize;
         for s in spans {
-            if s.is_committed() {
-                committed_spans.push(s);
+            if let Some(e2e_s) = s.end_to_end_s().filter(|_| s.is_committed()) {
+                committed_spans.push((e2e_s, s));
             } else if s.failure.is_some() {
                 failed += 1;
             } else {
@@ -182,20 +184,19 @@ impl TraceAnalysis {
         }
         let mut acc: HashMap<(usize, usize), Acc> = HashMap::new();
         let mut e2e = Vec::with_capacity(committed);
-        for s in &committed_spans {
-            // lint:allow(no-unwrap-in-lib) -- spans were filtered to committed ones above
-            e2e.push(s.end_to_end_s().expect("committed span"));
+        for (e2e_s, s) in &committed_spans {
+            e2e.push(*e2e_s);
             let segs = s.segments();
             let dominant = s.dominant_segment();
             for seg in &segs {
-                let key = (
-                    // lint:allow(no-unwrap-in-lib) -- reconstruct() only emits pipeline-phase
-                    // segments
-                    seg.from.pipeline_index().expect("pipeline phase"),
-                    // lint:allow(no-unwrap-in-lib) -- reconstruct() only emits pipeline-phase
-                    // segments
-                    seg.to.pipeline_index().expect("pipeline phase"),
-                );
+                // reconstruct() only emits pipeline-phase segments; anything
+                // else would be a new phase kind and is simply not tallied.
+                let (Some(from_idx), Some(to_idx)) =
+                    (seg.from.pipeline_index(), seg.to.pipeline_index())
+                else {
+                    continue;
+                };
+                let key = (from_idx, to_idx);
                 let a = acc.entry(key).or_insert_with(|| Acc {
                     samples: Vec::new(),
                     queued: 0.0,
@@ -238,20 +239,14 @@ impl TraceAnalysis {
             })
             .collect();
 
-        let mut slowest: Vec<&TxSpan> = committed_spans.clone();
-        slowest.sort_by(|a, b| {
-            b.end_to_end_s()
-                .unwrap_or(0.0)
-                .total_cmp(&a.end_to_end_s().unwrap_or(0.0))
-                .then_with(|| a.tx.cmp(&b.tx))
-        });
+        let mut slowest: Vec<(f64, &TxSpan)> = committed_spans.clone();
+        slowest.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.tx.cmp(&b.1.tx)));
         let slowest = slowest
             .into_iter()
             .take(top_k)
-            .map(|s| SlowTx {
+            .map(|(e2e_s, s)| SlowTx {
                 tx: s.tx.clone(),
-                // lint:allow(no-unwrap-in-lib) -- spans were filtered to committed ones above
-                end_to_end_s: s.end_to_end_s().expect("committed span"),
+                end_to_end_s: e2e_s,
                 segments: s.segments(),
             })
             .collect();

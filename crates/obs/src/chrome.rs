@@ -62,16 +62,15 @@ pub fn chrome_trace(events: &[PhaseEvent]) -> String {
             &mut first,
         );
         for seg in span.segments() {
+            // reconstruct() only emits pipeline-phase segments over observed
+            // phases; a segment without a start timestamp is not drawable.
+            let Some(start_s) = seg.from.pipeline_index().and_then(|idx| span.t_s[idx]) else {
+                continue;
+            };
             push(
                 format!(
                     "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\"name\":\"{}→{}\",\"cat\":\"{}\",\"args\":{{\"queued_s\":{},\"service_s\":{}}}}}",
-                    // lint:allow(no-unwrap-in-lib) -- reconstruct() only emits pipeline-phase
-                    // segments
-                    span.t_s[seg.from.pipeline_index().expect("pipeline phase")]
-                        // lint:allow(no-unwrap-in-lib) -- segment endpoints
-                        // are observed phases by construction
-                        .expect("observed phase")
-                        * 1e6,
+                    start_s * 1e6,
                     seg.dt_s * 1e6,
                     seg.from.label(),
                     seg.to.label(),

@@ -26,14 +26,14 @@ pub fn collapsed_stacks(spans: &[TxSpan]) -> String {
         std::collections::BTreeMap::new();
     for span in spans.iter().filter(|s| s.is_committed()) {
         for seg in span.segments() {
-            let key = (
-                // lint:allow(no-unwrap-in-lib) -- reconstruct() only emits pipeline-phase
-                // segments
-                seg.from.pipeline_index().expect("pipeline phase"),
-                // lint:allow(no-unwrap-in-lib) -- reconstruct() only emits pipeline-phase
-                // segments
-                seg.to.pipeline_index().expect("pipeline phase"),
-            );
+            // reconstruct() only emits pipeline-phase segments; anything
+            // else would be a new phase kind and is simply not attributed.
+            let (Some(from_idx), Some(to_idx)) =
+                (seg.from.pipeline_index(), seg.to.pipeline_index())
+            else {
+                continue;
+            };
+            let key = (from_idx, to_idx);
             // Round, don't truncate: dt is an integer count of nanoseconds
             // that went through f64 subtraction.
             *totals.entry(key).or_insert(0) += (seg.dt_s * 1e9).round() as u128;

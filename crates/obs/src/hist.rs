@@ -215,7 +215,7 @@ mod tests {
                 samples.push(v);
                 hist.record(v);
             }
-            samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            samples.sort_by(|a, b| a.total_cmp(b));
             let g = hist.relative_error_bound();
             for q in [0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.0] {
                 let exact = exact_quantile(&samples, q);

@@ -24,17 +24,20 @@ impl Counter {
     /// Adds one.
     #[inline]
     pub fn inc(&self) {
+        // relaxed: single monotone counter; no cross-metric ordering needed
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // relaxed: single monotone counter; no cross-metric ordering needed
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // relaxed: scrape-side read; staleness is acceptable by design
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -50,11 +53,13 @@ impl Gauge {
     /// Sets the gauge.
     #[inline]
     pub fn set(&self, v: f64) {
+        // relaxed: last-writer-wins gauge; no ordering with other metrics
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // relaxed: scrape-side read; staleness is acceptable by design
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
@@ -128,14 +133,16 @@ impl LiveHistogram {
         } else {
             (((v / c.lo).ln() / c.ln_growth).ceil() as usize).min(c.counts.len() - 1)
         };
+        // relaxed: bucket/sum skew within one scrape is documented above
         c.counts[idx].fetch_add(1, Ordering::Relaxed);
-        let mut cur = c.sum_bits.load(Ordering::Relaxed);
+        let sum = &c.sum_bits;
+        // relaxed: CAS loop re-reads on failure; no other data is published
+        let mut cur = sum.load(Ordering::Relaxed);
         loop {
             let new = (f64::from_bits(cur) + v).to_bits();
-            match c
-                .sum_bits
-                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
-            {
+            // relaxed: the sum is one word; the loop retries on lost races
+            let swap = sum.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed);
+            match swap {
                 Ok(_) => break,
                 Err(seen) => cur = seen,
             }
@@ -147,12 +154,14 @@ impl LiveHistogram {
         self.core
             .counts
             .iter()
+            // relaxed: scrape-side read; buckets may skew within one scrape
             .map(|c| c.load(Ordering::Relaxed))
             .sum()
     }
 
     /// Sum of recorded samples.
     pub fn sum(&self) -> f64 {
+        // relaxed: scrape-side read; staleness is acceptable by design
         f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
     }
 
@@ -163,6 +172,7 @@ impl LiveHistogram {
         let mut cum = 0u64;
         let mut out = Vec::with_capacity(c.counts.len());
         for (i, cnt) in c.counts.iter().enumerate() {
+            // relaxed: scrape-side read; buckets may skew within one scrape
             cum += cnt.load(Ordering::Relaxed);
             let bound = c.bounds.get(i).copied().unwrap_or(f64::INFINITY);
             out.push((bound, cum));
@@ -314,8 +324,8 @@ impl MetricsRegistry {
                     kind,
                     series: Vec::new(),
                 });
-                // lint:allow(no-unwrap-in-lib) -- last_mut of a vec pushed one statement above
-                families.last_mut().expect("just pushed")
+                let end = families.len() - 1;
+                &mut families[end]
             }
         };
         if let Some(s) = family.series.iter().find(|s| s.labels == labels) {
@@ -585,9 +595,9 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
 
     for ((family, labels), h) in &hists {
         let what = format!("histogram {family:?}{{{labels}}}");
-        if h.buckets.is_empty() {
+        let Some(last) = h.buckets.last() else {
             return Err(format!("{what}: no buckets"));
-        }
+        };
         for w in h.buckets.windows(2) {
             if w[1].0 < w[0].0 {
                 return Err(format!("{what}: le bounds not ascending"));
@@ -599,8 +609,6 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
                 ));
             }
         }
-        // lint:allow(no-unwrap-in-lib) -- guarded by the bucket-count check above
-        let last = h.buckets.last().expect("non-empty");
         if !last.0.is_infinite() {
             return Err(format!("{what}: missing le=\"+Inf\" bucket"));
         }

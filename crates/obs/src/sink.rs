@@ -372,9 +372,14 @@ impl JsonlFileSink {
     }
 
     fn write_line(&mut self, json: &str) -> std::io::Result<()> {
-        // lint:allow(no-unwrap-in-lib) -- the writer is Some until finish(); writing after it
-        // is a caller bug
-        let w = self.writer.as_mut().expect("sink not finished");
+        // The writer is Some until finish(); writing after that is a caller
+        // bug, surfaced as an I/O error instead of a panic.
+        let Some(w) = self.writer.as_mut() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "sink already finished",
+            ));
+        };
         w.write_all(json.as_bytes())?;
         w.write_all(b"\n")?;
         self.written += 1;

@@ -92,18 +92,17 @@ impl TxSpan {
     /// dropped, not the block-inclusion record). Segment durations then sum
     /// exactly to `committed - created` for committed spans.
     pub fn segments(&self) -> Vec<Segment> {
-        let observed: Vec<usize> = (0..PIPELINE_LEN)
-            .filter(|&i| self.t_s[i].is_some())
+        // Each observed phase is carried with its timestamp, so the DP below
+        // never has to unwrap an `Option` it already checked.
+        let observed: Vec<(usize, f64)> = (0..PIPELINE_LEN)
+            .filter_map(|i| self.t_s[i].map(|t| (i, t)))
             .collect();
-        // lint:allow(no-unwrap-in-lib) -- the closure is only called with indices from the
-        // observed list
-        let t = |i: usize| self.t_s[i].expect("observed phase");
         // Longest non-decreasing subsequence over ≤10 points: O(n²) DP.
         let n = observed.len();
         let mut len = vec![1usize; n];
         for i in 0..n {
             for j in 0..i {
-                if t(observed[j]) <= t(observed[i]) {
+                if observed[j].1 <= observed[i].1 {
                     len[i] = len[i].max(len[j] + 1);
                 }
             }
@@ -116,13 +115,14 @@ impl TxSpan {
         while len[cur] > 1 {
             // Prefer the latest pipeline phase that extends the chain, so on
             // equal-length choices the straggler (earlier phase, later time)
-            // is dropped rather than the causal record.
-            let prev = (0..cur)
+            // is dropped rather than the causal record. A DP entry with
+            // len > 1 always has a predecessor; stop cleanly regardless.
+            let Some(prev) = (0..cur)
                 .rev()
-                .find(|&j| len[j] == len[cur] - 1 && t(observed[j]) <= t(observed[cur]))
-                // lint:allow(no-unwrap-in-lib) -- a DP entry with len > 1 always has a
-                // predecessor
-                .expect("DP chain is well-formed");
+                .find(|&j| len[j] == len[cur] - 1 && observed[j].1 <= observed[cur].1)
+            else {
+                break;
+            };
             chain.push(observed[prev]);
             cur = prev;
         }
@@ -130,11 +130,11 @@ impl TxSpan {
         chain
             .windows(2)
             .map(|w| {
-                let (p, i) = (w[0], w[1]);
+                let ((p, tp), (i, ti)) = (w[0], w[1]);
                 Segment {
                     from: TracePhase::PIPELINE[p],
                     to: TracePhase::PIPELINE[i],
-                    dt_s: t(i) - t(p),
+                    dt_s: ti - tp,
                     queued_s: (self.cum_queued_s[i] - self.cum_queued_s[p]).max(0.0),
                     service_s: (self.cum_service_s[i] - self.cum_service_s[p]).max(0.0),
                 }

@@ -54,7 +54,7 @@ fn sweep(policy: PolicySpec) -> (f64, &'static str) {
     ];
     let bottleneck = shortfalls
         .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .expect("three phases")
         .0;
     println!("  -> peak committed ≈ {peak_commit:.0} tps; bottleneck phase: {bottleneck}\n");
